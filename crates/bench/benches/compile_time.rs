@@ -1,0 +1,66 @@
+//! Criterion benchmarks for compilation time (the quantity of Figures 7c
+//! and 11): optimal vs heuristic mappers on the paper benchmarks and on
+//! random circuits of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nisq_bench::{ibmq16_on_day, machine_with_qubits};
+use nisq_core::{Compiler, CompilerConfig, RoutingPolicy};
+use nisq_ir::{random_circuit, Benchmark, RandomCircuitConfig};
+use std::time::Duration;
+
+fn bench_paper_benchmarks(c: &mut Criterion) {
+    let machine = ibmq16_on_day(0);
+    let mut group = c.benchmark_group("compile_paper_benchmarks");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for benchmark in Benchmark::representative() {
+        let circuit = benchmark.circuit();
+        for (name, config) in [
+            ("qiskit", CompilerConfig::qiskit()),
+            ("t_smt_star", CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths)),
+            ("r_smt_star", CompilerConfig::r_smt_star(0.5)),
+            ("greedy_e", CompilerConfig::greedy_e()),
+            ("greedy_v", CompilerConfig::greedy_v()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, benchmark.name()),
+                &circuit,
+                |b, circuit| {
+                    let compiler = Compiler::new(&machine, config);
+                    b.iter(|| compiler.compile(circuit).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_random_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_random_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for qubits in [4usize, 8, 16] {
+        let machine = machine_with_qubits(qubits);
+        let circuit = random_circuit(RandomCircuitConfig::new(qubits, 128, 3));
+        let exact = CompilerConfig::r_smt_star(0.5)
+            .with_solver_budget(200_000, Some(Duration::from_secs(2)));
+        group.bench_with_input(
+            BenchmarkId::new("r_smt_star", qubits),
+            &circuit,
+            |b, circuit| {
+                let compiler = Compiler::new(&machine, exact);
+                b.iter(|| compiler.compile(circuit).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_e", qubits),
+            &circuit,
+            |b, circuit| {
+                let compiler = Compiler::new(&machine, CompilerConfig::greedy_e());
+                b.iter(|| compiler.compile(circuit).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_benchmarks, bench_random_scaling);
+criterion_main!(benches);

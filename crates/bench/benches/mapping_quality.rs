@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the optimization substrate itself: exact branch
+//! and bound versus simulated annealing on the same placement problem (the
+//! exact-vs-anytime ablation called out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nisq_bench::ibmq16_on_day;
+use nisq_ir::Benchmark;
+use nisq_opt::{problem, solve_annealing, solve_branch_and_bound, AnnealConfig, MappingObjective, RoutingPolicy, SolverConfig};
+use std::time::Duration;
+
+fn bench_solvers(c: &mut Criterion) {
+    let machine = ibmq16_on_day(0);
+    let mut group = c.benchmark_group("placement_solvers");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for benchmark in [Benchmark::Bv4, Benchmark::Hs6, Benchmark::Adder] {
+        let circuit = benchmark.circuit();
+        let p = problem::build(
+            &circuit,
+            &machine,
+            MappingObjective::Reliability { omega: 0.5 },
+            RoutingPolicy::OneBendPaths,
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("branch_and_bound", benchmark.name()),
+            &p,
+            |b, p| {
+                b.iter(|| solve_branch_and_bound(p, &SolverConfig::default()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("annealing_50k", benchmark.name()),
+            &p,
+            |b, p| {
+                b.iter(|| solve_annealing(p, &AnnealConfig::new(50_000, 1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the noisy simulator: trial throughput for
+//! compiled executables (the substrate behind every success-rate figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nisq_bench::ibmq16_on_day;
+use nisq_core::{Compiler, CompilerConfig};
+use nisq_ir::Benchmark;
+use nisq_sim::{Simulator, SimulatorConfig};
+use std::time::Duration;
+
+fn bench_simulation(c: &mut Criterion) {
+    let machine = ibmq16_on_day(0);
+    let mut group = c.benchmark_group("noisy_simulation_256_trials");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for benchmark in [Benchmark::Bv4, Benchmark::Hs6, Benchmark::Adder] {
+        let compiled = Compiler::new(&machine, CompilerConfig::r_smt_star(0.5))
+            .compile(&benchmark.circuit())
+            .unwrap();
+        let expected = benchmark.expected_output();
+        group.bench_with_input(
+            BenchmarkId::new("r_smt_star_executable", benchmark.name()),
+            &compiled,
+            |b, compiled| {
+                let sim = Simulator::new(&machine, SimulatorConfig::with_trials(256, 1));
+                b.iter(|| sim.success_rate(compiled, &expected));
+            },
+        );
+    }
+    // Baseline executables are longer (they include swap chains), so their
+    // simulation cost is also interesting.
+    for benchmark in [Benchmark::Bv8, Benchmark::Toffoli] {
+        let compiled = Compiler::new(&machine, CompilerConfig::qiskit())
+            .compile(&benchmark.circuit())
+            .unwrap();
+        let expected = benchmark.expected_output();
+        group.bench_with_input(
+            BenchmarkId::new("qiskit_executable", benchmark.name()),
+            &compiled,
+            |b, compiled| {
+                let sim = Simulator::new(&machine, SimulatorConfig::with_trials(256, 1));
+                b.iter(|| sim.success_rate(compiled, &expected));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 11: compile-time scalability of the optimal (R-SMT*) and greedy
+//! (GreedyE*) methods on randomly generated circuits with 4-128 qubits and
+//! 128-2048 gates.
+//!
+//! The exact solver's budget is capped (like the paper's 3-hour SMT runs)
+//! so the sweep finishes in minutes; budget-limited points are marked with
+//! an asterisk and report the time spent before the cap.
+
+use nisq_bench::{format_table, machine_with_qubits};
+use nisq_core::{Compiler, CompilerConfig};
+use nisq_ir::{random_circuit, RandomCircuitConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let gate_counts = [128usize, 256, 512, 1024, 2048];
+    let smt_qubits = [4usize, 8, 16, 32];
+    let greedy_qubits = [4usize, 8, 16, 32, 64, 128];
+    let budget = Duration::from_secs(
+        std::env::var("NISQ_SOLVER_BUDGET_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20),
+    );
+
+    println!("Figure 11: compilation time (microseconds) on random circuits\n");
+
+    println!("R-SMT* (exact solver, budget {}s per point; * = budget hit)\n", budget.as_secs());
+    let mut rows = Vec::new();
+    for &qubits in &smt_qubits {
+        let machine = machine_with_qubits(qubits);
+        let mut cells = vec![format!("{qubits} qubits")];
+        for &gates in &gate_counts {
+            let circuit = random_circuit(RandomCircuitConfig::new(qubits, gates, 7));
+            let config = CompilerConfig::r_smt_star(0.5)
+                .with_solver_budget(u64::MAX, Some(budget));
+            let start = Instant::now();
+            let compiled = Compiler::new(&machine, config).compile(&circuit).unwrap();
+            let elapsed = start.elapsed();
+            let capped = elapsed >= budget;
+            let _ = compiled;
+            cells.push(format!(
+                "{}{}",
+                elapsed.as_micros(),
+                if capped { "*" } else { "" }
+            ));
+        }
+        rows.push(cells);
+    }
+    let headers: Vec<String> = std::iter::once("Machine".to_string())
+        .chain(gate_counts.iter().map(|g| format!("{g} gates")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", format_table(&header_refs, &rows));
+
+    println!("GreedyE* (heuristic)\n");
+    let mut rows = Vec::new();
+    for &qubits in &greedy_qubits {
+        let machine = machine_with_qubits(qubits);
+        let mut cells = vec![format!("{qubits} qubits")];
+        for &gates in &gate_counts {
+            let circuit = random_circuit(RandomCircuitConfig::new(qubits, gates, 7));
+            let start = Instant::now();
+            let compiled = Compiler::new(&machine, CompilerConfig::greedy_e())
+                .compile(&circuit)
+                .unwrap();
+            let _ = compiled;
+            cells.push(start.elapsed().as_micros().to_string());
+        }
+        rows.push(cells);
+    }
+    println!("{}", format_table(&header_refs, &rows));
+    println!(
+        "The paper reports the SMT approach needing hours at 32 qubits while the greedy \
+         heuristics stay under one second everywhere; the same separation (orders of \
+         magnitude, growing with qubit count) should be visible above."
+    );
+}

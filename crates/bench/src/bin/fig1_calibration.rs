@@ -1,0 +1,98 @@
+//! Figure 1: daily variations in qubit coherence time (T2) and CNOT gate
+//! error rates over ~25 calibration days, for selected qubits and edges.
+
+use nisq_bench::format_table;
+use nisq_machine::{CalibrationGenerator, EdgeId, GridTopology, HwQubit};
+
+fn main() {
+    let days = 25;
+    let generator = CalibrationGenerator::new(GridTopology::ibmq16(), nisq_bench::DEFAULT_MACHINE_SEED);
+    let snapshots = generator.days(days);
+
+    // The paper plots qubits Q0, Q4, Q9, Q13 and CNOTs (5,4), (7,10), (3,14).
+    // (3,14) is not an edge of the 8x2 grid model, so we use (3,11) which
+    // sits in the same column pair.
+    let qubits = [HwQubit(0), HwQubit(4), HwQubit(9), HwQubit(13)];
+    let edges = [
+        EdgeId::new(HwQubit(4), HwQubit(5)),
+        EdgeId::new(HwQubit(7), HwQubit(15)),
+        EdgeId::new(HwQubit(3), HwQubit(11)),
+    ];
+
+    println!("Figure 1a: qubit coherence time T2 (microseconds) per calibration day\n");
+    let headers: Vec<String> = std::iter::once("Day".to_string())
+        .chain(qubits.iter().map(|q| q.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = snapshots
+        .iter()
+        .map(|c| {
+            std::iter::once(c.day.to_string())
+                .chain(qubits.iter().map(|&q| format!("{:.1}", c.t2_us(q))))
+                .collect()
+        })
+        .collect();
+    println!("{}", format_table(&header_refs, &rows));
+
+    println!("Figure 1b: CNOT gate error rate per calibration day\n");
+    let headers: Vec<String> = std::iter::once("Day".to_string())
+        .chain(edges.iter().map(|e| format!("CNOT {},{}", e.0, e.1)))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = snapshots
+        .iter()
+        .map(|c| {
+            std::iter::once(c.day.to_string())
+                .chain(edges.iter().map(|e| {
+                    format!("{:.3}", c.cnot_error[e])
+                }))
+                .collect()
+        })
+        .collect();
+    println!("{}", format_table(&header_refs, &rows));
+
+    // Summary statistics the paper quotes in Section 2.
+    let mut t2_min = f64::INFINITY;
+    let mut t2_max: f64 = 0.0;
+    let mut cnot_min = f64::INFINITY;
+    let mut cnot_max: f64 = 0.0;
+    let mut ro_min = f64::INFINITY;
+    let mut ro_max: f64 = 0.0;
+    let mut t2_sum = 0.0;
+    let mut cnot_sum = 0.0;
+    let mut ro_sum = 0.0;
+    for c in &snapshots {
+        t2_sum += c.mean_t2_us();
+        cnot_sum += c.mean_cnot_error();
+        ro_sum += c.mean_readout_error();
+        for &t in &c.t2_us {
+            t2_min = t2_min.min(t);
+            t2_max = t2_max.max(t);
+        }
+        for &e in c.cnot_error.values() {
+            cnot_min = cnot_min.min(e);
+            cnot_max = cnot_max.max(e);
+        }
+        for &e in &c.readout_error {
+            ro_min = ro_min.min(e);
+            ro_max = ro_max.max(e);
+        }
+    }
+    let n = snapshots.len() as f64;
+    println!("Section 2 statistics over {days} days:");
+    println!(
+        "  mean T2 {:.1} us (paper: ~70 us), spatio-temporal variation {:.1}x (paper: up to 9.2x)",
+        t2_sum / n,
+        t2_max / t2_min
+    );
+    println!(
+        "  mean CNOT error {:.3} (paper: 0.04), variation {:.1}x (paper: up to 9.0x)",
+        cnot_sum / n,
+        cnot_max / cnot_min
+    );
+    println!(
+        "  mean readout error {:.3} (paper: 0.07), variation {:.1}x (paper: up to 5.9x)",
+        ro_sum / n,
+        ro_max / ro_min
+    );
+}

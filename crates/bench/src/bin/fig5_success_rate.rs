@@ -1,0 +1,68 @@
+//! Figure 5: measured success rate of Qiskit, T-SMT* and R-SMT* (omega =
+//! 0.5) on all twelve benchmarks.
+//!
+//! The paper reports R-SMT* beating Qiskit on every benchmark with a 2.9x
+//! geometric-mean improvement (up to 18x); the simulated reproduction should
+//! preserve that ordering and a comparable improvement factor.
+
+use nisq_bench::{fmt3, format_table, geomean, ibmq16_on_day, run_benchmark, DEFAULT_TRIALS};
+use nisq_core::{CompilerConfig, RoutingPolicy};
+use nisq_ir::Benchmark;
+
+fn main() {
+    let machine = ibmq16_on_day(0);
+    let trials = std::env::var("NISQ_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TRIALS);
+
+    let configs = [
+        ("Qiskit", CompilerConfig::qiskit()),
+        (
+            "T-SMT*",
+            CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+        ),
+        ("R-SMT* w=0.5", CompilerConfig::r_smt_star(0.5)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut improvements = Vec::new();
+    let mut improvements_vs_tsmt = Vec::new();
+    for benchmark in Benchmark::all() {
+        let mut cells = vec![benchmark.name().to_string()];
+        let mut rates = Vec::new();
+        for (_, config) in &configs {
+            let outcome = run_benchmark(&machine, *config, benchmark, trials, 42);
+            rates.push(outcome.success_rate);
+            cells.push(fmt3(outcome.success_rate));
+        }
+        let qiskit = rates[0].max(1e-4);
+        let t_smt_star = rates[1].max(1e-4);
+        let r_smt_star = rates[2];
+        improvements.push(r_smt_star / qiskit);
+        improvements_vs_tsmt.push(r_smt_star / t_smt_star);
+        cells.push(format!("{:.2}x", r_smt_star / qiskit));
+        rows.push(cells);
+    }
+
+    println!(
+        "Figure 5: success rate per benchmark ({} trials, day 0 calibration)\n",
+        trials
+    );
+    println!(
+        "{}",
+        format_table(
+            &["Benchmark", "Qiskit", "T-SMT*", "R-SMT* w=0.5", "R-SMT*/Qiskit"],
+            &rows
+        )
+    );
+    println!(
+        "Geomean improvement of R-SMT* over Qiskit: {:.2}x (paper: 2.9x geomean, up to 18x); max {:.2}x",
+        geomean(&improvements),
+        improvements.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "Geomean improvement of R-SMT* over T-SMT*: {:.2}x (paper: R-SMT* wins on all benchmarks)",
+        geomean(&improvements_vs_tsmt)
+    );
+}

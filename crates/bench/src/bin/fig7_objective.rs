@@ -1,0 +1,78 @@
+//! Figure 7: choice of optimization objective. Success rate (a), execution
+//! duration (b) and compile time (c) for BV4, HS6 and Toffoli under T-SMT*
+//! and R-SMT* with omega in {0, 0.5, 1}, plus a finer omega sweep as the
+//! ablation called out in DESIGN.md.
+
+use nisq_bench::{fmt3, format_table, ibmq16_on_day, run_benchmark};
+use nisq_core::{CompilerConfig, RoutingPolicy};
+use nisq_ir::Benchmark;
+
+fn main() {
+    let machine = ibmq16_on_day(0);
+    let trials = std::env::var("NISQ_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8192);
+
+    let configs = [
+        (
+            "T-SMT*".to_string(),
+            CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+        ),
+        ("R-SMT* w=1".to_string(), CompilerConfig::r_smt_star(1.0)),
+        ("R-SMT* w=0".to_string(), CompilerConfig::r_smt_star(0.0)),
+        ("R-SMT* w=0.5".to_string(), CompilerConfig::r_smt_star(0.5)),
+    ];
+
+    for (title, metric) in [
+        ("Figure 7a: success rate", 0usize),
+        ("Figure 7b: execution duration (timeslots)", 1),
+        ("Figure 7c: compile time (ms)", 2),
+    ] {
+        let mut rows = Vec::new();
+        for benchmark in Benchmark::representative() {
+            let mut cells = vec![benchmark.name().to_string()];
+            for (_, config) in &configs {
+                let outcome = run_benchmark(&machine, *config, benchmark, trials, 7);
+                cells.push(match metric {
+                    0 => fmt3(outcome.success_rate),
+                    1 => outcome.duration_slots.to_string(),
+                    _ => format!("{:.1}", outcome.compile_time.as_secs_f64() * 1000.0),
+                });
+            }
+            rows.push(cells);
+        }
+        println!("{title} ({trials} trials, day 0)\n");
+        let headers: Vec<&str> = std::iter::once("Benchmark")
+            .chain(configs.iter().map(|(n, _)| n.as_str()))
+            .collect();
+        println!("{}", format_table(&headers, &rows));
+    }
+
+    // Ablation: finer omega sweep on the representative benchmarks.
+    println!("Ablation: omega sweep for R-SMT* (success rate)\n");
+    let omegas = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut rows = Vec::new();
+    for benchmark in Benchmark::representative() {
+        let mut cells = vec![benchmark.name().to_string()];
+        for &omega in &omegas {
+            let outcome = run_benchmark(
+                &machine,
+                CompilerConfig::r_smt_star(omega),
+                benchmark,
+                trials,
+                7,
+            );
+            cells.push(fmt3(outcome.success_rate));
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["Benchmark", "w=0", "w=0.25", "w=0.5", "w=0.75", "w=1"],
+            &rows
+        )
+    );
+    println!("The paper finds omega near 0.5 gives the best success rates on IBMQ16.");
+}

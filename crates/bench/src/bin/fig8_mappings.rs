@@ -1,0 +1,83 @@
+//! Figure 8: the BV4 qubit mappings chosen by Qiskit, T-SMT*, R-SMT*
+//! (omega = 1) and R-SMT* (omega = 0.5), with the error rates of the
+//! hardware resources they use.
+
+use nisq_bench::ibmq16_on_day;
+use nisq_core::{Compiler, CompilerConfig, RoutingPolicy};
+use nisq_ir::{Benchmark, Qubit};
+use nisq_machine::HwQubit;
+
+fn main() {
+    let machine = ibmq16_on_day(0);
+    let circuit = Benchmark::Bv4.circuit();
+
+    let configs = [
+        ("(a) Qiskit", CompilerConfig::qiskit()),
+        (
+            "(b) T-SMT*: optimize duration without error data",
+            CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+        ),
+        (
+            "(c) R-SMT* (w=1): optimize readout reliability",
+            CompilerConfig::r_smt_star(1.0),
+        ),
+        (
+            "(d) R-SMT* (w=0.5): optimize CNOT+readout reliability",
+            CompilerConfig::r_smt_star(0.5),
+        ),
+    ];
+
+    println!("Figure 8: BV4 mappings on the day-0 calibration\n");
+    println!("Hardware layout (readout error x10^-2 in each cell):");
+    let calibration = machine.calibration();
+    for y in 0..machine.topology().my() {
+        let row: Vec<String> = (0..machine.topology().mx())
+            .map(|x| {
+                let q = machine.topology().at(x, y);
+                format!("Q{:<2}({:>4.1})", q.0, calibration.readout_error(q) * 100.0)
+            })
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+    println!();
+
+    for (label, config) in configs {
+        let compiled = Compiler::new(&machine, config)
+            .compile(&circuit)
+            .expect("BV4 compiles on IBMQ16");
+        let placement = compiled.placement();
+        println!("{label}");
+        for p in 0..circuit.num_qubits() {
+            let hw = placement.hw(Qubit(p));
+            println!(
+                "  p{p} -> {hw}  (readout error {:.3})",
+                calibration.readout_error(hw)
+            );
+        }
+        // Report the hardware CNOTs the program's three CNOTs use.
+        let mut cnot_edges = Vec::new();
+        for entry in &compiled.schedule().gates {
+            if let Some(route) = &entry.route {
+                for pair in route.path.windows(2) {
+                    cnot_edges.push((pair[0], pair[1]));
+                }
+            }
+        }
+        let edge_desc: Vec<String> = cnot_edges
+            .iter()
+            .map(|&(a, b): &(HwQubit, HwQubit)| {
+                format!(
+                    "{a}-{b} ({:.3})",
+                    calibration.cnot_error(a, b).unwrap_or(f64::NAN)
+                )
+            })
+            .collect();
+        println!("  hardware CNOT edges used: {}", edge_desc.join(", "));
+        println!(
+            "  swaps: {}, duration: {} timeslots, estimated reliability: {:.3}\n",
+            compiled.swap_count(),
+            compiled.duration_slots(),
+            compiled.estimated_reliability()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 1: the compiler configurations used in the study.
+
+use nisq_bench::format_table;
+use nisq_core::CompilerConfig;
+
+fn main() {
+    println!("Table 1: compiler configurations\n");
+    let rows: Vec<Vec<String>> = CompilerConfig::table1()
+        .into_iter()
+        .map(|config| {
+            let objective = match config.algorithm {
+                nisq_core::Algorithm::Qiskit => "heuristic, minimize duration",
+                nisq_core::Algorithm::TSmt | nisq_core::Algorithm::TSmtStar => {
+                    "optimal (solver), minimize duration"
+                }
+                nisq_core::Algorithm::RSmtStar => "optimal (solver), maximize reliability",
+                nisq_core::Algorithm::GreedyV | nisq_core::Algorithm::GreedyE => {
+                    "heuristic, maximize reliability"
+                }
+                _ => "other",
+            };
+            let params = match config.algorithm {
+                nisq_core::Algorithm::RSmtStar => {
+                    format!("routing {}, omega {}", config.routing, config.omega)
+                }
+                _ => format!("routing {}", config.routing),
+            };
+            vec![
+                config.algorithm.name().to_string(),
+                objective.to_string(),
+                params,
+                if config.algorithm.is_calibration_aware() {
+                    "yes".to_string()
+                } else {
+                    "no".to_string()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Algorithm", "Objective", "Parameters", "Calibration-aware"],
+            &rows
+        )
+    );
+}

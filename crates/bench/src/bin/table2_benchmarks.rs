@@ -1,0 +1,30 @@
+//! Table 2: characteristics of the benchmark programs.
+
+use nisq_bench::format_table;
+use nisq_ir::Benchmark;
+
+fn main() {
+    println!("Table 2: benchmark characteristics\n");
+    let rows: Vec<Vec<String>> = Benchmark::all()
+        .iter()
+        .map(|b| {
+            let stats = b.circuit().stats();
+            vec![
+                b.name().to_string(),
+                stats.num_qubits.to_string(),
+                stats.gates.to_string(),
+                stats.cnots.to_string(),
+                stats.depth.to_string(),
+                stats.interaction_edges.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Name", "Qubits", "Gates", "CNOTs", "Depth", "CNOT graph edges"],
+            &rows
+        )
+    );
+    println!("Gate counts exclude final measurements; SWAPs count as three CNOTs.");
+}

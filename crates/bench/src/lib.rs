@@ -1,0 +1,198 @@
+//! # nisq-bench — experiment harness for the paper's tables and figures
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the index); this library holds the pieces they share:
+//! building machines for a given calibration day, running the
+//! compile-then-simulate pipeline, and simple text-table / statistics
+//! helpers.
+//!
+//! The experiments substitute a noisy simulator driven by synthetic
+//! calibration data for the paper's real IBMQ16 runs, so absolute numbers
+//! differ from the paper while the comparisons between mapping algorithms
+//! (who wins, by roughly what factor) are preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nisq_core::{Compiler, CompilerConfig};
+use nisq_ir::{Benchmark, Circuit};
+use nisq_machine::{CalibrationGenerator, GridTopology, Machine};
+use nisq_sim::{Simulator, SimulatorConfig};
+use std::time::Duration;
+
+/// The default machine seed used across the experiment binaries, so the
+/// whole evaluation refers to one consistent synthetic device.
+pub const DEFAULT_MACHINE_SEED: u64 = 2019;
+
+/// The default number of simulation trials (matches the paper's 8192 trials
+/// per execution on IBMQ16).
+pub const DEFAULT_TRIALS: u32 = 8192;
+
+/// Builds the IBMQ16-like machine for a given calibration day.
+pub fn ibmq16_on_day(day: usize) -> Machine {
+    Machine::ibmq16_on_day(DEFAULT_MACHINE_SEED, day)
+}
+
+/// Builds a machine with at least `num_qubits` qubits (square-ish grid) for
+/// the scalability experiments, with calibration for day 0.
+pub fn machine_with_qubits(num_qubits: usize) -> Machine {
+    let topology = GridTopology::at_least(num_qubits);
+    let calibration = CalibrationGenerator::new(topology.clone(), DEFAULT_MACHINE_SEED).day(0);
+    Machine::new(format!("synthetic-{}q", topology.num_qubits()), topology, calibration)
+}
+
+/// The result of compiling and simulating one benchmark under one
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Fraction of simulated trials that returned the correct answer.
+    pub success_rate: f64,
+    /// Analytic reliability estimate from the compiler.
+    pub estimated_reliability: f64,
+    /// Execution duration in hardware timeslots.
+    pub duration_slots: u32,
+    /// One-way SWAPs inserted by the router.
+    pub swap_count: usize,
+    /// Wall-clock compilation time.
+    pub compile_time: Duration,
+}
+
+/// Compiles `benchmark` with `config` on `machine` and measures its success
+/// rate over `trials` simulated runs.
+///
+/// # Panics
+///
+/// Panics if compilation fails (the standard benchmarks always fit on the
+/// 16-qubit machine).
+pub fn run_benchmark(
+    machine: &Machine,
+    config: CompilerConfig,
+    benchmark: Benchmark,
+    trials: u32,
+    sim_seed: u64,
+) -> RunOutcome {
+    run_circuit(machine, config, &benchmark.circuit(), &benchmark.expected_output(), trials, sim_seed)
+}
+
+/// Compiles an arbitrary circuit and measures success against `expected`.
+///
+/// # Panics
+///
+/// Panics if compilation fails (circuit too large for the machine).
+pub fn run_circuit(
+    machine: &Machine,
+    config: CompilerConfig,
+    circuit: &Circuit,
+    expected: &[bool],
+    trials: u32,
+    sim_seed: u64,
+) -> RunOutcome {
+    let compiled = Compiler::new(machine, config)
+        .compile(circuit)
+        .expect("benchmark compiles on the target machine");
+    let simulator = Simulator::new(machine, SimulatorConfig::with_trials(trials, sim_seed));
+    let success_rate = simulator.success_rate(&compiled, expected);
+    RunOutcome {
+        success_rate,
+        estimated_reliability: compiled.estimated_reliability(),
+        duration_slots: compiled.duration_slots(),
+        swap_count: compiled.swap_count(),
+        compile_time: compiled.compile_time(),
+    }
+}
+
+/// Geometric mean of a slice of positive values (used for the paper's
+/// "geomean improvement" numbers). Returns 0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Renders a simple aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction with three decimal places.
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_the_value() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_mixed_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_table_aligns_columns() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("name"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn run_benchmark_produces_sane_outcome() {
+        let machine = ibmq16_on_day(0);
+        let outcome = run_benchmark(
+            &machine,
+            CompilerConfig::greedy_e(),
+            Benchmark::Bv4,
+            256,
+            1,
+        );
+        assert!(outcome.success_rate > 0.0 && outcome.success_rate <= 1.0);
+        assert!(outcome.duration_slots > 0);
+    }
+
+    #[test]
+    fn machine_with_qubits_covers_request() {
+        for n in [4, 32, 128] {
+            assert!(machine_with_qubits(n).num_qubits() >= n);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+use crate::config::CompilerConfig;
+use crate::error::CompileError;
+use crate::executable::CompiledCircuit;
+use crate::mapping;
+use crate::metrics::{self, EstimateOptions};
+use nisq_ir::{Circuit, Gate, GateKind, Qubit};
+use nisq_machine::Machine;
+use nisq_opt::{Placement, Schedule, Scheduler, SchedulerConfig};
+use std::time::Instant;
+
+/// The noise-adaptive backend compiler.
+///
+/// A `Compiler` is bound to one machine snapshot (topology plus calibration
+/// data) and one configuration from Table 1. Recompiling after each daily
+/// calibration — as the paper does before every run — means constructing a
+/// new `Compiler` with a fresh [`Machine`].
+///
+/// # Example
+///
+/// ```
+/// use nisq_core::{Compiler, CompilerConfig};
+/// use nisq_ir::Benchmark;
+/// use nisq_machine::Machine;
+///
+/// let machine = Machine::ibmq16_on_day(1, 0);
+/// let compiled = Compiler::new(&machine, CompilerConfig::greedy_e())
+///     .compile(&Benchmark::Toffoli.circuit())
+///     .unwrap();
+/// assert!(compiled.within_coherence());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler<'m> {
+    machine: &'m Machine,
+    config: CompilerConfig,
+}
+
+impl<'m> Compiler<'m> {
+    /// Creates a compiler for a machine and configuration.
+    pub fn new(machine: &'m Machine, config: CompilerConfig) -> Self {
+        Compiler { machine, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &Machine {
+        self.machine
+    }
+
+    fn scheduler_config(&self) -> SchedulerConfig {
+        SchedulerConfig {
+            policy: self.config.routing,
+            calibration_aware: self.config.calibration_aware(),
+            uniform_cnot_slots: self.config.uniform_cnot_slots,
+            static_coherence_slots: self.config.static_coherence_slots,
+        }
+    }
+
+    /// Computes only the initial placement (useful for inspecting mappings,
+    /// as in the paper's Figure 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit does not fit on the machine or the
+    /// configuration is invalid.
+    pub fn place(&self, circuit: &Circuit) -> Result<Placement, CompileError> {
+        mapping::place(circuit, self.machine, &self.config)
+    }
+
+    /// Compiles a circuit: placement, scheduling, routing, SWAP insertion
+    /// and reliability estimation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit does not fit on the machine or the
+    /// configuration is invalid.
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit, CompileError> {
+        let start = Instant::now();
+        let placement = mapping::place(circuit, self.machine, &self.config)?;
+        let scheduler = Scheduler::new(self.machine, self.scheduler_config());
+        let schedule = scheduler.schedule(circuit, &placement)?;
+        let physical = build_physical_circuit(circuit, &placement, &schedule, self.machine);
+        let estimate = metrics::estimate(
+            circuit,
+            &placement,
+            &schedule,
+            self.machine,
+            EstimateOptions::default(),
+        );
+        Ok(CompiledCircuit::new(
+            circuit.name().to_string(),
+            self.config.algorithm,
+            physical,
+            placement,
+            schedule,
+            estimate,
+            start.elapsed(),
+        ))
+    }
+}
+
+/// Builds the hardware-level circuit: every gate is rewritten onto hardware
+/// qubit indices, and CNOTs between non-adjacent locations are bracketed by
+/// the SWAPs that bring the control next to the target and return it
+/// afterwards (so the placement invariant holds for the whole execution, as
+/// in the paper's duration model).
+fn build_physical_circuit(
+    circuit: &Circuit,
+    placement: &Placement,
+    schedule: &Schedule,
+    machine: &Machine,
+) -> Circuit {
+    let mut physical = Circuit::with_clbits(machine.num_qubits(), circuit.num_clbits());
+    physical.set_name(format!("{}-physical", circuit.name()));
+
+    for entry in &schedule.gates {
+        let gate = &circuit.gates()[entry.gate_index];
+        match gate.kind() {
+            GateKind::Cnot | GateKind::Swap => {
+                let route = entry
+                    .route
+                    .as_ref()
+                    .expect("two-qubit gates always carry a route");
+                let path = &route.path;
+                let hops = path.len() - 1;
+                // Bring the control (or first operand) adjacent to the target.
+                for i in 0..hops.saturating_sub(1) {
+                    physical.swap(Qubit(path[i].0), Qubit(path[i + 1].0));
+                }
+                let near = Qubit(path[hops - 1].0);
+                let far = Qubit(path[hops].0);
+                if gate.kind() == GateKind::Cnot {
+                    physical.cnot(near, far);
+                } else {
+                    physical.swap(near, far);
+                }
+                // Return the moved qubit to its home position.
+                for i in (0..hops.saturating_sub(1)).rev() {
+                    physical.swap(Qubit(path[i].0), Qubit(path[i + 1].0));
+                }
+            }
+            GateKind::Measure => {
+                physical.measure(
+                    Qubit(placement.hw(gate.qubits()[0]).0),
+                    gate.clbits()[0],
+                );
+            }
+            GateKind::Barrier => {
+                let qs: Vec<Qubit> = gate
+                    .qubits()
+                    .iter()
+                    .map(|&q| Qubit(placement.hw(q).0))
+                    .collect();
+                physical.push(Gate::barrier(qs));
+            }
+            kind => {
+                physical.push(Gate::single(kind, Qubit(placement.hw(gate.qubits()[0]).0)));
+            }
+        }
+    }
+    physical
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisq_ir::Benchmark;
+    use nisq_machine::HwQubit;
+
+    fn machine() -> Machine {
+        Machine::ibmq16_on_day(8, 0)
+    }
+
+    #[test]
+    fn every_configuration_compiles_every_benchmark() {
+        let m = machine();
+        for config in CompilerConfig::table1() {
+            let compiler = Compiler::new(&m, config);
+            for b in Benchmark::all() {
+                let compiled = compiler
+                    .compile(&b.circuit())
+                    .unwrap_or_else(|e| panic!("{} on {b}: {e}", config.algorithm));
+                assert!(compiled.estimated_reliability() > 0.0, "{b}");
+                assert!(compiled.duration_slots() > 0, "{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn physical_two_qubit_gates_act_on_adjacent_hardware_qubits() {
+        let m = machine();
+        for config in CompilerConfig::table1() {
+            let compiler = Compiler::new(&m, config);
+            for b in Benchmark::all() {
+                let compiled = compiler.compile(&b.circuit()).unwrap();
+                let expanded = compiled.physical_circuit().expand_swaps();
+                for gate in expanded.iter().filter(|g| g.is_two_qubit()) {
+                    let a = HwQubit(gate.qubits()[0].0);
+                    let bq = HwQubit(gate.qubits()[1].0);
+                    assert!(
+                        m.topology().adjacent(a, bq),
+                        "{} produced a non-adjacent two-qubit gate {a}-{bq} for {b}",
+                        config.algorithm
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measurements_land_on_the_placed_qubits() {
+        let m = machine();
+        let compiler = Compiler::new(&m, CompilerConfig::r_smt_star(0.5));
+        let compiled = compiler.compile(&Benchmark::Bv4.circuit()).unwrap();
+        let placement = compiled.placement();
+        for gate in compiled.physical_circuit().iter().filter(|g| g.is_measure()) {
+            let clbit = gate.clbits()[0];
+            // Classical bit i belongs to program qubit i in our benchmarks.
+            let expected = placement.hw(Qubit(clbit.0));
+            assert_eq!(gate.qubits()[0].0, expected.0);
+        }
+    }
+
+    #[test]
+    fn r_smt_star_beats_qiskit_on_estimated_reliability() {
+        let m = machine();
+        let r_smt = Compiler::new(&m, CompilerConfig::r_smt_star(0.5));
+        let qiskit = Compiler::new(&m, CompilerConfig::qiskit());
+        for b in [Benchmark::Bv4, Benchmark::Bv8, Benchmark::Hs6, Benchmark::Adder] {
+            let ours = r_smt.compile(&b.circuit()).unwrap();
+            let base = qiskit.compile(&b.circuit()).unwrap();
+            assert!(
+                ours.estimated_reliability() >= base.estimated_reliability(),
+                "{b}: {} < {}",
+                ours.estimated_reliability(),
+                base.estimated_reliability()
+            );
+        }
+    }
+
+    #[test]
+    fn bv_benchmarks_need_no_swaps_under_r_smt_star() {
+        // The paper reports R-SMT* finds zero-movement mappings for BV
+        // (Section 7: "R-SMT* obtains a mapping which requires no qubit
+        // movement" for BV8).
+        let m = machine();
+        let compiler = Compiler::new(&m, CompilerConfig::r_smt_star(0.5));
+        for b in [Benchmark::Bv4, Benchmark::Bv6, Benchmark::Bv8] {
+            let compiled = compiler.compile(&b.circuit()).unwrap();
+            assert_eq!(compiled.swap_count(), 0, "{b} required movement");
+        }
+    }
+
+    #[test]
+    fn qiskit_baseline_needs_swaps_on_bv8() {
+        // With lexicographic placement the BV8 CNOTs span the row, so the
+        // baseline must insert movement operations (the paper counts 15
+        // extra CNOTs for Qiskit on BV8).
+        let m = machine();
+        let compiled = Compiler::new(&m, CompilerConfig::qiskit())
+            .compile(&Benchmark::Bv8.circuit())
+            .unwrap();
+        assert!(compiled.swap_count() > 0);
+        assert!(compiled.hardware_cnot_count() > 3);
+    }
+
+    #[test]
+    fn qasm_output_is_parseable_and_adjacent() {
+        let m = machine();
+        let compiled = Compiler::new(&m, CompilerConfig::greedy_v())
+            .compile(&Benchmark::Fredkin.circuit())
+            .unwrap();
+        let parsed = nisq_ir::qasm::parse(&compiled.qasm()).unwrap();
+        assert_eq!(parsed.num_qubits(), 16);
+        assert_eq!(parsed.measure_count(), 3);
+    }
+
+    #[test]
+    fn compile_records_time_and_names() {
+        let m = machine();
+        let compiled = Compiler::new(&m, CompilerConfig::greedy_e())
+            .compile(&Benchmark::Qft.circuit())
+            .unwrap();
+        assert_eq!(compiled.program_name(), "QFT");
+        assert!(compiled.to_string().contains("QFT"));
+    }
+
+    #[test]
+    fn schedule_matches_physical_swap_count() {
+        let m = machine();
+        let compiled = Compiler::new(&m, CompilerConfig::qiskit())
+            .compile(&Benchmark::Toffoli.circuit())
+            .unwrap();
+        // The physical circuit swaps out and back, so it contains exactly
+        // twice the schedule's one-way swap count.
+        let physical_swaps = compiled
+            .physical_circuit()
+            .iter()
+            .filter(|g| g.kind() == GateKind::Swap)
+            .count();
+        assert_eq!(physical_swaps, 2 * compiled.swap_count());
+    }
+}

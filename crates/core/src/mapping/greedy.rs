@@ -1,0 +1,370 @@
+//! The calibration-aware greedy heuristics GreedyV* and GreedyE*
+//! (Section 5 of the paper).
+//!
+//! Both heuristics work on the program's interaction graph and on
+//! most-reliable hardware paths computed with Dijkstra over `-log` CNOT
+//! reliabilities (provided by [`nisq_machine::ReliabilityModel`]):
+//!
+//! * **GreedyV\*** places program qubits in descending order of degree
+//!   (number of CNOTs they participate in). The first qubit goes to the
+//!   hardware qubit with the best readout reliability among the
+//!   highest-degree hardware locations; each subsequent qubit goes to the
+//!   free location that minimizes the summed path cost to its already
+//!   placed interaction-graph neighbours.
+//! * **GreedyE\*** places interaction-graph edges in descending order of
+//!   weight (CNOT count). The first edge goes to the hardware edge with the
+//!   best combined CNOT and readout reliability; afterwards, edges with one
+//!   placed endpoint are completed by placing the other endpoint at the
+//!   free location minimizing the summed path cost to its placed
+//!   neighbours.
+
+use crate::error::CompileError;
+use nisq_ir::{Circuit, InteractionGraph, Qubit};
+use nisq_machine::{HwQubit, Machine};
+use nisq_opt::Placement;
+
+/// State shared by both heuristics while they assign locations.
+struct Assigner<'m> {
+    machine: &'m Machine,
+    graph: InteractionGraph,
+    assignment: Vec<Option<HwQubit>>,
+    free: Vec<bool>,
+}
+
+impl<'m> Assigner<'m> {
+    fn new(circuit: &Circuit, machine: &'m Machine) -> Self {
+        Assigner {
+            machine,
+            graph: circuit.interaction_graph(),
+            assignment: vec![None; circuit.num_qubits()],
+            free: vec![true; machine.num_qubits()],
+        }
+    }
+
+    fn assign(&mut self, program: Qubit, hw: HwQubit) {
+        debug_assert!(self.free[hw.0], "location {hw} already used");
+        debug_assert!(self.assignment[program.0].is_none());
+        self.assignment[program.0] = Some(hw);
+        self.free[hw.0] = false;
+    }
+
+    fn free_locations(&self) -> impl Iterator<Item = HwQubit> + '_ {
+        self.free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(h, _)| HwQubit(h))
+    }
+
+    /// Summed most-reliable-path cost from `candidate` to the placed
+    /// neighbours of `program` in the interaction graph (lower is better).
+    fn path_cost_to_placed_neighbors(&self, program: Qubit, candidate: HwQubit) -> f64 {
+        let reliability = self.machine.reliability();
+        self.graph
+            .neighbors(program)
+            .into_iter()
+            .filter_map(|nb| self.assignment[nb.0])
+            .map(|hw| reliability.best_path(candidate, hw).cost)
+            .sum()
+    }
+
+    /// Free location with the smallest summed path cost to the placed
+    /// neighbours of `program`; readout reliability breaks ties.
+    fn best_location_near_neighbors(&self, program: Qubit) -> HwQubit {
+        let reliability = self.machine.reliability();
+        self.free_locations()
+            .min_by(|&a, &b| {
+                let cost_a = self.path_cost_to_placed_neighbors(program, a);
+                let cost_b = self.path_cost_to_placed_neighbors(program, b);
+                cost_a
+                    .partial_cmp(&cost_b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(
+                        reliability
+                            .readout_reliability(b)
+                            .partial_cmp(&reliability.readout_reliability(a))
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
+            })
+            .expect("machine has at least as many qubits as the program")
+    }
+
+    /// Free location with the best readout reliability.
+    fn best_readout_location(&self) -> HwQubit {
+        let reliability = self.machine.reliability();
+        self.free_locations()
+            .max_by(|&a, &b| {
+                reliability
+                    .readout_reliability(a)
+                    .partial_cmp(&reliability.readout_reliability(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("machine has at least as many qubits as the program")
+    }
+
+    /// Places any program qubits that never participate in a CNOT at the
+    /// remaining locations with the best readout reliability.
+    fn place_isolated_qubits(&mut self) {
+        for p in 0..self.assignment.len() {
+            if self.assignment[p].is_none() {
+                let loc = self.best_readout_location();
+                self.assign(Qubit(p), loc);
+            }
+        }
+    }
+
+    fn into_placement(self) -> Placement {
+        Placement::new(
+            self.assignment
+                .into_iter()
+                .map(|h| h.expect("every program qubit placed"))
+                .collect(),
+        )
+    }
+}
+
+fn check_size(circuit: &Circuit, machine: &Machine) -> Result<(), CompileError> {
+    if circuit.num_qubits() > machine.num_qubits() {
+        return Err(CompileError::CircuitTooLarge {
+            program_qubits: circuit.num_qubits(),
+            hardware_qubits: machine.num_qubits(),
+        });
+    }
+    Ok(())
+}
+
+/// GreedyV*: heaviest-vertex-first placement.
+///
+/// # Errors
+///
+/// Returns an error if the circuit does not fit on the machine.
+pub fn place_vertex_first(circuit: &Circuit, machine: &Machine) -> Result<Placement, CompileError> {
+    check_size(circuit, machine)?;
+    let mut assigner = Assigner::new(circuit, machine);
+    let topology = machine.topology();
+    let reliability = machine.reliability();
+
+    let order = assigner.graph.qubits_by_degree();
+    let interacting: Vec<Qubit> = order
+        .iter()
+        .copied()
+        .filter(|&q| assigner.graph.degree(q) > 0)
+        .collect();
+
+    if let Some(&first) = interacting.first() {
+        // Best readout among the highest-degree hardware locations.
+        let max_degree = topology
+            .qubits()
+            .map(|q| topology.neighbors(q).len())
+            .max()
+            .unwrap_or(0);
+        let loc = topology
+            .qubits()
+            .filter(|&q| topology.neighbors(q).len() == max_degree)
+            .max_by(|&a, &b| {
+                reliability
+                    .readout_reliability(a)
+                    .partial_cmp(&reliability.readout_reliability(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("topology has at least one qubit");
+        assigner.assign(first, loc);
+    }
+    for &q in interacting.iter().skip(1) {
+        let loc = assigner.best_location_near_neighbors(q);
+        assigner.assign(q, loc);
+    }
+    assigner.place_isolated_qubits();
+    Ok(assigner.into_placement())
+}
+
+/// GreedyE*: heaviest-edge-first placement.
+///
+/// # Errors
+///
+/// Returns an error if the circuit does not fit on the machine.
+pub fn place_edge_first(circuit: &Circuit, machine: &Machine) -> Result<Placement, CompileError> {
+    check_size(circuit, machine)?;
+    let mut assigner = Assigner::new(circuit, machine);
+    let topology = machine.topology();
+    let reliability = machine.reliability();
+    let calibration = machine.calibration();
+
+    let edges = assigner.graph.edges_by_weight();
+
+    // Seeds a new connected component: place both endpoints of `edge` on the
+    // free hardware edge with the best combined CNOT and readout
+    // reliability, falling back to the closest pair of free locations when
+    // no free hardware edge remains.
+    let seed_edge = |assigner: &mut Assigner<'_>, a: Qubit, b: Qubit| {
+        let mut best: Option<(f64, HwQubit, HwQubit)> = None;
+        for (h1, h2) in topology.edges() {
+            if !assigner.free[h1.0] || !assigner.free[h2.0] {
+                continue;
+            }
+            let score = calibration
+                .cnot_reliability(h1, h2)
+                .expect("topology edges have calibration")
+                * reliability.readout_reliability(h1)
+                * reliability.readout_reliability(h2);
+            if best.map_or(true, |(s, _, _)| score > s) {
+                best = Some((score, h1, h2));
+            }
+        }
+        match best {
+            Some((_, h1, h2)) => {
+                assigner.assign(a, h1);
+                assigner.assign(b, h2);
+            }
+            None => {
+                // No free adjacent pair: place the endpoints on the pair of
+                // free locations with the most reliable connecting path.
+                let free: Vec<HwQubit> = assigner.free_locations().collect();
+                let mut best = (f64::INFINITY, free[0], free[1 % free.len()]);
+                for (i, &h1) in free.iter().enumerate() {
+                    for &h2 in &free[i + 1..] {
+                        let cost = reliability.best_path(h1, h2).cost;
+                        if cost < best.0 {
+                            best = (cost, h1, h2);
+                        }
+                    }
+                }
+                assigner.assign(a, best.1);
+                assigner.assign(b, best.2);
+            }
+        }
+    };
+
+    loop {
+        // First preference: an edge with exactly one placed endpoint, in
+        // weight order.
+        let mut progressed = false;
+        for &(a, b, _) in &edges {
+            let pa = assigner.assignment[a.0].is_some();
+            let pb = assigner.assignment[b.0].is_some();
+            if pa ^ pb {
+                let unplaced = if pa { b } else { a };
+                let loc = assigner.best_location_near_neighbors(unplaced);
+                assigner.assign(unplaced, loc);
+                progressed = true;
+                break;
+            }
+        }
+        if progressed {
+            continue;
+        }
+        // Otherwise seed the heaviest fully-unplaced edge as a new component.
+        match edges.iter().find(|&&(a, b, _)| {
+            assigner.assignment[a.0].is_none() && assigner.assignment[b.0].is_none()
+        }) {
+            Some(&(a, b, _)) => {
+                seed_edge(&mut assigner, a, b);
+            }
+            None => break,
+        }
+    }
+
+    assigner.place_isolated_qubits();
+    Ok(assigner.into_placement())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisq_ir::Benchmark;
+
+    fn machine() -> Machine {
+        Machine::ibmq16_on_day(17, 0)
+    }
+
+    #[test]
+    fn both_heuristics_produce_valid_placements_for_all_benchmarks() {
+        let m = machine();
+        for b in Benchmark::all() {
+            let c = b.circuit();
+            for placement in [
+                place_vertex_first(&c, &m).unwrap(),
+                place_edge_first(&c, &m).unwrap(),
+            ] {
+                assert_eq!(placement.len(), c.num_qubits(), "{b}");
+                placement.validate(m.num_qubits()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_e_places_bv4_star_without_swaps() {
+        // BV4's hub-and-spoke interaction graph fits on adjacent hardware
+        // qubits; GreedyE* should find such a placement (every data qubit
+        // within one hop of the ancilla, i.e. zero swaps needed).
+        let m = machine();
+        let c = Benchmark::Bv4.circuit();
+        let placement = place_edge_first(&c, &m).unwrap();
+        let ancilla = placement.hw(Qubit(3));
+        let adjacent_count = (0..3)
+            .filter(|&q| m.topology().adjacent(placement.hw(Qubit(q)), ancilla))
+            .count();
+        assert!(
+            adjacent_count >= 2,
+            "GreedyE* spread the BV4 star too far: {:?}",
+            placement.as_slice()
+        );
+    }
+
+    #[test]
+    fn greedy_v_places_hub_on_high_degree_location() {
+        let m = machine();
+        let c = Benchmark::Bv4.circuit();
+        let placement = place_vertex_first(&c, &m).unwrap();
+        // The ancilla has the highest degree and must sit on a hardware
+        // qubit with the maximum number of neighbours (3 on the 8x2 grid).
+        let hub = placement.hw(Qubit(3));
+        assert_eq!(m.topology().neighbors(hub).len(), 3);
+    }
+
+    #[test]
+    fn heuristics_adapt_to_calibration() {
+        let c = Benchmark::Hs6.circuit();
+        let day0 = place_edge_first(&c, &Machine::ibmq16_on_day(23, 0)).unwrap();
+        let mut changed = false;
+        for day in 1..6 {
+            let p = place_edge_first(&c, &Machine::ibmq16_on_day(23, day)).unwrap();
+            if p != day0 {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "GreedyE* never adapted across six days");
+    }
+
+    #[test]
+    fn circuits_without_cnots_use_best_readout_locations() {
+        let m = machine();
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.h(Qubit(1));
+        c.h(Qubit(2));
+        c.measure_all();
+        let placement = place_vertex_first(&c, &m).unwrap();
+        // The best-readout location must be used by one of the qubits.
+        let best = m
+            .topology()
+            .qubits()
+            .max_by(|&a, &b| {
+                m.reliability()
+                    .readout_reliability(a)
+                    .partial_cmp(&m.reliability().readout_reliability(b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(placement.as_slice().contains(&best));
+    }
+
+    #[test]
+    fn oversized_circuits_are_rejected() {
+        let m = machine();
+        let c = nisq_ir::random_circuit(nisq_ir::RandomCircuitConfig::new(17, 64, 1));
+        assert!(place_vertex_first(&c, &m).is_err());
+        assert!(place_edge_first(&c, &m).is_err());
+    }
+}

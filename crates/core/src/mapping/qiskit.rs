@@ -1,0 +1,55 @@
+//! The Qiskit 0.5.7-style baseline placement.
+//!
+//! The paper observes that the contemporaneous Qiskit mapper "places qubits
+//! in a lexicographic order without considering CNOT and readout errors and
+//! incurs extra swap operations" (Section 7, discussion of Figure 8a). This
+//! module reproduces that behaviour: program qubit `i` is placed on hardware
+//! qubit `i`, and all communication is left to swap insertion during
+//! routing.
+
+use crate::error::CompileError;
+use nisq_ir::Circuit;
+use nisq_machine::{HwQubit, Machine};
+use nisq_opt::Placement;
+
+/// Places program qubit `i` on hardware qubit `i`.
+///
+/// # Errors
+///
+/// Returns an error if the circuit has more qubits than the machine.
+pub fn place(circuit: &Circuit, machine: &Machine) -> Result<Placement, CompileError> {
+    if circuit.num_qubits() > machine.num_qubits() {
+        return Err(CompileError::CircuitTooLarge {
+            program_qubits: circuit.num_qubits(),
+            hardware_qubits: machine.num_qubits(),
+        });
+    }
+    Ok(Placement::new(
+        (0..circuit.num_qubits()).map(HwQubit).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisq_ir::{Benchmark, Qubit};
+
+    #[test]
+    fn placement_is_lexicographic() {
+        let machine = Machine::ibmq16_on_day(0, 0);
+        let circuit = Benchmark::Bv8.circuit();
+        let placement = place(&circuit, &machine).unwrap();
+        for q in 0..8 {
+            assert_eq!(placement.hw(Qubit(q)), HwQubit(q));
+        }
+    }
+
+    #[test]
+    fn ignores_calibration_entirely() {
+        // The same placement is produced regardless of the machine's state.
+        let circuit = Benchmark::Toffoli.circuit();
+        let a = place(&circuit, &Machine::ibmq16_on_day(0, 0)).unwrap();
+        let b = place(&circuit, &Machine::ibmq16_on_day(99, 5)).unwrap();
+        assert_eq!(a, b);
+    }
+}

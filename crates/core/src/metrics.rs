@@ -1,0 +1,232 @@
+//! Analytic reliability estimation for compiled circuits.
+//!
+//! The paper scores a mapping by the product of the reliabilities of its
+//! CNOT and readout operations (Section 4.5); single-qubit gates are ignored
+//! because their error rates are two orders of magnitude smaller on IBMQ16.
+//! This module computes that score for a placed and scheduled circuit, plus
+//! optional single-qubit and decoherence factors for sensitivity studies.
+
+use nisq_ir::{Circuit, GateKind};
+use nisq_machine::{Calibration, HwQubit, Machine};
+use nisq_opt::{Placement, Schedule};
+
+/// Options controlling which factors enter the analytic estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EstimateOptions {
+    /// Include single-qubit gate reliabilities in the total.
+    pub include_single_qubit: bool,
+    /// Include an exponential decoherence factor based on the schedule
+    /// makespan and each qubit's T2 time.
+    pub include_decoherence: bool,
+}
+
+/// The per-factor breakdown of an analytic reliability estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityEstimate {
+    /// Product of CNOT route reliabilities (swaps counted one-way, as in
+    /// the paper's Footnote 3).
+    pub cnot: f64,
+    /// Product of readout reliabilities of the measured hardware qubits.
+    pub readout: f64,
+    /// Product of single-qubit gate reliabilities.
+    pub single_qubit: f64,
+    /// Decoherence factor `exp(-makespan / T2)` aggregated over the qubits
+    /// the program uses.
+    pub decoherence: f64,
+    options: EstimateOptions,
+}
+
+impl ReliabilityEstimate {
+    /// The overall estimated success probability under the configured
+    /// options (CNOT and readout factors are always included).
+    pub fn total(&self) -> f64 {
+        let mut t = self.cnot * self.readout;
+        if self.options.include_single_qubit {
+            t *= self.single_qubit;
+        }
+        if self.options.include_decoherence {
+            t *= self.decoherence;
+        }
+        t
+    }
+
+    /// The options this estimate was computed with.
+    pub fn options(&self) -> EstimateOptions {
+        self.options
+    }
+}
+
+/// Reliability of executing a CNOT along `path`: SWAPs (three CNOTs each)
+/// on every hop except the last, the CNOT itself on the last hop.
+pub fn route_reliability(calibration: &Calibration, path: &[HwQubit]) -> f64 {
+    if path.len() < 2 {
+        return 1.0;
+    }
+    let mut rel = 1.0;
+    for (i, pair) in path.windows(2).enumerate() {
+        let edge_rel = calibration
+            .cnot_reliability(pair[0], pair[1])
+            .expect("route hops are adjacent hardware qubits");
+        if i + 2 == path.len() {
+            rel *= edge_rel;
+        } else {
+            rel *= edge_rel.powi(3);
+        }
+    }
+    rel
+}
+
+/// Computes the analytic reliability estimate for a scheduled circuit.
+///
+/// # Panics
+///
+/// Panics if the schedule does not cover the circuit (it must come from the
+/// same compilation run).
+pub fn estimate(
+    circuit: &Circuit,
+    placement: &Placement,
+    schedule: &Schedule,
+    machine: &Machine,
+    options: EstimateOptions,
+) -> ReliabilityEstimate {
+    let calibration = machine.calibration();
+    let mut cnot = 1.0;
+    let mut readout = 1.0;
+    let mut single_qubit = 1.0;
+
+    for entry in &schedule.gates {
+        let gate = &circuit.gates()[entry.gate_index];
+        match gate.kind() {
+            GateKind::Cnot | GateKind::Swap => {
+                let route = entry
+                    .route
+                    .as_ref()
+                    .expect("two-qubit gates always carry a route");
+                let mut r = route_reliability(calibration, &route.path);
+                if gate.kind() == GateKind::Swap {
+                    // A program-level SWAP costs three CNOTs on its final hop.
+                    let last = &route.path[route.path.len() - 2..];
+                    let edge_rel = calibration
+                        .cnot_reliability(last[0], last[1])
+                        .expect("route hops are adjacent");
+                    r *= edge_rel.powi(2);
+                }
+                cnot *= r;
+            }
+            GateKind::Measure => {
+                readout *= calibration.readout_reliability(placement.hw(gate.qubits()[0]));
+            }
+            GateKind::Barrier => {}
+            _ => {
+                single_qubit *=
+                    1.0 - calibration.single_qubit_error(placement.hw(gate.qubits()[0]));
+            }
+        }
+    }
+
+    // Decoherence: each program qubit idles for (makespan) slots at worst;
+    // approximate survival as exp(-t / T2) per qubit.
+    let mut decoherence = 1.0;
+    let makespan_ns = schedule.makespan as f64 * calibration.timeslot_ns;
+    for p in 0..circuit.num_qubits() {
+        let hw = placement.hw(nisq_ir::Qubit(p));
+        let t2_ns = calibration.t2_us(hw) * 1000.0;
+        decoherence *= (-makespan_ns / t2_ns).exp();
+    }
+
+    ReliabilityEstimate {
+        cnot,
+        readout,
+        single_qubit,
+        decoherence,
+        options,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisq_ir::Benchmark;
+    use nisq_machine::Machine;
+    use nisq_opt::{Scheduler, SchedulerConfig};
+
+    fn compile_parts(
+        benchmark: Benchmark,
+        placement: Vec<HwQubit>,
+    ) -> (Circuit, Placement, Schedule, Machine) {
+        let machine = Machine::ibmq16_on_day(4, 0);
+        let circuit = benchmark.circuit();
+        let placement = Placement::new(placement);
+        let schedule = Scheduler::new(&machine, SchedulerConfig::default())
+            .schedule(&circuit, &placement)
+            .unwrap();
+        (circuit, placement, schedule, machine)
+    }
+
+    #[test]
+    fn estimate_is_a_probability() {
+        let (c, p, s, m) = compile_parts(
+            Benchmark::Bv4,
+            vec![HwQubit(0), HwQubit(2), HwQubit(9), HwQubit(1)],
+        );
+        let e = estimate(&c, &p, &s, &m, EstimateOptions::default());
+        assert!(e.total() > 0.0 && e.total() <= 1.0);
+        assert!(e.cnot > 0.0 && e.cnot <= 1.0);
+        assert!(e.readout > 0.0 && e.readout <= 1.0);
+    }
+
+    #[test]
+    fn compact_placement_beats_spread_placement() {
+        let (c, p_near, s_near, m) = compile_parts(
+            Benchmark::Bv4,
+            vec![HwQubit(0), HwQubit(2), HwQubit(9), HwQubit(1)],
+        );
+        let near = estimate(&c, &p_near, &s_near, &m, EstimateOptions::default());
+        let (c2, p_far, s_far, m2) = compile_parts(
+            Benchmark::Bv4,
+            vec![HwQubit(0), HwQubit(7), HwQubit(8), HwQubit(15)],
+        );
+        let far = estimate(&c2, &p_far, &s_far, &m2, EstimateOptions::default());
+        assert!(near.total() > far.total());
+    }
+
+    #[test]
+    fn optional_factors_only_lower_the_estimate() {
+        let (c, p, s, m) = compile_parts(
+            Benchmark::Toffoli,
+            vec![HwQubit(1), HwQubit(2), HwQubit(9)],
+        );
+        let base = estimate(&c, &p, &s, &m, EstimateOptions::default());
+        let full = estimate(
+            &c,
+            &p,
+            &s,
+            &m,
+            EstimateOptions {
+                include_single_qubit: true,
+                include_decoherence: true,
+            },
+        );
+        assert!(full.total() <= base.total());
+        assert!(full.single_qubit < 1.0);
+        assert!(full.decoherence < 1.0);
+    }
+
+    #[test]
+    fn route_reliability_direct_edge_matches_calibration() {
+        let m = Machine::ibmq16_on_day(4, 0);
+        let cal = m.calibration();
+        let direct = route_reliability(cal, &[HwQubit(0), HwQubit(1)]);
+        assert!((direct - cal.cnot_reliability(HwQubit(0), HwQubit(1)).unwrap()).abs() < 1e-12);
+        assert_eq!(route_reliability(cal, &[HwQubit(3)]), 1.0);
+    }
+
+    #[test]
+    fn longer_routes_are_less_reliable() {
+        let m = Machine::ibmq16_on_day(4, 0);
+        let cal = m.calibration();
+        let short = route_reliability(cal, &[HwQubit(0), HwQubit(1)]);
+        let long = route_reliability(cal, &[HwQubit(0), HwQubit(1), HwQubit(2), HwQubit(3)]);
+        assert!(long < short);
+    }
+}

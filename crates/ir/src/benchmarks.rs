@@ -1,0 +1,435 @@
+//! The twelve evaluation benchmarks of the paper (Table 2), reconstructed
+//! from their standard definitions, plus the generators they are built from.
+//!
+//! Every benchmark has a classically-known correct output so that success
+//! rate ("fraction of trials that return the correct answer") is well
+//! defined, exactly as in the paper's methodology.
+
+use crate::circuit::Circuit;
+use crate::error::IrError;
+use crate::gate::Qubit;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// The benchmark programs evaluated in the paper (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Benchmark {
+    /// Bernstein-Vazirani on 4 qubits (3 data + 1 ancilla).
+    Bv4,
+    /// Bernstein-Vazirani on 6 qubits.
+    Bv6,
+    /// Bernstein-Vazirani on 8 qubits.
+    Bv8,
+    /// Hidden shift on 2 qubits.
+    Hs2,
+    /// Hidden shift on 4 qubits.
+    Hs4,
+    /// Hidden shift on 6 qubits.
+    Hs6,
+    /// Toffoli gate kernel (3 qubits).
+    Toffoli,
+    /// Fredkin (controlled-swap) kernel (3 qubits).
+    Fredkin,
+    /// Logical OR kernel (3 qubits).
+    Or,
+    /// Peres gate kernel (3 qubits).
+    Peres,
+    /// Two-qubit quantum Fourier transform.
+    Qft,
+    /// One-bit full adder (4 qubits).
+    Adder,
+}
+
+/// Summary of a benchmark, matching the columns of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkInfo {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Number of program qubits.
+    pub qubits: usize,
+    /// Number of gates excluding measurements.
+    pub gates: usize,
+    /// Number of CNOT gates.
+    pub cnots: usize,
+}
+
+impl Benchmark {
+    /// All twelve benchmarks in the order Table 2 lists them.
+    pub fn all() -> [Benchmark; 12] {
+        [
+            Benchmark::Bv4,
+            Benchmark::Bv6,
+            Benchmark::Bv8,
+            Benchmark::Hs2,
+            Benchmark::Hs4,
+            Benchmark::Hs6,
+            Benchmark::Fredkin,
+            Benchmark::Or,
+            Benchmark::Peres,
+            Benchmark::Toffoli,
+            Benchmark::Adder,
+            Benchmark::Qft,
+        ]
+    }
+
+    /// The three benchmarks the paper uses for its detailed daily studies
+    /// (Figures 6 and 7): BV4, HS6 and Toffoli.
+    pub fn representative() -> [Benchmark; 3] {
+        [Benchmark::Bv4, Benchmark::Hs6, Benchmark::Toffoli]
+    }
+
+    /// Benchmark name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Bv4 => "BV4",
+            Benchmark::Bv6 => "BV6",
+            Benchmark::Bv8 => "BV8",
+            Benchmark::Hs2 => "HS2",
+            Benchmark::Hs4 => "HS4",
+            Benchmark::Hs6 => "HS6",
+            Benchmark::Toffoli => "Toffoli",
+            Benchmark::Fredkin => "Fredkin",
+            Benchmark::Or => "Or",
+            Benchmark::Peres => "Peres",
+            Benchmark::Qft => "QFT",
+            Benchmark::Adder => "Adder",
+        }
+    }
+
+    /// Builds the benchmark circuit, including final measurements of every
+    /// qubit.
+    pub fn circuit(&self) -> Circuit {
+        let mut c = match self {
+            Benchmark::Bv4 => bernstein_vazirani(&[true, true, true]),
+            Benchmark::Bv6 => bernstein_vazirani(&[true, true, true, false, false]),
+            Benchmark::Bv8 => {
+                bernstein_vazirani(&[true, false, true, false, true, false, false])
+            }
+            Benchmark::Hs2 => hidden_shift(2).expect("2 is a valid hidden-shift size"),
+            Benchmark::Hs4 => hidden_shift(4).expect("4 is a valid hidden-shift size"),
+            Benchmark::Hs6 => hidden_shift(6).expect("6 is a valid hidden-shift size"),
+            Benchmark::Toffoli => toffoli_kernel(),
+            Benchmark::Fredkin => fredkin_kernel(),
+            Benchmark::Or => or_kernel(),
+            Benchmark::Peres => peres_kernel(),
+            Benchmark::Qft => qft_benchmark(2),
+            Benchmark::Adder => adder_kernel(),
+        };
+        c.set_name(self.name());
+        c
+    }
+
+    /// The classically-computed correct measurement outcome, indexed by
+    /// classical bit (bit `i` is the measurement of qubit `i`).
+    pub fn expected_output(&self) -> Vec<bool> {
+        match self {
+            Benchmark::Bv4 => vec![true, true, true, true],
+            Benchmark::Bv6 => vec![true, true, true, false, false, true],
+            Benchmark::Bv8 => vec![true, false, true, false, true, false, false, true],
+            Benchmark::Hs2 => vec![true; 2],
+            Benchmark::Hs4 => vec![true; 4],
+            Benchmark::Hs6 => vec![true; 6],
+            Benchmark::Toffoli => vec![true, true, true],
+            Benchmark::Fredkin => vec![true, false, true],
+            Benchmark::Or => vec![true, false, true],
+            Benchmark::Peres => vec![true, false, true],
+            Benchmark::Qft => vec![false, false],
+            Benchmark::Adder => vec![true, true, true, true],
+        }
+    }
+
+    /// Summary information (name, qubit, gate and CNOT counts) for this
+    /// benchmark as constructed by this crate.
+    pub fn info(&self) -> BenchmarkInfo {
+        let c = self.circuit();
+        BenchmarkInfo {
+            name: self.name(),
+            qubits: c.num_qubits(),
+            gates: c.gate_count(),
+            cnots: c.cnot_count(),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bernstein-Vazirani circuit for the given hidden bit-string.
+///
+/// Uses one qubit per hidden bit plus one ancilla (the last qubit). The
+/// correct output measures every data qubit `i` as `hidden[i]` and the
+/// ancilla as 1.
+pub fn bernstein_vazirani(hidden: &[bool]) -> Circuit {
+    let n_data = hidden.len();
+    let n = n_data + 1;
+    let ancilla = Qubit(n_data);
+    let mut c = Circuit::new(n);
+    c.x(ancilla);
+    for q in 0..n {
+        c.h(Qubit(q));
+    }
+    for (i, &bit) in hidden.iter().enumerate() {
+        if bit {
+            c.cnot(Qubit(i), ancilla);
+        }
+    }
+    for q in 0..n {
+        c.h(Qubit(q));
+    }
+    c.measure_all();
+    c
+}
+
+/// Hidden-shift circuit on `n` qubits (n must be even and positive) for the
+/// Maiorana-McFarland bent function `f(x) = x_0 x_1 + x_2 x_3 + ...` and the
+/// all-ones shift. The correct output is the shift, i.e. all ones.
+///
+/// # Errors
+///
+/// Returns an error if `n` is zero or odd.
+pub fn hidden_shift(n: usize) -> Result<Circuit, IrError> {
+    if n == 0 || n % 2 != 0 {
+        return Err(IrError::InvalidBenchmarkSize {
+            name: "hidden-shift",
+            requested: n,
+            expected: "a positive even number of qubits",
+        });
+    }
+    let mut c = Circuit::new(n);
+    let apply_h_all = |c: &mut Circuit| {
+        for q in 0..n {
+            c.h(Qubit(q));
+        }
+    };
+    let apply_shift = |c: &mut Circuit| {
+        for q in 0..n {
+            c.x(Qubit(q));
+        }
+    };
+    let apply_oracle = |c: &mut Circuit| {
+        for p in 0..n / 2 {
+            c.cz(Qubit(2 * p), Qubit(2 * p + 1));
+        }
+    };
+
+    apply_h_all(&mut c);
+    apply_shift(&mut c);
+    apply_oracle(&mut c);
+    apply_shift(&mut c);
+    apply_h_all(&mut c);
+    apply_oracle(&mut c);
+    apply_h_all(&mut c);
+    c.measure_all();
+    Ok(c)
+}
+
+/// Quantum Fourier transform on `n` qubits applied to the uniform
+/// superposition, so the correct output is the all-zeros string.
+pub fn qft_benchmark(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    // Prepare the uniform superposition; QFT maps it back to |0...0>.
+    for q in 0..n {
+        c.h(Qubit(q));
+    }
+    append_qft(&mut c, n);
+    c.measure_all();
+    c
+}
+
+/// Appends the standard QFT network (Hadamards, controlled phases and the
+/// final qubit-order reversal as SWAPs) on the first `n` qubits.
+pub fn append_qft(c: &mut Circuit, n: usize) {
+    for i in 0..n {
+        c.h(Qubit(i));
+        for j in (i + 1)..n {
+            let angle = PI / f64::powi(2.0, (j - i) as i32);
+            c.cphase(Qubit(j), Qubit(i), angle);
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap(Qubit(i), Qubit(n - 1 - i));
+    }
+}
+
+fn toffoli_kernel() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.x(Qubit(0));
+    c.x(Qubit(1));
+    c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+    c.measure_all();
+    c
+}
+
+fn fredkin_kernel() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.x(Qubit(0));
+    c.x(Qubit(1));
+    c.fredkin(Qubit(0), Qubit(1), Qubit(2));
+    c.measure_all();
+    c
+}
+
+fn or_kernel() -> Circuit {
+    // Computes q2 = q0 OR q1 with q0 = 1, q1 = 0.
+    let mut c = Circuit::new(3);
+    c.x(Qubit(0));
+    // OR via De Morgan: c = NOT(AND(NOT a, NOT b)).
+    c.x(Qubit(0));
+    c.x(Qubit(1));
+    c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+    c.x(Qubit(2));
+    c.x(Qubit(0));
+    c.x(Qubit(1));
+    c.measure_all();
+    c
+}
+
+fn peres_kernel() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.x(Qubit(0));
+    c.x(Qubit(1));
+    c.peres(Qubit(0), Qubit(1), Qubit(2));
+    c.measure_all();
+    c
+}
+
+fn adder_kernel() -> Circuit {
+    // One-bit full adder built from two Peres gates: qubits are
+    // (a, b, cin, cout); after the circuit b holds the sum and cout the
+    // carry. Inputs a = b = cin = 1, so sum = 1 and carry = 1.
+    let mut c = Circuit::new(4);
+    c.x(Qubit(0));
+    c.x(Qubit(1));
+    c.x(Qubit(2));
+    c.peres(Qubit(0), Qubit(1), Qubit(3));
+    c.peres(Qubit(2), Qubit(1), Qubit(3));
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_qubit_counts_match_paper() {
+        let expected = [
+            (Benchmark::Bv4, 4),
+            (Benchmark::Bv6, 6),
+            (Benchmark::Bv8, 8),
+            (Benchmark::Hs2, 2),
+            (Benchmark::Hs4, 4),
+            (Benchmark::Hs6, 6),
+            (Benchmark::Toffoli, 3),
+            (Benchmark::Fredkin, 3),
+            (Benchmark::Or, 3),
+            (Benchmark::Peres, 3),
+            (Benchmark::Qft, 2),
+            (Benchmark::Adder, 4),
+        ];
+        for (b, qubits) in expected {
+            assert_eq!(b.circuit().num_qubits(), qubits, "{b}");
+        }
+    }
+
+    #[test]
+    fn table2_cnot_counts_match_paper() {
+        let expected = [
+            (Benchmark::Bv4, 3),
+            (Benchmark::Bv6, 3),
+            (Benchmark::Bv8, 3),
+            (Benchmark::Hs2, 2),
+            (Benchmark::Hs4, 4),
+            (Benchmark::Hs6, 6),
+            (Benchmark::Toffoli, 6),
+            (Benchmark::Fredkin, 8),
+            (Benchmark::Or, 6),
+            (Benchmark::Peres, 5),
+            (Benchmark::Qft, 5),
+            (Benchmark::Adder, 10),
+        ];
+        for (b, cnots) in expected {
+            assert_eq!(b.circuit().cnot_count_with_swaps(), cnots, "{b}");
+        }
+    }
+
+    #[test]
+    fn every_benchmark_measures_all_qubits() {
+        for b in Benchmark::all() {
+            let c = b.circuit();
+            assert_eq!(c.measure_count(), c.num_qubits(), "{b}");
+        }
+    }
+
+    #[test]
+    fn expected_output_length_matches_qubit_count() {
+        for b in Benchmark::all() {
+            assert_eq!(
+                b.expected_output().len(),
+                b.circuit().num_qubits(),
+                "{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn bv4_has_twelve_gates_and_three_cnots() {
+        let c = Benchmark::Bv4.circuit();
+        assert_eq!(c.gate_count(), 12);
+        assert_eq!(c.cnot_count(), 3);
+    }
+
+    #[test]
+    fn qft_has_five_cnots_counting_swaps() {
+        let c = Benchmark::Qft.circuit();
+        assert_eq!(c.cnot_count_with_swaps(), 5);
+        assert_eq!(c.expand_swaps().gate_count(), 12);
+    }
+
+    #[test]
+    fn hidden_shift_rejects_odd_sizes() {
+        assert!(hidden_shift(3).is_err());
+        assert!(hidden_shift(0).is_err());
+        assert!(hidden_shift(4).is_ok());
+    }
+
+    #[test]
+    fn bv_star_interaction_graph() {
+        // All CNOTs in BV hit the ancilla: the interaction graph is a star.
+        let c = Benchmark::Bv4.circuit();
+        let g = c.interaction_graph();
+        assert_eq!(g.degree(Qubit(3)), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn info_matches_circuit() {
+        for b in Benchmark::all() {
+            let info = b.info();
+            let c = b.circuit();
+            assert_eq!(info.qubits, c.num_qubits());
+            assert_eq!(info.cnots, c.cnot_count());
+            assert_eq!(info.gates, c.gate_count());
+        }
+    }
+
+    #[test]
+    fn representative_benchmarks_are_the_papers_three() {
+        assert_eq!(
+            Benchmark::representative(),
+            [Benchmark::Bv4, Benchmark::Hs6, Benchmark::Toffoli]
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Decompositions of multi-qubit primitives into the hardware gate set
+//! (single-qubit gates plus CNOT), playing the role of the automatic gate
+//! decomposition ScaffCC performs before handing the IR to the backend.
+
+use crate::circuit::Circuit;
+use crate::gate::Qubit;
+
+impl Circuit {
+    /// Appends a controlled-Z between `a` and `b` using `H . CNOT . H` on the
+    /// target.
+    pub fn cz(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+        self
+    }
+
+    /// Appends a controlled phase rotation by `angle` (the `cu1` gate of
+    /// OpenQASM) decomposed into Rz rotations and two CNOTs.
+    pub fn cphase(&mut self, control: Qubit, target: Qubit, angle: f64) -> &mut Self {
+        self.rz(control, angle / 2.0);
+        self.cnot(control, target);
+        self.rz(target, -angle / 2.0);
+        self.cnot(control, target);
+        self.rz(target, angle / 2.0);
+        self
+    }
+
+    /// Appends a Toffoli (CCX) gate with controls `a`, `b` and target `c`
+    /// using the standard 6-CNOT, 7-T decomposition.
+    pub fn toffoli(&mut self, a: Qubit, b: Qubit, c: Qubit) -> &mut Self {
+        self.h(c);
+        self.cnot(b, c);
+        self.tdg(c);
+        self.cnot(a, c);
+        self.t(c);
+        self.cnot(b, c);
+        self.tdg(c);
+        self.cnot(a, c);
+        self.t(b);
+        self.t(c);
+        self.h(c);
+        self.cnot(a, b);
+        self.t(a);
+        self.tdg(b);
+        self.cnot(a, b);
+        self
+    }
+
+    /// Appends a Fredkin (controlled-SWAP) gate with control `c` swapping
+    /// `a` and `b`: `CNOT(b,a) . Toffoli(c,a,b) . CNOT(b,a)`.
+    pub fn fredkin(&mut self, c: Qubit, a: Qubit, b: Qubit) -> &mut Self {
+        self.cnot(b, a);
+        self.toffoli(c, a, b);
+        self.cnot(b, a);
+        self
+    }
+
+    /// Appends a Peres gate on `(a, b, c)`: a Toffoli targeting `c` followed
+    /// by a CNOT from `a` to `b`, using a merged decomposition with five
+    /// CNOTs.
+    pub fn peres(&mut self, a: Qubit, b: Qubit, c: Qubit) -> &mut Self {
+        // Toffoli with the trailing CNOT(a,b) cancelled against the CNOT of
+        // the Peres definition, leaving 5 CNOTs.
+        self.h(c);
+        self.cnot(b, c);
+        self.tdg(c);
+        self.cnot(a, c);
+        self.t(c);
+        self.cnot(b, c);
+        self.tdg(c);
+        self.cnot(a, c);
+        self.t(b);
+        self.t(c);
+        self.h(c);
+        self.cnot(a, b);
+        self.t(a);
+        self.tdg(b);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toffoli_uses_six_cnots() {
+        let mut c = Circuit::new(3);
+        c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+        assert_eq!(c.cnot_count(), 6);
+        assert_eq!(c.gate_count(), 15);
+    }
+
+    #[test]
+    fn fredkin_uses_eight_cnots() {
+        let mut c = Circuit::new(3);
+        c.fredkin(Qubit(0), Qubit(1), Qubit(2));
+        assert_eq!(c.cnot_count(), 8);
+    }
+
+    #[test]
+    fn peres_uses_five_cnots() {
+        let mut c = Circuit::new(3);
+        c.peres(Qubit(0), Qubit(1), Qubit(2));
+        assert_eq!(c.cnot_count(), 5);
+    }
+
+    #[test]
+    fn cz_uses_one_cnot() {
+        let mut c = Circuit::new(2);
+        c.cz(Qubit(0), Qubit(1));
+        assert_eq!(c.cnot_count(), 1);
+        assert_eq!(c.gate_count(), 3);
+    }
+
+    #[test]
+    fn cphase_uses_two_cnots() {
+        let mut c = Circuit::new(2);
+        c.cphase(Qubit(0), Qubit(1), std::f64::consts::FRAC_PI_2);
+        assert_eq!(c.cnot_count(), 2);
+        assert_eq!(c.gate_count(), 5);
+    }
+}

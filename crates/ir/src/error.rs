@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A gate referenced a program qubit index outside the circuit.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: usize,
+        /// Number of qubits declared by the circuit.
+        num_qubits: usize,
+    },
+    /// A measurement referenced a classical bit outside the circuit.
+    ClbitOutOfRange {
+        /// Offending classical bit index.
+        clbit: usize,
+        /// Number of classical bits declared by the circuit.
+        num_clbits: usize,
+    },
+    /// A two-qubit gate used the same qubit for both operands.
+    DuplicateOperand {
+        /// The repeated qubit index.
+        qubit: usize,
+    },
+    /// OpenQASM source could not be parsed.
+    QasmParse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A requested benchmark size is not supported.
+    InvalidBenchmarkSize {
+        /// Name of the benchmark family.
+        name: &'static str,
+        /// Requested qubit count.
+        requested: usize,
+        /// Explanation of the accepted sizes.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit index {qubit} out of range for circuit with {num_qubits} qubits"
+            ),
+            IrError::ClbitOutOfRange { clbit, num_clbits } => write!(
+                f,
+                "classical bit index {clbit} out of range for circuit with {num_clbits} bits"
+            ),
+            IrError::DuplicateOperand { qubit } => {
+                write!(f, "two-qubit gate uses qubit {qubit} for both operands")
+            }
+            IrError::QasmParse { line, message } => {
+                write!(f, "OpenQASM parse error at line {line}: {message}")
+            }
+            IrError::InvalidBenchmarkSize {
+                name,
+                requested,
+                expected,
+            } => write!(
+                f,
+                "benchmark {name} does not support {requested} qubits (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = IrError::QubitOutOfRange {
+            qubit: 7,
+            num_qubits: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('4'));
+        assert!(s.starts_with("qubit index"));
+    }
+
+    #[test]
+    fn qasm_error_reports_line() {
+        let e = IrError::QasmParse {
+            line: 12,
+            message: "unknown gate foo".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,156 @@
+//! Random circuit generation for the scalability study (Figure 11).
+//!
+//! The paper generates synthetic benchmarks "by uniformly sampling gates
+//! from the universal gate set of H, X, Y, Z, S, T, CNOT" for 4-128 qubits
+//! and 128-2048 gates.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a random synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomCircuitConfig {
+    /// Number of program qubits (the paper sweeps 4 to 128).
+    pub num_qubits: usize,
+    /// Number of gates to sample (the paper sweeps 128 to 2048).
+    pub num_gates: usize,
+    /// RNG seed so experiments are reproducible.
+    pub seed: u64,
+    /// Whether to append a final measurement of every qubit.
+    pub measure_all: bool,
+}
+
+impl RandomCircuitConfig {
+    /// Creates a configuration with measurements enabled.
+    pub fn new(num_qubits: usize, num_gates: usize, seed: u64) -> Self {
+        RandomCircuitConfig {
+            num_qubits,
+            num_gates,
+            seed,
+            measure_all: true,
+        }
+    }
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        RandomCircuitConfig::new(8, 128, 0)
+    }
+}
+
+/// Generates a random circuit by uniformly sampling gates from
+/// `{H, X, Y, Z, S, T, CNOT}`, the universal set the paper uses.
+///
+/// # Panics
+///
+/// Panics if the configuration requests fewer than two qubits (CNOTs need
+/// two distinct operands).
+///
+/// # Example
+///
+/// ```
+/// use nisq_ir::{random_circuit, RandomCircuitConfig};
+///
+/// let c = random_circuit(RandomCircuitConfig::new(8, 128, 42));
+/// assert_eq!(c.num_qubits(), 8);
+/// assert_eq!(c.gate_count(), 128);
+/// // Same seed, same circuit.
+/// assert_eq!(c, random_circuit(RandomCircuitConfig::new(8, 128, 42)));
+/// ```
+pub fn random_circuit(config: RandomCircuitConfig) -> Circuit {
+    assert!(
+        config.num_qubits >= 2,
+        "random circuits need at least 2 qubits"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut c = Circuit::new(config.num_qubits);
+    c.set_name(format!(
+        "random-{}q-{}g-seed{}",
+        config.num_qubits, config.num_gates, config.seed
+    ));
+    const SINGLE_KINDS: [GateKind; 6] = [
+        GateKind::H,
+        GateKind::X,
+        GateKind::Y,
+        GateKind::Z,
+        GateKind::S,
+        GateKind::T,
+    ];
+    for _ in 0..config.num_gates {
+        // 7 kinds sampled uniformly; index 6 is CNOT.
+        let pick = rng.gen_range(0..7usize);
+        if pick < 6 {
+            let q = Qubit(rng.gen_range(0..config.num_qubits));
+            c.push(Gate::single(SINGLE_KINDS[pick], q));
+        } else {
+            let a = rng.gen_range(0..config.num_qubits);
+            let mut b = rng.gen_range(0..config.num_qubits - 1);
+            if b >= a {
+                b += 1;
+            }
+            c.cnot(Qubit(a), Qubit(b));
+        }
+    }
+    if config.measure_all {
+        c.measure_all();
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_gate_count() {
+        let c = random_circuit(RandomCircuitConfig::new(4, 128, 7));
+        assert_eq!(c.gate_count(), 128);
+        assert_eq!(c.measure_count(), 4);
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let a = random_circuit(RandomCircuitConfig::new(16, 256, 3));
+        let b = random_circuit(RandomCircuitConfig::new(16, 256, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_circuit(RandomCircuitConfig::new(16, 256, 3));
+        let b = random_circuit(RandomCircuitConfig::new(16, 256, 4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cnot_operands_are_distinct() {
+        let c = random_circuit(RandomCircuitConfig::new(4, 512, 11));
+        for g in c.iter().filter(|g| g.is_cnot()) {
+            assert_ne!(g.qubits()[0], g.qubits()[1]);
+        }
+    }
+
+    #[test]
+    fn cnot_fraction_is_roughly_one_seventh() {
+        let c = random_circuit(RandomCircuitConfig::new(32, 2048, 5));
+        let frac = c.cnot_count() as f64 / 2048.0;
+        assert!((frac - 1.0 / 7.0).abs() < 0.05, "fraction was {frac}");
+    }
+
+    #[test]
+    fn measurements_can_be_disabled() {
+        let cfg = RandomCircuitConfig {
+            measure_all: false,
+            ..RandomCircuitConfig::new(4, 16, 0)
+        };
+        assert_eq!(random_circuit(cfg).measure_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 qubits")]
+    fn rejects_single_qubit_configuration() {
+        let _ = random_circuit(RandomCircuitConfig::new(1, 16, 0));
+    }
+}

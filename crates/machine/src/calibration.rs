@@ -1,0 +1,290 @@
+use crate::error::MachineError;
+use crate::topology::{GridTopology, HwQubit};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of an undirected hardware edge (nearest-neighbour qubit pair),
+/// stored with the smaller index first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub usize, pub usize);
+
+impl EdgeId {
+    /// Creates a canonical edge id regardless of argument order.
+    pub fn new(a: HwQubit, b: HwQubit) -> Self {
+        if a.0 <= b.0 {
+            EdgeId(a.0, b.0)
+        } else {
+            EdgeId(b.0, a.0)
+        }
+    }
+
+    /// The two endpoints of the edge.
+    pub fn endpoints(&self) -> (HwQubit, HwQubit) {
+        (HwQubit(self.0), HwQubit(self.1))
+    }
+}
+
+/// Gate durations in hardware timeslots (80 ns on IBMQ16).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateDurations {
+    /// Duration of every single-qubit gate, in timeslots.
+    pub single_qubit_slots: u32,
+    /// Duration of a readout operation, in timeslots.
+    pub readout_slots: u32,
+    /// Per-edge CNOT duration, in timeslots.
+    pub cnot_slots: BTreeMap<EdgeId, u32>,
+}
+
+impl GateDurations {
+    /// CNOT duration on `edge` in timeslots.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the edge has no calibration entry.
+    pub fn cnot(&self, edge: EdgeId) -> Result<u32, MachineError> {
+        self.cnot_slots
+            .get(&edge)
+            .copied()
+            .ok_or(MachineError::MissingEdgeCalibration {
+                a: edge.0,
+                b: edge.1,
+            })
+    }
+
+    /// Duration of a SWAP on `edge`: three back-to-back CNOTs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the edge has no calibration entry.
+    pub fn swap(&self, edge: EdgeId) -> Result<u32, MachineError> {
+        Ok(self.cnot(edge)? * 3)
+    }
+}
+
+/// One machine calibration snapshot: the data IBM publishes daily and the
+/// compiler adapts to (Section 2 of the paper).
+///
+/// All error quantities are stored as *error rates* in `[0, 1)`;
+/// reliabilities are `1 - error`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Day index (0-based) this snapshot corresponds to.
+    pub day: usize,
+    /// Per-qubit relaxation time T1, in microseconds.
+    pub t1_us: Vec<f64>,
+    /// Per-qubit coherence time T2, in microseconds.
+    pub t2_us: Vec<f64>,
+    /// Per-qubit readout (measurement) error rate.
+    pub readout_error: Vec<f64>,
+    /// Per-qubit single-qubit gate error rate.
+    pub single_qubit_error: Vec<f64>,
+    /// Per-edge CNOT error rate.
+    pub cnot_error: BTreeMap<EdgeId, f64>,
+    /// Gate durations in timeslots.
+    pub durations: GateDurations,
+    /// Timeslot length in nanoseconds.
+    pub timeslot_ns: f64,
+}
+
+impl Calibration {
+    /// Number of hardware qubits this snapshot covers.
+    pub fn num_qubits(&self) -> usize {
+        self.t2_us.len()
+    }
+
+    /// Validates that the snapshot covers exactly the given topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sizes disagree or an edge of the topology has
+    /// no CNOT calibration.
+    pub fn validate(&self, topology: &GridTopology) -> Result<(), MachineError> {
+        if self.num_qubits() != topology.num_qubits() {
+            return Err(MachineError::CalibrationSizeMismatch {
+                topology_qubits: topology.num_qubits(),
+                calibration_qubits: self.num_qubits(),
+            });
+        }
+        for (a, b) in topology.edges() {
+            let edge = EdgeId::new(a, b);
+            if !self.cnot_error.contains_key(&edge) {
+                return Err(MachineError::MissingEdgeCalibration {
+                    a: edge.0,
+                    b: edge.1,
+                });
+            }
+            self.durations.cnot(edge)?;
+        }
+        Ok(())
+    }
+
+    /// Readout error rate of a hardware qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is outside the calibration data.
+    pub fn readout_error(&self, q: HwQubit) -> f64 {
+        self.readout_error[q.0]
+    }
+
+    /// Readout reliability (`1 - error`) of a hardware qubit.
+    pub fn readout_reliability(&self, q: HwQubit) -> f64 {
+        1.0 - self.readout_error(q)
+    }
+
+    /// Single-qubit gate error rate of a hardware qubit.
+    pub fn single_qubit_error(&self, q: HwQubit) -> f64 {
+        self.single_qubit_error[q.0]
+    }
+
+    /// T2 coherence time of a hardware qubit, in microseconds.
+    pub fn t2_us(&self, q: HwQubit) -> f64 {
+        self.t2_us[q.0]
+    }
+
+    /// T2 coherence time of a hardware qubit, in hardware timeslots.
+    pub fn t2_slots(&self, q: HwQubit) -> u32 {
+        (self.t2_us(q) * 1000.0 / self.timeslot_ns).floor() as u32
+    }
+
+    /// CNOT error rate on the edge between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there is no calibration entry for the pair (for
+    /// example because they are not adjacent).
+    pub fn cnot_error(&self, a: HwQubit, b: HwQubit) -> Result<f64, MachineError> {
+        let edge = EdgeId::new(a, b);
+        self.cnot_error
+            .get(&edge)
+            .copied()
+            .ok_or(MachineError::MissingEdgeCalibration {
+                a: edge.0,
+                b: edge.1,
+            })
+    }
+
+    /// CNOT reliability (`1 - error`) on the edge between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there is no calibration entry for the pair.
+    pub fn cnot_reliability(&self, a: HwQubit, b: HwQubit) -> Result<f64, MachineError> {
+        Ok(1.0 - self.cnot_error(a, b)?)
+    }
+
+    /// Reliability of a SWAP between adjacent qubits `a` and `b`: three
+    /// CNOTs back to back.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there is no calibration entry for the pair.
+    pub fn swap_reliability(&self, a: HwQubit, b: HwQubit) -> Result<f64, MachineError> {
+        Ok(self.cnot_reliability(a, b)?.powi(3))
+    }
+
+    /// Average CNOT error rate across all calibrated edges.
+    pub fn mean_cnot_error(&self) -> f64 {
+        if self.cnot_error.is_empty() {
+            return 0.0;
+        }
+        self.cnot_error.values().sum::<f64>() / self.cnot_error.len() as f64
+    }
+
+    /// Average readout error rate across all qubits.
+    pub fn mean_readout_error(&self) -> f64 {
+        if self.readout_error.is_empty() {
+            return 0.0;
+        }
+        self.readout_error.iter().sum::<f64>() / self.readout_error.len() as f64
+    }
+
+    /// Average T2 across all qubits, in microseconds.
+    pub fn mean_t2_us(&self) -> f64 {
+        if self.t2_us.is_empty() {
+            return 0.0;
+        }
+        self.t2_us.iter().sum::<f64>() / self.t2_us.len() as f64
+    }
+
+    /// The smallest T2 across all qubits, in timeslots — the bound the
+    /// paper compares schedule lengths against.
+    pub fn worst_t2_slots(&self) -> u32 {
+        (0..self.num_qubits())
+            .map(|q| self.t2_slots(HwQubit(q)))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CalibrationGenerator;
+
+    fn sample() -> (GridTopology, Calibration) {
+        let t = GridTopology::ibmq16();
+        let c = CalibrationGenerator::new(t.clone(), 1).day(0);
+        (t, c)
+    }
+
+    #[test]
+    fn edge_id_is_canonical() {
+        assert_eq!(EdgeId::new(HwQubit(5), HwQubit(2)), EdgeId(2, 5));
+        assert_eq!(EdgeId::new(HwQubit(2), HwQubit(5)), EdgeId(2, 5));
+        assert_eq!(EdgeId(2, 5).endpoints(), (HwQubit(2), HwQubit(5)));
+    }
+
+    #[test]
+    fn generated_calibration_validates() {
+        let (t, c) = sample();
+        assert!(c.validate(&t).is_ok());
+        assert_eq!(c.num_qubits(), 16);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_size() {
+        let (_, c) = sample();
+        let small = GridTopology::new(2, 2);
+        assert!(matches!(
+            c.validate(&small),
+            Err(MachineError::CalibrationSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reliability_is_one_minus_error() {
+        let (t, c) = sample();
+        let (a, b) = t.edges()[0];
+        let err = c.cnot_error(a, b).unwrap();
+        let rel = c.cnot_reliability(a, b).unwrap();
+        assert!((err + rel - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_reliability_is_cnot_cubed() {
+        let (t, c) = sample();
+        let (a, b) = t.edges()[0];
+        let rel = c.cnot_reliability(a, b).unwrap();
+        assert!((c.swap_reliability(a, b).unwrap() - rel.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_edge_is_an_error() {
+        let (_, c) = sample();
+        // Qubits 0 and 2 are not adjacent on IBMQ16.
+        assert!(matches!(
+            c.cnot_error(HwQubit(0), HwQubit(2)),
+            Err(MachineError::MissingEdgeCalibration { .. })
+        ));
+    }
+
+    #[test]
+    fn t2_slots_uses_timeslot_length() {
+        let (_, c) = sample();
+        let q = HwQubit(0);
+        let expected = (c.t2_us(q) * 1000.0 / c.timeslot_ns).floor() as u32;
+        assert_eq!(c.t2_slots(q), expected);
+        assert!(c.worst_t2_slots() <= c.t2_slots(q));
+    }
+}

@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the hardware model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// A hardware qubit index was outside the topology.
+    QubitOutOfRange {
+        /// Offending hardware qubit index.
+        qubit: usize,
+        /// Number of hardware qubits in the topology.
+        num_qubits: usize,
+    },
+    /// A CNOT was requested between qubits that are not adjacent in the
+    /// topology.
+    NotAdjacent {
+        /// First hardware qubit.
+        a: usize,
+        /// Second hardware qubit.
+        b: usize,
+    },
+    /// Calibration data was requested for an edge that has no entry.
+    MissingEdgeCalibration {
+        /// First hardware qubit.
+        a: usize,
+        /// Second hardware qubit.
+        b: usize,
+    },
+    /// The calibration data and topology disagree on machine size.
+    CalibrationSizeMismatch {
+        /// Number of qubits in the topology.
+        topology_qubits: usize,
+        /// Number of qubits covered by the calibration data.
+        calibration_qubits: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "hardware qubit {qubit} out of range for machine with {num_qubits} qubits"
+            ),
+            MachineError::NotAdjacent { a, b } => {
+                write!(f, "hardware qubits {a} and {b} are not adjacent")
+            }
+            MachineError::MissingEdgeCalibration { a, b } => {
+                write!(f, "no calibration data for edge ({a}, {b})")
+            }
+            MachineError::CalibrationSizeMismatch {
+                topology_qubits,
+                calibration_qubits,
+            } => write!(
+                f,
+                "calibration covers {calibration_qubits} qubits but topology has {topology_qubits}"
+            ),
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_contain_indices() {
+        let e = MachineError::NotAdjacent { a: 3, b: 9 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MachineError>();
+    }
+}

@@ -1,0 +1,128 @@
+use crate::calibration::Calibration;
+use crate::error::MachineError;
+use crate::generator::CalibrationGenerator;
+use crate::reliability::ReliabilityModel;
+use crate::topology::GridTopology;
+use std::fmt;
+
+/// A target machine: a topology plus the calibration snapshot the compiler
+/// adapts to, bundled with the derived reliability model.
+///
+/// # Example
+///
+/// ```
+/// use nisq_machine::Machine;
+///
+/// let machine = Machine::ibmq16_on_day(42, 0);
+/// assert_eq!(machine.topology().num_qubits(), 16);
+/// assert!(machine.calibration().mean_cnot_error() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    name: String,
+    topology: GridTopology,
+    calibration: Calibration,
+    reliability: ReliabilityModel,
+}
+
+impl Machine {
+    /// Creates a machine from a topology and calibration snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration does not cover the topology; use
+    /// [`Machine::try_new`] to handle that case as an error.
+    pub fn new(name: impl Into<String>, topology: GridTopology, calibration: Calibration) -> Self {
+        Machine::try_new(name, topology, calibration).expect("calibration must cover the topology")
+    }
+
+    /// Creates a machine, validating that the calibration covers the
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the calibration and topology disagree.
+    pub fn try_new(
+        name: impl Into<String>,
+        topology: GridTopology,
+        calibration: Calibration,
+    ) -> Result<Self, MachineError> {
+        calibration.validate(&topology)?;
+        let reliability = ReliabilityModel::new(&topology, &calibration);
+        Ok(Machine {
+            name: name.into(),
+            topology,
+            calibration,
+            reliability,
+        })
+    }
+
+    /// Convenience constructor: the IBMQ16 layout with a synthetic
+    /// calibration snapshot for the given seed and day.
+    pub fn ibmq16_on_day(seed: u64, day: usize) -> Self {
+        let topology = GridTopology::ibmq16();
+        let calibration = CalibrationGenerator::new(topology.clone(), seed).day(day);
+        Machine::new("IBMQ16", topology, calibration)
+    }
+
+    /// Machine name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hardware topology.
+    pub fn topology(&self) -> &GridTopology {
+        &self.topology
+    }
+
+    /// The calibration snapshot.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// The derived reliability/duration model.
+    pub fn reliability(&self) -> &ReliabilityModel {
+        &self.reliability
+    }
+
+    /// Number of hardware qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.topology.num_qubits()
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, day {})",
+            self.name, self.topology, self.calibration.day
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibmq16_machine_builds() {
+        let m = Machine::ibmq16_on_day(0, 0);
+        assert_eq!(m.num_qubits(), 16);
+        assert_eq!(m.name(), "IBMQ16");
+        assert!(m.to_string().contains("8x2 grid"));
+    }
+
+    #[test]
+    fn try_new_rejects_mismatched_calibration() {
+        let small = GridTopology::new(2, 2);
+        let cal = CalibrationGenerator::new(GridTopology::ibmq16(), 0).day(0);
+        assert!(Machine::try_new("bad", small, cal).is_err());
+    }
+
+    #[test]
+    fn reliability_model_matches_calibration() {
+        let m = Machine::ibmq16_on_day(9, 2);
+        assert_eq!(m.reliability().calibration(), m.calibration());
+    }
+}

@@ -1,0 +1,463 @@
+use crate::calibration::Calibration;
+use crate::error::MachineError;
+use crate::topology::{GridTopology, HwQubit};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A most-reliable route between two hardware qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathInfo {
+    /// Qubits along the route, including both endpoints.
+    pub path: Vec<HwQubit>,
+    /// Sum of `-ln(CNOT reliability)` over the route's edges (lower is
+    /// better). Zero for a path from a qubit to itself.
+    pub cost: f64,
+}
+
+impl PathInfo {
+    /// Number of hops (edges) along the path.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Pre-computed reliability and duration matrices for one machine
+/// calibration snapshot.
+///
+/// This is the quantitative core the mapping algorithms share:
+///
+/// * most-reliable paths between every pair of hardware qubits (Dijkstra
+///   over `-log` CNOT reliabilities, as in Section 5 of the paper),
+/// * the reliability of performing a program CNOT between two hardware
+///   locations, either along the best path or along one of the two one-bend
+///   paths (the paper's `EC` matrix, Constraint 11),
+/// * the CNOT duration matrix `Δ` (Constraint 5), including the swaps needed
+///   to bring the qubits together and back.
+///
+/// # Example
+///
+/// ```
+/// use nisq_machine::{CalibrationGenerator, GridTopology, HwQubit, ReliabilityModel};
+///
+/// let topology = GridTopology::ibmq16();
+/// let calibration = CalibrationGenerator::new(topology.clone(), 0).day(0);
+/// let model = ReliabilityModel::new(&topology, &calibration);
+/// let direct = model.best_path_cnot_reliability(HwQubit(0), HwQubit(1));
+/// let far = model.best_path_cnot_reliability(HwQubit(0), HwQubit(15));
+/// assert!(direct > far, "distant CNOTs need swaps and are less reliable");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReliabilityModel {
+    topology: GridTopology,
+    calibration: Calibration,
+    /// `paths[a][b]`: most reliable path from `a` to `b`.
+    paths: Vec<Vec<PathInfo>>,
+}
+
+impl ReliabilityModel {
+    /// Builds the model for a topology and calibration snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration does not cover the topology; call
+    /// [`Calibration::validate`] first to handle that case as an error.
+    pub fn new(topology: &GridTopology, calibration: &Calibration) -> Self {
+        calibration
+            .validate(topology)
+            .expect("calibration must cover the topology");
+        let n = topology.num_qubits();
+        let mut paths = Vec::with_capacity(n);
+        for source in 0..n {
+            paths.push(Self::dijkstra(topology, calibration, HwQubit(source)));
+        }
+        ReliabilityModel {
+            topology: topology.clone(),
+            calibration: calibration.clone(),
+            paths,
+        }
+    }
+
+    /// The topology the model was built for.
+    pub fn topology(&self) -> &GridTopology {
+        &self.topology
+    }
+
+    /// The calibration snapshot the model was built from.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    fn edge_weight(calibration: &Calibration, a: HwQubit, b: HwQubit) -> f64 {
+        let rel = calibration
+            .cnot_reliability(a, b)
+            .expect("adjacent edges always have calibration data");
+        -rel.max(1e-9).ln()
+    }
+
+    fn dijkstra(
+        topology: &GridTopology,
+        calibration: &Calibration,
+        source: HwQubit,
+    ) -> Vec<PathInfo> {
+        #[derive(PartialEq)]
+        struct Entry {
+            cost: f64,
+            qubit: usize,
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on cost.
+                other
+                    .cost
+                    .partial_cmp(&self.cost)
+                    .unwrap_or(Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = topology.num_qubits();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        dist[source.0] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry {
+            cost: 0.0,
+            qubit: source.0,
+        });
+        while let Some(Entry { cost, qubit }) = heap.pop() {
+            if cost > dist[qubit] {
+                continue;
+            }
+            for nb in topology.neighbors(HwQubit(qubit)) {
+                let w = Self::edge_weight(calibration, HwQubit(qubit), nb);
+                let next = cost + w;
+                if next < dist[nb.0] {
+                    dist[nb.0] = next;
+                    prev[nb.0] = Some(qubit);
+                    heap.push(Entry {
+                        cost: next,
+                        qubit: nb.0,
+                    });
+                }
+            }
+        }
+
+        (0..n)
+            .map(|target| {
+                let mut path = Vec::new();
+                let mut cur = Some(target);
+                while let Some(q) = cur {
+                    path.push(HwQubit(q));
+                    if q == source.0 {
+                        break;
+                    }
+                    cur = prev[q];
+                }
+                path.reverse();
+                PathInfo {
+                    path,
+                    cost: dist[target],
+                }
+            })
+            .collect()
+    }
+
+    /// The most reliable path from `a` to `b` (Dijkstra over `-log` CNOT
+    /// reliability edge weights).
+    pub fn best_path(&self, a: HwQubit, b: HwQubit) -> &PathInfo {
+        &self.paths[a.0][b.0]
+    }
+
+    /// Reliability of the most reliable *swap route* between `a` and `b`
+    /// assuming every hop is a full SWAP (three CNOTs). Equals 1 for a
+    /// qubit with itself.
+    pub fn best_path_swap_reliability(&self, a: HwQubit, b: HwQubit) -> f64 {
+        (-3.0 * self.best_path(a, b).cost).exp()
+    }
+
+    /// Reliability of performing a program CNOT between hardware locations
+    /// `a` and `b` using the most reliable route: SWAPs along every hop
+    /// except the last, then the hardware CNOT on the final edge.
+    pub fn best_path_cnot_reliability(&self, a: HwQubit, b: HwQubit) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        Self::route_cnot_reliability(&self.calibration, &self.best_path(a, b).path)
+    }
+
+    fn route_cnot_reliability(calibration: &Calibration, path: &[HwQubit]) -> f64 {
+        debug_assert!(path.len() >= 2);
+        let mut rel = 1.0;
+        for (i, pair) in path.windows(2).enumerate() {
+            let edge_rel = calibration
+                .cnot_reliability(pair[0], pair[1])
+                .expect("path edges are adjacent");
+            if i + 2 == path.len() {
+                // Final hop: the CNOT itself.
+                rel *= edge_rel;
+            } else {
+                // Intermediate hop: a SWAP (three CNOTs).
+                rel *= edge_rel.powi(3);
+            }
+        }
+        rel
+    }
+
+    /// Reliability of a program CNOT between `control` and `target` routed
+    /// along the one-bend path through `junction` (the paper's `EC` matrix,
+    /// Constraint 11). `junction` must be one of the two corners returned by
+    /// [`GridTopology::junctions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if control and target are the same qubit.
+    pub fn one_bend_cnot_reliability(
+        &self,
+        control: HwQubit,
+        target: HwQubit,
+        junction: HwQubit,
+    ) -> Result<f64, MachineError> {
+        if control == target {
+            return Err(MachineError::NotAdjacent {
+                a: control.0,
+                b: target.0,
+            });
+        }
+        let path = self.topology.one_bend_path(control, target, junction);
+        Ok(Self::route_cnot_reliability(&self.calibration, &path))
+    }
+
+    /// The better of the two one-bend options for a CNOT between `control`
+    /// and `target`: returns `(junction, reliability)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if control and target are the same qubit.
+    pub fn best_one_bend(
+        &self,
+        control: HwQubit,
+        target: HwQubit,
+    ) -> Result<(HwQubit, f64), MachineError> {
+        let (j1, j2) = self.topology.junctions(control, target);
+        let r1 = self.one_bend_cnot_reliability(control, target, j1)?;
+        let r2 = self.one_bend_cnot_reliability(control, target, j2)?;
+        Ok(if r1 >= r2 { (j1, r1) } else { (j2, r2) })
+    }
+
+    /// Duration, in timeslots, of a program CNOT between hardware locations
+    /// `a` and `b` routed along `path`, following the paper's model: swaps
+    /// to bring the qubits adjacent, the CNOT, and swaps to return them
+    /// (`2 * (hops - 1) * tau_swap + tau_cnot`), using per-edge durations.
+    fn route_cnot_duration(&self, path: &[HwQubit]) -> u32 {
+        debug_assert!(path.len() >= 2);
+        let mut total = 0u32;
+        for (i, pair) in path.windows(2).enumerate() {
+            let edge = crate::calibration::EdgeId::new(pair[0], pair[1]);
+            let cnot = self
+                .calibration
+                .durations
+                .cnot(edge)
+                .expect("path edges have durations");
+            if i + 2 == path.len() {
+                total += cnot;
+            } else {
+                // Swap out and back: 2 * 3 CNOTs.
+                total += 6 * cnot;
+            }
+        }
+        total
+    }
+
+    /// Duration of a CNOT between `a` and `b` along the most reliable path,
+    /// in timeslots (the calibration-aware `Δ` matrix of Constraint 5).
+    pub fn best_path_cnot_duration(&self, a: HwQubit, b: HwQubit) -> u32 {
+        if a == b {
+            return 0;
+        }
+        self.route_cnot_duration(&self.best_path(a, b).path)
+    }
+
+    /// Duration of a CNOT between `control` and `target` along the one-bend
+    /// path through `junction`, in timeslots.
+    pub fn one_bend_cnot_duration(
+        &self,
+        control: HwQubit,
+        target: HwQubit,
+        junction: HwQubit,
+    ) -> u32 {
+        if control == target {
+            return 0;
+        }
+        let path = self.topology.one_bend_path(control, target, junction);
+        self.route_cnot_duration(&path)
+    }
+
+    /// Duration of a CNOT between two locations assuming every hardware CNOT
+    /// takes the same `uniform_cnot_slots` (the calibration-unaware model
+    /// used by the paper's T-SMT variant).
+    pub fn uniform_cnot_duration(
+        &self,
+        a: HwQubit,
+        b: HwQubit,
+        uniform_cnot_slots: u32,
+    ) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let dist = self.topology.distance(a, b) as u32;
+        2 * (dist - 1) * 3 * uniform_cnot_slots + uniform_cnot_slots
+    }
+
+    /// Readout reliability of a hardware qubit.
+    pub fn readout_reliability(&self, q: HwQubit) -> f64 {
+        self.calibration.readout_reliability(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CalibrationGenerator;
+
+    fn model() -> ReliabilityModel {
+        let t = GridTopology::ibmq16();
+        let c = CalibrationGenerator::new(t.clone(), 3).day(0);
+        ReliabilityModel::new(&t, &c)
+    }
+
+    #[test]
+    fn best_path_endpoints_are_correct() {
+        let m = model();
+        let p = m.best_path(HwQubit(0), HwQubit(11));
+        assert_eq!(p.path.first(), Some(&HwQubit(0)));
+        assert_eq!(p.path.last(), Some(&HwQubit(11)));
+        for pair in p.path.windows(2) {
+            assert!(m.topology().adjacent(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn self_path_has_zero_cost() {
+        let m = model();
+        let p = m.best_path(HwQubit(5), HwQubit(5));
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.cost, 0.0);
+        assert_eq!(m.best_path_cnot_reliability(HwQubit(5), HwQubit(5)), 1.0);
+    }
+
+    #[test]
+    fn adjacent_cnot_reliability_matches_calibration() {
+        let m = model();
+        let direct = m.best_path_cnot_reliability(HwQubit(0), HwQubit(1));
+        let cal = m.calibration().cnot_reliability(HwQubit(0), HwQubit(1)).unwrap();
+        // The best path between adjacent qubits is usually the direct edge;
+        // it can only be better than or equal to the direct reliability.
+        assert!(direct >= cal - 1e-12);
+    }
+
+    #[test]
+    fn reliability_decreases_with_distance_on_average() {
+        let m = model();
+        let near = m.best_path_cnot_reliability(HwQubit(0), HwQubit(1));
+        let far = m.best_path_cnot_reliability(HwQubit(0), HwQubit(15));
+        assert!(near > far);
+    }
+
+    #[test]
+    fn path_cost_is_symmetric() {
+        let m = model();
+        for a in 0..16 {
+            for b in 0..16 {
+                let ab = m.best_path(HwQubit(a), HwQubit(b)).cost;
+                let ba = m.best_path(HwQubit(b), HwQubit(a)).cost;
+                assert!((ab - ba).abs() < 1e-9, "asymmetric cost {a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_one_bend_picks_the_better_junction() {
+        let m = model();
+        for a in 0..16usize {
+            for b in 0..16usize {
+                if a == b {
+                    continue;
+                }
+                let (ja, jb) = m.topology().junctions(HwQubit(a), HwQubit(b));
+                let r1 = m.one_bend_cnot_reliability(HwQubit(a), HwQubit(b), ja).unwrap();
+                let r2 = m.one_bend_cnot_reliability(HwQubit(a), HwQubit(b), jb).unwrap();
+                let (_, best) = m.best_one_bend(HwQubit(a), HwQubit(b)).unwrap();
+                assert!((best - r1.max(r2)).abs() < 1e-12);
+                assert!(best > 0.0 && best <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn best_path_swap_route_is_optimal_among_one_bend_routes() {
+        // The Dijkstra paths minimise the summed -log CNOT reliability, so a
+        // swap-only route along them is at least as reliable as a swap-only
+        // route along either one-bend path.
+        let m = model();
+        for a in 0..16usize {
+            for b in 0..16usize {
+                if a == b {
+                    continue;
+                }
+                let best = m.best_path_swap_reliability(HwQubit(a), HwQubit(b));
+                let (ja, jb) = m.topology().junctions(HwQubit(a), HwQubit(b));
+                for j in [ja, jb] {
+                    let path = m.topology().one_bend_path(HwQubit(a), HwQubit(b), j);
+                    let mut rel = 1.0;
+                    for pair in path.windows(2) {
+                        rel *= m
+                            .calibration()
+                            .cnot_reliability(pair[0], pair[1])
+                            .unwrap()
+                            .powi(3);
+                    }
+                    assert!(best >= rel - 1e-12, "{a}->{b} best {best} < one-bend {rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_bend_rejects_equal_qubits() {
+        let m = model();
+        assert!(m.best_one_bend(HwQubit(3), HwQubit(3)).is_err());
+    }
+
+    #[test]
+    fn adjacent_duration_is_single_cnot() {
+        let m = model();
+        let edge = crate::calibration::EdgeId::new(HwQubit(0), HwQubit(1));
+        let cnot = m.calibration().durations.cnot(edge).unwrap();
+        // For adjacent qubits the best path may detour only if it were more
+        // reliable, but duration along the direct one-bend path equals the
+        // CNOT duration.
+        assert_eq!(m.one_bend_cnot_duration(HwQubit(0), HwQubit(1), HwQubit(1)), cnot);
+    }
+
+    #[test]
+    fn uniform_duration_matches_paper_formula() {
+        let m = model();
+        // distance 3 => 2*(3-1) swaps of 3 CNOTs each, plus the CNOT.
+        let d = m.uniform_cnot_duration(HwQubit(0), HwQubit(3), 4);
+        assert_eq!(d, 2 * 2 * 3 * 4 + 4);
+        assert_eq!(m.uniform_cnot_duration(HwQubit(0), HwQubit(0), 4), 0);
+    }
+
+    #[test]
+    fn farther_pairs_take_longer() {
+        let m = model();
+        let near = m.best_path_cnot_duration(HwQubit(0), HwQubit(1));
+        let far = m.best_path_cnot_duration(HwQubit(0), HwQubit(15));
+        assert!(far > near);
+    }
+}

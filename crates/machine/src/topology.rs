@@ -1,0 +1,393 @@
+use crate::error::MachineError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a *hardware* qubit (a physical location on the device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HwQubit(pub usize);
+
+impl fmt::Display for HwQubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+impl From<usize> for HwQubit {
+    fn from(value: usize) -> Self {
+        HwQubit(value)
+    }
+}
+
+/// A 2-D grid of hardware qubits with nearest-neighbour CNOT connectivity,
+/// the machine model the paper assumes (Section 4.1).
+///
+/// Qubit `i` sits at column `x = i % mx` and row `y = i / mx`; two qubits
+/// may run a hardware CNOT only if they are adjacent horizontally or
+/// vertically.
+///
+/// # Example
+///
+/// ```
+/// use nisq_machine::{GridTopology, HwQubit};
+///
+/// let t = GridTopology::ibmq16();
+/// assert_eq!(t.num_qubits(), 16);
+/// assert!(t.adjacent(HwQubit(0), HwQubit(1)));
+/// assert!(t.adjacent(HwQubit(0), HwQubit(8)));
+/// assert!(!t.adjacent(HwQubit(0), HwQubit(2)));
+/// assert_eq!(t.distance(HwQubit(0), HwQubit(15)), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridTopology {
+    mx: usize,
+    my: usize,
+}
+
+impl GridTopology {
+    /// Creates an `mx` columns by `my` rows grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(mx: usize, my: usize) -> Self {
+        assert!(mx > 0 && my > 0, "grid dimensions must be positive");
+        GridTopology { mx, my }
+    }
+
+    /// The 16-qubit IBMQ16 Rueschlikon layout: two rows of eight qubits.
+    pub fn ibmq16() -> Self {
+        GridTopology::new(8, 2)
+    }
+
+    /// A square grid with `side * side` qubits, used for the scalability
+    /// studies on larger synthetic machines.
+    pub fn square(side: usize) -> Self {
+        GridTopology::new(side, side)
+    }
+
+    /// Smallest grid that holds at least `n` qubits while staying close to
+    /// square (used when sweeping machine sizes in the scalability study).
+    pub fn at_least(n: usize) -> Self {
+        assert!(n > 0, "machine must have at least one qubit");
+        let side = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(side);
+        GridTopology::new(side, rows.max(1))
+    }
+
+    /// Number of columns.
+    pub fn mx(&self) -> usize {
+        self.mx
+    }
+
+    /// Number of rows.
+    pub fn my(&self) -> usize {
+        self.my
+    }
+
+    /// Total number of hardware qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.mx * self.my
+    }
+
+    /// Column/row coordinates of a hardware qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is outside the grid; use [`GridTopology::contains`]
+    /// to check first.
+    pub fn coords(&self, q: HwQubit) -> (usize, usize) {
+        assert!(self.contains(q), "{q} outside {self}");
+        (q.0 % self.mx, q.0 / self.mx)
+    }
+
+    /// Hardware qubit at the given column/row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    pub fn at(&self, x: usize, y: usize) -> HwQubit {
+        assert!(x < self.mx && y < self.my, "({x},{y}) outside {self}");
+        HwQubit(y * self.mx + x)
+    }
+
+    /// Whether the qubit index is inside the grid.
+    pub fn contains(&self, q: HwQubit) -> bool {
+        q.0 < self.num_qubits()
+    }
+
+    /// Validates that a qubit is inside the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::QubitOutOfRange`] when it is not.
+    pub fn check(&self, q: HwQubit) -> Result<(), MachineError> {
+        if self.contains(q) {
+            Ok(())
+        } else {
+            Err(MachineError::QubitOutOfRange {
+                qubit: q.0,
+                num_qubits: self.num_qubits(),
+            })
+        }
+    }
+
+    /// Manhattan distance between two hardware qubits (the `L1` norm used in
+    /// the paper's CNOT duration model).
+    pub fn distance(&self, a: HwQubit, b: HwQubit) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Whether a hardware CNOT may be applied directly between `a` and `b`.
+    pub fn adjacent(&self, a: HwQubit, b: HwQubit) -> bool {
+        self.contains(a) && self.contains(b) && a != b && self.distance(a, b) == 1
+    }
+
+    /// All undirected nearest-neighbour edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(HwQubit, HwQubit)> {
+        let mut out = Vec::new();
+        for y in 0..self.my {
+            for x in 0..self.mx {
+                let q = self.at(x, y);
+                if x + 1 < self.mx {
+                    out.push((q, self.at(x + 1, y)));
+                }
+                if y + 1 < self.my {
+                    out.push((q, self.at(x, y + 1)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Nearest neighbours of `q`.
+    pub fn neighbors(&self, q: HwQubit) -> Vec<HwQubit> {
+        let (x, y) = self.coords(q);
+        let mut out = Vec::new();
+        if x > 0 {
+            out.push(self.at(x - 1, y));
+        }
+        if x + 1 < self.mx {
+            out.push(self.at(x + 1, y));
+        }
+        if y > 0 {
+            out.push(self.at(x, y - 1));
+        }
+        if y + 1 < self.my {
+            out.push(self.at(x, y + 1));
+        }
+        out
+    }
+
+    /// All hardware qubits in index order.
+    pub fn qubits(&self) -> impl Iterator<Item = HwQubit> {
+        (0..self.num_qubits()).map(HwQubit)
+    }
+
+    /// The two one-bend-path junction corners for a control/target pair, in
+    /// the order (corner sharing the control's row, corner sharing the
+    /// control's column). For qubits in the same row or column both
+    /// junctions coincide with the straight-line path.
+    pub fn junctions(&self, control: HwQubit, target: HwQubit) -> (HwQubit, HwQubit) {
+        let (cx, cy) = self.coords(control);
+        let (tx, ty) = self.coords(target);
+        (self.at(tx, cy), self.at(cx, ty))
+    }
+
+    /// The one-bend path from `from` to `to` through `junction`, as the
+    /// full sequence of hardware qubits including both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `junction` does not share a row or column with both
+    /// endpoints (i.e. it is not one of the two corners returned by
+    /// [`GridTopology::junctions`]).
+    pub fn one_bend_path(&self, from: HwQubit, to: HwQubit, junction: HwQubit) -> Vec<HwQubit> {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        let (jx, jy) = self.coords(junction);
+        assert!(
+            (jx == fx || jy == fy) && (jx == tx || jy == ty),
+            "junction {junction} is not a corner of the bounding rectangle of {from} and {to}"
+        );
+        let mut path = vec![from];
+        let push_line = |path: &mut Vec<HwQubit>, x0: usize, y0: usize, x1: usize, y1: usize| {
+            // Walk one axis at a time; exactly one of the axes differs.
+            if x0 == x1 {
+                let range: Vec<usize> = if y0 <= y1 {
+                    (y0..=y1).collect()
+                } else {
+                    (y1..=y0).rev().collect()
+                };
+                for y in range.into_iter().skip(1) {
+                    path.push(self.at(x0, y));
+                }
+            } else {
+                let range: Vec<usize> = if x0 <= x1 {
+                    (x0..=x1).collect()
+                } else {
+                    (x1..=x0).rev().collect()
+                };
+                for x in range.into_iter().skip(1) {
+                    path.push(self.at(x, y0));
+                }
+            }
+        };
+        if (jx, jy) != (fx, fy) {
+            push_line(&mut path, fx, fy, jx, jy);
+        }
+        if (jx, jy) != (tx, ty) {
+            push_line(&mut path, jx, jy, tx, ty);
+        }
+        path
+    }
+
+    /// The bounding rectangle of two qubits as
+    /// `((min_x, min_y), (max_x, max_y))`, used by the rectangle-reservation
+    /// routing policy.
+    pub fn bounding_rectangle(
+        &self,
+        a: HwQubit,
+        b: HwQubit,
+    ) -> ((usize, usize), (usize, usize)) {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ((ax.min(bx), ay.min(by)), (ax.max(bx), ay.max(by)))
+    }
+
+    /// Whether two axis-aligned rectangles (given as min/max corners)
+    /// overlap, the spatial test of routing Constraint 7.
+    pub fn rectangles_overlap(
+        r1: ((usize, usize), (usize, usize)),
+        r2: ((usize, usize), (usize, usize)),
+    ) -> bool {
+        let ((l1x, l1y), (r1x, r1y)) = r1;
+        let ((l2x, l2y), (r2x, r2y)) = r2;
+        !(l1x > r2x || r1x < l2x || l1y > r2y || r1y < l2y)
+    }
+}
+
+impl fmt::Display for GridTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} grid", self.mx, self.my)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibmq16_is_two_rows_of_eight() {
+        let t = GridTopology::ibmq16();
+        assert_eq!(t.mx(), 8);
+        assert_eq!(t.my(), 2);
+        assert_eq!(t.num_qubits(), 16);
+        assert_eq!(t.edges().len(), 7 * 2 + 8);
+    }
+
+    #[test]
+    fn coords_and_at_are_inverse() {
+        let t = GridTopology::new(5, 3);
+        for q in t.qubits() {
+            let (x, y) = t.coords(q);
+            assert_eq!(t.at(x, y), q);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_grid_nearest_neighbour() {
+        let t = GridTopology::ibmq16();
+        assert!(t.adjacent(HwQubit(3), HwQubit(4)));
+        assert!(t.adjacent(HwQubit(3), HwQubit(11)));
+        assert!(!t.adjacent(HwQubit(7), HwQubit(8))); // row wrap is not adjacent
+        assert!(!t.adjacent(HwQubit(2), HwQubit(2)));
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        let t = GridTopology::ibmq16();
+        assert_eq!(t.distance(HwQubit(0), HwQubit(15)), 7 + 1);
+        assert_eq!(t.distance(HwQubit(4), HwQubit(4)), 0);
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let t = GridTopology::new(4, 4);
+        assert_eq!(t.neighbors(HwQubit(0)).len(), 2);
+        assert_eq!(t.neighbors(t.at(1, 1)).len(), 4);
+        assert_eq!(t.neighbors(t.at(3, 0)).len(), 2);
+    }
+
+    #[test]
+    fn junctions_are_rectangle_corners() {
+        let t = GridTopology::new(4, 4);
+        let c = t.at(0, 0);
+        let tg = t.at(2, 3);
+        let (j1, j2) = t.junctions(c, tg);
+        assert_eq!(j1, t.at(2, 0));
+        assert_eq!(j2, t.at(0, 3));
+    }
+
+    #[test]
+    fn one_bend_path_visits_every_intermediate_qubit() {
+        let t = GridTopology::new(4, 4);
+        let from = t.at(0, 0);
+        let to = t.at(2, 3);
+        let (j1, _) = t.junctions(from, to);
+        let path = t.one_bend_path(from, to, j1);
+        assert_eq!(path.first(), Some(&from));
+        assert_eq!(path.last(), Some(&to));
+        assert_eq!(path.len(), t.distance(from, to) + 1);
+        for pair in path.windows(2) {
+            assert!(t.adjacent(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn one_bend_path_handles_straight_lines() {
+        let t = GridTopology::ibmq16();
+        let from = HwQubit(0);
+        let to = HwQubit(3);
+        let (j1, j2) = t.junctions(from, to);
+        assert_eq!(j1, to);
+        assert_eq!(j2, from);
+        let path = t.one_bend_path(from, to, j1);
+        assert_eq!(path, vec![HwQubit(0), HwQubit(1), HwQubit(2), HwQubit(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a corner")]
+    fn one_bend_path_rejects_non_corner_junction() {
+        let t = GridTopology::new(4, 4);
+        let _ = t.one_bend_path(t.at(0, 0), t.at(2, 3), t.at(1, 1));
+    }
+
+    #[test]
+    fn rectangles_overlap_matches_constraint7() {
+        let r1 = ((0, 0), (2, 1));
+        let r2 = ((2, 1), (3, 1));
+        let r3 = ((3, 0), (4, 0));
+        assert!(GridTopology::rectangles_overlap(r1, r2));
+        assert!(!GridTopology::rectangles_overlap(r1, r3));
+    }
+
+    #[test]
+    fn at_least_covers_requested_size() {
+        for n in [4, 8, 16, 32, 64, 128] {
+            let t = GridTopology::at_least(n);
+            assert!(t.num_qubits() >= n, "{n} -> {t}");
+        }
+    }
+
+    #[test]
+    fn check_reports_out_of_range() {
+        let t = GridTopology::ibmq16();
+        assert!(t.check(HwQubit(15)).is_ok());
+        assert!(matches!(
+            t.check(HwQubit(16)),
+            Err(MachineError::QubitOutOfRange { qubit: 16, .. })
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving mapping problems.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// The program needs more qubits than the machine provides.
+    TooManyProgramQubits {
+        /// Program qubit count.
+        program: usize,
+        /// Hardware qubit count.
+        hardware: usize,
+    },
+    /// The readout weight ω must lie in `[0, 1]`.
+    InvalidOmega {
+        /// The offending value.
+        omega: f64,
+    },
+    /// A placement did not assign every program qubit to a distinct
+    /// hardware qubit (violates Constraints 1-2).
+    InvalidPlacement {
+        /// Explanation of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::TooManyProgramQubits { program, hardware } => write!(
+                f,
+                "program uses {program} qubits but the machine only has {hardware}"
+            ),
+            OptError::InvalidOmega { omega } => {
+                write!(f, "readout weight omega must be in [0, 1], got {omega}")
+            }
+            OptError::InvalidPlacement { reason } => write!(f, "invalid placement: {reason}"),
+        }
+    }
+}
+
+impl Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = OptError::TooManyProgramQubits {
+            program: 20,
+            hardware: 16,
+        };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptError>();
+    }
+}

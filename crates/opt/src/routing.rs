@@ -1,0 +1,93 @@
+use nisq_machine::HwQubit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How CNOTs between non-adjacent hardware qubits are routed, and which
+/// resources they reserve while executing (Section 4.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RoutingPolicy {
+    /// Rectangle reservation: the CNOT blocks the whole bounding rectangle
+    /// of its control and target for its duration (Constraints 7-8).
+    RectangleReservation,
+    /// One-bend paths: the CNOT uses one of the two L-shaped paths along the
+    /// bounding rectangle and blocks only the qubits on that path
+    /// (Constraint 9).
+    OneBendPaths,
+    /// Best path: route along the most reliable path found by Dijkstra over
+    /// `-log` CNOT reliabilities (used by the greedy heuristics).
+    BestPath,
+}
+
+impl RoutingPolicy {
+    /// Short name used in reports ("RR", "1BP", "Best Path").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RectangleReservation => "RR",
+            RoutingPolicy::OneBendPaths => "1BP",
+            RoutingPolicy::BestPath => "Best Path",
+        }
+    }
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// The hardware route chosen for one program CNOT.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnotRoute {
+    /// Hardware qubits along the route, from the control's location to the
+    /// target's location (inclusive). Adjacent CNOTs have a 2-element path.
+    pub path: Vec<HwQubit>,
+    /// The junction corner used, when routed with one-bend paths.
+    pub junction: Option<HwQubit>,
+    /// Hardware qubits reserved while the CNOT executes (the path itself
+    /// for 1BP/best-path, the full bounding rectangle for RR).
+    pub reserved: Vec<HwQubit>,
+}
+
+impl CnotRoute {
+    /// Number of SWAP operations needed before the CNOT (hops minus one).
+    pub fn swaps_needed(&self) -> usize {
+        self.path.len().saturating_sub(2)
+    }
+
+    /// Whether the CNOT can run directly on a hardware edge without any
+    /// qubit movement.
+    pub fn is_direct(&self) -> bool {
+        self.path.len() == 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names_match_paper() {
+        assert_eq!(RoutingPolicy::RectangleReservation.short_name(), "RR");
+        assert_eq!(RoutingPolicy::OneBendPaths.short_name(), "1BP");
+        assert_eq!(RoutingPolicy::BestPath.to_string(), "Best Path");
+    }
+
+    #[test]
+    fn swaps_needed_counts_intermediate_hops() {
+        let route = CnotRoute {
+            path: vec![HwQubit(0), HwQubit(1), HwQubit(2)],
+            junction: None,
+            reserved: vec![HwQubit(0), HwQubit(1), HwQubit(2)],
+        };
+        assert_eq!(route.swaps_needed(), 1);
+        assert!(!route.is_direct());
+        let direct = CnotRoute {
+            path: vec![HwQubit(0), HwQubit(1)],
+            junction: None,
+            reserved: vec![HwQubit(0), HwQubit(1)],
+        };
+        assert_eq!(direct.swaps_needed(), 0);
+        assert!(direct.is_direct());
+    }
+}

@@ -1,0 +1,106 @@
+//! Unitary matrices for the single-qubit gate set.
+
+use crate::complex::Complex;
+use nisq_ir::GateKind;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// A 2x2 unitary in row-major order `[m00, m01, m10, m11]`.
+pub type Matrix2 = [Complex; 4];
+
+/// Returns the unitary matrix for a single-qubit gate kind.
+///
+/// # Panics
+///
+/// Panics if called with a kind that is not a single-qubit gate (CNOT,
+/// SWAP, measurement and barriers are handled separately by the simulator).
+pub fn single_qubit_matrix(kind: GateKind) -> Matrix2 {
+    let z = Complex::ZERO;
+    let one = Complex::ONE;
+    match kind {
+        GateKind::H => {
+            let h = Complex::real(FRAC_1_SQRT_2);
+            [h, h, h, -h]
+        }
+        GateKind::X => [z, one, one, z],
+        GateKind::Y => [z, -Complex::I, Complex::I, z],
+        GateKind::Z => [one, z, z, -one],
+        GateKind::S => [one, z, z, Complex::I],
+        GateKind::Sdg => [one, z, z, -Complex::I],
+        GateKind::T => [one, z, z, Complex::from_polar_unit(std::f64::consts::FRAC_PI_4)],
+        GateKind::Tdg => [one, z, z, Complex::from_polar_unit(-std::f64::consts::FRAC_PI_4)],
+        GateKind::Rx(theta) => {
+            let c = Complex::real((theta / 2.0).cos());
+            let s = Complex::new(0.0, -(theta / 2.0).sin());
+            [c, s, s, c]
+        }
+        GateKind::Ry(theta) => {
+            let c = Complex::real((theta / 2.0).cos());
+            let s = Complex::real((theta / 2.0).sin());
+            [c, -s, s, c]
+        }
+        GateKind::Rz(theta) => [
+            Complex::from_polar_unit(-theta / 2.0),
+            z,
+            z,
+            Complex::from_polar_unit(theta / 2.0),
+        ],
+        other => panic!("{other:?} is not a single-qubit unitary"),
+    }
+}
+
+/// Checks that a matrix is unitary within `tol` (used in tests and debug
+/// assertions).
+pub fn is_unitary(m: &Matrix2, tol: f64) -> bool {
+    // Columns must be orthonormal: M^dagger M = I.
+    let c00 = m[0].conj() * m[0] + m[2].conj() * m[2];
+    let c11 = m[1].conj() * m[1] + m[3].conj() * m[3];
+    let c01 = m[0].conj() * m[1] + m[2].conj() * m[3];
+    (c00 - Complex::ONE).norm_sqr() < tol
+        && (c11 - Complex::ONE).norm_sqr() < tol
+        && c01.norm_sqr() < tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixed_gates_are_unitary() {
+        for kind in [
+            GateKind::H,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdg,
+            GateKind::T,
+            GateKind::Tdg,
+            GateKind::Rx(0.7),
+            GateKind::Ry(1.3),
+            GateKind::Rz(-2.1),
+        ] {
+            assert!(is_unitary(&single_qubit_matrix(kind), 1e-12), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let s = single_qubit_matrix(GateKind::S);
+        // S^2 acts as Z on the |1> amplitude.
+        let s11 = s[3] * s[3];
+        assert!((s11 - (-Complex::ONE)).norm_sqr() < 1e-12);
+    }
+
+    #[test]
+    fn t_dagger_is_inverse_of_t() {
+        let t = single_qubit_matrix(GateKind::T);
+        let tdg = single_qubit_matrix(GateKind::Tdg);
+        assert!(((t[3] * tdg[3]) - Complex::ONE).norm_sqr() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a single-qubit unitary")]
+    fn cnot_is_rejected() {
+        let _ = single_qubit_matrix(GateKind::Cnot);
+    }
+}

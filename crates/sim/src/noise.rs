@@ -1,0 +1,253 @@
+//! Stochastic error channels driven by machine calibration data:
+//! depolarizing noise after gates, dephasing over time, and classical
+//! readout bit-flips.
+
+use nisq_ir::GateKind;
+use nisq_machine::{Calibration, HwQubit};
+use rand::Rng;
+
+/// Which error channels the simulator injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing error after every hardware CNOT, with the per-edge rate
+    /// from the calibration data.
+    pub cnot_noise: bool,
+    /// Depolarizing error after every single-qubit gate, with the per-qubit
+    /// rate from the calibration data.
+    pub single_qubit_noise: bool,
+    /// Classical bit-flips on measurement results, with the per-qubit
+    /// readout error rate.
+    pub readout_noise: bool,
+    /// Dephasing proportional to gate duration over the qubit's T2 time.
+    pub decoherence: bool,
+}
+
+impl NoiseModel {
+    /// The full noise model: every channel enabled (the default used for
+    /// success-rate experiments).
+    pub fn full() -> Self {
+        NoiseModel {
+            cnot_noise: true,
+            single_qubit_noise: true,
+            readout_noise: true,
+            decoherence: true,
+        }
+    }
+
+    /// A noiseless model, used to validate circuit semantics.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            cnot_noise: false,
+            single_qubit_noise: false,
+            readout_noise: false,
+            decoherence: false,
+        }
+    }
+
+    /// The paper's first-order model: CNOT and readout errors only.
+    pub fn cnot_and_readout_only() -> Self {
+        NoiseModel {
+            cnot_noise: true,
+            single_qubit_noise: false,
+            readout_noise: true,
+            decoherence: false,
+        }
+    }
+
+    /// Whether any channel is enabled.
+    pub fn is_noisy(&self) -> bool {
+        self.cnot_noise || self.single_qubit_noise || self.readout_noise || self.decoherence
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::full()
+    }
+}
+
+/// A Pauli operator used for stochastic error injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pauli {
+    /// Identity (no error).
+    I,
+    /// Bit flip.
+    X,
+    /// Bit and phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// The corresponding gate kind, or `None` for the identity.
+    pub fn gate_kind(&self) -> Option<GateKind> {
+        match self {
+            Pauli::I => None,
+            Pauli::X => Some(GateKind::X),
+            Pauli::Y => Some(GateKind::Y),
+            Pauli::Z => Some(GateKind::Z),
+        }
+    }
+
+    fn from_index(i: usize) -> Pauli {
+        match i {
+            0 => Pauli::I,
+            1 => Pauli::X,
+            2 => Pauli::Y,
+            _ => Pauli::Z,
+        }
+    }
+}
+
+/// Samples a single-qubit depolarizing error with probability `p`: with
+/// probability `p`, a uniformly random non-identity Pauli.
+pub fn depolarizing_1q<R: Rng + ?Sized>(p: f64, rng: &mut R) -> Pauli {
+    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+        Pauli::from_index(rng.gen_range(1..4))
+    } else {
+        Pauli::I
+    }
+}
+
+/// Samples a two-qubit depolarizing error with probability `p`: with
+/// probability `p`, a uniformly random non-identity pair of Paulis.
+pub fn depolarizing_2q<R: Rng + ?Sized>(p: f64, rng: &mut R) -> (Pauli, Pauli) {
+    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+        // Uniform over the 15 non-identity two-qubit Paulis.
+        let idx = rng.gen_range(1..16usize);
+        (Pauli::from_index(idx / 4), Pauli::from_index(idx % 4))
+    } else {
+        (Pauli::I, Pauli::I)
+    }
+}
+
+/// Samples the error (if any) injected after a single-qubit gate on `qubit`:
+/// with the calibrated error probability, a uniformly random non-identity
+/// Pauli.
+pub fn sample_single_qubit_error<R: Rng + ?Sized>(
+    calibration: &Calibration,
+    qubit: HwQubit,
+    rng: &mut R,
+) -> Pauli {
+    depolarizing_1q(calibration.single_qubit_error(qubit), rng)
+}
+
+/// Samples the two-qubit error injected after a CNOT on the edge
+/// `(a, b)`: with the calibrated edge error probability, a uniformly random
+/// non-identity pair of Paulis (two-qubit depolarizing noise).
+///
+/// # Panics
+///
+/// Panics if the edge has no calibration entry (i.e. the qubits are not
+/// adjacent on the machine).
+pub fn sample_cnot_error<R: Rng + ?Sized>(
+    calibration: &Calibration,
+    a: HwQubit,
+    b: HwQubit,
+    rng: &mut R,
+) -> (Pauli, Pauli) {
+    let p = calibration
+        .cnot_error(a, b)
+        .expect("simulated CNOTs act on adjacent hardware qubits");
+    depolarizing_2q(p, rng)
+}
+
+/// Samples a dephasing error for a qubit idling/operating for
+/// `duration_slots` timeslots: a Z error with probability
+/// `(1 - exp(-t / T2)) / 2`.
+pub fn sample_decoherence_error<R: Rng + ?Sized>(
+    calibration: &Calibration,
+    qubit: HwQubit,
+    duration_slots: u32,
+    rng: &mut R,
+) -> Pauli {
+    let t_ns = duration_slots as f64 * calibration.timeslot_ns;
+    let t2_ns = calibration.t2_us(qubit) * 1000.0;
+    let p = 0.5 * (1.0 - (-t_ns / t2_ns).exp());
+    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+        Pauli::Z
+    } else {
+        Pauli::I
+    }
+}
+
+/// Samples whether a readout of `qubit` flips its classical result.
+pub fn sample_readout_flip<R: Rng + ?Sized>(
+    calibration: &Calibration,
+    qubit: HwQubit,
+    rng: &mut R,
+) -> bool {
+    rng.gen_bool(calibration.readout_error(qubit).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisq_machine::{CalibrationGenerator, GridTopology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn calibration() -> Calibration {
+        CalibrationGenerator::new(GridTopology::ibmq16(), 0).day(0)
+    }
+
+    #[test]
+    fn noise_model_presets() {
+        assert!(NoiseModel::full().is_noisy());
+        assert!(!NoiseModel::ideal().is_noisy());
+        let paper = NoiseModel::cnot_and_readout_only();
+        assert!(paper.cnot_noise && paper.readout_noise);
+        assert!(!paper.single_qubit_noise && !paper.decoherence);
+    }
+
+    #[test]
+    fn cnot_error_frequency_matches_calibration() {
+        let cal = calibration();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (a, b) = (HwQubit(0), HwQubit(1));
+        let p = cal.cnot_error(a, b).unwrap();
+        let n = 40_000;
+        let errors = (0..n)
+            .filter(|_| sample_cnot_error(&cal, a, b, &mut rng) != (Pauli::I, Pauli::I))
+            .count();
+        let observed = errors as f64 / n as f64;
+        assert!(
+            (observed - p).abs() < 0.01,
+            "observed {observed}, calibrated {p}"
+        );
+    }
+
+    #[test]
+    fn readout_flip_frequency_matches_calibration() {
+        let cal = calibration();
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = HwQubit(3);
+        let p = cal.readout_error(q);
+        let n = 40_000;
+        let flips = (0..n).filter(|_| sample_readout_flip(&cal, q, &mut rng)).count();
+        assert!(((flips as f64 / n as f64) - p).abs() < 0.01);
+    }
+
+    #[test]
+    fn decoherence_grows_with_duration() {
+        let cal = calibration();
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = HwQubit(0);
+        let n = 20_000;
+        let short = (0..n)
+            .filter(|_| sample_decoherence_error(&cal, q, 1, &mut rng) != Pauli::I)
+            .count();
+        let long = (0..n)
+            .filter(|_| sample_decoherence_error(&cal, q, 200, &mut rng) != Pauli::I)
+            .count();
+        assert!(long > short);
+    }
+
+    #[test]
+    fn pauli_gate_kinds_are_correct() {
+        assert_eq!(Pauli::I.gate_kind(), None);
+        assert_eq!(Pauli::X.gate_kind(), Some(GateKind::X));
+        assert_eq!(Pauli::Z.gate_kind(), Some(GateKind::Z));
+    }
+}

@@ -1,0 +1,105 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregated outcomes of a multi-trial simulation: how many times each
+/// classical bit-string was observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationResult {
+    counts: BTreeMap<Vec<bool>, u32>,
+    trials: u32,
+}
+
+impl SimulationResult {
+    /// Creates a result from raw counts.
+    pub fn new(counts: BTreeMap<Vec<bool>, u32>) -> Self {
+        let trials = counts.values().sum();
+        SimulationResult { counts, trials }
+    }
+
+    /// Total number of trials.
+    pub fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    /// The raw counts, keyed by classical bit-string (index = classical bit).
+    pub fn counts(&self) -> &BTreeMap<Vec<bool>, u32> {
+        &self.counts
+    }
+
+    /// Fraction of trials that produced exactly `bits` — the paper's
+    /// success-rate metric when `bits` is the known correct answer.
+    pub fn probability_of(&self, bits: &[bool]) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        *self.counts.get(bits).unwrap_or(&0) as f64 / self.trials as f64
+    }
+
+    /// The most frequently observed bit-string (ties broken towards the
+    /// lexicographically smallest), or `None` when no trials were run.
+    pub fn most_frequent(&self) -> Option<&[bool]> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(bits, _)| bits.as_slice())
+    }
+
+    /// Number of distinct observed bit-strings.
+    pub fn distinct_outcomes(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl fmt::Display for SimulationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} trials, {} distinct outcomes", self.trials, self.counts.len())?;
+        for (bits, count) in &self.counts {
+            let s: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            writeln!(f, "  {s}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimulationResult {
+        let mut counts = BTreeMap::new();
+        counts.insert(vec![true, true], 60u32);
+        counts.insert(vec![false, true], 30u32);
+        counts.insert(vec![false, false], 10u32);
+        SimulationResult::new(counts)
+    }
+
+    #[test]
+    fn probabilities_sum_from_counts() {
+        let r = sample();
+        assert_eq!(r.trials(), 100);
+        assert!((r.probability_of(&[true, true]) - 0.6).abs() < 1e-12);
+        assert_eq!(r.probability_of(&[true, false]), 0.0);
+    }
+
+    #[test]
+    fn most_frequent_is_the_mode() {
+        let r = sample();
+        assert_eq!(r.most_frequent(), Some([true, true].as_slice()));
+        assert_eq!(r.distinct_outcomes(), 3);
+    }
+
+    #[test]
+    fn empty_result_behaves() {
+        let r = SimulationResult::new(BTreeMap::new());
+        assert_eq!(r.trials(), 0);
+        assert_eq!(r.probability_of(&[true]), 0.0);
+        assert_eq!(r.most_frequent(), None);
+    }
+
+    #[test]
+    fn display_renders_bitstrings() {
+        let text = sample().to_string();
+        assert!(text.contains("11: 60"));
+        assert!(text.contains("100 trials"));
+    }
+}

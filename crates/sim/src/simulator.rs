@@ -1,0 +1,410 @@
+use crate::noise::{self, NoiseModel, Pauli};
+use crate::result::SimulationResult;
+use crate::state::StateVector;
+use nisq_core::CompiledCircuit;
+use nisq_ir::{Circuit, GateKind};
+use nisq_machine::{HwQubit, Machine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Configuration of a multi-trial noisy simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatorConfig {
+    /// Number of trials per run (the paper uses 8192 on IBMQ16).
+    pub trials: u32,
+    /// Base RNG seed; each trial derives its own stream, so results do not
+    /// depend on how trials are distributed over threads.
+    pub seed: u64,
+    /// Which error channels to inject.
+    pub noise: NoiseModel,
+    /// Number of worker threads (trials are embarrassingly parallel).
+    pub threads: usize,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        SimulatorConfig {
+            trials: 8192,
+            seed: 0,
+            noise: NoiseModel::full(),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+        }
+    }
+}
+
+impl SimulatorConfig {
+    /// A configuration with the given trial count and seed, full noise.
+    pub fn with_trials(trials: u32, seed: u64) -> Self {
+        SimulatorConfig {
+            trials,
+            seed,
+            ..SimulatorConfig::default()
+        }
+    }
+
+    /// A noiseless configuration (used to validate circuit semantics).
+    pub fn ideal(trials: u32) -> Self {
+        SimulatorConfig {
+            trials,
+            seed: 0,
+            noise: NoiseModel::ideal(),
+            ..SimulatorConfig::default()
+        }
+    }
+}
+
+/// Noisy state-vector simulator bound to one machine snapshot.
+///
+/// Circuits handed to [`Simulator::run`] are *physical* circuits: their
+/// qubit indices are hardware qubit indices on the machine (the output of
+/// [`nisq_core::Compiler::compile`]). The simulator only allocates state for
+/// the qubits the circuit actually touches, so even executables for large
+/// machines simulate quickly as long as the program itself is small.
+#[derive(Debug, Clone)]
+pub struct Simulator<'m> {
+    machine: &'m Machine,
+    config: SimulatorConfig,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator for a machine snapshot.
+    pub fn new(machine: &'m Machine, config: SimulatorConfig) -> Self {
+        Simulator { machine, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimulatorConfig {
+        &self.config
+    }
+
+    /// Runs the configured number of trials of a physical circuit and
+    /// aggregates the measured bit-strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit references qubits outside the machine.
+    pub fn run(&self, physical: &Circuit) -> SimulationResult {
+        let expanded = physical.expand_swaps();
+        assert!(
+            expanded.num_qubits() <= self.machine.num_qubits()
+                || expanded
+                    .iter()
+                    .all(|g| g.qubits().iter().all(|q| q.0 < self.machine.num_qubits())),
+            "circuit uses qubits outside the machine"
+        );
+
+        // Compact the circuit onto the qubits it actually touches.
+        let mut touched: Vec<usize> = expanded
+            .iter()
+            .flat_map(|g| g.qubits().iter().map(|q| q.0))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let mut compact = vec![usize::MAX; expanded.num_qubits().max(self.machine.num_qubits())];
+        for (i, &hw) in touched.iter().enumerate() {
+            compact[hw] = i;
+        }
+
+        let trials = self.config.trials;
+        let threads = self.config.threads.max(1);
+        let chunk = trials.div_ceil(threads as u32).max(1);
+
+        let mut counts: BTreeMap<Vec<bool>, u32> = BTreeMap::new();
+        if threads == 1 || trials < 64 {
+            for trial in 0..trials {
+                let bits = self.run_one_trial(&expanded, &touched, &compact, trial);
+                *counts.entry(bits).or_insert(0) += 1;
+            }
+        } else {
+            let partials = crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads as u32 {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(trials);
+                    if start >= end {
+                        break;
+                    }
+                    let expanded = &expanded;
+                    let touched = &touched;
+                    let compact = &compact;
+                    handles.push(scope.spawn(move |_| {
+                        let mut local: BTreeMap<Vec<bool>, u32> = BTreeMap::new();
+                        for trial in start..end {
+                            let bits = self.run_one_trial(expanded, touched, compact, trial);
+                            *local.entry(bits).or_insert(0) += 1;
+                        }
+                        local
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("simulation scope panicked");
+            for partial in partials {
+                for (bits, count) in partial {
+                    *counts.entry(bits).or_insert(0) += count;
+                }
+            }
+        }
+        SimulationResult::new(counts)
+    }
+
+    /// Runs the circuit without any noise (regardless of the configured
+    /// noise model), useful for checking circuit semantics.
+    pub fn run_ideal(&self, physical: &Circuit) -> SimulationResult {
+        let ideal = Simulator {
+            machine: self.machine,
+            config: SimulatorConfig {
+                noise: NoiseModel::ideal(),
+                ..self.config
+            },
+        };
+        ideal.run(physical)
+    }
+
+    /// Convenience wrapper: simulates a compiled executable and returns the
+    /// fraction of trials that produced `expected` — the paper's success
+    /// rate.
+    pub fn success_rate(&self, compiled: &CompiledCircuit, expected: &[bool]) -> f64 {
+        self.run(compiled.physical_circuit()).probability_of(expected)
+    }
+
+    fn run_one_trial(
+        &self,
+        expanded: &Circuit,
+        touched: &[usize],
+        compact: &[usize],
+        trial: u32,
+    ) -> Vec<bool> {
+        let calibration = self.machine.calibration();
+        let noise_model = self.config.noise;
+        let mut rng = StdRng::seed_from_u64(splitmix64(
+            self.config.seed ^ (u64::from(trial)).wrapping_mul(0x9e3779b9),
+        ));
+        let mut state = StateVector::new(touched.len());
+        let mut clbits = vec![false; expanded.num_clbits()];
+
+        let mean_cnot_error = calibration.mean_cnot_error();
+        let single_slots = calibration.durations.single_qubit_slots;
+
+        for gate in expanded.iter() {
+            match gate.kind() {
+                GateKind::Cnot => {
+                    let hw_a = gate.qubits()[0].0;
+                    let hw_b = gate.qubits()[1].0;
+                    let (ca, cb) = (compact[hw_a], compact[hw_b]);
+                    state.apply_cnot(ca, cb);
+                    if noise_model.cnot_noise {
+                        let p = calibration
+                            .cnot_error(HwQubit(hw_a), HwQubit(hw_b))
+                            .unwrap_or(mean_cnot_error);
+                        let (pa, pb) = noise::depolarizing_2q(p, &mut rng);
+                        apply_pauli(&mut state, ca, pa);
+                        apply_pauli(&mut state, cb, pb);
+                    }
+                    if noise_model.decoherence {
+                        let slots = calibration
+                            .durations
+                            .cnot(nisq_machine::EdgeId::new(HwQubit(hw_a), HwQubit(hw_b)))
+                            .unwrap_or(4);
+                        for (hw, c) in [(hw_a, ca), (hw_b, cb)] {
+                            let pauli = noise::sample_decoherence_error(
+                                calibration,
+                                HwQubit(hw),
+                                slots,
+                                &mut rng,
+                            );
+                            apply_pauli(&mut state, c, pauli);
+                        }
+                    }
+                }
+                GateKind::Swap => {
+                    // expand_swaps() removes these; kept for robustness.
+                    let a = compact[gate.qubits()[0].0];
+                    let b = compact[gate.qubits()[1].0];
+                    state.apply_swap(a, b);
+                }
+                GateKind::Measure => {
+                    let hw = gate.qubits()[0].0;
+                    let c = compact[hw];
+                    let mut outcome = state.measure(c, &mut rng);
+                    if noise_model.readout_noise
+                        && noise::sample_readout_flip(calibration, HwQubit(hw), &mut rng)
+                    {
+                        outcome = !outcome;
+                    }
+                    clbits[gate.clbits()[0].0] = outcome;
+                }
+                GateKind::Barrier => {}
+                kind => {
+                    let hw = gate.qubits()[0].0;
+                    let c = compact[hw];
+                    state.apply_single(c, kind);
+                    if noise_model.single_qubit_noise {
+                        let pauli =
+                            noise::sample_single_qubit_error(calibration, HwQubit(hw), &mut rng);
+                        apply_pauli(&mut state, c, pauli);
+                    }
+                    if noise_model.decoherence {
+                        let pauli = noise::sample_decoherence_error(
+                            calibration,
+                            HwQubit(hw),
+                            single_slots,
+                            &mut rng,
+                        );
+                        apply_pauli(&mut state, c, pauli);
+                    }
+                }
+            }
+        }
+        clbits
+    }
+}
+
+fn apply_pauli(state: &mut StateVector, qubit: usize, pauli: Pauli) {
+    if let Some(kind) = pauli.gate_kind() {
+        state.apply_single(qubit, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisq_core::{Compiler, CompilerConfig};
+    use nisq_ir::Benchmark;
+
+    fn machine() -> Machine {
+        Machine::ibmq16_on_day(2, 0)
+    }
+
+    #[test]
+    fn ideal_simulation_reproduces_benchmark_answers() {
+        // Validates both the benchmark constructions and the simulator: with
+        // no noise, every benchmark returns its classically-known answer in
+        // every trial.
+        let m = machine();
+        let sim = Simulator::new(&m, SimulatorConfig::ideal(64));
+        for b in Benchmark::all() {
+            let result = sim.run(&b.circuit());
+            let expected = b.expected_output();
+            assert!(
+                (result.probability_of(&expected) - 1.0).abs() < 1e-12,
+                "{b} produced {result}"
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_simulation_of_compiled_circuits_matches_logical_answers() {
+        // The compiled physical circuit (with placement and swap insertion)
+        // must compute the same function as the logical circuit.
+        let m = machine();
+        let sim = Simulator::new(&m, SimulatorConfig::ideal(32));
+        for config in CompilerConfig::table1() {
+            let compiler = Compiler::new(&m, config);
+            for b in [Benchmark::Bv4, Benchmark::Toffoli, Benchmark::Adder, Benchmark::Hs4] {
+                let compiled = compiler.compile(&b.circuit()).unwrap();
+                let result = sim.run(compiled.physical_circuit());
+                assert!(
+                    (result.probability_of(&b.expected_output()) - 1.0).abs() < 1e-12,
+                    "{} mis-compiled {b}: {result}",
+                    config.algorithm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noise_reduces_success_rate() {
+        let m = machine();
+        let compiled = Compiler::new(&m, CompilerConfig::qiskit())
+            .compile(&Benchmark::Toffoli.circuit())
+            .unwrap();
+        let noisy = Simulator::new(&m, SimulatorConfig::with_trials(512, 1));
+        let success = noisy.success_rate(&compiled, &Benchmark::Toffoli.expected_output());
+        assert!(success < 1.0);
+        assert!(success > 0.0);
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_seed() {
+        let m = machine();
+        let compiled = Compiler::new(&m, CompilerConfig::greedy_e())
+            .compile(&Benchmark::Bv4.circuit())
+            .unwrap();
+        let sim = Simulator::new(&m, SimulatorConfig::with_trials(256, 9));
+        let a = sim.run(compiled.physical_circuit());
+        let b = sim.run(compiled.physical_circuit());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let m = machine();
+        let compiled = Compiler::new(&m, CompilerConfig::greedy_v())
+            .compile(&Benchmark::Peres.circuit())
+            .unwrap();
+        let mut cfg = SimulatorConfig::with_trials(256, 4);
+        cfg.threads = 1;
+        let serial = Simulator::new(&m, cfg).run(compiled.physical_circuit());
+        cfg.threads = 4;
+        let parallel = Simulator::new(&m, cfg).run(compiled.physical_circuit());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn better_mappings_give_higher_success() {
+        // The core claim of the paper, in miniature: the noise-adaptive
+        // optimal mapping beats the noise-unaware baseline under the same
+        // noise. Averaged over several benchmarks to keep the test robust.
+        let m = machine();
+        let sim = Simulator::new(&m, SimulatorConfig::with_trials(1024, 3));
+        let mut adaptive_total = 0.0;
+        let mut baseline_total = 0.0;
+        for b in [Benchmark::Bv4, Benchmark::Bv8, Benchmark::Hs4] {
+            let expected = b.expected_output();
+            let adaptive = Compiler::new(&m, CompilerConfig::r_smt_star(0.5))
+                .compile(&b.circuit())
+                .unwrap();
+            let baseline = Compiler::new(&m, CompilerConfig::qiskit())
+                .compile(&b.circuit())
+                .unwrap();
+            adaptive_total += sim.success_rate(&adaptive, &expected);
+            baseline_total += sim.success_rate(&baseline, &expected);
+        }
+        assert!(
+            adaptive_total > baseline_total,
+            "adaptive {adaptive_total} <= baseline {baseline_total}"
+        );
+    }
+
+    #[test]
+    fn analytic_estimate_tracks_measured_success() {
+        // The analytic reliability score and the simulated success rate
+        // should agree in ordering for clearly-separated mappings.
+        let m = machine();
+        let sim = Simulator::new(&m, SimulatorConfig::with_trials(1024, 5));
+        let b = Benchmark::Bv8;
+        let good = Compiler::new(&m, CompilerConfig::r_smt_star(0.5))
+            .compile(&b.circuit())
+            .unwrap();
+        let bad = Compiler::new(&m, CompilerConfig::qiskit())
+            .compile(&b.circuit())
+            .unwrap();
+        let good_measured = sim.success_rate(&good, &b.expected_output());
+        let bad_measured = sim.success_rate(&bad, &b.expected_output());
+        assert!(good.estimated_reliability() > bad.estimated_reliability());
+        assert!(good_measured > bad_measured);
+    }
+}

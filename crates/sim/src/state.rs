@@ -1,0 +1,290 @@
+use crate::complex::Complex;
+use crate::gates::Matrix2;
+use rand::Rng;
+
+/// A pure quantum state over `n` qubits, stored as `2^n` complex amplitudes
+/// with qubit `q` mapped to bit `q` of the basis-state index.
+///
+/// # Example
+///
+/// ```
+/// use nisq_sim::StateVector;
+/// use nisq_ir::GateKind;
+///
+/// let mut state = StateVector::new(2);
+/// state.apply_single(0, GateKind::H);
+/// state.apply_cnot(0, 1);
+/// // A Bell pair: only |00> and |11> have weight.
+/// assert!((state.probability_of_basis(0b00) - 0.5).abs() < 1e-12);
+/// assert!((state.probability_of_basis(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros computational basis state `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 24 (the state would not fit in
+    /// memory; the simulator compacts circuits onto their touched qubits so
+    /// this is never needed in practice).
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(
+            num_qubits <= 24,
+            "state vectors beyond 24 qubits are not supported"
+        );
+        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
+        amps[0] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Probability of measuring the exact basis state `index`.
+    pub fn probability_of_basis(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Applies a single-qubit gate to `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is out of range or the kind is not single-qubit.
+    pub fn apply_single(&mut self, qubit: usize, kind: nisq_ir::GateKind) {
+        self.apply_matrix(qubit, &crate::gates::single_qubit_matrix(kind));
+    }
+
+    /// Applies an arbitrary 2x2 unitary to `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is out of range.
+    pub fn apply_matrix(&mut self, qubit: usize, m: &Matrix2) {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        let mask = 1usize << qubit;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0] * a0 + m[1] * a1;
+                self.amps[j] = m[2] * a0 + m[3] * a1;
+            }
+        }
+    }
+
+    /// Applies a CNOT with the given control and target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range or they coincide.
+    pub fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(control < self.num_qubits && target < self.num_qubits);
+        assert_ne!(control, target, "control and target must differ");
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & cmask != 0 && i & tmask == 0 {
+                self.amps.swap(i, i | tmask);
+            }
+        }
+    }
+
+    /// Applies a SWAP between two qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range or they coincide.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits);
+        assert_ne!(a, b, "swap qubits must differ");
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & amask != 0 && i & bmask == 0 {
+                self.amps.swap(i, (i & !amask) | bmask);
+            }
+        }
+    }
+
+    /// Probability that measuring `qubit` yields 1.
+    pub fn probability_one(&self, qubit: usize) -> f64 {
+        let mask = 1usize << qubit;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Measures `qubit` in the computational basis, collapsing the state and
+    /// returning the sampled outcome.
+    pub fn measure<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) -> bool {
+        let p1 = self.probability_one(qubit).clamp(0.0, 1.0);
+        let outcome = rng.gen_bool(p1);
+        self.collapse(qubit, outcome);
+        outcome
+    }
+
+    /// Projects `qubit` onto the given outcome and renormalizes.
+    pub fn collapse(&mut self, qubit: usize, outcome: bool) {
+        let mask = 1usize << qubit;
+        let mut norm = 0.0;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let matches = (i & mask != 0) == outcome;
+            if matches {
+                norm += a.norm_sqr();
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+        if norm > 0.0 {
+            let scale = 1.0 / norm.sqrt();
+            for a in &mut self.amps {
+                *a = a.scale(scale);
+            }
+        }
+    }
+
+    /// Total probability (should stay 1 up to rounding; used in tests).
+    pub fn total_probability(&self) -> f64 {
+        self.amps.iter().map(Complex::norm_sqr).sum()
+    }
+
+    /// The basis state with the largest probability and that probability.
+    pub fn most_likely_basis(&self) -> (usize, f64) {
+        let mut best = (0usize, 0.0f64);
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p > best.1 {
+                best = (i, p);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisq_ir::GateKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn starts_in_the_all_zero_state() {
+        let s = StateVector::new(3);
+        assert_eq!(s.probability_of_basis(0), 1.0);
+        assert_eq!(s.total_probability(), 1.0);
+    }
+
+    #[test]
+    fn x_flips_a_qubit() {
+        let mut s = StateVector::new(2);
+        s.apply_single(1, GateKind::X);
+        assert!((s.probability_of_basis(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_twice_is_identity() {
+        let mut s = StateVector::new(1);
+        s.apply_single(0, GateKind::H);
+        s.apply_single(0, GateKind::H);
+        assert!((s.probability_of_basis(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnot_respects_control() {
+        let mut s = StateVector::new(2);
+        s.apply_cnot(0, 1);
+        assert!((s.probability_of_basis(0b00) - 1.0).abs() < 1e-12);
+        s.apply_single(0, GateKind::X);
+        s.apply_cnot(0, 1);
+        assert!((s.probability_of_basis(0b11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut s = StateVector::new(2);
+        s.apply_single(0, GateKind::X);
+        s.apply_swap(0, 1);
+        assert!((s.probability_of_basis(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toffoli_decomposition_matches_truth_table() {
+        // Build the standard 6-CNOT Toffoli from the IR decomposition and
+        // check it flips the target exactly when both controls are 1.
+        for a in [false, true] {
+            for b in [false, true] {
+                let mut circuit = nisq_ir::Circuit::new(3);
+                circuit.toffoli(nisq_ir::Qubit(0), nisq_ir::Qubit(1), nisq_ir::Qubit(2));
+                let mut s = StateVector::new(3);
+                if a {
+                    s.apply_single(0, GateKind::X);
+                }
+                if b {
+                    s.apply_single(1, GateKind::X);
+                }
+                for gate in circuit.iter() {
+                    match gate.kind() {
+                        GateKind::Cnot => {
+                            s.apply_cnot(gate.qubits()[0].0, gate.qubits()[1].0);
+                        }
+                        kind => s.apply_single(gate.qubits()[0].0, kind),
+                    }
+                }
+                let expected = (a as usize) | ((b as usize) << 1) | (((a && b) as usize) << 2);
+                assert!(
+                    s.probability_of_basis(expected) > 1.0 - 1e-9,
+                    "toffoli wrong for inputs ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_collapses_the_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = StateVector::new(1);
+        s.apply_single(0, GateKind::H);
+        let outcome = s.measure(0, &mut rng);
+        let expected_basis = usize::from(outcome);
+        assert!((s.probability_of_basis(expected_basis) - 1.0).abs() < 1e-9);
+        assert!((s.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_one_matches_amplitudes() {
+        let mut s = StateVector::new(2);
+        s.apply_single(0, GateKind::H);
+        assert!((s.probability_one(0) - 0.5).abs() < 1e-12);
+        assert!(s.probability_one(1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitaries_preserve_total_probability() {
+        let mut s = StateVector::new(3);
+        for kind in [GateKind::H, GateKind::T, GateKind::Ry(0.3), GateKind::S] {
+            s.apply_single(1, kind);
+        }
+        s.apply_cnot(1, 2);
+        s.apply_swap(0, 2);
+        assert!((s.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_qubits() {
+        let mut s = StateVector::new(2);
+        s.apply_single(5, GateKind::X);
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's central workflow: recompile every day against fresh
+//! calibration data and watch how the noise-adaptive mapping tracks the
+//! machine while a static mapping degrades.
+//!
+//! Run with `cargo run --release --example daily_recompilation`.
+
+use nisq::prelude::*;
+
+fn main() {
+    let benchmark = Benchmark::Toffoli;
+    let circuit = benchmark.circuit();
+    let expected = benchmark.expected_output();
+    let days = 7;
+
+    // The static mapping: compiled once on day 0 with the duration-only
+    // objective, then reused all week (what T-SMT* effectively does, since
+    // topology and durations barely change).
+    let day0 = Machine::ibmq16_on_day(2019, 0);
+    let static_compiled = Compiler::new(&day0, CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths))
+        .compile(&circuit)
+        .expect("Toffoli fits on IBMQ16");
+
+    println!("Daily recompilation study for {benchmark} over {days} days (4096 trials/day)\n");
+    println!(
+        "{:<6} {:>16} {:>16}",
+        "Day", "static T-SMT*", "daily R-SMT*"
+    );
+    let mut static_total = 0.0;
+    let mut adaptive_total = 0.0;
+    for day in 0..days {
+        let machine = Machine::ibmq16_on_day(2019, day);
+        let simulator = Simulator::new(&machine, SimulatorConfig::with_trials(4096, 90 + day as u64));
+
+        // The noise-adaptive flow recompiles against today's calibration.
+        let adaptive = Compiler::new(&machine, CompilerConfig::r_smt_star(0.5))
+            .compile(&circuit)
+            .expect("Toffoli fits on IBMQ16");
+
+        let static_success = simulator.success_rate(&static_compiled, &expected);
+        let adaptive_success = simulator.success_rate(&adaptive, &expected);
+        static_total += static_success;
+        adaptive_total += adaptive_success;
+        println!("{:<6} {:>16.3} {:>16.3}", day, static_success, adaptive_success);
+    }
+    println!(
+        "\nWeek average: static {:.3}, noise-adaptive {:.3} ({:.2}x)",
+        static_total / days as f64,
+        adaptive_total / days as f64,
+        (adaptive_total / days as f64) / (static_total / days as f64).max(1e-4)
+    );
+}

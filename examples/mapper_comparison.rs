@@ -1,0 +1,51 @@
+//! Compare every compiler configuration of the paper's Table 1 on a single
+//! benchmark: success rate, duration, swap count and compile time.
+//!
+//! Run with `cargo run --release --example mapper_comparison [benchmark]`
+//! where `benchmark` is one of the Table 2 names (default: Toffoli).
+
+use nisq::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Toffoli".to_string());
+    let benchmark = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name}, using Toffoli");
+            Benchmark::Toffoli
+        });
+
+    let machine = Machine::ibmq16_on_day(2019, 0);
+    let circuit = benchmark.circuit();
+    let expected = benchmark.expected_output();
+    let simulator = Simulator::new(&machine, SimulatorConfig::with_trials(8192, 3));
+
+    println!(
+        "Mapper comparison for {} on {} (8192 trials)\n",
+        benchmark, machine
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>7} {:>12} {:>12}",
+        "Mapper", "success", "est. rel.", "swaps", "duration", "compile (ms)"
+    );
+    for config in CompilerConfig::table1() {
+        let compiled = Compiler::new(&machine, config)
+            .compile(&circuit)
+            .expect("benchmark fits on IBMQ16");
+        let success = simulator.success_rate(&compiled, &expected);
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>7} {:>12} {:>12.2}",
+            config.algorithm.name(),
+            success,
+            compiled.estimated_reliability(),
+            compiled.swap_count(),
+            compiled.duration_slots(),
+            compiled.compile_time().as_secs_f64() * 1000.0
+        );
+    }
+    println!(
+        "\nThe noise-adaptive mappers (starred) should match or beat the \
+         calibration-unaware ones, with R-SMT* and GreedyE* at the top."
+    );
+}

@@ -1,0 +1,277 @@
+//! `nisqc` — command-line front end for the noise-adaptive compiler.
+//!
+//! Reads an OpenQASM 2.0 program, compiles it for a calibrated machine with
+//! one of the paper's mapping algorithms, prints a compilation report, and
+//! optionally writes the hardware executable and measures its simulated
+//! success rate.
+//!
+//! ```text
+//! Usage: nisqc <input.qasm> [options]
+//!        nisqc --benchmark BV4 [options]
+//!
+//! Options:
+//!   --mapper <name>    qiskit | t-smt | t-smt-star | r-smt-star |
+//!                      greedy-v | greedy-e              (default: r-smt-star)
+//!   --omega <w>        readout weight for r-smt-star    (default: 0.5)
+//!   --day <d>          calibration day index            (default: 0)
+//!   --seed <s>         machine calibration seed         (default: 2019)
+//!   --trials <n>       simulate n noisy trials          (default: 0 = skip)
+//!   --expected <bits>  correct answer, e.g. 1101, for success-rate reporting
+//!   --output <path>    write the compiled OpenQASM here
+//! ```
+
+use nisq::prelude::*;
+use std::process::ExitCode;
+
+struct Options {
+    input: Input,
+    mapper: String,
+    omega: f64,
+    day: usize,
+    seed: u64,
+    trials: u32,
+    expected: Option<Vec<bool>>,
+    output: Option<String>,
+}
+
+enum Input {
+    QasmFile(String),
+    Benchmark(Benchmark),
+}
+
+fn usage() -> String {
+    "usage: nisqc <input.qasm> [--mapper NAME] [--omega W] [--day D] [--seed S] \
+     [--trials N] [--expected BITS] [--output PATH]\n       nisqc --benchmark NAME [...]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut input: Option<Input> = None;
+    let mut options = Options {
+        input: Input::Benchmark(Benchmark::Bv4),
+        mapper: "r-smt-star".to_string(),
+        omega: 0.5,
+        day: 0,
+        seed: 2019,
+        trials: 0,
+        expected: None,
+        output: None,
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {arg}"))
+        };
+        match arg.as_str() {
+            "--mapper" => options.mapper = take_value(&mut i)?,
+            "--omega" => {
+                options.omega = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "omega must be a number".to_string())?
+            }
+            "--day" => {
+                options.day = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "day must be an integer".to_string())?
+            }
+            "--seed" => {
+                options.seed = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "seed must be an integer".to_string())?
+            }
+            "--trials" => {
+                options.trials = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "trials must be an integer".to_string())?
+            }
+            "--expected" => {
+                let bits = take_value(&mut i)?;
+                let parsed: Result<Vec<bool>, String> = bits
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(format!("invalid bit '{other}' in --expected")),
+                    })
+                    .collect();
+                options.expected = Some(parsed?);
+            }
+            "--output" => options.output = Some(take_value(&mut i)?),
+            "--benchmark" => {
+                let name = take_value(&mut i)?;
+                let benchmark = Benchmark::all()
+                    .into_iter()
+                    .find(|b| b.name().eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| format!("unknown benchmark {name}"))?;
+                input = Some(Input::Benchmark(benchmark));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with("--") => {
+                input = Some(Input::QasmFile(other.to_string()));
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+
+    options.input = input.ok_or_else(usage)?;
+    Ok(options)
+}
+
+fn config_for(mapper: &str, omega: f64) -> Result<CompilerConfig, String> {
+    Ok(match mapper {
+        "qiskit" => CompilerConfig::qiskit(),
+        "t-smt" => CompilerConfig::t_smt(RoutingPolicy::RectangleReservation),
+        "t-smt-star" => CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+        "r-smt-star" => CompilerConfig::r_smt_star(omega),
+        "greedy-v" => CompilerConfig::greedy_v(),
+        "greedy-e" => CompilerConfig::greedy_e(),
+        other => return Err(format!("unknown mapper {other}")),
+    })
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let (circuit, default_expected) = match &options.input {
+        Input::QasmFile(path) => {
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut circuit =
+                nisq::ir::qasm::parse(&source).map_err(|e| format!("cannot parse {path}: {e}"))?;
+            circuit.set_name(path.clone());
+            (circuit, None)
+        }
+        Input::Benchmark(benchmark) => (benchmark.circuit(), Some(benchmark.expected_output())),
+    };
+
+    let machine = Machine::ibmq16_on_day(options.seed, options.day);
+    let config = config_for(&options.mapper, options.omega)?;
+    let compiled = Compiler::new(&machine, config)
+        .compile(&circuit)
+        .map_err(|e| format!("compilation failed: {e}"))?;
+
+    println!("program        : {}", compiled.program_name());
+    println!("machine        : {machine}");
+    println!("mapper         : {config}");
+    println!("placement      : {:?}", compiled.placement().as_slice());
+    println!("swaps inserted : {}", compiled.swap_count());
+    println!("hardware CNOTs : {}", compiled.hardware_cnot_count());
+    println!("duration       : {} timeslots", compiled.duration_slots());
+    println!("est. reliability: {:.4}", compiled.estimated_reliability());
+    println!("within coherence: {}", compiled.within_coherence());
+    println!(
+        "compile time   : {:.2} ms",
+        compiled.compile_time().as_secs_f64() * 1000.0
+    );
+
+    if options.trials > 0 {
+        let expected = options.expected.clone().or(default_expected);
+        match expected {
+            Some(expected) => {
+                let simulator =
+                    Simulator::new(&machine, SimulatorConfig::with_trials(options.trials, 1));
+                let success = simulator.success_rate(&compiled, &expected);
+                println!(
+                    "success rate   : {success:.4} over {} noisy trials",
+                    options.trials
+                );
+            }
+            None => println!(
+                "success rate   : skipped (pass --expected BITS to define the correct answer)"
+            ),
+        }
+    }
+
+    match &options.output {
+        Some(path) => {
+            std::fs::write(path, compiled.qasm())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote executable to {path}");
+        }
+        None => {
+            println!("\n--- compiled OpenQASM ---");
+            print!("{}", compiled.qasm());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_benchmark_input_with_options() {
+        let o = parse_args(&args(&[
+            "--benchmark",
+            "Toffoli",
+            "--mapper",
+            "greedy-e",
+            "--trials",
+            "128",
+            "--day",
+            "3",
+        ]))
+        .unwrap();
+        assert!(matches!(o.input, Input::Benchmark(Benchmark::Toffoli)));
+        assert_eq!(o.mapper, "greedy-e");
+        assert_eq!(o.trials, 128);
+        assert_eq!(o.day, 3);
+    }
+
+    #[test]
+    fn parses_expected_bits() {
+        let o = parse_args(&args(&["--benchmark", "BV4", "--expected", "1011"])).unwrap();
+        assert_eq!(o.expected, Some(vec![true, false, true, true]));
+    }
+
+    #[test]
+    fn rejects_missing_input() {
+        assert!(parse_args(&args(&["--mapper", "qiskit"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_mapper_and_option() {
+        assert!(config_for("magic", 0.5).is_err());
+        assert!(parse_args(&args(&["--frobnicate", "x"])).is_err());
+    }
+
+    #[test]
+    fn every_documented_mapper_name_is_accepted() {
+        for name in ["qiskit", "t-smt", "t-smt-star", "r-smt-star", "greedy-v", "greedy-e"] {
+            assert!(config_for(name, 0.5).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn run_compiles_a_builtin_benchmark() {
+        let options = parse_args(&args(&["--benchmark", "HS2", "--trials", "64"])).unwrap();
+        run(&options).unwrap();
+    }
+}

@@ -1,0 +1,50 @@
+//! # nisq — noise-adaptive compiler mappings for NISQ computers
+//!
+//! Facade crate re-exporting the whole toolchain of this reproduction of
+//! *Noise-Adaptive Compiler Mappings for Noisy Intermediate-Scale Quantum
+//! Computers* (ASPLOS 2019):
+//!
+//! * [`ir`] — circuit IR, benchmarks, OpenQASM ([`nisq_ir`])
+//! * [`machine`] — topologies, calibration data and its synthetic generator
+//!   ([`nisq_machine`])
+//! * [`opt`] — the placement/scheduling optimization substrate
+//!   ([`nisq_opt`])
+//! * [`compiler`] — the noise-adaptive compiler itself ([`nisq_core`])
+//! * [`sim`] — the noisy simulator used to measure success rates
+//!   ([`nisq_sim`])
+//!
+//! The [`prelude`] pulls in the handful of types most programs need.
+//!
+//! # Example
+//!
+//! ```
+//! use nisq::prelude::*;
+//!
+//! // Compile Bernstein-Vazirani for today's calibration and measure how
+//! // often it returns the right answer under realistic noise.
+//! let machine = Machine::ibmq16_on_day(0, 0);
+//! let compiled = Compiler::new(&machine, CompilerConfig::r_smt_star(0.5))
+//!     .compile(&Benchmark::Bv4.circuit())
+//!     .unwrap();
+//! let sim = Simulator::new(&machine, SimulatorConfig::with_trials(256, 0));
+//! let success = sim.success_rate(&compiled, &Benchmark::Bv4.expected_output());
+//! assert!(success > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nisq_core as compiler;
+pub use nisq_ir as ir;
+pub use nisq_machine as machine;
+pub use nisq_opt as opt;
+pub use nisq_sim as sim;
+
+/// The types most users need, in one import.
+pub mod prelude {
+    pub use nisq_core::{Algorithm, CompiledCircuit, Compiler, CompilerConfig, RoutingPolicy};
+    pub use nisq_ir::{Benchmark, Circuit, Gate, GateKind, Qubit};
+    pub use nisq_machine::{CalibrationGenerator, GridTopology, HwQubit, Machine};
+    pub use nisq_opt::Placement;
+    pub use nisq_sim::{SimulationResult, Simulator, SimulatorConfig};
+}

@@ -1,0 +1,188 @@
+//! Constraint-by-constraint validation of the paper's optimization model
+//! (Section 4) against the artifacts the compiler actually produces.
+
+use nisq::prelude::*;
+use nisq_ir::GateKind;
+use nisq_machine::EdgeId;
+
+fn compile(benchmark: Benchmark, config: CompilerConfig, day: usize) -> (Machine, CompiledCircuit) {
+    let machine = Machine::ibmq16_on_day(2019, day);
+    let compiled = Compiler::new(&machine, config)
+        .compile(&benchmark.circuit())
+        .expect("benchmark compiles");
+    (machine, compiled)
+}
+
+#[test]
+fn constraint_1_and_2_every_program_qubit_on_a_distinct_hardware_qubit() {
+    for config in CompilerConfig::table1() {
+        for benchmark in Benchmark::all() {
+            let (machine, compiled) = compile(benchmark, config, 0);
+            let placement = compiled.placement();
+            assert_eq!(placement.len(), benchmark.circuit().num_qubits());
+            placement.validate(machine.num_qubits()).unwrap();
+            for &hw in placement.as_slice() {
+                assert!(machine.topology().contains(hw));
+            }
+        }
+    }
+}
+
+#[test]
+fn constraint_3_gates_start_after_their_dependencies_finish() {
+    for config in CompilerConfig::table1() {
+        let benchmark = Benchmark::Adder;
+        let circuit = benchmark.circuit();
+        let (_, compiled) = compile(benchmark, config, 0);
+        let dag = circuit.dag();
+        for entry in &compiled.schedule().gates {
+            for &pred in dag.predecessors(entry.gate_index) {
+                let pred_entry = compiled.schedule().entry(pred).unwrap();
+                assert!(
+                    entry.start >= pred_entry.finish(),
+                    "{}: gate {} starts at {} before dependency {} finishes at {}",
+                    config.algorithm,
+                    entry.gate_index,
+                    entry.start,
+                    pred,
+                    pred_entry.finish()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn constraint_5_cnot_durations_reflect_calibration_data() {
+    // For a calibration-aware config, a direct CNOT's scheduled duration must
+    // equal the calibrated duration of the hardware edge it runs on.
+    let (machine, compiled) = compile(Benchmark::Bv4, CompilerConfig::r_smt_star(0.5), 0);
+    let circuit = Benchmark::Bv4.circuit();
+    for entry in &compiled.schedule().gates {
+        let gate = &circuit.gates()[entry.gate_index];
+        if gate.kind() != GateKind::Cnot {
+            continue;
+        }
+        let route = entry.route.as_ref().unwrap();
+        if route.is_direct() {
+            let edge = EdgeId::new(route.path[0], route.path[1]);
+            let expected = machine.calibration().durations.cnot(edge).unwrap();
+            assert_eq!(entry.duration, expected);
+        } else {
+            // Routed CNOTs include swap-out and swap-back time, so they must
+            // be strictly longer than any single CNOT on the machine.
+            let max_single = machine
+                .calibration()
+                .durations
+                .cnot_slots
+                .values()
+                .max()
+                .copied()
+                .unwrap();
+            assert!(entry.duration > max_single);
+        }
+    }
+}
+
+#[test]
+fn constraint_4_and_6_gates_finish_within_coherence_windows() {
+    // The paper notes every benchmark finishes well inside the coherence
+    // window; the scheduler must agree for every configuration.
+    for config in CompilerConfig::table1() {
+        for benchmark in Benchmark::all() {
+            let (machine, compiled) = compile(benchmark, config, 0);
+            assert!(
+                compiled.within_coherence(),
+                "{} exceeded coherence on {benchmark}",
+                config.algorithm
+            );
+            // And the overall makespan stays below the worst qubit's T2.
+            assert!(
+                compiled.duration_slots() < machine.calibration().worst_t2_slots(),
+                "{} makespan {} too long on {benchmark}",
+                config.algorithm,
+                compiled.duration_slots()
+            );
+        }
+    }
+}
+
+#[test]
+fn constraints_7_to_9_spatially_overlapping_cnots_never_overlap_in_time() {
+    for config in CompilerConfig::table1() {
+        let benchmark = Benchmark::Hs6;
+        let circuit = benchmark.circuit();
+        let (_, compiled) = compile(benchmark, config, 0);
+        let schedule = compiled.schedule();
+        let cnot_entries: Vec<_> = schedule
+            .gates
+            .iter()
+            .filter(|e| circuit.gates()[e.gate_index].kind() == GateKind::Cnot)
+            .collect();
+        for (i, a) in cnot_entries.iter().enumerate() {
+            for b in cnot_entries.iter().skip(i + 1) {
+                let ra = a.route.as_ref().unwrap();
+                let rb = b.route.as_ref().unwrap();
+                let share_resources = ra.reserved.iter().any(|q| rb.reserved.contains(q));
+                let overlap_in_time = a.start < b.finish() && b.start < a.finish();
+                assert!(
+                    !(share_resources && overlap_in_time),
+                    "{}: CNOTs {} and {} overlap in space and time",
+                    config.algorithm,
+                    a.gate_index,
+                    b.gate_index
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn constraints_10_and_11_reliability_tracking_matches_the_machine_model() {
+    // The compiler's analytic estimate must equal the product of the
+    // per-operation reliabilities computed directly from calibration data.
+    let (machine, compiled) = compile(Benchmark::Bv4, CompilerConfig::r_smt_star(0.5), 0);
+    let circuit = Benchmark::Bv4.circuit();
+    let calibration = machine.calibration();
+    let mut expected = 1.0;
+    for entry in &compiled.schedule().gates {
+        let gate = &circuit.gates()[entry.gate_index];
+        match gate.kind() {
+            GateKind::Cnot => {
+                let route = entry.route.as_ref().unwrap();
+                for (i, pair) in route.path.windows(2).enumerate() {
+                    let rel = calibration.cnot_reliability(pair[0], pair[1]).unwrap();
+                    expected *= if i + 2 == route.path.len() {
+                        rel
+                    } else {
+                        rel.powi(3)
+                    };
+                }
+            }
+            GateKind::Measure => {
+                expected *=
+                    calibration.readout_reliability(compiled.placement().hw(gate.qubits()[0]));
+            }
+            _ => {}
+        }
+    }
+    assert!((compiled.estimated_reliability() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn equation_12_omega_extremes_change_the_optimization_target() {
+    // With omega = 1 only readout reliability matters; with omega = 0 only
+    // CNOT reliability matters. The placements should reflect that: the
+    // omega = 1 mapping must have readout reliability at least as good as
+    // the omega = 0 mapping, and vice versa for CNOT reliability.
+    let machine = Machine::ibmq16_on_day(2019, 0);
+    let circuit = Benchmark::Bv4.circuit();
+    let readout_only = Compiler::new(&machine, CompilerConfig::r_smt_star(1.0))
+        .compile(&circuit)
+        .unwrap();
+    let cnot_only = Compiler::new(&machine, CompilerConfig::r_smt_star(0.0))
+        .compile(&circuit)
+        .unwrap();
+    assert!(readout_only.estimate().readout >= cnot_only.estimate().readout - 1e-9);
+    assert!(cnot_only.estimate().cnot >= readout_only.estimate().cnot - 1e-9);
+}

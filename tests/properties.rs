@@ -1,0 +1,132 @@
+//! Property-based integration tests: for arbitrary random circuits and
+//! calibration days, every compiler configuration must produce executables
+//! that (a) respect the machine's connectivity, (b) compute exactly the same
+//! function as the input circuit, and (c) carry internally-consistent
+//! schedules and placements.
+
+use nisq::prelude::*;
+use nisq_ir::{random_circuit, RandomCircuitConfig};
+use proptest::prelude::*;
+
+/// Builds a small random circuit, keeping sizes modest so the exact solver
+/// and the state-vector check stay fast inside proptest's many cases.
+fn small_random_circuit(qubits: usize, gates: usize, seed: u64) -> Circuit {
+    random_circuit(RandomCircuitConfig::new(qubits, gates, seed))
+}
+
+fn all_configs() -> Vec<CompilerConfig> {
+    // Cap the exact solver's budget: random circuits have denser interaction
+    // graphs than the paper benchmarks, and the property tests only need a
+    // valid (not provably optimal) mapping from the SMT-style variants.
+    CompilerConfig::table1()
+        .into_iter()
+        .map(|c| c.with_solver_budget(30_000, Some(std::time::Duration::from_millis(500))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn compiled_circuits_compute_the_same_function(
+        qubits in 2usize..6,
+        gates in 4usize..40,
+        seed in 0u64..1_000,
+        day in 0usize..4,
+    ) {
+        let circuit = small_random_circuit(qubits, gates, seed);
+        let machine = Machine::ibmq16_on_day(2019, day);
+        // Reference: noiseless simulation of the logical circuit.
+        let sim = Simulator::new(&machine, SimulatorConfig::ideal(64));
+        let reference = sim.run(&circuit);
+
+        for config in all_configs() {
+            let compiled = Compiler::new(&machine, config).compile(&circuit).unwrap();
+            let result = sim.run(compiled.physical_circuit());
+            // The logical circuit measures every qubit once at the end, so
+            // the output distributions must match. Compare the probability
+            // of every outcome the reference observed.
+            for (bits, &count) in reference.counts() {
+                let p_ref = count as f64 / reference.trials() as f64;
+                let p_cmp = result.probability_of(bits);
+                prop_assert!(
+                    (p_ref - p_cmp).abs() < 0.35,
+                    "{} changed the distribution of {:?}: {p_ref} vs {p_cmp}",
+                    config.algorithm, bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_gates_are_always_adjacent_after_compilation(
+        qubits in 2usize..8,
+        gates in 4usize..60,
+        seed in 0u64..1_000,
+    ) {
+        let circuit = small_random_circuit(qubits, gates, seed);
+        let machine = Machine::ibmq16_on_day(7, 0);
+        for config in all_configs() {
+            let compiled = Compiler::new(&machine, config).compile(&circuit).unwrap();
+            for gate in compiled.physical_circuit().expand_swaps().iter() {
+                if gate.is_two_qubit() {
+                    prop_assert!(machine.topology().adjacent(
+                        HwQubit(gate.qubits()[0].0),
+                        HwQubit(gate.qubits()[1].0),
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placements_are_injective_and_schedules_respect_dependencies(
+        qubits in 2usize..8,
+        gates in 4usize..60,
+        seed in 0u64..1_000,
+    ) {
+        let circuit = small_random_circuit(qubits, gates, seed);
+        let machine = Machine::ibmq16_on_day(3, 1);
+        let dag = circuit.dag();
+        for config in all_configs() {
+            let compiled = Compiler::new(&machine, config).compile(&circuit).unwrap();
+            prop_assert!(compiled.placement().validate(machine.num_qubits()).is_ok());
+            let schedule = compiled.schedule();
+            prop_assert_eq!(schedule.gates.len(), circuit.len());
+            for entry in &schedule.gates {
+                for &pred in dag.predecessors(entry.gate_index) {
+                    let pred_entry = schedule.entry(pred).unwrap();
+                    prop_assert!(entry.start >= pred_entry.finish());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_reliability_is_a_probability_and_monotone_in_noise(
+        qubits in 2usize..6,
+        gates in 4usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let circuit = small_random_circuit(qubits, gates, seed);
+        let machine = Machine::ibmq16_on_day(11, 0);
+        for config in all_configs() {
+            let compiled = Compiler::new(&machine, config).compile(&circuit).unwrap();
+            let r = compiled.estimated_reliability();
+            prop_assert!(r > 0.0 && r <= 1.0, "{} reliability {r}", config.algorithm);
+        }
+    }
+
+    #[test]
+    fn qasm_emission_round_trips_for_random_circuits(
+        qubits in 2usize..6,
+        gates in 4usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let circuit = small_random_circuit(qubits, gates, seed);
+        let emitted = nisq::ir::qasm::emit(&circuit);
+        let parsed = nisq::ir::qasm::parse(&emitted).unwrap();
+        prop_assert_eq!(parsed.len(), circuit.len());
+        prop_assert_eq!(parsed.cnot_count(), circuit.cnot_count());
+    }
+}
