@@ -11,12 +11,17 @@ use std::time::Duration;
 fn bench_paper_benchmarks(c: &mut Criterion) {
     let machine = ibmq16_on_day(0);
     let mut group = c.benchmark_group("compile_paper_benchmarks");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for benchmark in Benchmark::representative() {
         let circuit = benchmark.circuit();
         for (name, config) in [
             ("qiskit", CompilerConfig::qiskit()),
-            ("t_smt_star", CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths)),
+            (
+                "t_smt_star",
+                CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+            ),
             ("r_smt_star", CompilerConfig::r_smt_star(0.5)),
             ("greedy_e", CompilerConfig::greedy_e()),
             ("greedy_v", CompilerConfig::greedy_v()),
@@ -36,7 +41,9 @@ fn bench_paper_benchmarks(c: &mut Criterion) {
 
 fn bench_random_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_random_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for qubits in [4usize, 8, 16] {
         let machine = machine_with_qubits(qubits);
         let circuit = random_circuit(RandomCircuitConfig::new(qubits, 128, 3));

@@ -5,13 +5,18 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nisq_bench::ibmq16_on_day;
 use nisq_ir::Benchmark;
-use nisq_opt::{problem, solve_annealing, solve_branch_and_bound, AnnealConfig, MappingObjective, RoutingPolicy, SolverConfig};
+use nisq_opt::{
+    problem, solve_annealing, solve_branch_and_bound, AnnealConfig, MappingObjective,
+    RoutingPolicy, SolverConfig,
+};
 use std::time::Duration;
 
 fn bench_solvers(c: &mut Criterion) {
     let machine = ibmq16_on_day(0);
     let mut group = c.benchmark_group("placement_solvers");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for benchmark in [Benchmark::Bv4, Benchmark::Hs6, Benchmark::Adder] {
         let circuit = benchmark.circuit();
         let p = problem::build(

@@ -1,5 +1,10 @@
 //! Criterion benchmarks for the noisy simulator: trial throughput for
 //! compiled executables (the substrate behind every success-rate figure).
+//!
+//! The `noisy_simulation_4096_trials/qiskit_executable/BV8` entry is the
+//! tracked acceptance benchmark; `BENCH_sim.json` (emitted by the
+//! `bench_sim_baseline` binary) records its trials-per-second trajectory
+//! across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nisq_bench::ibmq16_on_day;
@@ -11,7 +16,9 @@ use std::time::Duration;
 fn bench_simulation(c: &mut Criterion) {
     let machine = ibmq16_on_day(0);
     let mut group = c.benchmark_group("noisy_simulation_256_trials");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for benchmark in [Benchmark::Bv4, Benchmark::Hs6, Benchmark::Adder] {
         let compiled = Compiler::new(&machine, CompilerConfig::r_smt_star(0.5))
             .compile(&benchmark.circuit())
@@ -45,5 +52,64 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation);
+/// The acceptance-tracked workload: 4096 full-noise trials per run, half
+/// the paper's 8192-trial executions.
+fn bench_simulation_4096(c: &mut Criterion) {
+    let machine = ibmq16_on_day(0);
+    let mut group = c.benchmark_group("noisy_simulation_4096_trials");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    for (config_name, config) in [
+        ("qiskit_executable", CompilerConfig::qiskit()),
+        ("r_smt_star_executable", CompilerConfig::r_smt_star(0.5)),
+    ] {
+        let benchmark = Benchmark::Bv8;
+        let compiled = Compiler::new(&machine, config)
+            .compile(&benchmark.circuit())
+            .unwrap();
+        let expected = benchmark.expected_output();
+        group.bench_with_input(
+            BenchmarkId::new(config_name, benchmark.name()),
+            &compiled,
+            |b, compiled| {
+                let sim = Simulator::new(&machine, SimulatorConfig::with_trials(4096, 1));
+                b.iter(|| sim.success_rate(compiled, &expected));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Lower-once/replay-many: how much of a run is program lowering vs trial
+/// replay. `prepared` skips the per-run lowering via `Simulator::prepare`.
+fn bench_program_reuse(c: &mut Criterion) {
+    let machine = ibmq16_on_day(0);
+    let mut group = c.benchmark_group("trial_program_reuse");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    let compiled = Compiler::new(&machine, CompilerConfig::qiskit())
+        .compile(&Benchmark::Bv8.circuit())
+        .unwrap();
+    let sim = Simulator::new(&machine, SimulatorConfig::with_trials(1024, 1));
+    group.bench_function("lower_each_run", |b| {
+        b.iter(|| sim.run(compiled.physical_circuit()));
+    });
+    let program = sim.prepare(compiled.physical_circuit());
+    group.bench_function("prepared", |b| {
+        b.iter(|| sim.run_program(&program));
+    });
+    group.bench_function("lowering_only", |b| {
+        b.iter(|| sim.prepare(compiled.physical_circuit()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_simulation_4096,
+    bench_program_reuse
+);
 criterion_main!(benches);

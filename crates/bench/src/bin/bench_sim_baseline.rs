@@ -1,0 +1,111 @@
+//! Emits `BENCH_sim.json`: a machine-readable throughput baseline for the
+//! noisy simulator, so future PRs can track the perf trajectory.
+//!
+//! For each measured configuration it runs the full compile-then-simulate
+//! pipeline at 4096 trials, repeats the simulation several times, and
+//! records the **best** observed trials/second (best-of-N is robust against
+//! scheduler noise on shared machines).
+//!
+//! Usage: `cargo run --release --bin bench_sim_baseline [output-path]`
+//! (default output: `BENCH_sim.json` in the current directory).
+
+use nisq_bench::ibmq16_on_day;
+use nisq_core::{Compiler, CompilerConfig};
+use nisq_ir::Benchmark;
+use nisq_sim::{Simulator, SimulatorConfig};
+use std::time::Instant;
+
+const TRIALS: u32 = 4096;
+const REPETITIONS: usize = 5;
+
+struct Measurement {
+    benchmark: &'static str,
+    compiler: &'static str,
+    gates: usize,
+    trials: u32,
+    best_trials_per_sec: f64,
+    mean_trials_per_sec: f64,
+}
+
+fn measure(
+    benchmark: Benchmark,
+    compiler_name: &'static str,
+    config: CompilerConfig,
+) -> Measurement {
+    let machine = ibmq16_on_day(0);
+    let compiled = Compiler::new(&machine, config)
+        .compile(&benchmark.circuit())
+        .expect("paper benchmarks compile on IBMQ16");
+    let physical = compiled.physical_circuit();
+    let sim = Simulator::new(&machine, SimulatorConfig::with_trials(TRIALS, 1));
+
+    // One warm-up run outside the timed region.
+    let _ = sim.run(physical);
+
+    let mut rates = Vec::with_capacity(REPETITIONS);
+    for _ in 0..REPETITIONS {
+        let start = Instant::now();
+        let result = sim.run(physical);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(result.trials(), TRIALS);
+        rates.push(f64::from(TRIALS) / elapsed);
+    }
+    let best = rates.iter().cloned().fold(0.0f64, f64::max);
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    Measurement {
+        benchmark: benchmark.name(),
+        compiler: compiler_name,
+        gates: physical.expand_swaps().len(),
+        trials: TRIALS,
+        best_trials_per_sec: best,
+        mean_trials_per_sec: mean,
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| String::from("BENCH_sim.json"));
+
+    let measurements = vec![
+        measure(Benchmark::Bv8, "qiskit", CompilerConfig::qiskit()),
+        measure(
+            Benchmark::Bv8,
+            "r_smt_star",
+            CompilerConfig::r_smt_star(0.5),
+        ),
+        measure(Benchmark::Toffoli, "qiskit", CompilerConfig::qiskit()),
+        measure(
+            Benchmark::Adder,
+            "r_smt_star",
+            CompilerConfig::r_smt_star(0.5),
+        ),
+    ];
+
+    // Hand-rolled JSON: the workspace has no serde_json offline (see
+    // shims/README.md); the format below is stable and append-friendly.
+    let mut json = String::from("{\n  \"trials_per_run\": 4096,\n  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"compiler\": \"{}\", \"physical_gates\": {}, \
+             \"trials\": {}, \"best_trials_per_sec\": {:.1}, \"mean_trials_per_sec\": {:.1}}}{}\n",
+            m.benchmark,
+            m.compiler,
+            m.gates,
+            m.trials,
+            m.best_trials_per_sec,
+            m.mean_trials_per_sec,
+            if i + 1 == measurements.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&output, &json).expect("failed to write baseline file");
+    println!("wrote {output}");
+    for m in &measurements {
+        println!(
+            "  {:>8} / {:<10} {:>6} gates  best {:>10.0} trials/s  mean {:>10.0} trials/s",
+            m.benchmark, m.compiler, m.gates, m.best_trials_per_sec, m.mean_trials_per_sec
+        );
+    }
+}

@@ -37,7 +37,10 @@ fn main() {
     println!("Figure 10: success rate of noise-aware heuristics ({trials} trials, day 0)\n");
     println!(
         "{}",
-        format_table(&["Benchmark", "R-SMT* w=0.5", "GreedyE*", "GreedyV*"], &rows)
+        format_table(
+            &["Benchmark", "R-SMT* w=0.5", "GreedyE*", "GreedyV*"],
+            &rows
+        )
     );
     println!(
         "GreedyE* achieves {:.2}x of R-SMT*'s success rate on geomean (paper: comparable, \

@@ -24,15 +24,17 @@ fn main() {
 
     println!("Figure 11: compilation time (microseconds) on random circuits\n");
 
-    println!("R-SMT* (exact solver, budget {}s per point; * = budget hit)\n", budget.as_secs());
+    println!(
+        "R-SMT* (exact solver, budget {}s per point; * = budget hit)\n",
+        budget.as_secs()
+    );
     let mut rows = Vec::new();
     for &qubits in &smt_qubits {
         let machine = machine_with_qubits(qubits);
         let mut cells = vec![format!("{qubits} qubits")];
         for &gates in &gate_counts {
             let circuit = random_circuit(RandomCircuitConfig::new(qubits, gates, 7));
-            let config = CompilerConfig::r_smt_star(0.5)
-                .with_solver_budget(u64::MAX, Some(budget));
+            let config = CompilerConfig::r_smt_star(0.5).with_solver_budget(u64::MAX, Some(budget));
             let start = Instant::now();
             let compiled = Compiler::new(&machine, config).compile(&circuit).unwrap();
             let elapsed = start.elapsed();

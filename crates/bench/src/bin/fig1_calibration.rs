@@ -6,7 +6,8 @@ use nisq_machine::{CalibrationGenerator, EdgeId, GridTopology, HwQubit};
 
 fn main() {
     let days = 25;
-    let generator = CalibrationGenerator::new(GridTopology::ibmq16(), nisq_bench::DEFAULT_MACHINE_SEED);
+    let generator =
+        CalibrationGenerator::new(GridTopology::ibmq16(), nisq_bench::DEFAULT_MACHINE_SEED);
     let snapshots = generator.days(days);
 
     // The paper plots qubits Q0, Q4, Q9, Q13 and CNOTs (5,4), (7,10), (3,14).
@@ -43,9 +44,7 @@ fn main() {
         .iter()
         .map(|c| {
             std::iter::once(c.day.to_string())
-                .chain(edges.iter().map(|e| {
-                    format!("{:.3}", c.cnot_error[e])
-                }))
+                .chain(edges.iter().map(|e| format!("{:.3}", c.cnot_error[e])))
                 .collect()
         })
         .collect();

@@ -52,7 +52,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Benchmark", "Qiskit", "T-SMT*", "R-SMT* w=0.5", "R-SMT*/Qiskit"],
+            &[
+                "Benchmark",
+                "Qiskit",
+                "T-SMT*",
+                "R-SMT* w=0.5",
+                "R-SMT*/Qiskit"
+            ],
             &rows
         )
     );

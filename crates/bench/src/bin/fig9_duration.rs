@@ -10,7 +10,10 @@ use nisq_ir::Benchmark;
 fn main() {
     let machine = ibmq16_on_day(0);
     let configs = [
-        ("T-SMT RR", CompilerConfig::t_smt(RoutingPolicy::RectangleReservation)),
+        (
+            "T-SMT RR",
+            CompilerConfig::t_smt(RoutingPolicy::RectangleReservation),
+        ),
         (
             "T-SMT* RR",
             CompilerConfig::t_smt_star(RoutingPolicy::RectangleReservation),
@@ -44,7 +47,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Benchmark", "T-SMT RR", "T-SMT* RR", "T-SMT* 1BP", "R-SMT* 1BP"],
+            &[
+                "Benchmark",
+                "T-SMT RR",
+                "T-SMT* RR",
+                "T-SMT* 1BP",
+                "R-SMT* 1BP"
+            ],
             &rows
         )
     );

@@ -22,7 +22,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Name", "Qubits", "Gates", "CNOTs", "Depth", "CNOT graph edges"],
+            &[
+                "Name",
+                "Qubits",
+                "Gates",
+                "CNOTs",
+                "Depth",
+                "CNOT graph edges"
+            ],
             &rows
         )
     );

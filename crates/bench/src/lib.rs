@@ -38,7 +38,11 @@ pub fn ibmq16_on_day(day: usize) -> Machine {
 pub fn machine_with_qubits(num_qubits: usize) -> Machine {
     let topology = GridTopology::at_least(num_qubits);
     let calibration = CalibrationGenerator::new(topology.clone(), DEFAULT_MACHINE_SEED).day(0);
-    Machine::new(format!("synthetic-{}q", topology.num_qubits()), topology, calibration)
+    Machine::new(
+        format!("synthetic-{}q", topology.num_qubits()),
+        topology,
+        calibration,
+    )
 }
 
 /// The result of compiling and simulating one benchmark under one
@@ -71,7 +75,14 @@ pub fn run_benchmark(
     trials: u32,
     sim_seed: u64,
 ) -> RunOutcome {
-    run_circuit(machine, config, &benchmark.circuit(), &benchmark.expected_output(), trials, sim_seed)
+    run_circuit(
+        machine,
+        config,
+        &benchmark.circuit(),
+        &benchmark.expected_output(),
+        trials,
+        sim_seed,
+    )
 }
 
 /// Compiles an arbitrary circuit and measures success against `expected`.
@@ -178,13 +189,7 @@ mod tests {
     #[test]
     fn run_benchmark_produces_sane_outcome() {
         let machine = ibmq16_on_day(0);
-        let outcome = run_benchmark(
-            &machine,
-            CompilerConfig::greedy_e(),
-            Benchmark::Bv4,
-            256,
-            1,
-        );
+        let outcome = run_benchmark(&machine, CompilerConfig::greedy_e(), Benchmark::Bv4, 256, 1);
         assert!(outcome.success_rate > 0.0 && outcome.success_rate <= 1.0);
         assert!(outcome.duration_slots > 0);
     }

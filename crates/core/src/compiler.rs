@@ -143,10 +143,7 @@ fn build_physical_circuit(
                 }
             }
             GateKind::Measure => {
-                physical.measure(
-                    Qubit(placement.hw(gate.qubits()[0]).0),
-                    gate.clbits()[0],
-                );
+                physical.measure(Qubit(placement.hw(gate.qubits()[0]).0), gate.clbits()[0]);
             }
             GateKind::Barrier => {
                 let qs: Vec<Qubit> = gate
@@ -216,7 +213,11 @@ mod tests {
         let compiler = Compiler::new(&m, CompilerConfig::r_smt_star(0.5));
         let compiled = compiler.compile(&Benchmark::Bv4.circuit()).unwrap();
         let placement = compiled.placement();
-        for gate in compiled.physical_circuit().iter().filter(|g| g.is_measure()) {
+        for gate in compiled
+            .physical_circuit()
+            .iter()
+            .filter(|g| g.is_measure())
+        {
             let clbit = gate.clbits()[0];
             // Classical bit i belongs to program qubit i in our benchmarks.
             let expected = placement.hw(Qubit(clbit.0));
@@ -229,7 +230,12 @@ mod tests {
         let m = machine();
         let r_smt = Compiler::new(&m, CompilerConfig::r_smt_star(0.5));
         let qiskit = Compiler::new(&m, CompilerConfig::qiskit());
-        for b in [Benchmark::Bv4, Benchmark::Bv8, Benchmark::Hs6, Benchmark::Adder] {
+        for b in [
+            Benchmark::Bv4,
+            Benchmark::Bv8,
+            Benchmark::Hs6,
+            Benchmark::Adder,
+        ] {
             let ours = r_smt.compile(&b.circuit()).unwrap();
             let base = qiskit.compile(&b.circuit()).unwrap();
             assert!(

@@ -207,7 +207,7 @@ pub fn place_edge_first(circuit: &Circuit, machine: &Machine) -> Result<Placemen
                 .expect("topology edges have calibration")
                 * reliability.readout_reliability(h1)
                 * reliability.readout_reliability(h2);
-            if best.map_or(true, |(s, _, _)| score > s) {
+            if best.is_none_or(|(s, _, _)| score > s) {
                 best = Some((score, h1, h2));
             }
         }

@@ -59,7 +59,12 @@ mod tests {
         for config in CompilerConfig::table1() {
             let placement = place(&circuit, &machine, &config)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", config.algorithm));
-            assert_eq!(placement.len(), circuit.num_qubits(), "{}", config.algorithm);
+            assert_eq!(
+                placement.len(),
+                circuit.num_qubits(),
+                "{}",
+                config.algorithm
+            );
             placement
                 .validate(machine.num_qubits())
                 .unwrap_or_else(|e| panic!("{} produced invalid placement: {e}", config.algorithm));

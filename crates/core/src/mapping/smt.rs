@@ -40,9 +40,11 @@ pub fn place(
             omega: config.omega,
         },
         other => {
-            return Err(CompileError::Optimization(nisq_opt::OptError::InvalidPlacement {
-                reason: format!("algorithm {other} is not an SMT-style variant"),
-            }))
+            return Err(CompileError::Optimization(
+                nisq_opt::OptError::InvalidPlacement {
+                    reason: format!("algorithm {other} is not an SMT-style variant"),
+                },
+            ))
         }
     };
 
@@ -57,10 +59,7 @@ pub fn place(
     } else {
         // Anytime fallback: keep the better of the truncated exact search
         // and an annealing run.
-        let anneal = solve_annealing(
-            &problem,
-            &AnnealConfig::new(200_000, config.anneal_seed),
-        );
+        let anneal = solve_annealing(&problem, &AnnealConfig::new(200_000, config.anneal_seed));
         if anneal.cost < exact.cost {
             anneal
         } else {
@@ -150,8 +149,7 @@ mod tests {
                 .partial_cmp(&m.calibration().readout_error(*b))
                 .unwrap()
         });
-        let top4: std::collections::BTreeSet<HwQubit> =
-            by_readout[..4].iter().copied().collect();
+        let top4: std::collections::BTreeSet<HwQubit> = by_readout[..4].iter().copied().collect();
         let chosen: std::collections::BTreeSet<HwQubit> =
             placement.as_slice().iter().copied().collect();
         assert_eq!(chosen, top4);

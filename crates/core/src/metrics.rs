@@ -192,10 +192,8 @@ mod tests {
 
     #[test]
     fn optional_factors_only_lower_the_estimate() {
-        let (c, p, s, m) = compile_parts(
-            Benchmark::Toffoli,
-            vec![HwQubit(1), HwQubit(2), HwQubit(9)],
-        );
+        let (c, p, s, m) =
+            compile_parts(Benchmark::Toffoli, vec![HwQubit(1), HwQubit(2), HwQubit(9)]);
         let base = estimate(&c, &p, &s, &m, EstimateOptions::default());
         let full = estimate(
             &c,

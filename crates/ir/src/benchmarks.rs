@@ -103,9 +103,7 @@ impl Benchmark {
         let mut c = match self {
             Benchmark::Bv4 => bernstein_vazirani(&[true, true, true]),
             Benchmark::Bv6 => bernstein_vazirani(&[true, true, true, false, false]),
-            Benchmark::Bv8 => {
-                bernstein_vazirani(&[true, false, true, false, true, false, false])
-            }
+            Benchmark::Bv8 => bernstein_vazirani(&[true, false, true, false, true, false, false]),
             Benchmark::Hs2 => hidden_shift(2).expect("2 is a valid hidden-shift size"),
             Benchmark::Hs4 => hidden_shift(4).expect("4 is a valid hidden-shift size"),
             Benchmark::Hs6 => hidden_shift(6).expect("6 is a valid hidden-shift size"),
@@ -192,7 +190,7 @@ pub fn bernstein_vazirani(hidden: &[bool]) -> Circuit {
 ///
 /// Returns an error if `n` is zero or odd.
 pub fn hidden_shift(n: usize) -> Result<Circuit, IrError> {
-    if n == 0 || n % 2 != 0 {
+    if n == 0 || !n.is_multiple_of(2) {
         return Err(IrError::InvalidBenchmarkSize {
             name: "hidden-shift",
             requested: n,
@@ -368,11 +366,7 @@ mod tests {
     #[test]
     fn expected_output_length_matches_qubit_count() {
         for b in Benchmark::all() {
-            assert_eq!(
-                b.expected_output().len(),
-                b.circuit().num_qubits(),
-                "{b}"
-            );
+            assert_eq!(b.expected_output().len(), b.circuit().num_qubits(), "{b}");
         }
     }
 

@@ -399,7 +399,10 @@ mod tests {
     #[test]
     fn gate_count_excludes_measures_and_barriers() {
         let mut c = Circuit::new(2);
-        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).barrier_all().measure_all();
+        c.h(Qubit(0))
+            .cnot(Qubit(0), Qubit(1))
+            .barrier_all()
+            .measure_all();
         assert_eq!(c.gate_count(), 2);
         assert_eq!(c.measure_count(), 2);
         assert_eq!(c.len(), 5);

@@ -104,7 +104,7 @@ impl InteractionGraph {
     /// Neighbours of `q`: qubits sharing at least one CNOT with it.
     pub fn neighbors(&self, q: Qubit) -> Vec<Qubit> {
         let mut out = Vec::new();
-        for (&(a, b), _) in &self.edges {
+        for &(a, b) in self.edges.keys() {
             if a == q.0 {
                 out.push(Qubit(b));
             } else if b == q.0 {

@@ -41,11 +41,7 @@ pub fn emit(circuit: &Circuit) -> String {
 fn emit_gate(gate: &Gate) -> String {
     let q = gate.qubits();
     match gate.kind() {
-        GateKind::Measure => format!(
-            "measure q[{}] -> c[{}];",
-            q[0].0,
-            gate.clbits()[0].0
-        ),
+        GateKind::Measure => format!("measure q[{}] -> c[{}];", q[0].0, gate.clbits()[0].0),
         GateKind::Barrier => {
             let ops: Vec<String> = q.iter().map(|x| format!("q[{}]", x.0)).collect();
             format!("barrier {};", ops.join(", "))
@@ -240,12 +236,15 @@ fn parse_reg_size(rest: &str, line: usize) -> Result<usize, IrError> {
     let open = rest.find('[');
     let close = rest.find(']');
     match (open, close) {
-        (Some(o), Some(c)) if c > o => rest[o + 1..c].trim().parse().map_err(|_| {
-            IrError::QasmParse {
-                line,
-                message: format!("invalid register size in: {rest}"),
-            }
-        }),
+        (Some(o), Some(c)) if c > o => {
+            rest[o + 1..c]
+                .trim()
+                .parse()
+                .map_err(|_| IrError::QasmParse {
+                    line,
+                    message: format!("invalid register size in: {rest}"),
+                })
+        }
         _ => Err(IrError::QasmParse {
             line,
             message: format!("malformed register declaration: {rest}"),
@@ -374,7 +373,8 @@ mod tests {
 
     #[test]
     fn parse_ignores_comments_and_blank_lines() {
-        let src = "// a bell pair\nqreg q[2];\ncreg c[2];\n\nh q[0]; // superpose\ncx q[0], q[1];\n";
+        let src =
+            "// a bell pair\nqreg q[2];\ncreg c[2];\n\nh q[0]; // superpose\ncx q[0], q[1];\n";
         let c = parse(src).unwrap();
         assert_eq!(c.len(), 2);
     }

@@ -61,6 +61,19 @@ impl GateDurations {
     }
 }
 
+/// Pre-resolved parameters of one calibrated edge, returned by
+/// [`Calibration::edge_params`] so hot consumers (the simulator's trial
+/// program lowering) resolve error rate and duration in a single call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeParams {
+    /// CNOT error rate on the edge.
+    pub cnot_error: f64,
+    /// CNOT duration on the edge, in timeslots; `None` when the snapshot
+    /// has an error entry but no duration entry for the edge (possible for
+    /// hand-built snapshots, whose fields are public).
+    pub cnot_slots: Option<u32>,
+}
+
 /// One machine calibration snapshot: the data IBM publishes daily and the
 /// compiler adapts to (Section 2 of the paper).
 ///
@@ -183,6 +196,34 @@ impl Calibration {
         Ok(self.cnot_reliability(a, b)?.powi(3))
     }
 
+    /// Error rate and duration of the edge between `a` and `b` in one call,
+    /// or `None` when the pair has no CNOT error entry (non-adjacent
+    /// qubits). A missing duration entry does not discard the error rate —
+    /// it surfaces as `cnot_slots: None` for the caller to default. The
+    /// lookup-free per-qubit quantities are already index-addressed
+    /// (`readout_error`, `single_qubit_error`, `t2_us`); this is the
+    /// per-edge counterpart used by simulator program lowering.
+    pub fn edge_params(&self, a: HwQubit, b: HwQubit) -> Option<EdgeParams> {
+        let edge = EdgeId::new(a, b);
+        let cnot_error = *self.cnot_error.get(&edge)?;
+        Some(EdgeParams {
+            cnot_error,
+            cnot_slots: self.durations.cnot_slots.get(&edge).copied(),
+        })
+    }
+
+    /// Probability that `q` dephases (acquires a Z error) while idling or
+    /// operating for `duration_slots` timeslots: `(1 - exp(-t / T2)) / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is outside the calibration data.
+    pub fn dephasing_probability(&self, q: HwQubit, duration_slots: u32) -> f64 {
+        let t_ns = f64::from(duration_slots) * self.timeslot_ns;
+        let t2_ns = self.t2_us(q) * 1000.0;
+        (0.5 * (1.0 - (-t_ns / t2_ns).exp())).clamp(0.0, 1.0)
+    }
+
     /// Average CNOT error rate across all calibrated edges.
     pub fn mean_cnot_error(&self) -> f64 {
         if self.cnot_error.is_empty() {
@@ -277,6 +318,38 @@ mod tests {
             c.cnot_error(HwQubit(0), HwQubit(2)),
             Err(MachineError::MissingEdgeCalibration { .. })
         ));
+    }
+
+    #[test]
+    fn edge_params_matches_individual_accessors() {
+        let (t, c) = sample();
+        let (a, b) = t.edges()[0];
+        let params = c.edge_params(a, b).unwrap();
+        assert_eq!(params.cnot_error, c.cnot_error(a, b).unwrap());
+        assert_eq!(
+            params.cnot_slots,
+            Some(c.durations.cnot(EdgeId::new(a, b)).unwrap())
+        );
+        // Non-adjacent qubits have no entry.
+        assert_eq!(c.edge_params(HwQubit(0), HwQubit(2)), None);
+        // A snapshot with an error entry but no duration entry keeps the
+        // error rate and surfaces the missing duration as None.
+        let mut partial = c.clone();
+        let edge = EdgeId::new(a, b);
+        partial.durations.cnot_slots.remove(&edge);
+        let params = partial.edge_params(a, b).unwrap();
+        assert_eq!(params.cnot_error, c.cnot_error(a, b).unwrap());
+        assert_eq!(params.cnot_slots, None);
+    }
+
+    #[test]
+    fn dephasing_probability_grows_with_duration() {
+        let (_, c) = sample();
+        let q = HwQubit(0);
+        assert_eq!(c.dephasing_probability(q, 0), 0.0);
+        let short = c.dephasing_probability(q, 1);
+        let long = c.dephasing_probability(q, 500);
+        assert!(short > 0.0 && short < long && long < 0.5);
     }
 
     #[test]

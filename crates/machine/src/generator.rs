@@ -195,8 +195,7 @@ impl CalibrationGenerator {
             cnot_error.insert(edge, err.clamp(0.008, 0.35));
 
             // CNOT durations vary ~1.8x across edges but are stable in time.
-            let slots = (self.stats.base_cnot_slots * spatial.gen_range(0.72..1.32)).round()
-                as u32;
+            let slots = (self.stats.base_cnot_slots * spatial.gen_range(0.72..1.32)).round() as u32;
             cnot_slots.insert(edge, slots.max(2));
         }
 
@@ -295,7 +294,11 @@ mod tests {
             }
         }
         // The paper reports up to 9x variation for both quantities.
-        assert!(max_cnot / min_cnot > 3.0, "cnot ratio {}", max_cnot / min_cnot);
+        assert!(
+            max_cnot / min_cnot > 3.0,
+            "cnot ratio {}",
+            max_cnot / min_cnot
+        );
         assert!(max_t2 / min_t2 > 3.0, "t2 ratio {}", max_t2 / min_t2);
     }
 

@@ -35,7 +35,7 @@ mod machine;
 mod reliability;
 mod topology;
 
-pub use calibration::{Calibration, EdgeId, GateDurations};
+pub use calibration::{Calibration, EdgeId, EdgeParams, GateDurations};
 pub use error::MachineError;
 pub use generator::{CalibrationGenerator, CalibrationStatistics};
 pub use machine::Machine;

@@ -187,7 +187,15 @@ impl ReliabilityModel {
         if a == b {
             return 1.0;
         }
-        Self::route_cnot_reliability(&self.calibration, &self.best_path(a, b).path)
+        let routed = Self::route_cnot_reliability(&self.calibration, &self.best_path(a, b).path);
+        // Dijkstra weights each hop once, but a route's intermediate hops
+        // are SWAPs (three CNOTs), so for adjacent pairs the selected route
+        // can be worse than simply executing the CNOT on the direct edge —
+        // which is always an available strategy. Never report worse.
+        match self.calibration.cnot_reliability(a, b) {
+            Ok(direct) => routed.max(direct),
+            Err(_) => routed,
+        }
     }
 
     fn route_cnot_reliability(calibration: &Calibration, path: &[HwQubit]) -> f64 {
@@ -300,12 +308,7 @@ impl ReliabilityModel {
     /// Duration of a CNOT between two locations assuming every hardware CNOT
     /// takes the same `uniform_cnot_slots` (the calibration-unaware model
     /// used by the paper's T-SMT variant).
-    pub fn uniform_cnot_duration(
-        &self,
-        a: HwQubit,
-        b: HwQubit,
-        uniform_cnot_slots: u32,
-    ) -> u32 {
+    pub fn uniform_cnot_duration(&self, a: HwQubit, b: HwQubit, uniform_cnot_slots: u32) -> u32 {
         if a == b {
             return 0;
         }
@@ -354,7 +357,10 @@ mod tests {
     fn adjacent_cnot_reliability_matches_calibration() {
         let m = model();
         let direct = m.best_path_cnot_reliability(HwQubit(0), HwQubit(1));
-        let cal = m.calibration().cnot_reliability(HwQubit(0), HwQubit(1)).unwrap();
+        let cal = m
+            .calibration()
+            .cnot_reliability(HwQubit(0), HwQubit(1))
+            .unwrap();
         // The best path between adjacent qubits is usually the direct edge;
         // it can only be better than or equal to the direct reliability.
         assert!(direct >= cal - 1e-12);
@@ -389,8 +395,12 @@ mod tests {
                     continue;
                 }
                 let (ja, jb) = m.topology().junctions(HwQubit(a), HwQubit(b));
-                let r1 = m.one_bend_cnot_reliability(HwQubit(a), HwQubit(b), ja).unwrap();
-                let r2 = m.one_bend_cnot_reliability(HwQubit(a), HwQubit(b), jb).unwrap();
+                let r1 = m
+                    .one_bend_cnot_reliability(HwQubit(a), HwQubit(b), ja)
+                    .unwrap();
+                let r2 = m
+                    .one_bend_cnot_reliability(HwQubit(a), HwQubit(b), jb)
+                    .unwrap();
                 let (_, best) = m.best_one_bend(HwQubit(a), HwQubit(b)).unwrap();
                 assert!((best - r1.max(r2)).abs() < 1e-12);
                 assert!(best > 0.0 && best <= 1.0);
@@ -441,7 +451,10 @@ mod tests {
         // For adjacent qubits the best path may detour only if it were more
         // reliable, but duration along the direct one-bend path equals the
         // CNOT duration.
-        assert_eq!(m.one_bend_cnot_duration(HwQubit(0), HwQubit(1), HwQubit(1)), cnot);
+        assert_eq!(
+            m.one_bend_cnot_duration(HwQubit(0), HwQubit(1), HwQubit(1)),
+            cnot
+        );
     }
 
     #[test]

@@ -246,11 +246,7 @@ impl GridTopology {
     /// The bounding rectangle of two qubits as
     /// `((min_x, min_y), (max_x, max_y))`, used by the rectangle-reservation
     /// routing policy.
-    pub fn bounding_rectangle(
-        &self,
-        a: HwQubit,
-        b: HwQubit,
-    ) -> ((usize, usize), (usize, usize)) {
+    pub fn bounding_rectangle(&self, a: HwQubit, b: HwQubit) -> ((usize, usize), (usize, usize)) {
         let (ax, ay) = self.coords(a);
         let (bx, by) = self.coords(b);
         ((ax.min(bx), ay.min(by)), (ax.max(bx), ay.max(by)))

@@ -76,8 +76,7 @@ pub fn solve_annealing(problem: &AssignmentProblem, config: &AnnealConfig) -> Pl
     let mut best_cost = current_cost;
 
     let cooling = if config.iterations > 1 {
-        (config.final_temperature / config.initial_temperature)
-            .powf(1.0 / config.iterations as f64)
+        (config.final_temperature / config.initial_temperature).powf(1.0 / config.iterations as f64)
     } else {
         1.0
     };
@@ -106,7 +105,11 @@ pub fn solve_annealing(problem: &AssignmentProblem, config: &AnnealConfig) -> Pl
             .evaluate(&current)
             .expect("moves preserve placement validity");
         let accept = new_cost <= current_cost
-            || rng.gen_bool(((current_cost - new_cost) / temperature.max(1e-12)).exp().min(1.0));
+            || rng.gen_bool(
+                ((current_cost - new_cost) / temperature.max(1e-12))
+                    .exp()
+                    .min(1.0),
+            );
         if accept {
             current_cost = new_cost;
             if new_cost < best_cost {
@@ -154,11 +157,7 @@ mod tests {
         for a in 0..prog {
             for b in (a + 1)..prog {
                 if rng.gen_bool(0.5) {
-                    pair_terms.push(PairTerm {
-                        a,
-                        b,
-                        weight: 1.0,
-                    });
+                    pair_terms.push(PairTerm { a, b, weight: 1.0 });
                 }
             }
         }

@@ -153,7 +153,10 @@ impl AssignmentProblem {
 
     /// The smallest single-qubit cost anywhere in the machine.
     pub fn min_single_cost(&self) -> f64 {
-        self.single_cost.iter().copied().fold(f64::INFINITY, f64::min)
+        self.single_cost
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Validates a complete placement against Constraints 1-2 (every program
@@ -242,7 +245,10 @@ mod tests {
                 b: 1,
                 weight: 1.0,
             }],
-            vec![SingleTerm { q: 0, weight: 1.0 }, SingleTerm { q: 1, weight: 1.0 }],
+            vec![
+                SingleTerm { q: 0, weight: 1.0 },
+                SingleTerm { q: 1, weight: 1.0 },
+            ],
             pair_cost,
             single_cost,
         )
@@ -276,8 +282,8 @@ mod tests {
 
     #[test]
     fn rejects_more_program_than_hardware() {
-        let err = AssignmentProblem::new(4, 3, vec![], vec![], vec![0.0; 9], vec![0.0; 3])
-            .unwrap_err();
+        let err =
+            AssignmentProblem::new(4, 3, vec![], vec![], vec![0.0; 9], vec![0.0; 3]).unwrap_err();
         assert!(matches!(err, OptError::TooManyProgramQubits { .. }));
     }
 

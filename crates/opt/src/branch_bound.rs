@@ -116,7 +116,7 @@ impl<'a> Search<'a> {
         }
         if let Some(deadline) = self.deadline {
             // Only check the clock occasionally to keep node expansion cheap.
-            if self.nodes % 1024 == 0 && Instant::now() >= deadline {
+            if self.nodes.is_multiple_of(1024) && Instant::now() >= deadline {
                 self.aborted = true;
                 return true;
             }
@@ -174,8 +174,8 @@ fn greedy_incumbent(problem: &AssignmentProblem, order: &[usize]) -> Vec<HwQubit
     let mut used = vec![false; problem.num_hardware()];
     for &pq in order {
         let mut best = (f64::INFINITY, 0usize);
-        for h in 0..problem.num_hardware() {
-            if used[h] {
+        for (h, &in_use) in used.iter().enumerate() {
+            if in_use {
                 continue;
             }
             let mut cost = 0.0;
@@ -419,8 +419,9 @@ mod tests {
                 }
             }
             let single_terms = (0..prog).map(|q| SingleTerm { q, weight: 1.0 }).collect();
-            let p = AssignmentProblem::new(prog, hw, pair_terms, single_terms, pair_cost, single_cost)
-                .unwrap();
+            let p =
+                AssignmentProblem::new(prog, hw, pair_terms, single_terms, pair_cost, single_cost)
+                    .unwrap();
             let sol = solve_branch_and_bound(&p, &SolverConfig::default());
             assert!(sol.optimal, "trial {trial} did not finish");
             assert!(

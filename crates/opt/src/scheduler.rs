@@ -321,8 +321,7 @@ impl<'m> Scheduler<'m> {
                     (vec![hw], readout_slots, None)
                 }
                 GateKind::Barrier => {
-                    let qs: Vec<HwQubit> =
-                        gate.qubits().iter().map(|&q| placement.hw(q)).collect();
+                    let qs: Vec<HwQubit> = gate.qubits().iter().map(|&q| placement.hw(q)).collect();
                     (qs, 0, None)
                 }
                 _ => {

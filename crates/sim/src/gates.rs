@@ -26,8 +26,18 @@ pub fn single_qubit_matrix(kind: GateKind) -> Matrix2 {
         GateKind::Z => [one, z, z, -one],
         GateKind::S => [one, z, z, Complex::I],
         GateKind::Sdg => [one, z, z, -Complex::I],
-        GateKind::T => [one, z, z, Complex::from_polar_unit(std::f64::consts::FRAC_PI_4)],
-        GateKind::Tdg => [one, z, z, Complex::from_polar_unit(-std::f64::consts::FRAC_PI_4)],
+        GateKind::T => [
+            one,
+            z,
+            z,
+            Complex::from_polar_unit(std::f64::consts::FRAC_PI_4),
+        ],
+        GateKind::Tdg => [
+            one,
+            z,
+            z,
+            Complex::from_polar_unit(-std::f64::consts::FRAC_PI_4),
+        ],
         GateKind::Rx(theta) => {
             let c = Complex::real((theta / 2.0).cos());
             let s = Complex::new(0.0, -(theta / 2.0).sin());

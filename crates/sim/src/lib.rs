@@ -41,12 +41,14 @@
 mod complex;
 pub mod gates;
 pub mod noise;
+pub mod program;
 mod result;
 mod simulator;
 mod state;
 
 pub use complex::Complex;
 pub use noise::NoiseModel;
+pub use program::{TrialOp, TrialProgram};
 pub use result::SimulationResult;
 pub use simulator::{Simulator, SimulatorConfig};
 pub use state::StateVector;

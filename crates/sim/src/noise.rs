@@ -90,6 +90,21 @@ impl Pauli {
         }
     }
 
+    /// Composes two Pauli errors into the single Pauli with the same action
+    /// on the state up to global phase (the Pauli group modulo phase is the
+    /// Klein four-group). Global phase never affects measurement statistics,
+    /// so the trial program applies one composed Pauli instead of two.
+    pub fn compose(self, other: Pauli) -> Pauli {
+        use Pauli::{I, X, Y, Z};
+        match (self, other) {
+            (I, p) | (p, I) => p,
+            (a, b) if a == b => I,
+            (X, Y) | (Y, X) => Z,
+            (X, Z) | (Z, X) => Y,
+            _ => X, // the remaining cases: (Y, Z) and (Z, Y)
+        }
+    }
+
     fn from_index(i: usize) -> Pauli {
         match i {
             0 => Pauli::I,
@@ -162,10 +177,8 @@ pub fn sample_decoherence_error<R: Rng + ?Sized>(
     duration_slots: u32,
     rng: &mut R,
 ) -> Pauli {
-    let t_ns = duration_slots as f64 * calibration.timeslot_ns;
-    let t2_ns = calibration.t2_us(qubit) * 1000.0;
-    let p = 0.5 * (1.0 - (-t_ns / t2_ns).exp());
-    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+    let p = calibration.dephasing_probability(qubit, duration_slots);
+    if rng.gen_bool(p) {
         Pauli::Z
     } else {
         Pauli::I
@@ -225,7 +238,9 @@ mod tests {
         let q = HwQubit(3);
         let p = cal.readout_error(q);
         let n = 40_000;
-        let flips = (0..n).filter(|_| sample_readout_flip(&cal, q, &mut rng)).count();
+        let flips = (0..n)
+            .filter(|_| sample_readout_flip(&cal, q, &mut rng))
+            .count();
         assert!(((flips as f64 / n as f64) - p).abs() < 0.01);
     }
 
@@ -249,5 +264,22 @@ mod tests {
         assert_eq!(Pauli::I.gate_kind(), None);
         assert_eq!(Pauli::X.gate_kind(), Some(GateKind::X));
         assert_eq!(Pauli::Z.gate_kind(), Some(GateKind::Z));
+    }
+
+    #[test]
+    fn pauli_composition_is_the_klein_four_group() {
+        use Pauli::{I, X, Y, Z};
+        let all = [I, X, Y, Z];
+        for p in all {
+            assert_eq!(p.compose(I), p);
+            assert_eq!(I.compose(p), p);
+            assert_eq!(p.compose(p), I);
+        }
+        assert_eq!(X.compose(Y), Z);
+        assert_eq!(Y.compose(X), Z);
+        assert_eq!(X.compose(Z), Y);
+        assert_eq!(Z.compose(X), Y);
+        assert_eq!(Y.compose(Z), X);
+        assert_eq!(Z.compose(Y), X);
     }
 }

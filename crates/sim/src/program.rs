@@ -1,0 +1,893 @@
+//! Compile-once, replay-many trial programs.
+//!
+//! The figures of the paper are driven by 8192 noisy trials per executable,
+//! and the naive per-trial loop pays for work that never changes between
+//! trials: re-expanding SWAPs, re-compacting qubit indices, hashing
+//! `EdgeId`s into calibration `BTreeMap`s for every gate, and re-deriving
+//! dephasing probabilities from T2 times. [`TrialProgram::lower`] performs
+//! all of that exactly once, producing a flat [`TrialOp`] array with
+//! pre-resolved compact qubit indices and pre-fetched error probabilities —
+//! the per-trial replay does zero hashing, zero calibration lookups and
+//! zero allocation.
+//!
+//! Lowering also *fuses* consecutive single-qubit gates on a qubit into one
+//! 2×2 matrix whenever no noise-injection point separates them (always in
+//! ideal mode; between CNOTs under the paper's CNOT+readout-only model), so
+//! a run of `h, t, h, s` costs one strided pass instead of four.
+//!
+//! Determinism contract: a trial's outcome is a pure function of
+//! `(program, base_seed, trial_index)`. Replay order inside a trial is the
+//! op order fixed at lowering time, and every random draw comes from the
+//! trial's own seeded RNG stream — so results are bit-for-bit reproducible
+//! for a seed and invariant under how trials are distributed over threads.
+
+use crate::complex::Complex;
+use crate::gates::{single_qubit_matrix, Matrix2};
+use crate::noise::{self, NoiseModel, Pauli};
+use crate::state::StateVector;
+use nisq_ir::{Circuit, GateKind};
+use nisq_machine::{HwQubit, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default CNOT duration (timeslots) when an edge has no calibration entry,
+/// matching the fallback of the pre-program simulator.
+const DEFAULT_CNOT_SLOTS: u32 = 4;
+
+/// One instruction of a lowered trial program. Qubit operands are compact
+/// indices into the trial's [`StateVector`]; probabilities are pre-fetched
+/// from calibration data at lowering time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialOp {
+    /// A (possibly fused) single-qubit unitary.
+    Unitary {
+        /// Compact qubit index.
+        qubit: u8,
+        /// The 2×2 matrix, product of every fused gate.
+        matrix: Matrix2,
+    },
+    /// A CNOT between two compact qubits.
+    Cnot {
+        /// Compact control index.
+        control: u8,
+        /// Compact target index.
+        target: u8,
+    },
+    /// A SWAP between two compact qubits, physically three back-to-back
+    /// CNOTs on the edge. Its unitary part is a basis permutation, so the
+    /// replay realizes it by relabeling qubit indices — zero state passes —
+    /// unless one of the three CNOTs' error draws fires, in which case the
+    /// exact interleaved CNOT+error sequence is materialized.
+    Swap {
+        /// First compact qubit.
+        a: u8,
+        /// Second compact qubit.
+        b: u8,
+        /// Noise of the 3-CNOT decomposition; `None` when every channel
+        /// relevant to this edge is disabled.
+        noise: Option<SwapNoise>,
+    },
+    /// Stochastic error injection after a single-qubit gate: depolarizing
+    /// with probability `p_depol`, then dephasing with `p_dephase`; the two
+    /// sampled Paulis are composed (up to global phase) and applied with at
+    /// most one kernel pass.
+    GateNoise {
+        /// Compact qubit index.
+        qubit: u8,
+        /// Pre-fetched single-qubit depolarizing probability.
+        p_depol: f64,
+        /// Pre-computed dephasing probability over the gate's duration.
+        p_dephase: f64,
+    },
+    /// Stochastic error injection after a CNOT: two-qubit depolarizing with
+    /// probability `p_depol`, then per-qubit dephasing over the CNOT's
+    /// calibrated duration.
+    CnotNoise {
+        /// Compact control index.
+        control: u8,
+        /// Compact target index.
+        target: u8,
+        /// Pre-fetched per-edge CNOT depolarizing probability.
+        p_depol: f64,
+        /// Pre-computed control-qubit dephasing probability.
+        p_dephase_control: f64,
+        /// Pre-computed target-qubit dephasing probability.
+        p_dephase_target: f64,
+    },
+    /// Measurement of a qubit into a classical bit, with a pre-fetched
+    /// readout flip probability (zero when readout noise is disabled).
+    Measure {
+        /// Compact qubit index.
+        qubit: u8,
+        /// Classical bit index (bit position in the packed outcome).
+        clbit: u8,
+        /// Probability the classical result is flipped.
+        p_flip: f64,
+    },
+    /// The trailing run of measurements of the program (no further gates
+    /// act on any qubit). The joint outcome of all of them is sampled from
+    /// the uncollapsed state in one cumulative pass — equivalent in
+    /// distribution to measuring one qubit at a time, at a fraction of the
+    /// cost.
+    TerminalSample {
+        /// `(qubit, clbit, p_flip)` of each folded measurement, in program
+        /// order.
+        measures: Vec<(u8, u8, f64)>,
+    },
+}
+
+/// Pre-fetched error probabilities for one SWAP's 3-CNOT decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapNoise {
+    /// Per-CNOT depolarizing probability on the edge.
+    pub p_depol: f64,
+    /// Per-CNOT dephasing probability of qubit `a`.
+    pub p_dephase_a: f64,
+    /// Per-CNOT dephasing probability of qubit `b`.
+    pub p_dephase_b: f64,
+}
+
+/// A physical circuit lowered against one machine snapshot and noise model,
+/// ready for cheap repeated trials. See the module docs for what lowering
+/// precomputes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialProgram {
+    ops: Vec<TrialOp>,
+    /// Hardware qubit of each compact index (sorted ascending).
+    touched: Vec<usize>,
+    num_clbits: usize,
+}
+
+impl TrialProgram {
+    /// Lowers a physical circuit for `machine` under `noise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit references qubits outside the machine, uses
+    /// more than 64 classical bits (outcomes are bit-packed in a `u64`), or
+    /// touches more than 24 qubits (the state-vector limit).
+    pub fn lower(physical: &Circuit, machine: &Machine, noise: &NoiseModel) -> Self {
+        assert!(
+            physical
+                .iter()
+                .all(|g| g.qubits().iter().all(|q| q.0 < machine.num_qubits())),
+            "circuit uses qubits outside the machine"
+        );
+        assert!(
+            physical.num_clbits() <= 64,
+            "trial outcomes are bit-packed; at most 64 classical bits are supported"
+        );
+
+        // Compact the circuit onto the qubits it actually touches.
+        let mut touched: Vec<usize> = physical
+            .iter()
+            .flat_map(|g| g.qubits().iter().map(|q| q.0))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        assert!(
+            touched.len() <= 24,
+            "circuit touches more than 24 qubits; state vector would not fit in memory"
+        );
+        let mut compact = vec![u8::MAX; machine.num_qubits()];
+        for (i, &hw) in touched.iter().enumerate() {
+            compact[hw] = i as u8;
+        }
+
+        let calibration = machine.calibration();
+        let mean_cnot_error = calibration.mean_cnot_error();
+        let single_slots = calibration.durations.single_qubit_slots;
+
+        // Per-qubit noise parameters, fetched once.
+        let p_depol_1q: Vec<f64> = touched
+            .iter()
+            .map(|&hw| {
+                if noise.single_qubit_noise {
+                    calibration.single_qubit_error(HwQubit(hw))
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let p_dephase_1q: Vec<f64> = touched
+            .iter()
+            .map(|&hw| {
+                if noise.decoherence {
+                    calibration.dephasing_probability(HwQubit(hw), single_slots)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let p_readout: Vec<f64> = touched
+            .iter()
+            .map(|&hw| {
+                if noise.readout_noise {
+                    calibration.readout_error(HwQubit(hw)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        let mut lowering = Lowering {
+            ops: Vec::with_capacity(physical.len()),
+            pending: vec![None; touched.len()],
+        };
+
+        // Pre-fetched noise of one physical CNOT on the edge `(hw_a, hw_b)`:
+        // depolarizing probability plus per-endpoint dephasing over the
+        // edge's calibrated duration. Shared by the CNOT and SWAP arms so
+        // their fallbacks can never diverge. Returns `None` when every
+        // probability is zero (no noise op needs emitting).
+        let edge_noise = |hw_a: usize, hw_b: usize| -> Option<(f64, f64, f64)> {
+            if !noise.cnot_noise && !noise.decoherence {
+                return None;
+            }
+            let params = calibration.edge_params(HwQubit(hw_a), HwQubit(hw_b));
+            let p_depol = if noise.cnot_noise {
+                params.map_or(mean_cnot_error, |p| p.cnot_error)
+            } else {
+                0.0
+            };
+            let slots = params
+                .and_then(|p| p.cnot_slots)
+                .unwrap_or(DEFAULT_CNOT_SLOTS);
+            let (p_da, p_db) = if noise.decoherence {
+                (
+                    calibration.dephasing_probability(HwQubit(hw_a), slots),
+                    calibration.dephasing_probability(HwQubit(hw_b), slots),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            (p_depol > 0.0 || p_da > 0.0 || p_db > 0.0).then_some((p_depol, p_da, p_db))
+        };
+
+        for gate in physical.iter() {
+            match gate.kind() {
+                GateKind::Cnot => {
+                    let hw_c = gate.qubits()[0].0;
+                    let hw_t = gate.qubits()[1].0;
+                    let (c, t) = (compact[hw_c], compact[hw_t]);
+                    lowering.flush(c);
+                    lowering.flush(t);
+                    lowering.ops.push(TrialOp::Cnot {
+                        control: c,
+                        target: t,
+                    });
+                    if let Some((p_depol, p_dc, p_dt)) = edge_noise(hw_c, hw_t) {
+                        lowering.ops.push(TrialOp::CnotNoise {
+                            control: c,
+                            target: t,
+                            p_depol,
+                            p_dephase_control: p_dc,
+                            p_dephase_target: p_dt,
+                        });
+                    }
+                }
+                GateKind::Swap => {
+                    let hw_a = gate.qubits()[0].0;
+                    let hw_b = gate.qubits()[1].0;
+                    let (a, b) = (compact[hw_a], compact[hw_b]);
+                    let swap_noise =
+                        edge_noise(hw_a, hw_b).map(|(p_depol, p_da, p_db)| SwapNoise {
+                            p_depol,
+                            p_dephase_a: p_da,
+                            p_dephase_b: p_db,
+                        });
+                    // Flush so the emitted op order matches program order;
+                    // at *runtime* unitaries still cross relabeling swaps
+                    // cheaply, because TrialScratch's pending matrices
+                    // travel with the relabeling.
+                    lowering.flush(a);
+                    lowering.flush(b);
+                    lowering.ops.push(TrialOp::Swap {
+                        a,
+                        b,
+                        noise: swap_noise,
+                    });
+                }
+                GateKind::Measure => {
+                    let q = compact[gate.qubits()[0].0];
+                    lowering.flush(q);
+                    lowering.ops.push(TrialOp::Measure {
+                        qubit: q,
+                        clbit: gate.clbits()[0].0 as u8,
+                        p_flip: p_readout[usize::from(q)],
+                    });
+                }
+                GateKind::Barrier => {}
+                kind => {
+                    let q = compact[gate.qubits()[0].0];
+                    lowering.fuse(q, &single_qubit_matrix(kind));
+                    let p_depol = p_depol_1q[usize::from(q)];
+                    let p_dephase = p_dephase_1q[usize::from(q)];
+                    if p_depol > 0.0 || p_dephase > 0.0 {
+                        lowering.flush(q);
+                        lowering.ops.push(TrialOp::GateNoise {
+                            qubit: q,
+                            p_depol,
+                            p_dephase,
+                        });
+                    }
+                }
+            }
+        }
+        // Unflushed trailing unitaries act on qubits that are never measured
+        // or entangled again, so they cannot influence any recorded outcome
+        // and are dropped (dead-gate elimination).
+
+        let mut ops = lowering.ops;
+        sink_measures(&mut ops);
+
+        TrialProgram {
+            ops,
+            touched,
+            num_clbits: physical.num_clbits(),
+        }
+    }
+
+    /// The lowered instruction stream.
+    pub fn ops(&self) -> &[TrialOp] {
+        &self.ops
+    }
+
+    /// Number of compacted qubits a trial state needs.
+    pub fn num_qubits(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Number of classical bits in an outcome.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Hardware qubit index of each compact qubit, ascending.
+    pub fn touched(&self) -> &[usize] {
+        &self.touched
+    }
+
+    /// Allocates the reusable per-worker scratch for [`Self::run_trial`].
+    pub fn make_scratch(&self) -> TrialScratch {
+        TrialScratch {
+            state: StateVector::new(self.num_qubits()),
+            pending: vec![None; self.num_qubits()],
+            perm: (0..self.num_qubits() as u8).collect(),
+        }
+    }
+
+    /// Replays the program once against `scratch` (which is reset first),
+    /// returning the measured classical bits packed into a `u64` (bit `i` =
+    /// clbit `i`).
+    ///
+    /// Beyond the compile-time fusion done at lowering, the replay fuses at
+    /// *runtime* across noise-injection points: a sampled Pauli is itself a
+    /// 2×2 matrix, so single-qubit unitaries and (rare) sampled errors
+    /// accumulate into one pending matrix per qubit, and a state pass only
+    /// happens when a CNOT or measurement forces materialization. Under the
+    /// full noise model this removes almost every single-qubit sweep, since
+    /// most noise draws are the identity.
+    pub fn run_trial(&self, scratch: &mut TrialScratch, rng: &mut StdRng) -> u64 {
+        scratch.reset();
+        let mut clbits = 0u64;
+        for op in &self.ops {
+            match *op {
+                TrialOp::Unitary { qubit, ref matrix } => {
+                    scratch.fuse(qubit, matrix);
+                }
+                TrialOp::Cnot { control, target } => {
+                    scratch.flush(control);
+                    scratch.flush(target);
+                    scratch.apply_cnot(control, target);
+                }
+                TrialOp::Swap { a, b, ref noise } => match noise {
+                    None => scratch.relabel_swap(a, b),
+                    Some(n) => {
+                        // Pre-draw every error event of the three CNOTs —
+                        // cnot(a,b), cnot(b,a), cnot(a,b) — in exactly the
+                        // order the expanded circuit would (per CNOT: the
+                        // depolarizing pair, then control dephasing, then
+                        // target dephasing), so replaying this op consumes
+                        // the same RNG stream as replaying the expansion,
+                        // and the relabeling fast path matches the
+                        // materializing slow path bit for bit.
+                        let mut events = [(Pauli::I, Pauli::I); 3];
+                        let mut any_error = false;
+                        for (k, event) in events.iter_mut().enumerate() {
+                            let reversed = k == 1;
+                            let (p_control, p_target) = noise::depolarizing_2q(n.p_depol, rng);
+                            let (p_deph_c, p_deph_t) = if reversed {
+                                (n.p_dephase_b, n.p_dephase_a)
+                            } else {
+                                (n.p_dephase_a, n.p_dephase_b)
+                            };
+                            let d_control = sample_dephase(p_deph_c, rng);
+                            let d_target = sample_dephase(p_deph_t, rng);
+                            let e_control = p_control.compose(d_control);
+                            let e_target = p_target.compose(d_target);
+                            *event = if reversed {
+                                (e_target, e_control)
+                            } else {
+                                (e_control, e_target)
+                            };
+                            any_error |= *event != (Pauli::I, Pauli::I);
+                        }
+                        if !any_error {
+                            scratch.relabel_swap(a, b);
+                        } else {
+                            // Exact semantics: each CNOT's sampled errors
+                            // injected right after it.
+                            for (k, &(ea, eb)) in events.iter().enumerate() {
+                                let (c, t) = if k == 1 { (b, a) } else { (a, b) };
+                                scratch.flush(c);
+                                scratch.flush(t);
+                                scratch.apply_cnot(c, t);
+                                scratch.fuse_pauli(a, ea);
+                                scratch.fuse_pauli(b, eb);
+                            }
+                        }
+                    }
+                },
+                TrialOp::GateNoise {
+                    qubit,
+                    p_depol,
+                    p_dephase,
+                } => {
+                    let depol = noise::depolarizing_1q(p_depol, rng);
+                    let dephase = sample_dephase(p_dephase, rng);
+                    scratch.fuse_pauli(qubit, depol.compose(dephase));
+                }
+                TrialOp::CnotNoise {
+                    control,
+                    target,
+                    p_depol,
+                    p_dephase_control,
+                    p_dephase_target,
+                } => {
+                    let (pc, pt) = noise::depolarizing_2q(p_depol, rng);
+                    let dc = sample_dephase(p_dephase_control, rng);
+                    let dt = sample_dephase(p_dephase_target, rng);
+                    scratch.fuse_pauli(control, pc.compose(dc));
+                    scratch.fuse_pauli(target, pt.compose(dt));
+                }
+                TrialOp::Measure {
+                    qubit,
+                    clbit,
+                    p_flip,
+                } => {
+                    scratch.flush(qubit);
+                    let slot = usize::from(scratch.perm[usize::from(qubit)]);
+                    let mut outcome = scratch.state.measure(slot, rng);
+                    if p_flip > 0.0 && rng.gen_bool(p_flip) {
+                        outcome = !outcome;
+                    }
+                    if outcome {
+                        clbits |= 1u64 << clbit;
+                    }
+                }
+                TrialOp::TerminalSample { ref measures } => {
+                    for &(qubit, _, _) in measures {
+                        scratch.flush(qubit);
+                    }
+                    let basis = scratch.state.sample_basis(rng);
+                    for &(qubit, clbit, p_flip) in measures {
+                        let mut outcome = basis >> scratch.perm[usize::from(qubit)] & 1 == 1;
+                        if p_flip > 0.0 && rng.gen_bool(p_flip) {
+                            outcome = !outcome;
+                        }
+                        if outcome {
+                            clbits |= 1u64 << clbit;
+                        }
+                    }
+                }
+            }
+        }
+        clbits
+    }
+
+    /// Derives the deterministic per-trial RNG for `(base_seed, trial)`.
+    /// Exposed so tests and tools can reproduce a single trial exactly.
+    pub fn trial_rng(base_seed: u64, trial: u32) -> StdRng {
+        StdRng::seed_from_u64(splitmix64(
+            base_seed ^ u64::from(trial).wrapping_mul(0x9e3779b9),
+        ))
+    }
+}
+
+/// Reusable per-worker trial state: the scratch [`StateVector`], the
+/// runtime-fusion accumulator (one pending 2×2 matrix per program qubit),
+/// and the program-qubit → state-slot permutation maintained by relabeling
+/// SWAPs. Allocate once via [`TrialProgram::make_scratch`], replay many
+/// trials through it.
+#[derive(Debug, Clone)]
+pub struct TrialScratch {
+    state: StateVector,
+    pending: Vec<Option<Matrix2>>,
+    /// `perm[program qubit] = state slot`. Identity until a SWAP relabels.
+    perm: Vec<u8>,
+}
+
+impl TrialScratch {
+    /// The state vector after the last replay. Pending (unmaterialized)
+    /// unitaries act only on qubits whose state is never observed again, so
+    /// the amplitudes reflect every measurement-relevant operation. Note
+    /// that relabeling SWAPs permute which *slot* holds which program
+    /// qubit; [`Self::slot_of`] exposes the mapping.
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+
+    /// The state-vector slot currently holding `program_qubit`.
+    pub fn slot_of(&self, program_qubit: usize) -> usize {
+        usize::from(self.perm[program_qubit])
+    }
+
+    fn reset(&mut self) {
+        self.state.reset();
+        self.pending.fill(None);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i as u8;
+        }
+    }
+
+    /// Composes `m` onto the pending matrix of `qubit` (applied after it).
+    fn fuse(&mut self, qubit: u8, m: &Matrix2) {
+        let slot = &mut self.pending[usize::from(qubit)];
+        *slot = Some(match slot.take() {
+            Some(old) => matmul(m, &old),
+            None => *m,
+        });
+    }
+
+    /// Composes a sampled Pauli error onto the pending matrix (identity is
+    /// free: no work at all).
+    fn fuse_pauli(&mut self, qubit: u8, pauli: Pauli) {
+        match pauli {
+            Pauli::I => {}
+            Pauli::X => self.fuse(qubit, &PAULI_X_MATRIX),
+            Pauli::Y => self.fuse(qubit, &PAULI_Y_MATRIX),
+            Pauli::Z => self.fuse(qubit, &PAULI_Z_MATRIX),
+        }
+    }
+
+    /// Materializes the pending matrix of `qubit` into its current slot.
+    fn flush(&mut self, qubit: u8) {
+        if let Some(matrix) = self.pending[usize::from(qubit)].take() {
+            self.state
+                .apply_matrix(usize::from(self.perm[usize::from(qubit)]), &matrix);
+        }
+    }
+
+    /// Applies a CNOT between the current slots of two program qubits.
+    fn apply_cnot(&mut self, control: u8, target: u8) {
+        self.state.apply_cnot(
+            usize::from(self.perm[usize::from(control)]),
+            usize::from(self.perm[usize::from(target)]),
+        );
+    }
+
+    /// Realizes a noiseless SWAP by exchanging the two program qubits'
+    /// slots — no state pass at all. Pending matrices are attached to the
+    /// content they transform, so they travel with the relabeling.
+    fn relabel_swap(&mut self, a: u8, b: u8) {
+        self.perm.swap(usize::from(a), usize::from(b));
+        self.pending.swap(usize::from(a), usize::from(b));
+    }
+}
+
+const PAULI_X_MATRIX: Matrix2 = [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO];
+const PAULI_Y_MATRIX: Matrix2 = [
+    Complex::ZERO,
+    Complex { re: 0.0, im: -1.0 },
+    Complex::I,
+    Complex::ZERO,
+];
+const PAULI_Z_MATRIX: Matrix2 = [
+    Complex::ONE,
+    Complex::ZERO,
+    Complex::ZERO,
+    Complex { re: -1.0, im: 0.0 },
+];
+
+/// Accumulates ops while fusing runs of single-qubit unitaries per qubit.
+struct Lowering {
+    ops: Vec<TrialOp>,
+    pending: Vec<Option<Matrix2>>,
+}
+
+impl Lowering {
+    /// Composes `m` onto the pending unitary of `qubit` (applied after it).
+    fn fuse(&mut self, qubit: u8, m: &Matrix2) {
+        let slot = &mut self.pending[usize::from(qubit)];
+        *slot = Some(match slot.take() {
+            Some(old) => matmul(m, &old),
+            None => *m,
+        });
+    }
+
+    /// Emits the pending unitary of `qubit`, if any.
+    fn flush(&mut self, qubit: u8) {
+        if let Some(matrix) = self.pending[usize::from(qubit)].take() {
+            self.ops.push(TrialOp::Unitary { qubit, matrix });
+        }
+    }
+}
+
+/// Row-major 2×2 product `a * b` (apply `b`, then `a`).
+fn matmul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// Sinks every measurement whose qubit is never referenced afterwards to
+/// the end of the program, folding two or more of them into one
+/// [`TrialOp::TerminalSample`].
+///
+/// A measurement commutes with every later op that does not reference its
+/// qubit (gates and noise on other qubits, and other sinkable
+/// measurements), so its measure-and-collapse pass can be replaced by one
+/// joint cumulative sample at the end. Any later reference blocks sinking:
+/// gates and noise would see the wrong (uncollapsed) state, and a SWAP
+/// relabels which content the qubit names. Qiskit-style executables that
+/// measure each logical qubit as soon as it is done benefit the most —
+/// every one of their measurements typically sinks.
+fn sink_measures(ops: &mut Vec<TrialOp>) {
+    let mut used_later = 0u32;
+    // Reverse program order: `used_later` holds the qubits referenced by
+    // ops later than the one being examined.
+    let mut kept_rev: Vec<TrialOp> = Vec::with_capacity(ops.len());
+    let mut sunk_rev: Vec<(u8, u8, f64)> = Vec::new();
+    for op in ops.drain(..).rev() {
+        if let TrialOp::Measure {
+            qubit,
+            clbit,
+            p_flip,
+        } = op
+        {
+            if used_later & (1u32 << qubit) == 0 {
+                // Note: the qubit is deliberately NOT marked as used — an
+                // earlier measurement of the same qubit may sink too, and
+                // joint sampling then assigns both clbits the same bit,
+                // exactly as measure-then-remeasure would.
+                sunk_rev.push((qubit, clbit, p_flip));
+                continue;
+            }
+        }
+        match op {
+            TrialOp::Unitary { qubit, .. } | TrialOp::GateNoise { qubit, .. } => {
+                used_later |= 1u32 << qubit;
+            }
+            TrialOp::Measure { qubit, .. } => {
+                used_later |= 1u32 << qubit;
+            }
+            TrialOp::Cnot { control, target }
+            | TrialOp::CnotNoise {
+                control, target, ..
+            } => {
+                used_later |= 1u32 << control | 1u32 << target;
+            }
+            TrialOp::Swap { a, b, .. } => {
+                used_later |= 1u32 << a | 1u32 << b;
+            }
+            TrialOp::TerminalSample { .. } => {
+                unreachable!("sinking runs before any terminal sample exists")
+            }
+        }
+        kept_rev.push(op);
+    }
+    kept_rev.reverse();
+    *ops = kept_rev;
+    sunk_rev.reverse();
+    match sunk_rev.len() {
+        0 => {}
+        1 => {
+            let (qubit, clbit, p_flip) = sunk_rev[0];
+            ops.push(TrialOp::Measure {
+                qubit,
+                clbit,
+                p_flip,
+            });
+        }
+        _ => ops.push(TrialOp::TerminalSample { measures: sunk_rev }),
+    }
+}
+
+fn sample_dephase(p: f64, rng: &mut StdRng) -> Pauli {
+    if p > 0.0 && rng.gen_bool(p) {
+        Pauli::Z
+    } else {
+        Pauli::I
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisq_ir::{Circuit, Qubit};
+
+    fn machine() -> Machine {
+        Machine::ibmq16_on_day(2, 0)
+    }
+
+    #[test]
+    fn ideal_lowering_fuses_single_qubit_runs() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).t(Qubit(0)).s(Qubit(0)).h(Qubit(1));
+        c.cnot(Qubit(0), Qubit(1));
+        c.measure_all();
+        let program = TrialProgram::lower(&c, &machine(), &NoiseModel::ideal());
+        // h/t/s on qubit 0 fuse to one unitary; h on qubit 1 is another; the
+        // CNOT and the terminal sample (both measures folded) follow: 4 ops
+        // total, and no noise ops.
+        let unitaries = program
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, TrialOp::Unitary { .. }))
+            .count();
+        assert_eq!(unitaries, 2, "ops: {:?}", program.ops());
+        assert_eq!(program.ops().len(), 4);
+        assert!(matches!(
+            program.ops().last(),
+            Some(TrialOp::TerminalSample { measures }) if measures.len() == 2
+        ));
+        assert!(!program
+            .ops()
+            .iter()
+            .any(|op| matches!(op, TrialOp::GateNoise { .. } | TrialOp::CnotNoise { .. })));
+    }
+
+    #[test]
+    fn cnot_readout_model_fuses_between_cnots() {
+        // Under the paper's first-order model there is no per-single-qubit
+        // noise, so runs of single-qubit gates between CNOTs fuse.
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).t(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.h(Qubit(0)).s(Qubit(0)).h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.measure_all();
+        let program = TrialProgram::lower(&c, &machine(), &NoiseModel::cnot_and_readout_only());
+        let unitaries = program
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, TrialOp::Unitary { .. }))
+            .count();
+        assert_eq!(unitaries, 2, "ops: {:?}", program.ops());
+        assert!(program
+            .ops()
+            .iter()
+            .any(|op| matches!(op, TrialOp::CnotNoise { .. })));
+        assert!(matches!(
+            program.ops().last(),
+            Some(TrialOp::TerminalSample { measures })
+                if measures.iter().all(|&(_, _, p_flip)| p_flip > 0.0)
+        ));
+    }
+
+    #[test]
+    fn full_noise_lowering_prefetches_probabilities() {
+        let m = machine();
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.measure_all();
+        let program = TrialProgram::lower(&c, &m, &NoiseModel::full());
+        for op in program.ops() {
+            match op {
+                TrialOp::GateNoise {
+                    p_depol, p_dephase, ..
+                } => {
+                    assert!(*p_depol > 0.0 && *p_depol < 1.0);
+                    assert!(*p_dephase > 0.0 && *p_dephase < 0.5);
+                }
+                TrialOp::CnotNoise { p_depol, .. } => {
+                    assert!(*p_depol > 0.0 && *p_depol < 1.0);
+                }
+                TrialOp::Measure { p_flip, .. } => {
+                    assert!(*p_flip > 0.0 && *p_flip < 1.0);
+                }
+                TrialOp::TerminalSample { measures } => {
+                    for &(_, _, p_flip) in measures {
+                        assert!(p_flip > 0.0 && p_flip < 1.0);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_compacts_onto_touched_qubits() {
+        let mut c = Circuit::with_clbits(16, 16);
+        c.h(Qubit(3));
+        c.cnot(Qubit(3), Qubit(7));
+        c.measure(Qubit(7), nisq_ir::Clbit(0));
+        let program = TrialProgram::lower(&c, &machine(), &NoiseModel::ideal());
+        assert_eq!(program.num_qubits(), 2);
+        assert_eq!(program.touched(), &[3, 7]);
+    }
+
+    #[test]
+    fn trailing_unmeasured_unitaries_are_dropped() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.measure(Qubit(0), nisq_ir::Clbit(0));
+        c.h(Qubit(1)); // dead: qubit 1 is never measured or entangled
+        let program = TrialProgram::lower(&c, &machine(), &NoiseModel::ideal());
+        assert!(
+            !program
+                .ops()
+                .iter()
+                .any(|op| matches!(op, TrialOp::Unitary { qubit, .. } if *qubit == 1)),
+            "ops: {:?}",
+            program.ops()
+        );
+    }
+
+    #[test]
+    fn fused_replay_matches_gate_by_gate_amplitudes() {
+        // The heart of the fusion correctness argument: replaying the fused
+        // ideal program produces the same amplitudes as applying every gate
+        // of the expanded circuit one by one.
+        let m = machine();
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)).t(Qubit(0)).s(Qubit(1)).h(Qubit(1));
+        c.cnot(Qubit(0), Qubit(1));
+        c.tdg(Qubit(1)).h(Qubit(2)).rz(Qubit(2), 0.4);
+        c.cnot(Qubit(1), Qubit(2));
+        c.h(Qubit(0)).h(Qubit(1)).h(Qubit(2));
+        // Trailing CNOTs flush every pending fused unitary (unflushed
+        // trailing unitaries are dead-gate-eliminated by design).
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(1), Qubit(2));
+        let program = TrialProgram::lower(&c, &m, &NoiseModel::ideal());
+
+        let mut scratch = program.make_scratch();
+        let mut rng = TrialProgram::trial_rng(0, 0);
+        // No measurements: replay applies only unitaries.
+        let _ = program.run_trial(&mut scratch, &mut rng);
+        let fused = scratch.state();
+
+        let mut naive = StateVector::new(3);
+        for gate in c.iter() {
+            match gate.kind() {
+                GateKind::Cnot => naive.apply_cnot(gate.qubits()[0].0, gate.qubits()[1].0),
+                kind => naive.apply_single(gate.qubits()[0].0, kind),
+            }
+        }
+        for (a, b) in fused.amplitudes().iter().zip(naive.amplitudes()) {
+            assert!((*a - *b).norm_sqr() < 1e-20, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn trial_rng_is_deterministic_per_trial() {
+        use rand::RngCore;
+        let mut a = TrialProgram::trial_rng(9, 3);
+        let mut b = TrialProgram::trial_rng(9, 3);
+        let mut c = TrialProgram::trial_rng(9, 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the machine")]
+    fn rejects_out_of_machine_qubits() {
+        let mut c = Circuit::new(32);
+        c.h(Qubit(31));
+        let _ = TrialProgram::lower(&c, &machine(), &NoiseModel::ideal());
+    }
+}

@@ -16,6 +16,22 @@ impl SimulationResult {
         SimulationResult { counts, trials }
     }
 
+    /// Creates a result from `u64`-bit-packed outcome counts (bit `i` of a
+    /// key is classical bit `i`), the aggregation format of the simulator's
+    /// hot loop. Unpacking happens once per *distinct* outcome, not per
+    /// trial.
+    pub fn from_bitpacked(counts: impl IntoIterator<Item = (u64, u32)>, num_clbits: usize) -> Self {
+        assert!(num_clbits <= 64, "bit-packed outcomes hold at most 64 bits");
+        let unpacked: BTreeMap<Vec<bool>, u32> = counts
+            .into_iter()
+            .map(|(key, count)| {
+                let bits: Vec<bool> = (0..num_clbits).map(|i| key >> i & 1 == 1).collect();
+                (bits, count)
+            })
+            .collect();
+        SimulationResult::new(unpacked)
+    }
+
     /// Total number of trials.
     pub fn trials(&self) -> u32 {
         self.trials
@@ -52,7 +68,12 @@ impl SimulationResult {
 
 impl fmt::Display for SimulationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} trials, {} distinct outcomes", self.trials, self.counts.len())?;
+        writeln!(
+            f,
+            "{} trials, {} distinct outcomes",
+            self.trials,
+            self.counts.len()
+        )?;
         for (bits, count) in &self.counts {
             let s: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
             writeln!(f, "  {s}: {count}")?;
@@ -86,6 +107,15 @@ mod tests {
         let r = sample();
         assert_eq!(r.most_frequent(), Some([true, true].as_slice()));
         assert_eq!(r.distinct_outcomes(), 3);
+    }
+
+    #[test]
+    fn bitpacked_counts_unpack_little_endian() {
+        // 0b01 -> [true, false], 0b10 -> [false, true].
+        let r = SimulationResult::from_bitpacked([(0b01u64, 3u32), (0b10, 7)], 2);
+        assert_eq!(r.trials(), 10);
+        assert_eq!(r.counts().get(&vec![true, false]), Some(&3));
+        assert_eq!(r.counts().get(&vec![false, true]), Some(&7));
     }
 
     #[test]

@@ -1,12 +1,17 @@
-use crate::noise::{self, NoiseModel, Pauli};
+use crate::noise::NoiseModel;
+use crate::program::TrialProgram;
 use crate::result::SimulationResult;
-use crate::state::StateVector;
 use nisq_core::CompiledCircuit;
-use nisq_ir::{Circuit, GateKind};
-use nisq_machine::{HwQubit, Machine};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeMap;
+use nisq_ir::Circuit;
+use nisq_machine::Machine;
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// Trials per parallel work unit. Fixed (instead of `trials / threads`) so
+/// the partition of trials into chunks — and therefore every per-trial RNG
+/// stream — is independent of the thread count; merging counts is
+/// commutative, so results are bit-for-bit thread-count invariant.
+const TRIAL_CHUNK: u32 = 256;
 
 /// Configuration of a multi-trial noisy simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,18 +66,17 @@ impl SimulatorConfig {
 /// [`nisq_core::Compiler::compile`]). The simulator only allocates state for
 /// the qubits the circuit actually touches, so even executables for large
 /// machines simulate quickly as long as the program itself is small.
+///
+/// Internally, `run` lowers the circuit **once** into a [`TrialProgram`]
+/// (pre-resolved indices, pre-fetched calibration data, fused unitaries —
+/// see [`crate::program`]) and then replays that flat program for every
+/// trial; callers that simulate the same executable repeatedly can lower
+/// once themselves via [`Simulator::prepare`] and pass the program to
+/// [`Simulator::run_program`].
 #[derive(Debug, Clone)]
 pub struct Simulator<'m> {
     machine: &'m Machine,
     config: SimulatorConfig,
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
 }
 
 impl<'m> Simulator<'m> {
@@ -86,6 +90,17 @@ impl<'m> Simulator<'m> {
         &self.config
     }
 
+    /// Lowers a physical circuit into a replayable trial program under this
+    /// simulator's noise model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit references qubits outside the machine or uses
+    /// more than 64 classical bits.
+    pub fn prepare(&self, physical: &Circuit) -> TrialProgram {
+        TrialProgram::lower(physical, self.machine, &self.config.noise)
+    }
+
     /// Runs the configured number of trials of a physical circuit and
     /// aggregates the measured bit-strings.
     ///
@@ -93,71 +108,48 @@ impl<'m> Simulator<'m> {
     ///
     /// Panics if the circuit references qubits outside the machine.
     pub fn run(&self, physical: &Circuit) -> SimulationResult {
-        let expanded = physical.expand_swaps();
-        assert!(
-            expanded.num_qubits() <= self.machine.num_qubits()
-                || expanded
-                    .iter()
-                    .all(|g| g.qubits().iter().all(|q| q.0 < self.machine.num_qubits())),
-            "circuit uses qubits outside the machine"
-        );
+        self.run_program(&self.prepare(physical))
+    }
 
-        // Compact the circuit onto the qubits it actually touches.
-        let mut touched: Vec<usize> = expanded
-            .iter()
-            .flat_map(|g| g.qubits().iter().map(|q| q.0))
-            .collect();
-        touched.sort_unstable();
-        touched.dedup();
-        let mut compact = vec![usize::MAX; expanded.num_qubits().max(self.machine.num_qubits())];
-        for (i, &hw) in touched.iter().enumerate() {
-            compact[hw] = i;
-        }
-
+    /// Runs the configured number of trials of an already-lowered program.
+    ///
+    /// Trials are partitioned into fixed-size chunks processed in parallel;
+    /// each worker reuses one scratch [`StateVector`] across its trials and
+    /// aggregates bit-packed outcomes into a hash map with no per-trial
+    /// allocation. Results are bit-for-bit deterministic for a seed and
+    /// independent of the thread count.
+    pub fn run_program(&self, program: &TrialProgram) -> SimulationResult {
         let trials = self.config.trials;
         let threads = self.config.threads.max(1);
-        let chunk = trials.div_ceil(threads as u32).max(1);
+        let seed = self.config.seed;
 
-        let mut counts: BTreeMap<Vec<bool>, u32> = BTreeMap::new();
-        if threads == 1 || trials < 64 {
-            for trial in 0..trials {
-                let bits = self.run_one_trial(&expanded, &touched, &compact, trial);
-                *counts.entry(bits).or_insert(0) += 1;
-            }
+        let counts: FxHashMap<u64, u32> = if threads == 1 || trials <= TRIAL_CHUNK {
+            simulate_chunk(program, seed, 0, trials)
         } else {
-            let partials = crossbeam::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads as u32 {
-                    let start = t * chunk;
-                    let end = ((t + 1) * chunk).min(trials);
-                    if start >= end {
-                        break;
-                    }
-                    let expanded = &expanded;
-                    let touched = &touched;
-                    let compact = &compact;
-                    handles.push(scope.spawn(move |_| {
-                        let mut local: BTreeMap<Vec<bool>, u32> = BTreeMap::new();
-                        for trial in start..end {
-                            let bits = self.run_one_trial(expanded, touched, compact, trial);
-                            *local.entry(bits).or_insert(0) += 1;
-                        }
-                        local
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("simulation worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("simulation scope panicked");
+            let chunks: Vec<(u32, u32)> = (0..trials.div_ceil(TRIAL_CHUNK))
+                .map(|c| (c * TRIAL_CHUNK, ((c + 1) * TRIAL_CHUNK).min(trials)))
+                .collect();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("building the trial thread pool cannot fail");
+            let partials: Vec<FxHashMap<u64, u32>> = pool.install(|| {
+                chunks
+                    .into_par_iter()
+                    .map(|(start, end)| simulate_chunk(program, seed, start, end))
+                    .collect()
+            });
+            // Count merging is commutative, so the final map does not
+            // depend on chunk completion order.
+            let mut merged = FxHashMap::default();
             for partial in partials {
-                for (bits, count) in partial {
-                    *counts.entry(bits).or_insert(0) += count;
+                for (key, count) in partial {
+                    *merged.entry(key).or_insert(0) += count;
                 }
             }
-        }
-        SimulationResult::new(counts)
+            merged
+        };
+        SimulationResult::from_bitpacked(counts, program.num_clbits())
     }
 
     /// Runs the circuit without any noise (regardless of the configured
@@ -177,105 +169,22 @@ impl<'m> Simulator<'m> {
     /// fraction of trials that produced `expected` — the paper's success
     /// rate.
     pub fn success_rate(&self, compiled: &CompiledCircuit, expected: &[bool]) -> f64 {
-        self.run(compiled.physical_circuit()).probability_of(expected)
-    }
-
-    fn run_one_trial(
-        &self,
-        expanded: &Circuit,
-        touched: &[usize],
-        compact: &[usize],
-        trial: u32,
-    ) -> Vec<bool> {
-        let calibration = self.machine.calibration();
-        let noise_model = self.config.noise;
-        let mut rng = StdRng::seed_from_u64(splitmix64(
-            self.config.seed ^ (u64::from(trial)).wrapping_mul(0x9e3779b9),
-        ));
-        let mut state = StateVector::new(touched.len());
-        let mut clbits = vec![false; expanded.num_clbits()];
-
-        let mean_cnot_error = calibration.mean_cnot_error();
-        let single_slots = calibration.durations.single_qubit_slots;
-
-        for gate in expanded.iter() {
-            match gate.kind() {
-                GateKind::Cnot => {
-                    let hw_a = gate.qubits()[0].0;
-                    let hw_b = gate.qubits()[1].0;
-                    let (ca, cb) = (compact[hw_a], compact[hw_b]);
-                    state.apply_cnot(ca, cb);
-                    if noise_model.cnot_noise {
-                        let p = calibration
-                            .cnot_error(HwQubit(hw_a), HwQubit(hw_b))
-                            .unwrap_or(mean_cnot_error);
-                        let (pa, pb) = noise::depolarizing_2q(p, &mut rng);
-                        apply_pauli(&mut state, ca, pa);
-                        apply_pauli(&mut state, cb, pb);
-                    }
-                    if noise_model.decoherence {
-                        let slots = calibration
-                            .durations
-                            .cnot(nisq_machine::EdgeId::new(HwQubit(hw_a), HwQubit(hw_b)))
-                            .unwrap_or(4);
-                        for (hw, c) in [(hw_a, ca), (hw_b, cb)] {
-                            let pauli = noise::sample_decoherence_error(
-                                calibration,
-                                HwQubit(hw),
-                                slots,
-                                &mut rng,
-                            );
-                            apply_pauli(&mut state, c, pauli);
-                        }
-                    }
-                }
-                GateKind::Swap => {
-                    // expand_swaps() removes these; kept for robustness.
-                    let a = compact[gate.qubits()[0].0];
-                    let b = compact[gate.qubits()[1].0];
-                    state.apply_swap(a, b);
-                }
-                GateKind::Measure => {
-                    let hw = gate.qubits()[0].0;
-                    let c = compact[hw];
-                    let mut outcome = state.measure(c, &mut rng);
-                    if noise_model.readout_noise
-                        && noise::sample_readout_flip(calibration, HwQubit(hw), &mut rng)
-                    {
-                        outcome = !outcome;
-                    }
-                    clbits[gate.clbits()[0].0] = outcome;
-                }
-                GateKind::Barrier => {}
-                kind => {
-                    let hw = gate.qubits()[0].0;
-                    let c = compact[hw];
-                    state.apply_single(c, kind);
-                    if noise_model.single_qubit_noise {
-                        let pauli =
-                            noise::sample_single_qubit_error(calibration, HwQubit(hw), &mut rng);
-                        apply_pauli(&mut state, c, pauli);
-                    }
-                    if noise_model.decoherence {
-                        let pauli = noise::sample_decoherence_error(
-                            calibration,
-                            HwQubit(hw),
-                            single_slots,
-                            &mut rng,
-                        );
-                        apply_pauli(&mut state, c, pauli);
-                    }
-                }
-            }
-        }
-        clbits
+        self.run(compiled.physical_circuit())
+            .probability_of(expected)
     }
 }
 
-fn apply_pauli(state: &mut StateVector, qubit: usize, pauli: Pauli) {
-    if let Some(kind) = pauli.gate_kind() {
-        state.apply_single(qubit, kind);
+/// Simulates trials `[start, end)` with one scratch state, returning
+/// bit-packed outcome counts.
+fn simulate_chunk(program: &TrialProgram, seed: u64, start: u32, end: u32) -> FxHashMap<u64, u32> {
+    let mut scratch = program.make_scratch();
+    let mut local: FxHashMap<u64, u32> = FxHashMap::default();
+    for trial in start..end {
+        let mut rng = TrialProgram::trial_rng(seed, trial);
+        let key = program.run_trial(&mut scratch, &mut rng);
+        *local.entry(key).or_insert(0) += 1;
     }
+    local
 }
 
 #[cfg(test)]
@@ -313,7 +222,12 @@ mod tests {
         let sim = Simulator::new(&m, SimulatorConfig::ideal(32));
         for config in CompilerConfig::table1() {
             let compiler = Compiler::new(&m, config);
-            for b in [Benchmark::Bv4, Benchmark::Toffoli, Benchmark::Adder, Benchmark::Hs4] {
+            for b in [
+                Benchmark::Bv4,
+                Benchmark::Toffoli,
+                Benchmark::Adder,
+                Benchmark::Hs4,
+            ] {
                 let compiled = compiler.compile(&b.circuit()).unwrap();
                 let result = sim.run(compiled.physical_circuit());
                 assert!(
@@ -355,12 +269,29 @@ mod tests {
         let compiled = Compiler::new(&m, CompilerConfig::greedy_v())
             .compile(&Benchmark::Peres.circuit())
             .unwrap();
-        let mut cfg = SimulatorConfig::with_trials(256, 4);
+        // 2050 trials spans multiple chunks with a ragged tail, exercising
+        // the partition logic rather than just the serial path.
+        let mut cfg = SimulatorConfig::with_trials(2050, 4);
         cfg.threads = 1;
         let serial = Simulator::new(&m, cfg).run(compiled.physical_circuit());
-        cfg.threads = 4;
-        let parallel = Simulator::new(&m, cfg).run(compiled.physical_circuit());
-        assert_eq!(serial, parallel);
+        for threads in [2, 3, 4, 7] {
+            cfg.threads = threads;
+            let parallel = Simulator::new(&m, cfg).run(compiled.physical_circuit());
+            assert_eq!(serial, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn prepared_program_reuse_matches_run() {
+        let m = machine();
+        let compiled = Compiler::new(&m, CompilerConfig::greedy_e())
+            .compile(&Benchmark::Hs4.circuit())
+            .unwrap();
+        let sim = Simulator::new(&m, SimulatorConfig::with_trials(512, 11));
+        let program = sim.prepare(compiled.physical_circuit());
+        let via_program = sim.run_program(&program);
+        let via_run = sim.run(compiled.physical_circuit());
+        assert_eq!(via_program, via_run);
     }
 
     #[test]

@@ -16,9 +16,12 @@ fn main() {
     // objective, then reused all week (what T-SMT* effectively does, since
     // topology and durations barely change).
     let day0 = Machine::ibmq16_on_day(2019, 0);
-    let static_compiled = Compiler::new(&day0, CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths))
-        .compile(&circuit)
-        .expect("Toffoli fits on IBMQ16");
+    let static_compiled = Compiler::new(
+        &day0,
+        CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+    )
+    .compile(&circuit)
+    .expect("Toffoli fits on IBMQ16");
 
     println!("Daily recompilation study for {benchmark} over {days} days (4096 trials/day)\n");
     println!(
@@ -29,7 +32,10 @@ fn main() {
     let mut adaptive_total = 0.0;
     for day in 0..days {
         let machine = Machine::ibmq16_on_day(2019, day);
-        let simulator = Simulator::new(&machine, SimulatorConfig::with_trials(4096, 90 + day as u64));
+        let simulator = Simulator::new(
+            &machine,
+            SimulatorConfig::with_trials(4096, 90 + day as u64),
+        );
 
         // The noise-adaptive flow recompiles against today's calibration.
         let adaptive = Compiler::new(&machine, CompilerConfig::r_smt_star(0.5))
@@ -40,7 +46,10 @@ fn main() {
         let adaptive_success = simulator.success_rate(&adaptive, &expected);
         static_total += static_success;
         adaptive_total += adaptive_success;
-        println!("{:<6} {:>16.3} {:>16.3}", day, static_success, adaptive_success);
+        println!(
+            "{:<6} {:>16.3} {:>16.3}",
+            day, static_success, adaptive_success
+        );
     }
     println!(
         "\nWeek average: static {:.3}, noise-adaptive {:.3} ({:.2}x)",

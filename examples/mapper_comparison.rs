@@ -7,7 +7,9 @@
 use nisq::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Toffoli".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Toffoli".to_string());
     let benchmark = Benchmark::all()
         .into_iter()
         .find(|b| b.name().eq_ignore_ascii_case(&name))

@@ -1,0 +1,317 @@
+//! Offline stand-in for `criterion`.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the benchmark-facing API its benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_with_input`,
+//! `bench_function`, `BenchmarkId`, `black_box`) backed by a simple
+//! wall-clock harness: per sample it runs a batch of iterations sized so a
+//! sample takes roughly a millisecond or more, collects `sample_size`
+//! samples bounded by `measurement_time`, and reports min/median/mean
+//! nanoseconds per iteration on stdout.
+//!
+//! No statistical outlier analysis, HTML reports, or baseline storage —
+//! `nisq-bench` keeps its own JSON baselines (see `BENCH_sim.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Summary of one benchmark's samples, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sampled {
+    /// Fastest observed sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean across samples.
+    pub mean_ns: f64,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors criterion's CLI configuration hook; the shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Display, routine: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        let time = self.measurement_time;
+        run_and_report("", &id.to_string(), sample_size, time, routine);
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Bounds the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_and_report(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_and_report(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            routine,
+        );
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; this mirrors the API).
+    pub fn finish(self) {}
+}
+
+fn run_and_report(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_time,
+        samples_ns: Vec::new(),
+    };
+    routine(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match bencher.summary() {
+        Some(s) => println!(
+            "bench: {label:<60} min {} med {} mean {}",
+            format_ns(s.min_ns),
+            format_ns(s.median_ns),
+            format_ns(s.mean_ns),
+        ),
+        None => println!("bench: {label:<60} (no samples — routine never called iter)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collects timing samples for one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: warms up briefly, sizes iteration batches so each
+    /// sample is long enough to time reliably, then records samples until
+    /// the sample count or the time budget is reached.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and batch sizing: target ~1 ms or more per sample.
+        let warmup_start = Instant::now();
+        black_box(f());
+        let first_iter = warmup_start.elapsed();
+        let batch = if first_iter >= Duration::from_millis(1) {
+            1
+        } else {
+            let per_iter_ns = first_iter.as_nanos().max(20) as u64;
+            (1_000_000 / per_iter_ns).clamp(1, 1_000_000)
+        };
+
+        let started = Instant::now();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        while samples.len() < self.sample_size {
+            let sample_start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = sample_start.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            if started.elapsed() > self.measurement_time && samples.len() >= 2 {
+                break;
+            }
+        }
+        self.samples_ns = samples;
+    }
+
+    /// The summary of the last `iter` call, if any.
+    pub fn summary(&self) -> Option<Sampled> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        Some(Sampled {
+            min_ns: sorted[0],
+            median_ns: sorted[sorted.len() / 2],
+            mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        })
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(200),
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(40 + 2));
+        let s = b.summary().expect("samples were collected");
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for `rayon`.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the slice of the rayon API the simulator uses: `Vec::into_par_iter
+//! ().map(f).collect()` plus a `ThreadPoolBuilder`/`ThreadPool::install`
+//! pair that bounds worker-thread count for the closure it runs.
+//!
+//! Semantics guaranteed (and relied on by the simulator's determinism
+//! tests): the mapped results are collected **in input order**, and the
+//! worker-thread count never affects which element is mapped with which
+//! input — only wall-clock speed. Work is split into contiguous chunks,
+//! one `std::thread::scope` thread per chunk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    POOL_LIMIT
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+/// Error type mirroring rayon's `ThreadPoolBuildError` (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of worker threads (0 means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self
+                .num_threads
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        })
+    }
+}
+
+/// A handle bounding worker-thread count for closures run via
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing parallel operations
+    /// invoked inside it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_LIMIT.with(|limit| limit.replace(Some(self.num_threads)));
+        let result = f();
+        POOL_LIMIT.with(|limit| limit.set(previous));
+        result
+    }
+
+    /// The pool's worker-thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Parallel-iterator entry points, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into the shim's parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// An owned, order-preserving parallel iterator over a `Vec`.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The operations available on the shim's parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Maps every element through `f` in parallel, preserving input order.
+    fn map<R, F>(self, f: F) -> ParMap<Self::Item, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, executed by [`ParMap::collect`].
+#[derive(Debug)]
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    /// Executes the map across worker threads and collects the results in
+    /// input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+        C: FromIterator<R>,
+    {
+        let ParMap { items, f } = self;
+        let threads = crate::current_num_threads().min(items.len()).max(1);
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_len = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(chunk_len.min(items.len()));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let f = &f;
+        let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map worker panicked"))
+                .collect()
+        });
+        mapped.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let seen = pool.install(super::current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(super::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let input: Vec<u64> = (0..257).collect();
+        let run = |threads: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| input.clone().into_par_iter().map(|x| x * x).collect())
+        };
+        assert_eq!(run(1), run(7));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! This build environment has no access to crates.io. The workspace only
+//! *annotates* types with `#[derive(Serialize, Deserialize)]` today — no
+//! code path serializes — so this shim supplies the two trait names and
+//! no-op derive macros, keeping the source identical to what it would be
+//! against the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline `serde`
+//! shim. Nothing in this workspace serializes yet — the derives exist so
+//! that types can keep their upstream-compatible `#[derive(Serialize,
+//! Deserialize)]` attributes, making the eventual switch to the real crate
+//! a manifest-only change.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

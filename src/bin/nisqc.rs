@@ -264,7 +264,14 @@ mod tests {
 
     #[test]
     fn every_documented_mapper_name_is_accepted() {
-        for name in ["qiskit", "t-smt", "t-smt-star", "r-smt-star", "greedy-v", "greedy-e"] {
+        for name in [
+            "qiskit",
+            "t-smt",
+            "t-smt-star",
+            "r-smt-star",
+            "greedy-v",
+            "greedy-e",
+        ] {
             assert!(config_for(name, 0.5).is_ok(), "{name}");
         }
     }

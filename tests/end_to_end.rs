@@ -38,10 +38,9 @@ fn every_configuration_produces_runnable_executables_for_every_benchmark() {
             // And it must respect the machine's connectivity.
             for gate in compiled.physical_circuit().expand_swaps().iter() {
                 if gate.is_two_qubit() {
-                    assert!(m.topology().adjacent(
-                        HwQubit(gate.qubits()[0].0),
-                        HwQubit(gate.qubits()[1].0)
-                    ));
+                    assert!(m
+                        .topology()
+                        .adjacent(HwQubit(gate.qubits()[0].0), HwQubit(gate.qubits()[1].0)));
                 }
             }
         }
@@ -102,7 +101,9 @@ fn zero_swap_benchmarks_are_more_reliable_than_swap_heavy_ones() {
     let mut no_move = Vec::new();
     let mut movers = Vec::new();
     for benchmark in Benchmark::all() {
-        let compiled = Compiler::new(&m, config).compile(&benchmark.circuit()).unwrap();
+        let compiled = Compiler::new(&m, config)
+            .compile(&benchmark.circuit())
+            .unwrap();
         let s = Simulator::new(&m, SimulatorConfig::with_trials(TRIALS, 2))
             .success_rate(&compiled, &benchmark.expected_output());
         if compiled.swap_count() == 0 {
@@ -174,11 +175,13 @@ fn compile_time_of_greedy_is_far_below_the_exact_solver_on_large_circuits() {
     let circuit = random_circuit(RandomCircuitConfig::new(16, 192, 3));
 
     let start = Instant::now();
-    Compiler::new(&m, CompilerConfig::greedy_e()).compile(&circuit).unwrap();
+    Compiler::new(&m, CompilerConfig::greedy_e())
+        .compile(&circuit)
+        .unwrap();
     let greedy = start.elapsed();
 
-    let exact_config = CompilerConfig::r_smt_star(0.5)
-        .with_solver_budget(u64::MAX, Some(Duration::from_secs(3)));
+    let exact_config =
+        CompilerConfig::r_smt_star(0.5).with_solver_budget(u64::MAX, Some(Duration::from_secs(3)));
     let start = Instant::now();
     Compiler::new(&m, exact_config).compile(&circuit).unwrap();
     let exact = start.elapsed();
