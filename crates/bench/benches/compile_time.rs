@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nisq_bench::{ibmq16_on_day, machine_with_qubits};
-use nisq_core::{Compiler, CompilerConfig, RoutingPolicy};
+use nisq_core::{Compiler, CompilerConfig, RouteSelection};
 use nisq_ir::{random_circuit, Benchmark, RandomCircuitConfig};
 use std::time::Duration;
 
@@ -20,7 +20,7 @@ fn bench_paper_benchmarks(c: &mut Criterion) {
             ("qiskit", CompilerConfig::qiskit()),
             (
                 "t_smt_star",
-                CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+                CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
             ),
             ("r_smt_star", CompilerConfig::r_smt_star(0.5)),
             ("greedy_e", CompilerConfig::greedy_e()),

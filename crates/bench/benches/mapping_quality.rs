@@ -7,7 +7,7 @@ use nisq_bench::ibmq16_on_day;
 use nisq_ir::Benchmark;
 use nisq_opt::{
     problem, solve_annealing, solve_branch_and_bound, AnnealConfig, MappingObjective,
-    RoutingPolicy, SolverConfig,
+    RouteSelection, SolverConfig,
 };
 use std::time::Duration;
 
@@ -23,7 +23,7 @@ fn bench_solvers(c: &mut Criterion) {
             &circuit,
             &machine,
             MappingObjective::Reliability { omega: 0.5 },
-            RoutingPolicy::OneBendPaths,
+            RouteSelection::OneBendPaths,
         )
         .unwrap();
         group.bench_with_input(

@@ -6,8 +6,18 @@
 //! records the **best** observed trials/second (best-of-N is robust against
 //! scheduler noise on shared machines).
 //!
-//! Usage: `cargo run --release --bin bench_sim_baseline [output-path]`
-//! (default output: `BENCH_sim.json` in the current directory).
+//! Usage:
+//!
+//! ```text
+//! bench_sim_baseline [output-path]                    # write a snapshot
+//! bench_sim_baseline [output-path] --check <baseline> # ...and ratchet
+//!                    [--max-regress <fraction>]       #    (default 0.20)
+//! ```
+//!
+//! With `--check`, every measured configuration's `best_trials_per_sec` is
+//! compared against the checked-in baseline; the process exits non-zero if
+//! any configuration regresses by more than the allowed fraction (the CI
+//! ratchet of the roadmap). Improvements are reported but never fail.
 
 use nisq_bench::ibmq16_on_day;
 use nisq_core::{Compiler, CompilerConfig};
@@ -62,10 +72,119 @@ fn measure(
     }
 }
 
+/// Extracts `(benchmark, compiler, best_trials_per_sec)` triples from a
+/// baseline file written by this binary (hand-rolled parse: the workspace
+/// has no serde_json offline).
+fn parse_baseline(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"benchmark\"") {
+            continue;
+        }
+        let field = |key: &str| -> Option<&str> {
+            let tag = format!("\"{key}\": ");
+            let start = line.find(&tag)? + tag.len();
+            let rest = &line[start..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].trim().trim_matches('"'))
+        };
+        if let (Some(b), Some(c), Some(rate)) = (
+            field("benchmark"),
+            field("compiler"),
+            field("best_trials_per_sec").and_then(|v| v.parse::<f64>().ok()),
+        ) {
+            out.push((b.to_string(), c.to_string(), rate));
+        }
+    }
+    out
+}
+
+/// Compares fresh measurements against a baseline; returns the number of
+/// configurations that regressed beyond `max_regress` plus the number of
+/// baseline rows no measurement covers (so renaming or dropping a
+/// configuration cannot silently disable its guard).
+fn ratchet(
+    measurements: &[Measurement],
+    baseline: &[(String, String, f64)],
+    max_regress: f64,
+) -> usize {
+    let mut regressions = 0;
+    for (b, c, _) in baseline {
+        if !measurements
+            .iter()
+            .any(|m| m.benchmark == *b && m.compiler == *c)
+        {
+            println!("  {b:>8} / {c:<10} in baseline but NOT MEASURED — update BENCH_sim.json");
+            regressions += 1;
+        }
+    }
+    for m in measurements {
+        let Some((_, _, base)) = baseline
+            .iter()
+            .find(|(b, c, _)| b == m.benchmark && c == m.compiler)
+        else {
+            println!(
+                "  {:>8} / {:<10} not in baseline (new measurement, ok)",
+                m.benchmark, m.compiler
+            );
+            continue;
+        };
+        let ratio = m.best_trials_per_sec / base;
+        let verdict = if ratio < 1.0 - max_regress {
+            regressions += 1;
+            "REGRESSED"
+        } else if ratio > 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:>8} / {:<10} baseline {:>10.0}  now {:>10.0}  ({:+.1}%)  {}",
+            m.benchmark,
+            m.compiler,
+            base,
+            m.best_trials_per_sec,
+            (ratio - 1.0) * 100.0,
+            verdict
+        );
+    }
+    regressions
+}
+
 fn main() {
-    let output = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| String::from("BENCH_sim.json"));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut output = String::from("BENCH_sim.json");
+    let mut check: Option<String> = None;
+    let mut max_regress = 0.20f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                check = Some(
+                    args.get(i + 1)
+                        .expect("--check needs a baseline path")
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--max-regress" => {
+                max_regress = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regress needs a fraction, e.g. 0.2");
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}; see the doc comment for usage");
+                std::process::exit(2);
+            }
+            other => {
+                output = other.to_string();
+                i += 1;
+            }
+        }
+    }
 
     let measurements = vec![
         measure(Benchmark::Bv8, "qiskit", CompilerConfig::qiskit()),
@@ -107,5 +226,28 @@ fn main() {
             "  {:>8} / {:<10} {:>6} gates  best {:>10.0} trials/s  mean {:>10.0} trials/s",
             m.benchmark, m.compiler, m.gates, m.best_trials_per_sec, m.mean_trials_per_sec
         );
+    }
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline = parse_baseline(&text);
+        assert!(
+            !baseline.is_empty(),
+            "baseline {baseline_path} contains no measurements"
+        );
+        println!(
+            "\nratchet against {baseline_path} (allowed regression {:.0}%):",
+            max_regress * 100.0
+        );
+        let regressions = ratchet(&measurements, &baseline, max_regress);
+        if regressions > 0 {
+            eprintln!(
+                "{regressions} configuration(s) regressed more than {:.0}%",
+                max_regress * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("ratchet passed");
     }
 }

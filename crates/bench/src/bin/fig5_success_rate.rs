@@ -6,7 +6,7 @@
 //! preserve that ordering and a comparable improvement factor.
 
 use nisq_bench::{fmt3, format_table, geomean, ibmq16_on_day, run_benchmark, DEFAULT_TRIALS};
-use nisq_core::{CompilerConfig, RoutingPolicy};
+use nisq_core::{CompilerConfig, RouteSelection};
 use nisq_ir::Benchmark;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
         ("Qiskit", CompilerConfig::qiskit()),
         (
             "T-SMT*",
-            CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+            CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
         ),
         ("R-SMT* w=0.5", CompilerConfig::r_smt_star(0.5)),
     ];

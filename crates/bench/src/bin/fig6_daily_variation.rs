@@ -2,7 +2,7 @@
 //! and Toffoli, recompiling every day with that day's calibration data.
 
 use nisq_bench::{fmt3, format_table, ibmq16_on_day, run_benchmark};
-use nisq_core::{CompilerConfig, RoutingPolicy};
+use nisq_core::{CompilerConfig, RouteSelection};
 use nisq_ir::Benchmark;
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
         for benchmark in Benchmark::representative() {
             let t = run_benchmark(
                 &machine,
-                CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+                CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
                 benchmark,
                 trials,
                 100 + day as u64,

@@ -4,7 +4,7 @@
 //! ablation called out in DESIGN.md.
 
 use nisq_bench::{fmt3, format_table, ibmq16_on_day, run_benchmark};
-use nisq_core::{CompilerConfig, RoutingPolicy};
+use nisq_core::{CompilerConfig, RouteSelection};
 use nisq_ir::Benchmark;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     let configs = [
         (
             "T-SMT*".to_string(),
-            CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+            CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
         ),
         ("R-SMT* w=1".to_string(), CompilerConfig::r_smt_star(1.0)),
         ("R-SMT* w=0".to_string(), CompilerConfig::r_smt_star(0.0)),

@@ -3,7 +3,7 @@
 //! hardware resources they use.
 
 use nisq_bench::ibmq16_on_day;
-use nisq_core::{Compiler, CompilerConfig, RoutingPolicy};
+use nisq_core::{Compiler, CompilerConfig, RouteSelection};
 use nisq_ir::{Benchmark, Qubit};
 use nisq_machine::HwQubit;
 
@@ -15,7 +15,7 @@ fn main() {
         ("(a) Qiskit", CompilerConfig::qiskit()),
         (
             "(b) T-SMT*: optimize duration without error data",
-            CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+            CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
         ),
         (
             "(c) R-SMT* (w=1): optimize readout reliability",
@@ -30,10 +30,11 @@ fn main() {
     println!("Figure 8: BV4 mappings on the day-0 calibration\n");
     println!("Hardware layout (readout error x10^-2 in each cell):");
     let calibration = machine.calibration();
-    for y in 0..machine.topology().my() {
-        let row: Vec<String> = (0..machine.topology().mx())
+    let grid = machine.topology().as_grid().expect("IBMQ16 is grid-shaped");
+    for y in 0..grid.my() {
+        let row: Vec<String> = (0..grid.mx())
             .map(|x| {
-                let q = machine.topology().at(x, y);
+                let q = grid.at(x, y);
                 format!("Q{:<2}({:>4.1})", q.0, calibration.readout_error(q) * 100.0)
             })
             .collect();

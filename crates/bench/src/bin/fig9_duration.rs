@@ -4,7 +4,7 @@
 //! durations for the final duration report.
 
 use nisq_bench::{format_table, geomean, ibmq16_on_day};
-use nisq_core::{Compiler, CompilerConfig, RoutingPolicy};
+use nisq_core::{Compiler, CompilerConfig, RouteSelection};
 use nisq_ir::Benchmark;
 
 fn main() {
@@ -12,15 +12,15 @@ fn main() {
     let configs = [
         (
             "T-SMT RR",
-            CompilerConfig::t_smt(RoutingPolicy::RectangleReservation),
+            CompilerConfig::t_smt(RouteSelection::RectangleReservation),
         ),
         (
             "T-SMT* RR",
-            CompilerConfig::t_smt_star(RoutingPolicy::RectangleReservation),
+            CompilerConfig::t_smt_star(RouteSelection::RectangleReservation),
         ),
         (
             "T-SMT* 1BP",
-            CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+            CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
         ),
         ("R-SMT* 1BP", CompilerConfig::r_smt_star(0.5)),
     ];

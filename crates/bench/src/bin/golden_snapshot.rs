@@ -1,0 +1,34 @@
+//! Regenerates `tests/golden/table1_ibmq16.txt`: a bit-exact snapshot of
+//! what every Table-1 configuration produces for every benchmark on the
+//! default synthetic IBMQ16 machine.
+//!
+//! The snapshot pins the compiler's observable artifacts — placement,
+//! one-way swap count, schedule makespan, physical gate/CNOT counts and the
+//! estimated reliability (as raw f64 bits) — so that refactors of the
+//! compilation stack can prove they did not change behaviour
+//! (`tests/pipeline_equivalence.rs` replays the same compilations and
+//! compares against the checked-in file). The checked-in snapshot was
+//! recorded from the monolithic compiler *after* the corrected
+//! `best_cnot_route` search landed, immediately before the pass-pipeline
+//! refactor. Regenerate it **only** when a behaviour change is
+//! intentional, and say so in the commit.
+//!
+//! Usage: `cargo run --release -p nisq-bench --bin golden_snapshot [path]`
+//! (default output: `tests/golden/table1_ibmq16.txt`).
+
+use nisq_bench::{golden_snapshot_lines, GOLDEN_DAYS};
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| String::from("tests/golden/table1_ibmq16.txt"));
+    let mut text = String::from(
+        "# config|benchmark|day|placement|swaps|makespan|physical_gates|hw_cnots|reliability_bits\n",
+    );
+    for line in golden_snapshot_lines(GOLDEN_DAYS) {
+        text.push_str(&line);
+        text.push('\n');
+    }
+    std::fs::write(&output, &text).expect("failed to write golden snapshot");
+    println!("wrote {output} ({} lines)", text.lines().count());
+}

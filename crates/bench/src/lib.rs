@@ -112,6 +112,64 @@ pub fn run_circuit(
     }
 }
 
+/// Calibration days snapshotted by the golden equivalence harness (day 0
+/// plus one drifted day, so calibration-aware configs are pinned on two
+/// different machine states).
+pub const GOLDEN_DAYS: &[usize] = &[0, 3];
+
+/// Produces one golden line per Table-1 configuration × benchmark × day on
+/// the default synthetic IBMQ16 machine, pinning every observable artifact
+/// of a compilation bit-exactly:
+///
+/// `config|benchmark|day|placement|swaps|makespan|physical_gates|hw_cnots|reliability_bits`
+///
+/// where `placement` is the comma-separated hardware location of each
+/// program qubit and `reliability_bits` is the estimated reliability's raw
+/// IEEE-754 bit pattern in hex (so equality means bit-identical floats).
+///
+/// The `golden_snapshot` binary writes these lines to
+/// `tests/golden/table1_ibmq16.txt`; `tests/pipeline_equivalence.rs`
+/// regenerates them and diffs against that file.
+///
+/// # Panics
+///
+/// Panics if any benchmark fails to compile (they all fit on IBMQ16).
+pub fn golden_snapshot_lines(days: &[usize]) -> Vec<String> {
+    let mut out = Vec::new();
+    for &day in days {
+        let machine = ibmq16_on_day(day);
+        for config in CompilerConfig::table1() {
+            let label = format!(
+                "{}/{}",
+                config.algorithm.name(),
+                config.routing.short_name()
+            );
+            for b in Benchmark::all() {
+                let compiled = Compiler::new(&machine, config)
+                    .compile(&b.circuit())
+                    .unwrap_or_else(|e| panic!("{label} failed on {b}: {e}"));
+                let placement: Vec<String> = compiled
+                    .placement()
+                    .as_slice()
+                    .iter()
+                    .map(|h| h.0.to_string())
+                    .collect();
+                out.push(format!(
+                    "{label}|{}|{day}|{}|{}|{}|{}|{}|{:016x}",
+                    b.name(),
+                    placement.join(","),
+                    compiled.swap_count(),
+                    compiled.duration_slots(),
+                    compiled.physical_circuit().len(),
+                    compiled.hardware_cnot_count(),
+                    compiled.estimated_reliability().to_bits(),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Geometric mean of a slice of positive values (used for the paper's
 /// "geomean improvement" numbers). Returns 0 for an empty slice.
 pub fn geomean(values: &[f64]) -> f64 {

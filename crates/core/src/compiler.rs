@@ -2,18 +2,23 @@ use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::executable::CompiledCircuit;
 use crate::mapping;
-use crate::metrics::{self, EstimateOptions};
-use nisq_ir::{Circuit, Gate, GateKind, Qubit};
+use crate::pipeline::{CompileContext, Pipeline};
+use nisq_ir::Circuit;
 use nisq_machine::Machine;
-use nisq_opt::{Placement, Schedule, Scheduler, SchedulerConfig};
+use nisq_opt::Placement;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// The noise-adaptive backend compiler.
+/// The noise-adaptive backend compiler: a thin driver over the standard
+/// pass [`Pipeline`] (`Decompose → Place → Route → Schedule → Emit →
+/// Estimate`; see [`crate::pipeline`]).
 ///
 /// A `Compiler` is bound to one machine snapshot (topology plus calibration
 /// data) and one configuration from Table 1. Recompiling after each daily
 /// calibration — as the paper does before every run — means constructing a
-/// new `Compiler` with a fresh [`Machine`].
+/// new `Compiler` with a fresh [`Machine`]. For custom passes or placement
+/// strategies, drive a [`Pipeline`] over a
+/// [`CompileContext`] directly.
 ///
 /// # Example
 ///
@@ -32,12 +37,20 @@ use std::time::Instant;
 pub struct Compiler<'m> {
     machine: &'m Machine,
     config: CompilerConfig,
+    /// The standard pipeline, built once per compiler so repeated
+    /// compiles (figure sweeps) do not re-allocate passes and the
+    /// placement registry per call.
+    pipeline: Arc<Pipeline>,
 }
 
 impl<'m> Compiler<'m> {
     /// Creates a compiler for a machine and configuration.
     pub fn new(machine: &'m Machine, config: CompilerConfig) -> Self {
-        Compiler { machine, config }
+        Compiler {
+            machine,
+            config,
+            pipeline: Arc::new(Pipeline::standard()),
+        }
     }
 
     /// The configuration in use.
@@ -48,15 +61,6 @@ impl<'m> Compiler<'m> {
     /// The target machine.
     pub fn machine(&self) -> &Machine {
         self.machine
-    }
-
-    fn scheduler_config(&self) -> SchedulerConfig {
-        SchedulerConfig {
-            policy: self.config.routing,
-            calibration_aware: self.config.calibration_aware(),
-            uniform_cnot_slots: self.config.uniform_cnot_slots,
-            static_coherence_slots: self.config.static_coherence_slots,
-        }
     }
 
     /// Computes only the initial placement (useful for inspecting mappings,
@@ -70,8 +74,9 @@ impl<'m> Compiler<'m> {
         mapping::place(circuit, self.machine, &self.config)
     }
 
-    /// Compiles a circuit: placement, scheduling, routing, SWAP insertion
-    /// and reliability estimation.
+    /// Compiles a circuit by running the standard pass pipeline:
+    /// decomposition, placement, routing, scheduling, emission and
+    /// reliability estimation.
     ///
     /// # Errors
     ///
@@ -79,92 +84,16 @@ impl<'m> Compiler<'m> {
     /// configuration is invalid.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit, CompileError> {
         let start = Instant::now();
-        let placement = mapping::place(circuit, self.machine, &self.config)?;
-        let scheduler = Scheduler::new(self.machine, self.scheduler_config());
-        let schedule = scheduler.schedule(circuit, &placement)?;
-        let physical = build_physical_circuit(circuit, &placement, &schedule, self.machine);
-        let estimate = metrics::estimate(
-            circuit,
-            &placement,
-            &schedule,
-            self.machine,
-            EstimateOptions::default(),
-        );
-        Ok(CompiledCircuit::new(
-            circuit.name().to_string(),
-            self.config.algorithm,
-            physical,
-            placement,
-            schedule,
-            estimate,
-            start.elapsed(),
-        ))
+        let mut ctx = CompileContext::new(self.machine, self.config, circuit.clone());
+        self.pipeline.run(&mut ctx)?;
+        CompiledCircuit::from_context(ctx, start.elapsed())
     }
-}
-
-/// Builds the hardware-level circuit: every gate is rewritten onto hardware
-/// qubit indices, and CNOTs between non-adjacent locations are bracketed by
-/// the SWAPs that bring the control next to the target and return it
-/// afterwards (so the placement invariant holds for the whole execution, as
-/// in the paper's duration model).
-fn build_physical_circuit(
-    circuit: &Circuit,
-    placement: &Placement,
-    schedule: &Schedule,
-    machine: &Machine,
-) -> Circuit {
-    let mut physical = Circuit::with_clbits(machine.num_qubits(), circuit.num_clbits());
-    physical.set_name(format!("{}-physical", circuit.name()));
-
-    for entry in &schedule.gates {
-        let gate = &circuit.gates()[entry.gate_index];
-        match gate.kind() {
-            GateKind::Cnot | GateKind::Swap => {
-                let route = entry
-                    .route
-                    .as_ref()
-                    .expect("two-qubit gates always carry a route");
-                let path = &route.path;
-                let hops = path.len() - 1;
-                // Bring the control (or first operand) adjacent to the target.
-                for i in 0..hops.saturating_sub(1) {
-                    physical.swap(Qubit(path[i].0), Qubit(path[i + 1].0));
-                }
-                let near = Qubit(path[hops - 1].0);
-                let far = Qubit(path[hops].0);
-                if gate.kind() == GateKind::Cnot {
-                    physical.cnot(near, far);
-                } else {
-                    physical.swap(near, far);
-                }
-                // Return the moved qubit to its home position.
-                for i in (0..hops.saturating_sub(1)).rev() {
-                    physical.swap(Qubit(path[i].0), Qubit(path[i + 1].0));
-                }
-            }
-            GateKind::Measure => {
-                physical.measure(Qubit(placement.hw(gate.qubits()[0]).0), gate.clbits()[0]);
-            }
-            GateKind::Barrier => {
-                let qs: Vec<Qubit> = gate
-                    .qubits()
-                    .iter()
-                    .map(|&q| Qubit(placement.hw(q).0))
-                    .collect();
-                physical.push(Gate::barrier(qs));
-            }
-            kind => {
-                physical.push(Gate::single(kind, Qubit(placement.hw(gate.qubits()[0]).0)));
-            }
-        }
-    }
-    physical
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nisq_ir::Benchmark;
+    use nisq_ir::{Benchmark, GateKind, Qubit};
     use nisq_machine::HwQubit;
 
     fn machine() -> Machine {

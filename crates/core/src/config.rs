@@ -1,4 +1,4 @@
-use nisq_opt::RoutingPolicy;
+use nisq_opt::{RouteSelection, SwapHandling};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
@@ -81,7 +81,7 @@ pub struct CompilerConfig {
     /// The mapping algorithm.
     pub algorithm: Algorithm,
     /// Routing policy used for placement costs and scheduling.
-    pub routing: RoutingPolicy,
+    pub routing: RouteSelection,
     /// Readout weight ω of the reliability objective (only used by R-SMT*).
     pub omega: f64,
     /// Uniform CNOT duration (timeslots) assumed by calibration-unaware
@@ -98,10 +98,18 @@ pub struct CompilerConfig {
     /// Random-circuit seed for the annealing fallback used when the exact
     /// solver's budget is exhausted.
     pub anneal_seed: u64,
+    /// How swap round-trips are handled: the paper's swap-out/swap-back
+    /// model (default) or permutation tracking (no swap-back, placement
+    /// updated in place).
+    pub swap_handling: SwapHandling,
+    /// Lower program-level SWAP gates into three CNOTs in the decompose
+    /// pass instead of routing them symbolically (off by default, matching
+    /// the paper's model).
+    pub decompose_swaps: bool,
 }
 
 impl CompilerConfig {
-    fn base(algorithm: Algorithm, routing: RoutingPolicy) -> Self {
+    fn base(algorithm: Algorithm, routing: RouteSelection) -> Self {
         CompilerConfig {
             algorithm,
             routing,
@@ -111,21 +119,23 @@ impl CompilerConfig {
             solver_max_nodes: 20_000_000,
             solver_time_limit: Some(Duration::from_secs(60)),
             anneal_seed: 0,
+            swap_handling: SwapHandling::SwapBack,
+            decompose_swaps: false,
         }
     }
 
     /// The Qiskit-style baseline configuration.
     pub fn qiskit() -> Self {
-        CompilerConfig::base(Algorithm::Qiskit, RoutingPolicy::OneBendPaths)
+        CompilerConfig::base(Algorithm::Qiskit, RouteSelection::OneBendPaths)
     }
 
     /// T-SMT with the given routing policy (RR or 1BP in the paper).
-    pub fn t_smt(routing: RoutingPolicy) -> Self {
+    pub fn t_smt(routing: RouteSelection) -> Self {
         CompilerConfig::base(Algorithm::TSmt, routing)
     }
 
     /// T-SMT* with the given routing policy.
-    pub fn t_smt_star(routing: RoutingPolicy) -> Self {
+    pub fn t_smt_star(routing: RouteSelection) -> Self {
         CompilerConfig::base(Algorithm::TSmtStar, routing)
     }
 
@@ -134,18 +144,18 @@ impl CompilerConfig {
     pub fn r_smt_star(omega: f64) -> Self {
         CompilerConfig {
             omega,
-            ..CompilerConfig::base(Algorithm::RSmtStar, RoutingPolicy::OneBendPaths)
+            ..CompilerConfig::base(Algorithm::RSmtStar, RouteSelection::OneBendPaths)
         }
     }
 
     /// GreedyV* (heaviest vertex first, best-path routing).
     pub fn greedy_v() -> Self {
-        CompilerConfig::base(Algorithm::GreedyV, RoutingPolicy::BestPath)
+        CompilerConfig::base(Algorithm::GreedyV, RouteSelection::BestPath)
     }
 
     /// GreedyE* (heaviest edge first, best-path routing).
     pub fn greedy_e() -> Self {
-        CompilerConfig::base(Algorithm::GreedyE, RoutingPolicy::BestPath)
+        CompilerConfig::base(Algorithm::GreedyE, RouteSelection::BestPath)
     }
 
     /// The full set of configurations evaluated in the paper's Table 1,
@@ -153,8 +163,8 @@ impl CompilerConfig {
     pub fn table1() -> Vec<CompilerConfig> {
         vec![
             CompilerConfig::qiskit(),
-            CompilerConfig::t_smt(RoutingPolicy::RectangleReservation),
-            CompilerConfig::t_smt_star(RoutingPolicy::RectangleReservation),
+            CompilerConfig::t_smt(RouteSelection::RectangleReservation),
+            CompilerConfig::t_smt_star(RouteSelection::RectangleReservation),
             CompilerConfig::r_smt_star(0.5),
             CompilerConfig::greedy_v(),
             CompilerConfig::greedy_e(),
@@ -169,9 +179,23 @@ impl CompilerConfig {
         self
     }
 
-    /// Returns a copy with a different routing policy.
-    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+    /// Returns a copy with a different route selection.
+    pub fn with_routing(mut self, routing: RouteSelection) -> Self {
         self.routing = routing;
+        self
+    }
+
+    /// Returns a copy with a different swap-handling policy (opt in to
+    /// permutation-tracking routing with [`SwapHandling::Permute`]).
+    pub fn with_swap_handling(mut self, swap_handling: SwapHandling) -> Self {
+        self.swap_handling = swap_handling;
+        self
+    }
+
+    /// Returns a copy that lowers program-level SWAPs in the decompose
+    /// pass.
+    pub fn with_decompose_swaps(mut self, decompose_swaps: bool) -> Self {
+        self.decompose_swaps = decompose_swaps;
         self
     }
 
@@ -189,9 +213,13 @@ impl fmt::Display for CompilerConfig {
                 f,
                 "{} (omega = {}, {})",
                 self.algorithm, self.omega, self.routing
-            ),
-            _ => write!(f, "{} ({})", self.algorithm, self.routing),
+            )?,
+            _ => write!(f, "{} ({})", self.algorithm, self.routing)?,
         }
+        if self.swap_handling != SwapHandling::SwapBack {
+            write!(f, " [{}]", self.swap_handling)?;
+        }
+        Ok(())
     }
 }
 
@@ -236,8 +264,8 @@ mod tests {
 
     #[test]
     fn greedy_configs_use_best_path_routing() {
-        assert_eq!(CompilerConfig::greedy_v().routing, RoutingPolicy::BestPath);
-        assert_eq!(CompilerConfig::greedy_e().routing, RoutingPolicy::BestPath);
+        assert_eq!(CompilerConfig::greedy_v().routing, RouteSelection::BestPath);
+        assert_eq!(CompilerConfig::greedy_e().routing, RouteSelection::BestPath);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 use crate::config::Algorithm;
+use crate::error::CompileError;
 use crate::metrics::ReliabilityEstimate;
+use crate::pipeline::{CompileContext, PassTiming};
 use nisq_ir::{qasm, Circuit};
 use nisq_opt::{Placement, Schedule};
 use std::fmt;
@@ -22,28 +24,32 @@ pub struct CompiledCircuit {
     schedule: Schedule,
     estimate: ReliabilityEstimate,
     compile_time: Duration,
+    pass_timings: Vec<PassTiming>,
 }
 
 impl CompiledCircuit {
-    /// Assembles a compiled circuit; used by [`crate::Compiler`].
-    pub(crate) fn new(
-        program_name: String,
-        algorithm: Algorithm,
-        physical: Circuit,
-        placement: Placement,
-        schedule: Schedule,
-        estimate: ReliabilityEstimate,
+    /// Assembles a compiled circuit from a finished pipeline run; used by
+    /// [`crate::Compiler`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a required artifact is missing (a pass of the
+    /// standard pipeline did not run).
+    pub(crate) fn from_context(
+        ctx: CompileContext<'_>,
         compile_time: Duration,
-    ) -> Self {
-        CompiledCircuit {
-            program_name,
-            algorithm,
-            physical,
-            placement,
-            schedule,
-            estimate,
+    ) -> Result<Self, CompileError> {
+        let parts = ctx.finish()?;
+        Ok(CompiledCircuit {
+            program_name: parts.program_name,
+            algorithm: parts.algorithm,
+            physical: parts.physical,
+            placement: parts.placement,
+            schedule: parts.schedule,
+            estimate: parts.estimate,
             compile_time,
-        }
+            pass_timings: parts.timings,
+        })
     }
 
     /// Name of the source program.
@@ -65,6 +71,18 @@ impl CompiledCircuit {
     /// The initial placement of program qubits onto hardware qubits.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// Where each program qubit ends up after execution: identical to the
+    /// initial placement under swap-back routing, the accumulated
+    /// permutation under permutation-tracking routing.
+    pub fn final_placement(&self) -> &Placement {
+        &self.schedule.final_placement
+    }
+
+    /// Wall-clock time spent in each pipeline pass, in execution order.
+    pub fn pass_timings(&self) -> &[PassTiming] {
+        &self.pass_timings
     }
 
     /// The gate schedule (start times, durations, routes).

@@ -44,9 +44,14 @@ mod error;
 mod executable;
 pub mod mapping;
 pub mod metrics;
+pub mod pipeline;
 
 pub use compiler::Compiler;
 pub use config::{Algorithm, CompilerConfig};
 pub use error::CompileError;
 pub use executable::CompiledCircuit;
-pub use nisq_opt::{Placement, RoutingPolicy};
+pub use mapping::{PlacementRegistry, PlacementStrategy};
+pub use nisq_opt::{
+    PermutationRouting, Placement, RouteSelection, RoutingPolicy, SwapBackRouting, SwapHandling,
+};
+pub use pipeline::{CompileContext, Pass, PassTiming, Pipeline};

@@ -198,7 +198,7 @@ pub fn place_edge_first(circuit: &Circuit, machine: &Machine) -> Result<Placemen
     // no free hardware edge remains.
     let seed_edge = |assigner: &mut Assigner<'_>, a: Qubit, b: Qubit| {
         let mut best: Option<(f64, HwQubit, HwQubit)> = None;
-        for (h1, h2) in topology.edges() {
+        for &(h1, h2) in topology.edges() {
             if !assigner.free[h1.0] || !assigner.free[h2.0] {
                 continue;
             }

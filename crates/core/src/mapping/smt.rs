@@ -100,7 +100,7 @@ mod tests {
         // topology matters: two different calibration days give the same
         // placement.
         let circuit = Benchmark::Toffoli.circuit();
-        let config = CompilerConfig::t_smt(nisq_opt::RoutingPolicy::RectangleReservation);
+        let config = CompilerConfig::t_smt(nisq_opt::RouteSelection::RectangleReservation);
         let a = place(&circuit, &Machine::ibmq16_on_day(1, 0), &config).unwrap();
         let b = place(&circuit, &Machine::ibmq16_on_day(1, 6), &config).unwrap();
         assert_eq!(a, b);

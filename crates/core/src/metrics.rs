@@ -114,18 +114,24 @@ pub fn estimate(
                 cnot *= r;
             }
             GateKind::Measure => {
-                readout *= calibration.readout_reliability(placement.hw(gate.qubits()[0]));
+                // The scheduled entry records the live hardware location
+                // (equal to the placement under swap-back routing, the
+                // drifted position under permutation tracking).
+                readout *= calibration.readout_reliability(entry.hw[0]);
             }
             GateKind::Barrier => {}
             _ => {
-                single_qubit *=
-                    1.0 - calibration.single_qubit_error(placement.hw(gate.qubits()[0]));
+                single_qubit *= 1.0 - calibration.single_qubit_error(entry.hw[0]);
             }
         }
     }
 
     // Decoherence: each program qubit idles for (makespan) slots at worst;
-    // approximate survival as exp(-t / T2) per qubit.
+    // approximate survival as exp(-t / T2) per qubit. The T2 is read at
+    // the *initial* placement — under permutation routing a drifting qubit
+    // spends the makespan across several locations, so this optional
+    // factor stays an initial-position approximation (tracking per-qubit
+    // residency intervals would need schedule-resolved occupancy).
     let mut decoherence = 1.0;
     let makespan_ns = schedule.makespan as f64 * calibration.timeslot_ns;
     for p in 0..circuit.num_qubits() {

@@ -1,5 +1,5 @@
 use crate::error::MachineError;
-use crate::topology::{GridTopology, HwQubit};
+use crate::topology::{HwQubit, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -111,14 +111,14 @@ impl Calibration {
     ///
     /// Returns an error if the sizes disagree or an edge of the topology has
     /// no CNOT calibration.
-    pub fn validate(&self, topology: &GridTopology) -> Result<(), MachineError> {
+    pub fn validate(&self, topology: &Topology) -> Result<(), MachineError> {
         if self.num_qubits() != topology.num_qubits() {
             return Err(MachineError::CalibrationSizeMismatch {
                 topology_qubits: topology.num_qubits(),
                 calibration_qubits: self.num_qubits(),
             });
         }
-        for (a, b) in topology.edges() {
+        for &(a, b) in topology.edges() {
             let edge = EdgeId::new(a, b);
             if !self.cnot_error.contains_key(&edge) {
                 return Err(MachineError::MissingEdgeCalibration {
@@ -263,8 +263,8 @@ mod tests {
     use super::*;
     use crate::generator::CalibrationGenerator;
 
-    fn sample() -> (GridTopology, Calibration) {
-        let t = GridTopology::ibmq16();
+    fn sample() -> (Topology, Calibration) {
+        let t = Topology::ibmq16();
         let c = CalibrationGenerator::new(t.clone(), 1).day(0);
         (t, c)
     }
@@ -286,7 +286,7 @@ mod tests {
     #[test]
     fn validate_rejects_wrong_size() {
         let (_, c) = sample();
-        let small = GridTopology::new(2, 2);
+        let small = Topology::grid(2, 2);
         assert!(matches!(
             c.validate(&small),
             Err(MachineError::CalibrationSizeMismatch { .. })

@@ -34,6 +34,12 @@ pub enum MachineError {
         /// Number of qubits covered by the calibration data.
         calibration_qubits: usize,
     },
+    /// A grid-only operation (one-bend paths, rectangle reservation) was
+    /// requested on a topology without a 2-D grid layout.
+    NotAGrid {
+        /// Display name of the offending topology.
+        topology: String,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -56,6 +62,9 @@ impl fmt::Display for MachineError {
                 f,
                 "calibration covers {calibration_qubits} qubits but topology has {topology_qubits}"
             ),
+            MachineError::NotAGrid { topology } => {
+                write!(f, "topology {topology} has no 2-D grid layout")
+            }
         }
     }
 }

@@ -13,7 +13,7 @@
 //! fluctuation, both derived deterministically from the generator seed.
 
 use crate::calibration::{Calibration, EdgeId, GateDurations};
-use crate::topology::GridTopology;
+use crate::topology::Topology;
 use crate::TIMESLOT_NS;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,23 +52,29 @@ impl Default for CalibrationStatistics {
 }
 
 /// Deterministic generator of daily [`Calibration`] snapshots for a given
-/// topology and seed.
+/// topology and seed. Works for **any** [`Topology`] (grids, rings,
+/// heavy-hex lattices): the statistics are per-qubit and per-edge, so the
+/// coupling graph alone determines the snapshot's shape.
 ///
 /// # Example
 ///
 /// ```
-/// use nisq_machine::{CalibrationGenerator, GridTopology};
+/// use nisq_machine::{CalibrationGenerator, Topology};
 ///
-/// let generator = CalibrationGenerator::new(GridTopology::ibmq16(), 7);
+/// let generator = CalibrationGenerator::new(Topology::ibmq16(), 7);
 /// let monday = generator.day(0);
 /// let tuesday = generator.day(1);
 /// assert_ne!(monday, tuesday);
 /// // Calling again for the same day gives the identical snapshot.
 /// assert_eq!(monday, generator.day(0));
+///
+/// // Any topology works, e.g. a 12-qubit ring:
+/// let ring = CalibrationGenerator::new(Topology::ring(12), 7).day(0);
+/// assert_eq!(ring.num_qubits(), 12);
 /// ```
 #[derive(Debug, Clone)]
 pub struct CalibrationGenerator {
-    topology: GridTopology,
+    topology: Topology,
     seed: u64,
     stats: CalibrationStatistics,
 }
@@ -101,9 +107,9 @@ fn lognormal_factor(rng: &mut StdRng, sigma: f64, lo: f64, hi: f64) -> f64 {
 
 impl CalibrationGenerator {
     /// Creates a generator with the paper's default statistics.
-    pub fn new(topology: GridTopology, seed: u64) -> Self {
+    pub fn new(topology: impl Into<Topology>, seed: u64) -> Self {
         CalibrationGenerator {
-            topology,
+            topology: topology.into(),
             seed,
             stats: CalibrationStatistics::default(),
         }
@@ -111,19 +117,19 @@ impl CalibrationGenerator {
 
     /// Creates a generator with custom target statistics.
     pub fn with_statistics(
-        topology: GridTopology,
+        topology: impl Into<Topology>,
         seed: u64,
         stats: CalibrationStatistics,
     ) -> Self {
         CalibrationGenerator {
-            topology,
+            topology: topology.into(),
             seed,
             stats,
         }
     }
 
     /// The topology this generator produces calibrations for.
-    pub fn topology(&self) -> &GridTopology {
+    pub fn topology(&self) -> &Topology {
         &self.topology
     }
 
@@ -178,7 +184,7 @@ impl CalibrationGenerator {
 
         let mut cnot_error = BTreeMap::new();
         let mut cnot_slots = BTreeMap::new();
-        for (i, (a, b)) in self.topology.edges().into_iter().enumerate() {
+        for (i, &(a, b)) in self.topology.edges().iter().enumerate() {
             let edge = EdgeId::new(a, b);
             let element = 1_000 + i as u64;
             let mut spatial = self.spatial_rng(element);
@@ -226,7 +232,7 @@ mod tests {
     use super::*;
 
     fn generator() -> CalibrationGenerator {
-        CalibrationGenerator::new(GridTopology::ibmq16(), 2024)
+        CalibrationGenerator::new(Topology::ibmq16(), 2024)
     }
 
     #[test]
@@ -244,7 +250,7 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let t = GridTopology::ibmq16();
+        let t = Topology::ibmq16();
         let a = CalibrationGenerator::new(t.clone(), 1).day(0);
         let b = CalibrationGenerator::new(t, 2).day(0);
         assert_ne!(a, b);

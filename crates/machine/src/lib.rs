@@ -1,13 +1,15 @@
 //! # nisq-machine — NISQ hardware model
 //!
-//! The hardware-side substrate of the noise-adaptive compiler: grid qubit
-//! topologies (including the 16-qubit IBMQ16 layout the paper evaluates on),
-//! machine calibration data (coherence times, gate/readout error rates, gate
-//! durations), a synthetic calibration *generator* that reproduces the
-//! spatial and temporal variation statistics reported in the paper (Figure 1
-//! and Section 2), and the reliability matrices (most-reliable swap paths,
-//! one-bend-path CNOT reliabilities, CNOT duration matrix) the mapping
-//! algorithms consume.
+//! The hardware-side substrate of the noise-adaptive compiler: pluggable
+//! machine topologies described by a [`TopologySpec`] (the 16-qubit IBMQ16
+//! layout the paper evaluates on, arbitrary NxM grids, rings and
+//! heavy-hex-style lattices), machine calibration data (coherence times,
+//! gate/readout error rates, gate durations), a synthetic calibration
+//! *generator* that reproduces the spatial and temporal variation
+//! statistics reported in the paper (Figure 1 and Section 2) for **any**
+//! topology, and the reliability matrices (most-reliable swap paths,
+//! best CNOT routes, one-bend-path CNOT reliabilities, CNOT duration
+//! matrix) the mapping algorithms consume.
 //!
 //! In the paper this data comes from IBM's twice-daily calibration feed; we
 //! substitute a statistically-matched generator (see DESIGN.md) so every
@@ -40,7 +42,7 @@ pub use error::MachineError;
 pub use generator::{CalibrationGenerator, CalibrationStatistics};
 pub use machine::Machine;
 pub use reliability::{PathInfo, ReliabilityModel};
-pub use topology::{GridTopology, HwQubit};
+pub use topology::{GridTopology, HwQubit, Topology, TopologySpec};
 
 /// Duration of one hardware timeslot in nanoseconds (IBMQ16 value used
 /// throughout the paper: results are reported in 80 ns timeslots).

@@ -2,7 +2,7 @@ use crate::calibration::Calibration;
 use crate::error::MachineError;
 use crate::generator::CalibrationGenerator;
 use crate::reliability::ReliabilityModel;
-use crate::topology::GridTopology;
+use crate::topology::{Topology, TopologySpec};
 use std::fmt;
 
 /// A target machine: a topology plus the calibration snapshot the compiler
@@ -20,7 +20,7 @@ use std::fmt;
 #[derive(Debug, Clone)]
 pub struct Machine {
     name: String,
-    topology: GridTopology,
+    topology: Topology,
     calibration: Calibration,
     reliability: ReliabilityModel,
 }
@@ -32,7 +32,11 @@ impl Machine {
     ///
     /// Panics if the calibration does not cover the topology; use
     /// [`Machine::try_new`] to handle that case as an error.
-    pub fn new(name: impl Into<String>, topology: GridTopology, calibration: Calibration) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        topology: impl Into<Topology>,
+        calibration: Calibration,
+    ) -> Self {
         Machine::try_new(name, topology, calibration).expect("calibration must cover the topology")
     }
 
@@ -44,9 +48,10 @@ impl Machine {
     /// Returns an error if the calibration and topology disagree.
     pub fn try_new(
         name: impl Into<String>,
-        topology: GridTopology,
+        topology: impl Into<Topology>,
         calibration: Calibration,
     ) -> Result<Self, MachineError> {
+        let topology = topology.into();
         calibration.validate(&topology)?;
         let reliability = ReliabilityModel::new(&topology, &calibration);
         Ok(Machine {
@@ -60,9 +65,26 @@ impl Machine {
     /// Convenience constructor: the IBMQ16 layout with a synthetic
     /// calibration snapshot for the given seed and day.
     pub fn ibmq16_on_day(seed: u64, day: usize) -> Self {
-        let topology = GridTopology::ibmq16();
+        Machine::from_spec(TopologySpec::Ibmq16, seed, day)
+    }
+
+    /// Builds a machine for **any** topology spec with a synthetic
+    /// calibration snapshot for the given seed and day — the entry point
+    /// for multi-backend scenarios (grids, rings, heavy-hex lattices).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nisq_machine::{Machine, TopologySpec};
+    ///
+    /// let ring = Machine::from_spec(TopologySpec::Ring { n: 12 }, 7, 0);
+    /// assert_eq!(ring.num_qubits(), 12);
+    /// assert_eq!(ring.name(), "ring-12");
+    /// ```
+    pub fn from_spec(spec: TopologySpec, seed: u64, day: usize) -> Self {
+        let topology = spec.build();
         let calibration = CalibrationGenerator::new(topology.clone(), seed).day(day);
-        Machine::new("IBMQ16", topology, calibration)
+        Machine::new(spec.name(), topology, calibration)
     }
 
     /// Machine name (used in reports).
@@ -71,7 +93,7 @@ impl Machine {
     }
 
     /// The hardware topology.
-    pub fn topology(&self) -> &GridTopology {
+    pub fn topology(&self) -> &Topology {
         &self.topology
     }
 
@@ -115,9 +137,23 @@ mod tests {
 
     #[test]
     fn try_new_rejects_mismatched_calibration() {
-        let small = GridTopology::new(2, 2);
-        let cal = CalibrationGenerator::new(GridTopology::ibmq16(), 0).day(0);
+        let small = Topology::grid(2, 2);
+        let cal = CalibrationGenerator::new(Topology::ibmq16(), 0).day(0);
         assert!(Machine::try_new("bad", small, cal).is_err());
+    }
+
+    #[test]
+    fn from_spec_builds_non_grid_machines() {
+        for spec in [
+            TopologySpec::Ring { n: 10 },
+            TopologySpec::HeavyHex { rows: 2, cols: 5 },
+            TopologySpec::Grid { mx: 4, my: 4 },
+        ] {
+            let m = Machine::from_spec(spec, 3, 1);
+            assert_eq!(m.num_qubits(), spec.build().num_qubits());
+            assert_eq!(m.calibration().day, 1);
+            assert!(m.calibration().mean_cnot_error() > 0.0);
+        }
     }
 
     #[test]

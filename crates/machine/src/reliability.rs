@@ -1,6 +1,6 @@
 use crate::calibration::Calibration;
 use crate::error::MachineError;
-use crate::topology::{GridTopology, HwQubit};
+use crate::topology::{HwQubit, Topology};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -37,9 +37,9 @@ impl PathInfo {
 /// # Example
 ///
 /// ```
-/// use nisq_machine::{CalibrationGenerator, GridTopology, HwQubit, ReliabilityModel};
+/// use nisq_machine::{CalibrationGenerator, HwQubit, ReliabilityModel, Topology};
 ///
-/// let topology = GridTopology::ibmq16();
+/// let topology = Topology::ibmq16();
 /// let calibration = CalibrationGenerator::new(topology.clone(), 0).day(0);
 /// let model = ReliabilityModel::new(&topology, &calibration);
 /// let direct = model.best_path_cnot_reliability(HwQubit(0), HwQubit(1));
@@ -48,10 +48,17 @@ impl PathInfo {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReliabilityModel {
-    topology: GridTopology,
+    topology: Topology,
     calibration: Calibration,
-    /// `paths[a][b]`: most reliable path from `a` to `b`.
+    /// `paths[a][b]`: most reliable swap path from `a` to `b` (every hop
+    /// weighted as one CNOT; the argmin is the same as weighting every hop
+    /// as a 3-CNOT SWAP, so this is the optimal full-swap route).
     paths: Vec<Vec<PathInfo>>,
+    /// `cnot_routes[a][b]`: most reliable *CNOT route* from `a` to `b`:
+    /// intermediate hops are 3-CNOT SWAPs, the final hop is the CNOT itself.
+    /// Because the final hop is weighted differently, this can differ from
+    /// `paths[a][b]`.
+    cnot_routes: Vec<Vec<PathInfo>>,
 }
 
 impl ReliabilityModel {
@@ -61,24 +68,31 @@ impl ReliabilityModel {
     ///
     /// Panics if the calibration does not cover the topology; call
     /// [`Calibration::validate`] first to handle that case as an error.
-    pub fn new(topology: &GridTopology, calibration: &Calibration) -> Self {
+    pub fn new(topology: &Topology, calibration: &Calibration) -> Self {
         calibration
             .validate(topology)
             .expect("calibration must cover the topology");
         let n = topology.num_qubits();
         let mut paths = Vec::with_capacity(n);
+        let mut cnot_routes = Vec::with_capacity(n);
         for source in 0..n {
             paths.push(Self::dijkstra(topology, calibration, HwQubit(source)));
+            cnot_routes.push(Self::cnot_route_search(
+                topology,
+                calibration,
+                HwQubit(source),
+            ));
         }
         ReliabilityModel {
             topology: topology.clone(),
             calibration: calibration.clone(),
             paths,
+            cnot_routes,
         }
     }
 
     /// The topology the model was built for.
-    pub fn topology(&self) -> &GridTopology {
+    pub fn topology(&self) -> &Topology {
         &self.topology
     }
 
@@ -94,11 +108,14 @@ impl ReliabilityModel {
         -rel.max(1e-9).ln()
     }
 
-    fn dijkstra(
-        topology: &GridTopology,
+    /// Single-source Dijkstra over `hop_scale * -ln(CNOT reliability)` edge
+    /// weights, returning the distance and predecessor arrays.
+    fn dijkstra_costs(
+        topology: &Topology,
         calibration: &Calibration,
         source: HwQubit,
-    ) -> Vec<PathInfo> {
+        hop_scale: f64,
+    ) -> (Vec<f64>, Vec<Option<usize>>) {
         #[derive(PartialEq)]
         struct Entry {
             cost: f64,
@@ -133,8 +150,8 @@ impl ReliabilityModel {
             if cost > dist[qubit] {
                 continue;
             }
-            for nb in topology.neighbors(HwQubit(qubit)) {
-                let w = Self::edge_weight(calibration, HwQubit(qubit), nb);
+            for &nb in topology.neighbors(HwQubit(qubit)) {
+                let w = hop_scale * Self::edge_weight(calibration, HwQubit(qubit), nb);
                 let next = cost + w;
                 if next < dist[nb.0] {
                     dist[nb.0] = next;
@@ -146,31 +163,105 @@ impl ReliabilityModel {
                 }
             }
         }
+        (dist, prev)
+    }
 
+    fn walk_back(prev: &[Option<usize>], source: HwQubit, target: usize) -> Vec<HwQubit> {
+        let mut path = Vec::new();
+        let mut cur = Some(target);
+        while let Some(q) = cur {
+            path.push(HwQubit(q));
+            if q == source.0 {
+                break;
+            }
+            cur = prev[q];
+        }
+        path.reverse();
+        path
+    }
+
+    fn dijkstra(topology: &Topology, calibration: &Calibration, source: HwQubit) -> Vec<PathInfo> {
+        let n = topology.num_qubits();
+        let (dist, prev) = Self::dijkstra_costs(topology, calibration, source, 1.0);
+        (0..n)
+            .map(|target| PathInfo {
+                path: Self::walk_back(&prev, source, target),
+                cost: dist[target],
+            })
+            .collect()
+    }
+
+    /// Most reliable *CNOT routes* from `source`: intermediate hops cost a
+    /// full 3-CNOT SWAP, the final hop only the CNOT itself. The swap chain
+    /// is searched with swap-cubed edge weights, then each target's route is
+    /// the best choice of "swap to a neighbour `nb` of the target, CNOT on
+    /// the `nb`–target edge" — including the degenerate chain `nb = source`,
+    /// so a direct edge is always a candidate.
+    fn cnot_route_search(
+        topology: &Topology,
+        calibration: &Calibration,
+        source: HwQubit,
+    ) -> Vec<PathInfo> {
+        let n = topology.num_qubits();
+        let (swap_dist, swap_prev) = Self::dijkstra_costs(topology, calibration, source, 3.0);
         (0..n)
             .map(|target| {
-                let mut path = Vec::new();
-                let mut cur = Some(target);
-                while let Some(q) = cur {
-                    path.push(HwQubit(q));
-                    if q == source.0 {
-                        break;
-                    }
-                    cur = prev[q];
+                if target == source.0 {
+                    return PathInfo {
+                        path: vec![source],
+                        cost: 0.0,
+                    };
                 }
-                path.reverse();
-                PathInfo {
-                    path,
-                    cost: dist[target],
+                let mut best: Option<(f64, Vec<HwQubit>)> = None;
+                for &nb in topology.neighbors(HwQubit(target)) {
+                    if swap_dist[nb.0].is_infinite() {
+                        continue;
+                    }
+                    let cost =
+                        swap_dist[nb.0] + Self::edge_weight(calibration, nb, HwQubit(target));
+                    if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                        let chain = Self::walk_back(&swap_prev, source, nb.0);
+                        // A strictly better chain never passes through the
+                        // target (its predecessor on that chain would be a
+                        // cheaper candidate), but guard against float ties.
+                        if chain.contains(&HwQubit(target)) {
+                            continue;
+                        }
+                        best = Some((cost, chain));
+                    }
+                }
+                match best {
+                    Some((cost, mut path)) => {
+                        path.push(HwQubit(target));
+                        PathInfo { path, cost }
+                    }
+                    // Disconnected target (cannot happen on the built-in
+                    // topologies, all of which are connected).
+                    None => PathInfo {
+                        path: Self::walk_back(&swap_prev, source, target),
+                        cost: f64::INFINITY,
+                    },
                 }
             })
             .collect()
     }
 
     /// The most reliable path from `a` to `b` (Dijkstra over `-log` CNOT
-    /// reliability edge weights).
+    /// reliability edge weights). This is the optimal route when *every*
+    /// hop costs the same (e.g. a full swap chain); see
+    /// [`ReliabilityModel::best_cnot_route`] for the route a program CNOT
+    /// should take.
     pub fn best_path(&self, a: HwQubit, b: HwQubit) -> &PathInfo {
         &self.paths[a.0][b.0]
+    }
+
+    /// The most reliable route for a program CNOT from `a` to `b`: SWAPs
+    /// (three CNOTs, i.e. swap-cubed edge weights) on every hop except the
+    /// last, then the hardware CNOT on the final edge. Its `cost` is the
+    /// summed `-ln` reliability of exactly that operation sequence, so
+    /// `exp(-cost)` is the route's CNOT reliability.
+    pub fn best_cnot_route(&self, a: HwQubit, b: HwQubit) -> &PathInfo {
+        &self.cnot_routes[a.0][b.0]
     }
 
     /// Reliability of the most reliable *swap route* between `a` and `b`
@@ -182,20 +273,16 @@ impl ReliabilityModel {
 
     /// Reliability of performing a program CNOT between hardware locations
     /// `a` and `b` using the most reliable route: SWAPs along every hop
-    /// except the last, then the hardware CNOT on the final edge.
+    /// except the last, then the hardware CNOT on the final edge. The route
+    /// is searched with swap-cubed intermediate edge weights and a
+    /// single-CNOT final hop, so it is optimal for exactly that cost model
+    /// (for adjacent pairs the direct edge is always a candidate and is
+    /// therefore never beaten).
     pub fn best_path_cnot_reliability(&self, a: HwQubit, b: HwQubit) -> f64 {
         if a == b {
             return 1.0;
         }
-        let routed = Self::route_cnot_reliability(&self.calibration, &self.best_path(a, b).path);
-        // Dijkstra weights each hop once, but a route's intermediate hops
-        // are SWAPs (three CNOTs), so for adjacent pairs the selected route
-        // can be worse than simply executing the CNOT on the direct edge —
-        // which is always an available strategy. Never report worse.
-        match self.calibration.cnot_reliability(a, b) {
-            Ok(direct) => routed.max(direct),
-            Err(_) => routed,
-        }
+        Self::route_cnot_reliability(&self.calibration, &self.best_cnot_route(a, b).path)
     }
 
     fn route_cnot_reliability(calibration: &Calibration, path: &[HwQubit]) -> f64 {
@@ -216,14 +303,23 @@ impl ReliabilityModel {
         rel
     }
 
+    fn require_grid(&self) -> Result<&crate::topology::GridTopology, MachineError> {
+        self.topology
+            .as_grid()
+            .ok_or_else(|| MachineError::NotAGrid {
+                topology: self.topology.to_string(),
+            })
+    }
+
     /// Reliability of a program CNOT between `control` and `target` routed
     /// along the one-bend path through `junction` (the paper's `EC` matrix,
     /// Constraint 11). `junction` must be one of the two corners returned by
-    /// [`GridTopology::junctions`].
+    /// [`crate::GridTopology::junctions`].
     ///
     /// # Errors
     ///
-    /// Returns an error if control and target are the same qubit.
+    /// Returns an error if control and target are the same qubit, or the
+    /// topology has no grid layout (one-bend paths are a grid concept).
     pub fn one_bend_cnot_reliability(
         &self,
         control: HwQubit,
@@ -236,7 +332,9 @@ impl ReliabilityModel {
                 b: target.0,
             });
         }
-        let path = self.topology.one_bend_path(control, target, junction);
+        let path = self
+            .require_grid()?
+            .one_bend_path(control, target, junction);
         Ok(Self::route_cnot_reliability(&self.calibration, &path))
     }
 
@@ -245,13 +343,14 @@ impl ReliabilityModel {
     ///
     /// # Errors
     ///
-    /// Returns an error if control and target are the same qubit.
+    /// Returns an error if control and target are the same qubit, or the
+    /// topology has no grid layout.
     pub fn best_one_bend(
         &self,
         control: HwQubit,
         target: HwQubit,
     ) -> Result<(HwQubit, f64), MachineError> {
-        let (j1, j2) = self.topology.junctions(control, target);
+        let (j1, j2) = self.require_grid()?.junctions(control, target);
         let r1 = self.one_bend_cnot_reliability(control, target, j1)?;
         let r2 = self.one_bend_cnot_reliability(control, target, j2)?;
         Ok(if r1 >= r2 { (j1, r1) } else { (j2, r2) })
@@ -281,17 +380,23 @@ impl ReliabilityModel {
         total
     }
 
-    /// Duration of a CNOT between `a` and `b` along the most reliable path,
-    /// in timeslots (the calibration-aware `Δ` matrix of Constraint 5).
+    /// Duration of a CNOT between `a` and `b` along the most reliable CNOT
+    /// route, in timeslots (the calibration-aware `Δ` matrix of
+    /// Constraint 5).
     pub fn best_path_cnot_duration(&self, a: HwQubit, b: HwQubit) -> u32 {
         if a == b {
             return 0;
         }
-        self.route_cnot_duration(&self.best_path(a, b).path)
+        self.route_cnot_duration(&self.best_cnot_route(a, b).path)
     }
 
     /// Duration of a CNOT between `control` and `target` along the one-bend
     /// path through `junction`, in timeslots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no grid layout (one-bend paths are a grid
+    /// concept; check [`Topology::as_grid`] first).
     pub fn one_bend_cnot_duration(
         &self,
         control: HwQubit,
@@ -301,7 +406,11 @@ impl ReliabilityModel {
         if control == target {
             return 0;
         }
-        let path = self.topology.one_bend_path(control, target, junction);
+        let path = self
+            .topology
+            .as_grid()
+            .expect("one-bend durations require a grid topology")
+            .one_bend_path(control, target, junction);
         self.route_cnot_duration(&path)
     }
 
@@ -328,7 +437,7 @@ mod tests {
     use crate::generator::CalibrationGenerator;
 
     fn model() -> ReliabilityModel {
-        let t = GridTopology::ibmq16();
+        let t = Topology::ibmq16();
         let c = CalibrationGenerator::new(t.clone(), 3).day(0);
         ReliabilityModel::new(&t, &c)
     }
@@ -394,7 +503,11 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let (ja, jb) = m.topology().junctions(HwQubit(a), HwQubit(b));
+                let (ja, jb) = m
+                    .topology()
+                    .as_grid()
+                    .unwrap()
+                    .junctions(HwQubit(a), HwQubit(b));
                 let r1 = m
                     .one_bend_cnot_reliability(HwQubit(a), HwQubit(b), ja)
                     .unwrap();
@@ -420,9 +533,17 @@ mod tests {
                     continue;
                 }
                 let best = m.best_path_swap_reliability(HwQubit(a), HwQubit(b));
-                let (ja, jb) = m.topology().junctions(HwQubit(a), HwQubit(b));
+                let (ja, jb) = m
+                    .topology()
+                    .as_grid()
+                    .unwrap()
+                    .junctions(HwQubit(a), HwQubit(b));
                 for j in [ja, jb] {
-                    let path = m.topology().one_bend_path(HwQubit(a), HwQubit(b), j);
+                    let path =
+                        m.topology()
+                            .as_grid()
+                            .unwrap()
+                            .one_bend_path(HwQubit(a), HwQubit(b), j);
                     let mut rel = 1.0;
                     for pair in path.windows(2) {
                         rel *= m
@@ -432,6 +553,59 @@ mod tests {
                             .powi(3);
                     }
                     assert!(best >= rel - 1e-12, "{a}->{b} best {best} < one-bend {rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cnot_route_is_valid_and_matches_its_cost() {
+        let m = model();
+        for a in 0..16usize {
+            for b in 0..16usize {
+                let route = m.best_cnot_route(HwQubit(a), HwQubit(b));
+                assert_eq!(route.path.first(), Some(&HwQubit(a)));
+                assert_eq!(route.path.last(), Some(&HwQubit(b)));
+                for pair in route.path.windows(2) {
+                    assert!(m.topology().adjacent(pair[0], pair[1]));
+                }
+                let rel = m.best_path_cnot_reliability(HwQubit(a), HwQubit(b));
+                assert!(
+                    ((-route.cost).exp() - rel).abs() < 1e-12,
+                    "{a}->{b}: cost {} vs reliability {rel}",
+                    route.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cnot_route_never_loses_to_swap_path_or_direct_edge() {
+        // The corrected search (swap-cubed intermediate weights, single
+        // final hop) must weakly beat both strategies the old code used:
+        // executing the CNOT along the swap-optimal path, and the direct
+        // edge for adjacent pairs.
+        let t = Topology::ibmq16();
+        for day in 0..4 {
+            let c = CalibrationGenerator::new(t.clone(), 3).day(day);
+            let m = ReliabilityModel::new(&t, &c);
+            for a in 0..16usize {
+                for b in 0..16usize {
+                    if a == b {
+                        continue;
+                    }
+                    let fixed = m.best_path_cnot_reliability(HwQubit(a), HwQubit(b));
+                    let legacy = ReliabilityModel::route_cnot_reliability(
+                        m.calibration(),
+                        &m.best_path(HwQubit(a), HwQubit(b)).path,
+                    );
+                    assert!(
+                        fixed >= legacy - 1e-12,
+                        "day {day} {a}->{b}: corrected {fixed} < legacy {legacy}"
+                    );
+                    if let Ok(direct) = c.cnot_reliability(HwQubit(a), HwQubit(b)) {
+                        assert!(fixed >= direct - 1e-12);
+                    }
                 }
             }
         }

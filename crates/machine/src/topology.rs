@@ -270,6 +270,351 @@ impl fmt::Display for GridTopology {
     }
 }
 
+/// A machine topology family plus its parameters — the pluggable
+/// description a [`Topology`] (and from there a whole machine) is built
+/// from.
+///
+/// The paper evaluates one hard-coded device (IBMQ16); the spec opens the
+/// same compiler to arbitrary grids, rings and heavy-hex-style lattices so
+/// scaling and architecture studies do not need code changes.
+///
+/// # Example
+///
+/// ```
+/// use nisq_machine::TopologySpec;
+///
+/// let ring = TopologySpec::Ring { n: 12 }.build();
+/// assert_eq!(ring.num_qubits(), 12);
+/// assert_eq!(ring.edges().len(), 12);
+/// assert!(ring.as_grid().is_none(), "rings have no 2-D grid layout");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TopologySpec {
+    /// The 16-qubit IBMQ16 Rueschlikon device (an 8x2 grid), the machine
+    /// the paper evaluates on.
+    Ibmq16,
+    /// An `mx` columns by `my` rows nearest-neighbour grid.
+    Grid {
+        /// Number of columns.
+        mx: usize,
+        /// Number of rows.
+        my: usize,
+    },
+    /// A cycle of `n` qubits, each coupled to its two ring neighbours.
+    Ring {
+        /// Number of qubits (at least 3).
+        n: usize,
+    },
+    /// A heavy-hex-style lattice: `rows` horizontal chains of `cols`
+    /// qubits, with consecutive chains linked through dedicated bridge
+    /// qubits at every fourth column (offset alternating by row, as on
+    /// IBM's heavy-hex devices).
+    HeavyHex {
+        /// Number of horizontal chains (at least 2).
+        rows: usize,
+        /// Qubits per chain (at least 3).
+        cols: usize,
+    },
+}
+
+impl TopologySpec {
+    /// Builds the concrete [`Topology`] this spec describes.
+    pub fn build(self) -> Topology {
+        Topology::from_spec(self)
+    }
+
+    /// Short machine-style name ("IBMQ16", "grid-4x4", "ring-12",
+    /// "heavy-hex-2x7").
+    pub fn name(&self) -> String {
+        match self {
+            TopologySpec::Ibmq16 => "IBMQ16".to_string(),
+            TopologySpec::Grid { mx, my } => format!("grid-{mx}x{my}"),
+            TopologySpec::Ring { n } => format!("ring-{n}"),
+            TopologySpec::HeavyHex { rows, cols } => format!("heavy-hex-{rows}x{cols}"),
+        }
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpec::Ibmq16 => f.write_str("IBMQ16 (8x2 grid)"),
+            TopologySpec::Grid { mx, my } => write!(f, "{mx}x{my} grid"),
+            TopologySpec::Ring { n } => write!(f, "{n}-qubit ring"),
+            TopologySpec::HeavyHex { rows, cols } => write!(f, "heavy-hex {rows}x{cols}"),
+        }
+    }
+}
+
+/// A concrete machine topology: an undirected coupling graph over hardware
+/// qubits, with precomputed adjacency and all-pairs BFS distances, plus the
+/// 2-D grid layout when the spec is grid-shaped (which unlocks the paper's
+/// one-bend-path and rectangle-reservation routing).
+///
+/// Built from a [`TopologySpec`]; grid-shaped topologies behave exactly
+/// like the original [`GridTopology`] (same edge enumeration order, same
+/// neighbour order, Manhattan distances), so swapping the machine model
+/// from "hard-coded IBMQ16" to "any spec" changes nothing for existing
+/// grid machines.
+///
+/// # Example
+///
+/// ```
+/// use nisq_machine::{HwQubit, Topology, TopologySpec};
+///
+/// let t = Topology::ibmq16();
+/// assert_eq!(t.num_qubits(), 16);
+/// assert!(t.adjacent(HwQubit(0), HwQubit(8)));
+/// assert!(t.as_grid().is_some());
+///
+/// let hex = TopologySpec::HeavyHex { rows: 2, cols: 5 }.build();
+/// assert!(hex.as_grid().is_none());
+/// assert!(hex.num_qubits() > 10, "chains plus bridge qubits");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    spec: TopologySpec,
+    n: usize,
+    edges: Vec<(HwQubit, HwQubit)>,
+    adjacency: Vec<Vec<HwQubit>>,
+    /// Row-major `n x n` BFS hop distances; `u32::MAX` marks "unreachable"
+    /// (never the case for the built-in specs, which are all connected).
+    dist: Vec<u32>,
+    grid: Option<GridTopology>,
+}
+
+impl Topology {
+    /// Builds the topology described by `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero-sized grids, rings with fewer
+    /// than 3 qubits, heavy-hex lattices smaller than 2 rows x 3 columns).
+    pub fn from_spec(spec: TopologySpec) -> Self {
+        match spec {
+            TopologySpec::Ibmq16 => Self::from_grid(spec, GridTopology::ibmq16()),
+            TopologySpec::Grid { mx, my } => Self::from_grid(spec, GridTopology::new(mx, my)),
+            TopologySpec::Ring { n } => {
+                assert!(n >= 3, "a ring needs at least 3 qubits");
+                let edges: Vec<(HwQubit, HwQubit)> =
+                    (0..n).map(|i| (HwQubit(i), HwQubit((i + 1) % n))).collect();
+                Self::from_edge_list(spec, n, edges, None)
+            }
+            TopologySpec::HeavyHex { rows, cols } => {
+                assert!(
+                    rows >= 2 && cols >= 3,
+                    "a heavy-hex lattice needs at least 2 rows of 3 columns"
+                );
+                let mut edges = Vec::new();
+                // Chain qubits first: qubit r*cols + c.
+                for r in 0..rows {
+                    for c in 0..cols.saturating_sub(1) {
+                        edges.push((HwQubit(r * cols + c), HwQubit(r * cols + c + 1)));
+                    }
+                }
+                // Bridge qubits appended after all chain qubits: one per
+                // selected column between consecutive rows, alternating
+                // offset 0 / 2 every row pair (heavy-hex style).
+                let mut next = rows * cols;
+                for r in 0..rows - 1 {
+                    let offset = if r % 2 == 0 { 0 } else { 2 };
+                    let mut columns: Vec<usize> = (0..cols).filter(|c| c % 4 == offset).collect();
+                    if columns.is_empty() {
+                        columns.push(0);
+                    }
+                    for c in columns {
+                        let bridge = HwQubit(next);
+                        next += 1;
+                        edges.push((HwQubit(r * cols + c), bridge));
+                        edges.push((bridge, HwQubit((r + 1) * cols + c)));
+                    }
+                }
+                Self::from_edge_list(spec, next, edges, None)
+            }
+        }
+    }
+
+    /// The IBMQ16 topology (8x2 grid), the device of the paper.
+    pub fn ibmq16() -> Self {
+        TopologySpec::Ibmq16.build()
+    }
+
+    /// An `mx` by `my` nearest-neighbour grid.
+    pub fn grid(mx: usize, my: usize) -> Self {
+        TopologySpec::Grid { mx, my }.build()
+    }
+
+    /// An `n`-qubit ring.
+    pub fn ring(n: usize) -> Self {
+        TopologySpec::Ring { n }.build()
+    }
+
+    /// A heavy-hex-style lattice of `rows` chains of `cols` qubits.
+    pub fn heavy_hex(rows: usize, cols: usize) -> Self {
+        TopologySpec::HeavyHex { rows, cols }.build()
+    }
+
+    fn from_grid(spec: TopologySpec, grid: GridTopology) -> Self {
+        let n = grid.num_qubits();
+        let edges = grid.edges();
+        // Preserve GridTopology's neighbour order (left, right, up, down)
+        // so Dijkstra tie-breaking — and therefore every chosen route —
+        // is identical to the original hard-coded machine model.
+        let adjacency: Vec<Vec<HwQubit>> = (0..n).map(|q| grid.neighbors(HwQubit(q))).collect();
+        let dist = Self::bfs_all_pairs(n, &adjacency);
+        Topology {
+            spec,
+            n,
+            edges,
+            adjacency,
+            dist,
+            grid: Some(grid),
+        }
+    }
+
+    fn from_edge_list(
+        spec: TopologySpec,
+        n: usize,
+        edges: Vec<(HwQubit, HwQubit)>,
+        grid: Option<GridTopology>,
+    ) -> Self {
+        let mut adjacency: Vec<Vec<HwQubit>> = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            assert!(a.0 < n && b.0 < n && a != b, "invalid edge {a}-{b}");
+            adjacency[a.0].push(b);
+            adjacency[b.0].push(a);
+        }
+        let dist = Self::bfs_all_pairs(n, &adjacency);
+        Topology {
+            spec,
+            n,
+            edges,
+            adjacency,
+            dist,
+            grid,
+        }
+    }
+
+    fn bfs_all_pairs(n: usize, adjacency: &[Vec<HwQubit>]) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for source in 0..n {
+            let row = &mut dist[source * n..(source + 1) * n];
+            row[source] = 0;
+            queue.clear();
+            queue.push_back(source);
+            while let Some(q) = queue.pop_front() {
+                let d = row[q];
+                for &nb in &adjacency[q] {
+                    if row[nb.0] == u32::MAX {
+                        row[nb.0] = d + 1;
+                        queue.push_back(nb.0);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// The spec this topology was built from.
+    pub fn spec(&self) -> TopologySpec {
+        self.spec
+    }
+
+    /// The 2-D grid layout, when the topology is grid-shaped. Grid-only
+    /// routing (one-bend paths, rectangle reservation) is available exactly
+    /// when this returns `Some`; other policies fall back to best-path
+    /// routing.
+    pub fn as_grid(&self) -> Option<&GridTopology> {
+        self.grid.as_ref()
+    }
+
+    /// Total number of hardware qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// All undirected coupling edges, in the spec's canonical enumeration
+    /// order (for grids: identical to [`GridTopology::edges`]).
+    pub fn edges(&self) -> &[(HwQubit, HwQubit)] {
+        &self.edges
+    }
+
+    /// Nearest neighbours of `q`, in canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is outside the topology.
+    pub fn neighbors(&self, q: HwQubit) -> &[HwQubit] {
+        &self.adjacency[q.0]
+    }
+
+    /// Whether the qubit index is inside the topology.
+    pub fn contains(&self, q: HwQubit) -> bool {
+        q.0 < self.n
+    }
+
+    /// Validates that a qubit is inside the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::QubitOutOfRange`] when it is not.
+    pub fn check(&self, q: HwQubit) -> Result<(), MachineError> {
+        if self.contains(q) {
+            Ok(())
+        } else {
+            Err(MachineError::QubitOutOfRange {
+                qubit: q.0,
+                num_qubits: self.n,
+            })
+        }
+    }
+
+    /// Whether a hardware CNOT may be applied directly between `a` and `b`.
+    pub fn adjacent(&self, a: HwQubit, b: HwQubit) -> bool {
+        self.contains(a) && self.contains(b) && a != b && self.distance(a, b) == 1
+    }
+
+    /// Coupling-graph hop distance between two hardware qubits (for grids
+    /// this equals the Manhattan distance the paper's duration model uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is outside the topology.
+    pub fn distance(&self, a: HwQubit, b: HwQubit) -> usize {
+        assert!(self.contains(a), "{a} outside {self}");
+        assert!(self.contains(b), "{b} outside {self}");
+        self.dist[a.0 * self.n + b.0] as usize
+    }
+
+    /// All hardware qubits in index order.
+    pub fn qubits(&self) -> impl Iterator<Item = HwQubit> {
+        (0..self.n).map(HwQubit)
+    }
+}
+
+impl From<GridTopology> for Topology {
+    fn from(grid: GridTopology) -> Self {
+        let spec = TopologySpec::Grid {
+            mx: grid.mx(),
+            my: grid.my(),
+        };
+        Topology::from_grid(spec, grid)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.grid {
+            // Keep the original grid rendering ("8x2 grid") so reports and
+            // machine names are unchanged for grid-shaped machines.
+            Some(grid) => grid.fmt(f),
+            None => self.spec.fmt(f),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,5 +730,73 @@ mod tests {
             t.check(HwQubit(16)),
             Err(MachineError::QubitOutOfRange { qubit: 16, .. })
         ));
+    }
+
+    #[test]
+    fn topology_grid_matches_grid_topology_exactly() {
+        let grid = GridTopology::ibmq16();
+        let t = Topology::ibmq16();
+        assert_eq!(t.num_qubits(), grid.num_qubits());
+        assert_eq!(t.edges(), grid.edges().as_slice());
+        for q in grid.qubits() {
+            assert_eq!(t.neighbors(q), grid.neighbors(q).as_slice(), "{q}");
+            for p in grid.qubits() {
+                assert_eq!(t.distance(q, p), grid.distance(q, p));
+                assert_eq!(t.adjacent(q, p), grid.adjacent(q, p));
+            }
+        }
+        assert_eq!(t.as_grid(), Some(&grid));
+        assert_eq!(t.to_string(), "8x2 grid");
+    }
+
+    #[test]
+    fn from_grid_topology_preserves_layout() {
+        let t: Topology = GridTopology::new(3, 5).into();
+        assert_eq!(t.spec(), TopologySpec::Grid { mx: 3, my: 5 });
+        assert_eq!(t.num_qubits(), 15);
+        assert!(t.as_grid().is_some());
+    }
+
+    #[test]
+    fn ring_distances_wrap_around() {
+        let t = Topology::ring(8);
+        assert_eq!(t.num_qubits(), 8);
+        assert_eq!(t.edges().len(), 8);
+        assert!(t.adjacent(HwQubit(0), HwQubit(7)));
+        assert_eq!(t.distance(HwQubit(0), HwQubit(4)), 4);
+        assert_eq!(t.distance(HwQubit(1), HwQubit(7)), 2);
+        assert!(t.as_grid().is_none());
+        for q in t.qubits() {
+            assert_eq!(t.neighbors(q).len(), 2);
+        }
+    }
+
+    #[test]
+    fn heavy_hex_is_connected_with_degree_two_bridges() {
+        let t = Topology::heavy_hex(3, 7);
+        let chain_qubits = 3 * 7;
+        assert!(t.num_qubits() > chain_qubits, "bridge qubits appended");
+        // Every pair reachable (BFS distance finite).
+        for a in t.qubits() {
+            for b in t.qubits() {
+                assert!(t.distance(a, b) < t.num_qubits(), "{a} cannot reach {b}");
+            }
+        }
+        // Bridge qubits connect exactly one qubit of each adjacent chain.
+        for q in chain_qubits..t.num_qubits() {
+            assert_eq!(t.neighbors(HwQubit(q)).len(), 2, "bridge Q{q}");
+        }
+    }
+
+    #[test]
+    fn spec_names_are_stable() {
+        assert_eq!(TopologySpec::Ibmq16.name(), "IBMQ16");
+        assert_eq!(TopologySpec::Grid { mx: 4, my: 4 }.name(), "grid-4x4");
+        assert_eq!(TopologySpec::Ring { n: 12 }.name(), "ring-12");
+        assert_eq!(
+            TopologySpec::HeavyHex { rows: 2, cols: 5 }.name(),
+            "heavy-hex-2x5"
+        );
+        assert_eq!(Topology::ring(5).to_string(), "5-qubit ring");
     }
 }

@@ -27,14 +27,19 @@
 //!   times respecting data dependencies (Constraint 3), per-edge gate
 //!   durations (Constraint 5), coherence windows (Constraints 4/6) and
 //!   spatial non-overlap of concurrent CNOT routes under the rectangle
-//!   reservation or one-bend-path policies (Constraints 7-9).
+//!   reservation or one-bend-path selections (Constraints 7-9).
+//! * the unified routing layer ([`RouteSelection`], [`RoutingPolicy`],
+//!   [`Layout`]) — how routes are chosen, and how their SWAPs are
+//!   materialized: the paper's swap-out/swap-back model
+//!   ([`SwapBackRouting`]) or permutation tracking
+//!   ([`PermutationRouting`]), shared by the scheduler and the emitter.
 //!
 //! # Example
 //!
 //! ```
 //! use nisq_ir::Benchmark;
 //! use nisq_machine::Machine;
-//! use nisq_opt::{problem, solve_branch_and_bound, MappingObjective, RoutingPolicy, SolverConfig};
+//! use nisq_opt::{problem, solve_branch_and_bound, MappingObjective, RouteSelection, SolverConfig};
 //!
 //! let circuit = Benchmark::Bv4.circuit();
 //! let machine = Machine::ibmq16_on_day(1, 0);
@@ -42,7 +47,7 @@
 //!     &circuit,
 //!     &machine,
 //!     MappingObjective::Reliability { omega: 0.5 },
-//!     RoutingPolicy::OneBendPaths,
+//!     RouteSelection::OneBendPaths,
 //! )
 //! .unwrap();
 //! let solution = solve_branch_and_bound(&p, &SolverConfig::default());
@@ -66,7 +71,10 @@ pub use assignment::{AssignmentProblem, PairTerm, SingleTerm};
 pub use branch_bound::{solve_branch_and_bound, SolverConfig};
 pub use error::OptError;
 pub use problem::MappingObjective;
-pub use routing::{CnotRoute, RoutingPolicy};
+pub use routing::{
+    compute_route, hop_slots, CnotRoute, Layout, PermutationRouting, RouteSelection, RoutedOp,
+    RoutingPolicy, SwapBackRouting, SwapHandling,
+};
 pub use scheduler::{Placement, Schedule, ScheduledGate, Scheduler, SchedulerConfig};
 
 /// Result of a placement search: an assignment of program qubits to

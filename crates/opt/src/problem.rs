@@ -11,7 +11,7 @@
 
 use crate::assignment::{AssignmentProblem, PairTerm, SingleTerm};
 use crate::error::OptError;
-use crate::routing::RoutingPolicy;
+use crate::routing::RouteSelection;
 use nisq_ir::Circuit;
 use nisq_machine::{HwQubit, Machine};
 use std::collections::BTreeMap;
@@ -68,7 +68,7 @@ pub fn build(
     circuit: &Circuit,
     machine: &Machine,
     objective: MappingObjective,
-    policy: RoutingPolicy,
+    policy: RouteSelection,
 ) -> Result<AssignmentProblem, OptError> {
     let n_prog = circuit.num_qubits();
     let n_hw = machine.num_qubits();
@@ -124,6 +124,9 @@ pub fn build(
         .collect();
 
     let reliability = machine.reliability();
+    // Price pairs under the selection the scheduler will actually use
+    // (grid-only selections degrade to best-path off-grid).
+    let policy = policy.effective_on(machine.topology());
     let mut pair_cost = vec![0.0; n_hw * n_hw];
     for h1 in 0..n_hw {
         for h2 in 0..n_hw {
@@ -135,13 +138,13 @@ pub fn build(
             pair_cost[h1 * n_hw + h2] = match objective {
                 MappingObjective::Reliability { .. } => {
                     let rel = match policy {
-                        RoutingPolicy::OneBendPaths | RoutingPolicy::RectangleReservation => {
+                        RouteSelection::OneBendPaths | RouteSelection::RectangleReservation => {
                             reliability
                                 .best_one_bend(a, b)
-                                .expect("distinct qubits always have a one-bend route")
+                                .expect("distinct qubits always have a one-bend route on a grid")
                                 .1
                         }
-                        RoutingPolicy::BestPath => reliability.best_path_cnot_reliability(a, b),
+                        RouteSelection::BestPath => reliability.best_path_cnot_reliability(a, b),
                     };
                     -rel.max(1e-12).ln()
                 }
@@ -151,13 +154,13 @@ pub fn build(
                 } => {
                     if calibration_aware {
                         match policy {
-                            RoutingPolicy::OneBendPaths | RoutingPolicy::RectangleReservation => {
-                                let (junction, _) = reliability
-                                    .best_one_bend(a, b)
-                                    .expect("distinct qubits always have a one-bend route");
+                            RouteSelection::OneBendPaths | RouteSelection::RectangleReservation => {
+                                let (junction, _) = reliability.best_one_bend(a, b).expect(
+                                    "distinct qubits always have a one-bend route on a grid",
+                                );
                                 reliability.one_bend_cnot_duration(a, b, junction) as f64
                             }
-                            RoutingPolicy::BestPath => {
+                            RouteSelection::BestPath => {
                                 reliability.best_path_cnot_duration(a, b) as f64
                             }
                         }
@@ -206,7 +209,7 @@ mod tests {
             &c,
             &machine(),
             MappingObjective::Reliability { omega: 0.5 },
-            RoutingPolicy::OneBendPaths,
+            RouteSelection::OneBendPaths,
         )
         .unwrap();
         assert_eq!(p.num_program(), 4);
@@ -224,7 +227,7 @@ mod tests {
             &c,
             &machine(),
             MappingObjective::Reliability { omega: 0.0 },
-            RoutingPolicy::OneBendPaths,
+            RouteSelection::OneBendPaths,
         )
         .unwrap();
         assert!(p.single_terms().iter().all(|t| t.weight == 0.0));
@@ -237,7 +240,7 @@ mod tests {
             &c,
             &machine(),
             MappingObjective::duration_calibrated(),
-            RoutingPolicy::OneBendPaths,
+            RouteSelection::OneBendPaths,
         )
         .unwrap();
         assert!(p.single_terms().iter().all(|t| t.weight == 0.0));
@@ -253,7 +256,7 @@ mod tests {
                 &c,
                 &machine(),
                 MappingObjective::Reliability { omega: 1.5 },
-                RoutingPolicy::OneBendPaths,
+                RouteSelection::OneBendPaths,
             ),
             Err(OptError::InvalidOmega { .. })
         ));
@@ -267,7 +270,7 @@ mod tests {
                 &c,
                 &machine(),
                 MappingObjective::Reliability { omega: 0.5 },
-                RoutingPolicy::OneBendPaths,
+                RouteSelection::OneBendPaths,
             ),
             Err(OptError::TooManyProgramQubits { .. })
         ));
@@ -286,7 +289,7 @@ mod tests {
             &c,
             &m,
             MappingObjective::Reliability { omega: 0.5 },
-            RoutingPolicy::OneBendPaths,
+            RouteSelection::OneBendPaths,
         )
         .unwrap();
         let sol = solve_branch_and_bound(&p, &SolverConfig::default());
@@ -314,7 +317,7 @@ mod tests {
             &c,
             &m,
             MappingObjective::duration_uniform(),
-            RoutingPolicy::RectangleReservation,
+            RouteSelection::RectangleReservation,
         )
         .unwrap();
         let sol = solve_branch_and_bound(&p, &SolverConfig::default());

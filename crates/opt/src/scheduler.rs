@@ -1,5 +1,7 @@
 use crate::error::OptError;
-use crate::routing::{CnotRoute, RoutingPolicy};
+use crate::routing::{
+    compute_route, hop_slots, CnotRoute, Layout, RouteSelection, RoutingPolicy, SwapBackRouting,
+};
 use nisq_ir::{Circuit, GateKind, Qubit};
 use nisq_machine::{HwQubit, Machine};
 use serde::{Deserialize, Serialize};
@@ -74,12 +76,13 @@ impl From<Vec<HwQubit>> for Placement {
     }
 }
 
-/// Scheduler configuration: routing policy, whether durations and coherence
-/// windows come from calibration data, and the fallback coherence bound.
+/// Scheduler configuration: route selection, whether durations and
+/// coherence windows come from calibration data, and the fallback coherence
+/// bound.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerConfig {
-    /// Routing policy for non-adjacent CNOTs.
-    pub policy: RoutingPolicy,
+    /// Route selection for non-adjacent CNOTs.
+    pub selection: RouteSelection,
     /// Use per-edge calibration durations (T-SMT*/R-SMT*) instead of a
     /// uniform CNOT duration (T-SMT).
     pub calibration_aware: bool,
@@ -94,7 +97,7 @@ pub struct SchedulerConfig {
 impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
-            policy: RoutingPolicy::OneBendPaths,
+            selection: RouteSelection::OneBendPaths,
             calibration_aware: true,
             uniform_cnot_slots: 4,
             static_coherence_slots: 1000,
@@ -102,7 +105,8 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// One gate with its assigned start time, duration and (for CNOTs) route.
+/// One gate with its assigned start time, duration, resolved hardware
+/// operands and (for two-qubit gates) route.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduledGate {
     /// Index of the gate in the input circuit.
@@ -113,6 +117,11 @@ pub struct ScheduledGate {
     pub duration: u32,
     /// Route used, for two-qubit gates.
     pub route: Option<CnotRoute>,
+    /// Hardware locations of the gate's operands at issue time (for
+    /// two-qubit gates: control then target). Under swap-back routing this
+    /// equals the initial placement; under permutation routing it reflects
+    /// the live layout.
+    pub hw: Vec<HwQubit>,
 }
 
 impl ScheduledGate {
@@ -136,6 +145,10 @@ pub struct Schedule {
     /// Total number of SWAP operations implied by the chosen routes
     /// (one-way, i.e. the swaps needed to bring qubits adjacent).
     pub swap_count: usize,
+    /// Where each program qubit ends up after the schedule: identical to
+    /// the initial placement under swap-back routing, the accumulated
+    /// permutation under permutation-tracking routing.
+    pub final_placement: Placement,
 }
 
 impl Schedule {
@@ -195,60 +208,24 @@ impl<'m> Scheduler<'m> {
     }
 
     /// Computes the route for a CNOT between two hardware locations under
-    /// the configured policy.
+    /// the configured route selection (see [`compute_route`]).
     pub fn route(&self, control: HwQubit, target: HwQubit) -> CnotRoute {
-        let topology = self.machine.topology();
-        let reliability = self.machine.reliability();
-        match self.config.policy {
-            RoutingPolicy::BestPath => {
-                let path = reliability.best_path(control, target).path.clone();
-                CnotRoute {
-                    reserved: path.clone(),
-                    path,
-                    junction: None,
-                }
-            }
-            RoutingPolicy::OneBendPaths | RoutingPolicy::RectangleReservation => {
-                let junction = if self.config.calibration_aware {
-                    reliability
-                        .best_one_bend(control, target)
-                        .expect("control and target are distinct")
-                        .0
-                } else {
-                    topology.junctions(control, target).0
-                };
-                let path = topology.one_bend_path(control, target, junction);
-                let reserved = if self.config.policy == RoutingPolicy::RectangleReservation {
-                    let ((lx, ly), (rx, ry)) = topology.bounding_rectangle(control, target);
-                    let mut qs = Vec::new();
-                    for y in ly..=ry {
-                        for x in lx..=rx {
-                            qs.push(topology.at(x, y));
-                        }
-                    }
-                    qs
-                } else {
-                    path.clone()
-                };
-                CnotRoute {
-                    path,
-                    junction: Some(junction),
-                    reserved,
-                }
-            }
-        }
+        compute_route(
+            self.machine,
+            self.config.selection,
+            self.config.calibration_aware,
+            control,
+            target,
+        )
     }
 
-    fn cnot_duration(&self, control: HwQubit, target: HwQubit, route: &CnotRoute) -> u32 {
-        let reliability = self.machine.reliability();
-        if self.config.calibration_aware {
-            match route.junction {
-                Some(j) => reliability.one_bend_cnot_duration(control, target, j),
-                None => reliability.best_path_cnot_duration(control, target),
-            }
+    fn route_duration(&self, route: &CnotRoute, policy: &dyn RoutingPolicy) -> u32 {
+        let uniform = if self.config.calibration_aware {
+            None
         } else {
-            reliability.uniform_cnot_duration(control, target, self.config.uniform_cnot_slots)
-        }
+            Some(self.config.uniform_cnot_slots)
+        };
+        policy.route_duration(&hop_slots(self.machine, &route.path, uniform))
     }
 
     fn coherence_limit(&self, qubits: &[HwQubit]) -> u32 {
@@ -263,13 +240,32 @@ impl<'m> Scheduler<'m> {
         }
     }
 
-    /// Schedules `circuit` under `placement`.
+    /// Schedules `circuit` under `placement` with the paper's swap-back
+    /// routing policy.
     ///
     /// # Errors
     ///
     /// Returns an error if the placement does not cover the circuit's
     /// program qubits injectively on this machine.
     pub fn schedule(&self, circuit: &Circuit, placement: &Placement) -> Result<Schedule, OptError> {
+        self.schedule_with(circuit, placement, &SwapBackRouting)
+    }
+
+    /// Schedules `circuit` under `placement` with an explicit
+    /// [`RoutingPolicy`]: routes are computed from the live [`Layout`], and
+    /// the policy decides whether moved qubits return home (swap-back) or
+    /// stay moved (permutation tracking).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the placement does not cover the circuit's
+    /// program qubits injectively on this machine.
+    pub fn schedule_with(
+        &self,
+        circuit: &Circuit,
+        placement: &Placement,
+        policy: &dyn RoutingPolicy,
+    ) -> Result<Schedule, OptError> {
         if placement.len() < circuit.num_qubits() {
             return Err(OptError::InvalidPlacement {
                 reason: format!(
@@ -279,7 +275,7 @@ impl<'m> Scheduler<'m> {
                 ),
             });
         }
-        placement.validate(self.machine.num_qubits())?;
+        let mut layout = Layout::new(placement, self.machine.num_qubits())?;
 
         let dag = circuit.dag();
         let n = circuit.len();
@@ -304,30 +300,31 @@ impl<'m> Scheduler<'m> {
             ready.remove(&(rt, idx));
             let gate = &circuit.gates()[idx];
 
+            // Resolve operands against the live layout (equal to the
+            // initial placement whenever the policy swaps back).
+            let acting: Vec<HwQubit> = gate.qubits().iter().map(|&q| layout.hw(q)).collect();
+
             let (resources, duration, route) = match gate.kind() {
                 GateKind::Cnot | GateKind::Swap => {
-                    let a = placement.hw(gate.qubits()[0]);
-                    let b = placement.hw(gate.qubits()[1]);
-                    let route = self.route(a, b);
-                    let mut duration = self.cnot_duration(a, b, &route);
+                    let route = self.route(acting[0], acting[1]);
+                    let mut duration = self.route_duration(&route, policy);
                     if gate.kind() == GateKind::Swap {
                         duration *= 3;
                     }
                     swap_count += route.swaps_needed();
+                    // Advancing the layout in issue order is consistent
+                    // with the start-time order: a movement swap only
+                    // relocates qubits sitting on this route's path, every
+                    // position of which is in `route.reserved`, so any
+                    // later gate touching a relocated qubit contends on
+                    // those resources and is forced to start after this
+                    // gate finishes.
+                    policy.advance(&route, &mut layout);
                     (route.reserved.clone(), duration, Some(route))
                 }
-                GateKind::Measure => {
-                    let hw = placement.hw(gate.qubits()[0]);
-                    (vec![hw], readout_slots, None)
-                }
-                GateKind::Barrier => {
-                    let qs: Vec<HwQubit> = gate.qubits().iter().map(|&q| placement.hw(q)).collect();
-                    (qs, 0, None)
-                }
-                _ => {
-                    let hw = placement.hw(gate.qubits()[0]);
-                    (vec![hw], single_slots, None)
-                }
+                GateKind::Measure => (acting.clone(), readout_slots, None),
+                GateKind::Barrier => (acting.clone(), 0, None),
+                _ => (acting.clone(), single_slots, None),
             };
 
             let resource_free = resources
@@ -343,7 +340,6 @@ impl<'m> Scheduler<'m> {
             makespan = makespan.max(finish);
 
             // Coherence check against the qubits the gate acts on.
-            let acting: Vec<HwQubit> = gate.qubits().iter().map(|&q| placement.hw(q)).collect();
             if finish > self.coherence_limit(&acting) {
                 coherence_violations.push(idx);
             }
@@ -361,6 +357,7 @@ impl<'m> Scheduler<'m> {
                 start,
                 duration,
                 route,
+                hw: acting,
             });
         }
 
@@ -369,6 +366,7 @@ impl<'m> Scheduler<'m> {
             makespan,
             coherence_violations,
             swap_count,
+            final_placement: layout.to_placement(),
         })
     }
 }
@@ -481,7 +479,7 @@ mod tests {
         let rr = Scheduler::new(
             &m,
             SchedulerConfig {
-                policy: RoutingPolicy::RectangleReservation,
+                selection: RouteSelection::RectangleReservation,
                 ..SchedulerConfig::default()
             },
         )
@@ -490,7 +488,7 @@ mod tests {
         let obp = Scheduler::new(
             &m,
             SchedulerConfig {
-                policy: RoutingPolicy::OneBendPaths,
+                selection: RouteSelection::OneBendPaths,
                 ..SchedulerConfig::default()
             },
         )

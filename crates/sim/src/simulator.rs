@@ -6,6 +6,7 @@ use nisq_ir::Circuit;
 use nisq_machine::Machine;
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// Trials per parallel work unit. Fixed (instead of `trials / threads`) so
 /// the partition of trials into chunks — and therefore every per-trial RNG
@@ -77,12 +78,31 @@ impl SimulatorConfig {
 pub struct Simulator<'m> {
     machine: &'m Machine,
     config: SimulatorConfig,
+    /// Worker pool built once per simulator (not per run), so figure sweeps
+    /// that call [`Simulator::run_program`] thousands of times stop paying
+    /// per-call thread spawn. `None` when the configuration is serial.
+    pool: Option<Arc<rayon::ThreadPool>>,
 }
 
 impl<'m> Simulator<'m> {
     /// Creates a simulator for a machine snapshot.
     pub fn new(machine: &'m Machine, config: SimulatorConfig) -> Self {
-        Simulator { machine, config }
+        let threads = config.threads.max(1);
+        // Only build a pool a run can actually use: configurations whose
+        // trial count fits one chunk always take the serial path.
+        let pool = (threads > 1 && config.trials > TRIAL_CHUNK).then(|| {
+            Arc::new(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("building the trial thread pool cannot fail"),
+            )
+        });
+        Simulator {
+            machine,
+            config,
+            pool,
+        }
     }
 
     /// The configuration in use.
@@ -120,19 +140,13 @@ impl<'m> Simulator<'m> {
     /// independent of the thread count.
     pub fn run_program(&self, program: &TrialProgram) -> SimulationResult {
         let trials = self.config.trials;
-        let threads = self.config.threads.max(1);
         let seed = self.config.seed;
 
-        let counts: FxHashMap<u64, u32> = if threads == 1 || trials <= TRIAL_CHUNK {
-            simulate_chunk(program, seed, 0, trials)
-        } else {
+        let pool = self.pool.as_ref().filter(|_| trials > TRIAL_CHUNK);
+        let counts: FxHashMap<u64, u32> = if let Some(pool) = pool {
             let chunks: Vec<(u32, u32)> = (0..trials.div_ceil(TRIAL_CHUNK))
                 .map(|c| (c * TRIAL_CHUNK, ((c + 1) * TRIAL_CHUNK).min(trials)))
                 .collect();
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("building the trial thread pool cannot fail");
             let partials: Vec<FxHashMap<u64, u32>> = pool.install(|| {
                 chunks
                     .into_par_iter()
@@ -148,6 +162,8 @@ impl<'m> Simulator<'m> {
                 }
             }
             merged
+        } else {
+            simulate_chunk(program, seed, 0, trials)
         };
         SimulationResult::from_bitpacked(counts, program.num_clbits())
     }
@@ -161,6 +177,8 @@ impl<'m> Simulator<'m> {
                 noise: NoiseModel::ideal(),
                 ..self.config
             },
+            // Same thread count: reuse the already-built pool.
+            pool: self.pool.clone(),
         };
         ideal.run(physical)
     }

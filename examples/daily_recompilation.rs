@@ -18,7 +18,7 @@ fn main() {
     let day0 = Machine::ibmq16_on_day(2019, 0);
     let static_compiled = Compiler::new(
         &day0,
-        CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+        CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
     )
     .compile(&circuit)
     .expect("Toffoli fits on IBMQ16");

@@ -126,8 +126,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn config_for(mapper: &str, omega: f64) -> Result<CompilerConfig, String> {
     Ok(match mapper {
         "qiskit" => CompilerConfig::qiskit(),
-        "t-smt" => CompilerConfig::t_smt(RoutingPolicy::RectangleReservation),
-        "t-smt-star" => CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+        "t-smt" => CompilerConfig::t_smt(RouteSelection::RectangleReservation),
+        "t-smt-star" => CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
         "r-smt-star" => CompilerConfig::r_smt_star(omega),
         "greedy-v" => CompilerConfig::greedy_v(),
         "greedy-e" => CompilerConfig::greedy_e(),

@@ -42,9 +42,14 @@ pub use nisq_sim as sim;
 
 /// The types most users need, in one import.
 pub mod prelude {
-    pub use nisq_core::{Algorithm, CompiledCircuit, Compiler, CompilerConfig, RoutingPolicy};
+    pub use nisq_core::{
+        Algorithm, CompileContext, CompiledCircuit, Compiler, CompilerConfig, Pass, Pipeline,
+        RouteSelection, SwapHandling,
+    };
     pub use nisq_ir::{Benchmark, Circuit, Gate, GateKind, Qubit};
-    pub use nisq_machine::{CalibrationGenerator, GridTopology, HwQubit, Machine};
+    pub use nisq_machine::{
+        CalibrationGenerator, GridTopology, HwQubit, Machine, Topology, TopologySpec,
+    };
     pub use nisq_opt::Placement;
     pub use nisq_sim::{SimulationResult, Simulator, SimulatorConfig};
 }

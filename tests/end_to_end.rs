@@ -76,7 +76,7 @@ fn r_smt_star_is_at_least_as_good_as_t_smt_star_on_most_benchmarks() {
         let r = success(&m, CompilerConfig::r_smt_star(0.5), benchmark, 9);
         let t = success(
             &m,
-            CompilerConfig::t_smt_star(RoutingPolicy::OneBendPaths),
+            CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
             benchmark,
             9,
         );
