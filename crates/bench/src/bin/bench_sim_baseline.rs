@@ -19,9 +19,10 @@
 //! any configuration regresses by more than the allowed fraction (the CI
 //! ratchet of the roadmap). Improvements are reported but never fail.
 
-use nisq_bench::ibmq16_on_day;
-use nisq_core::{Compiler, CompilerConfig};
+use nisq_core::CompilerConfig;
+use nisq_exp::{Session, DEFAULT_MACHINE_SEED};
 use nisq_ir::Benchmark;
+use nisq_machine::TopologySpec;
 use nisq_sim::{Simulator, SimulatorConfig};
 use std::time::Instant;
 
@@ -38,13 +39,14 @@ struct Measurement {
 }
 
 fn measure(
+    session: &mut Session,
     benchmark: Benchmark,
     compiler_name: &'static str,
     config: CompilerConfig,
 ) -> Measurement {
-    let machine = ibmq16_on_day(0);
-    let compiled = Compiler::new(&machine, config)
-        .compile(&benchmark.circuit())
+    let machine = session.machine(TopologySpec::Ibmq16, DEFAULT_MACHINE_SEED, 0);
+    let compiled = session
+        .compile(&machine, &config, &benchmark.circuit())
         .expect("paper benchmarks compile on IBMQ16");
     let physical = compiled.physical_circuit();
     let sim = Simulator::new(&machine, SimulatorConfig::with_trials(TRIALS, 1));
@@ -186,15 +188,30 @@ fn main() {
         }
     }
 
+    // One session for the whole run: the machine snapshot is built once
+    // and compiles share the placement cache.
+    let mut session = Session::new();
     let measurements = vec![
-        measure(Benchmark::Bv8, "qiskit", CompilerConfig::qiskit()),
         measure(
+            &mut session,
+            Benchmark::Bv8,
+            "qiskit",
+            CompilerConfig::qiskit(),
+        ),
+        measure(
+            &mut session,
             Benchmark::Bv8,
             "r_smt_star",
             CompilerConfig::r_smt_star(0.5),
         ),
-        measure(Benchmark::Toffoli, "qiskit", CompilerConfig::qiskit()),
         measure(
+            &mut session,
+            Benchmark::Toffoli,
+            "qiskit",
+            CompilerConfig::qiskit(),
+        ),
+        measure(
+            &mut session,
             Benchmark::Adder,
             "r_smt_star",
             CompilerConfig::r_smt_star(0.5),

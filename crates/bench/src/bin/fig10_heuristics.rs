@@ -1,36 +1,37 @@
 //! Figure 10: success rate of the calibration-aware greedy heuristics
 //! (GreedyE*, GreedyV*) compared with R-SMT* (omega = 0.5).
 
-use nisq_bench::{fmt3, format_table, geomean, ibmq16_on_day, run_benchmark, DEFAULT_TRIALS};
+use nisq_bench::{fmt3, format_table, geomean, trials_from_env, DEFAULT_TRIALS};
 use nisq_core::CompilerConfig;
+use nisq_exp::{Session, SweepPlan};
 use nisq_ir::Benchmark;
 
 fn main() {
-    let machine = ibmq16_on_day(0);
-    let trials = std::env::var("NISQ_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_TRIALS);
-
+    let trials = trials_from_env(DEFAULT_TRIALS);
     let configs = [
         ("R-SMT* w=0.5", CompilerConfig::r_smt_star(0.5)),
         ("GreedyE*", CompilerConfig::greedy_e()),
         ("GreedyV*", CompilerConfig::greedy_v()),
     ];
+    let plan = SweepPlan::new()
+        .benchmarks(Benchmark::all())
+        .with_configs(configs)
+        .with_trials(trials)
+        .fixed_sim_seed(11);
+    let report = Session::new().run(&plan).expect("benchmarks fit on IBMQ16");
 
     let mut rows = Vec::new();
     let mut e_ratio = Vec::new();
     let mut v_ratio = Vec::new();
     for benchmark in Benchmark::all() {
-        let mut cells = vec![benchmark.name().to_string()];
-        let mut rates = Vec::new();
-        for (_, config) in &configs {
-            let outcome = run_benchmark(&machine, *config, benchmark, trials, 11);
-            rates.push(outcome.success_rate);
-            cells.push(fmt3(outcome.success_rate));
-        }
+        let rates: Vec<f64> = configs
+            .iter()
+            .map(|(label, _)| report.require(benchmark.name(), label, 0).success())
+            .collect();
         e_ratio.push(rates[1].max(1e-4) / rates[0].max(1e-4));
         v_ratio.push(rates[2].max(1e-4) / rates[0].max(1e-4));
+        let mut cells = vec![benchmark.name().to_string()];
+        cells.extend(rates.iter().map(|&r| fmt3(r)));
         rows.push(cells);
     }
 

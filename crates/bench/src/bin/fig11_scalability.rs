@@ -5,26 +5,61 @@
 //! The exact solver's budget is capped (like the paper's 3-hour SMT runs)
 //! so the sweep finishes in minutes; budget-limited points are marked with
 //! an asterisk and report the time spent before the cap.
+//!
+//! Both sweeps are compile-only [`SweepPlan`]s with a per-circuit grid
+//! machine (the machine grows with the workload); one [`Session`] shares
+//! the machine snapshots between them.
 
-use nisq_bench::{format_table, machine_with_qubits};
-use nisq_core::{CompiledCircuit, Compiler, CompilerConfig};
+use nisq_bench::format_table;
+use nisq_core::CompilerConfig;
+use nisq_exp::{CircuitSpec, Report, Session, SweepPlan};
 use nisq_ir::{random_circuit, RandomCircuitConfig};
 use std::time::Duration;
 
-/// Time the mapper itself spent, from the pipeline's per-pass timings (the
-/// quantity of Figure 11: solver/heuristic time, excluding scheduling and
-/// emission).
-fn place_time(compiled: &CompiledCircuit) -> Duration {
-    compiled
-        .pass_timings()
+const GATE_COUNTS: [usize; 5] = [128, 256, 512, 1024, 2048];
+
+/// A compile-only plan over random `(qubits, gates)` instances for one
+/// configuration, on grids sized to each instance.
+fn scaling_plan(label: &str, config: CompilerConfig, qubit_counts: &[usize]) -> SweepPlan {
+    let mut plan = SweepPlan::new().config(label, config).grid_per_circuit();
+    for &qubits in qubit_counts {
+        for &gates in &GATE_COUNTS {
+            plan = plan.circuit(CircuitSpec::new(
+                format!("{qubits}q/{gates}g"),
+                random_circuit(RandomCircuitConfig::new(qubits, gates, 7)),
+            ));
+        }
+    }
+    plan
+}
+
+/// Renders one sweep as a machine-size × gate-count table of place-pass
+/// microseconds, marking budget-capped points with `*`.
+fn rows_for(
+    report: &Report,
+    label: &str,
+    qubit_counts: &[usize],
+    budget: Option<Duration>,
+) -> Vec<Vec<String>> {
+    qubit_counts
         .iter()
-        .find(|t| t.pass == "place")
-        .map(|t| t.elapsed)
-        .unwrap_or_default()
+        .map(|qubits| {
+            let mut cells = vec![format!("{qubits} qubits")];
+            for gates in GATE_COUNTS {
+                let cell = report.require(&format!("{qubits}q/{gates}g"), label, 0);
+                let capped = budget.is_some_and(|b| cell.place_us >= b.as_secs_f64() * 1e6);
+                cells.push(format!(
+                    "{}{}",
+                    cell.place_us as u128,
+                    if capped { "*" } else { "" }
+                ));
+            }
+            cells
+        })
+        .collect()
 }
 
 fn main() {
-    let gate_counts = [128usize, 256, 512, 1024, 2048];
     let smt_qubits = [4usize, 8, 16, 32];
     let greedy_qubits = [4usize, 8, 16, 32, 64, 128];
     let budget = Duration::from_secs(
@@ -36,49 +71,44 @@ fn main() {
 
     println!("Figure 11: mapper (place-pass) time in microseconds on random circuits\n");
 
+    let mut session = Session::new();
+    let smt_config = CompilerConfig::r_smt_star(0.5).with_solver_budget(u64::MAX, Some(budget));
+    let smt_report = session
+        .run(&scaling_plan("R-SMT*", smt_config, &smt_qubits))
+        .expect("random circuits compile");
+    let greedy_report = session
+        .run(&scaling_plan(
+            "GreedyE*",
+            CompilerConfig::greedy_e(),
+            &greedy_qubits,
+        ))
+        .expect("random circuits compile");
+
+    let headers: Vec<String> = std::iter::once("Machine".to_string())
+        .chain(GATE_COUNTS.iter().map(|g| format!("{g} gates")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
     println!(
         "R-SMT* (exact solver, budget {}s per point; * = budget hit)\n",
         budget.as_secs()
     );
-    let mut rows = Vec::new();
-    for &qubits in &smt_qubits {
-        let machine = machine_with_qubits(qubits);
-        let mut cells = vec![format!("{qubits} qubits")];
-        for &gates in &gate_counts {
-            let circuit = random_circuit(RandomCircuitConfig::new(qubits, gates, 7));
-            let config = CompilerConfig::r_smt_star(0.5).with_solver_budget(u64::MAX, Some(budget));
-            let compiled = Compiler::new(&machine, config).compile(&circuit).unwrap();
-            let elapsed = place_time(&compiled);
-            let capped = elapsed >= budget;
-            cells.push(format!(
-                "{}{}",
-                elapsed.as_micros(),
-                if capped { "*" } else { "" }
-            ));
-        }
-        rows.push(cells);
-    }
-    let headers: Vec<String> = std::iter::once("Machine".to_string())
-        .chain(gate_counts.iter().map(|g| format!("{g} gates")))
-        .collect();
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    println!("{}", format_table(&header_refs, &rows));
+    println!(
+        "{}",
+        format_table(
+            &header_refs,
+            &rows_for(&smt_report, "R-SMT*", &smt_qubits, Some(budget))
+        )
+    );
 
     println!("GreedyE* (heuristic)\n");
-    let mut rows = Vec::new();
-    for &qubits in &greedy_qubits {
-        let machine = machine_with_qubits(qubits);
-        let mut cells = vec![format!("{qubits} qubits")];
-        for &gates in &gate_counts {
-            let circuit = random_circuit(RandomCircuitConfig::new(qubits, gates, 7));
-            let compiled = Compiler::new(&machine, CompilerConfig::greedy_e())
-                .compile(&circuit)
-                .unwrap();
-            cells.push(place_time(&compiled).as_micros().to_string());
-        }
-        rows.push(cells);
-    }
-    println!("{}", format_table(&header_refs, &rows));
+    println!(
+        "{}",
+        format_table(
+            &header_refs,
+            &rows_for(&greedy_report, "GreedyE*", &greedy_qubits, None)
+        )
+    );
     println!(
         "The paper reports the SMT approach needing hours at 32 qubits while the greedy \
          heuristics stay under one second everywhere; the same separation (orders of \

@@ -1,14 +1,12 @@
 //! Figure 1: daily variations in qubit coherence time (T2) and CNOT gate
 //! error rates over ~25 calibration days, for selected qubits and edges.
 
-use nisq_bench::format_table;
-use nisq_machine::{CalibrationGenerator, EdgeId, GridTopology, HwQubit};
+use nisq_bench::{format_table, ibmq16_calibration_days};
+use nisq_machine::{EdgeId, HwQubit};
 
 fn main() {
     let days = 25;
-    let generator =
-        CalibrationGenerator::new(GridTopology::ibmq16(), nisq_bench::DEFAULT_MACHINE_SEED);
-    let snapshots = generator.days(days);
+    let snapshots = ibmq16_calibration_days(days);
 
     // The paper plots qubits Q0, Q4, Q9, Q13 and CNOTs (5,4), (7,10), (3,14).
     // (3,14) is not an edge of the 8x2 grid model, so we use (3,11) which

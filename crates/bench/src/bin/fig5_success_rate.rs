@@ -5,42 +5,41 @@
 //! geometric-mean improvement (up to 18x); the simulated reproduction should
 //! preserve that ordering and a comparable improvement factor.
 
-use nisq_bench::{fmt3, format_table, geomean, ibmq16_on_day, run_benchmark, DEFAULT_TRIALS};
+use nisq_bench::{fmt3, format_table, geomean, trials_from_env, DEFAULT_TRIALS};
 use nisq_core::{CompilerConfig, RouteSelection};
+use nisq_exp::{Session, SweepPlan};
 use nisq_ir::Benchmark;
 
 fn main() {
-    let machine = ibmq16_on_day(0);
-    let trials = std::env::var("NISQ_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_TRIALS);
-
-    let configs = [
-        ("Qiskit", CompilerConfig::qiskit()),
-        (
+    let trials = trials_from_env(DEFAULT_TRIALS);
+    let plan = SweepPlan::new()
+        .benchmarks(Benchmark::all())
+        .config("Qiskit", CompilerConfig::qiskit())
+        .config(
             "T-SMT*",
             CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
-        ),
-        ("R-SMT* w=0.5", CompilerConfig::r_smt_star(0.5)),
-    ];
+        )
+        .config("R-SMT* w=0.5", CompilerConfig::r_smt_star(0.5))
+        .with_trials(trials)
+        .fixed_sim_seed(42);
+    let report = Session::new().run(&plan).expect("benchmarks fit on IBMQ16");
 
     let mut rows = Vec::new();
     let mut improvements = Vec::new();
     let mut improvements_vs_tsmt = Vec::new();
     for benchmark in Benchmark::all() {
-        let mut cells = vec![benchmark.name().to_string()];
-        let mut rates = Vec::new();
-        for (_, config) in &configs {
-            let outcome = run_benchmark(&machine, *config, benchmark, trials, 42);
-            rates.push(outcome.success_rate);
-            cells.push(fmt3(outcome.success_rate));
-        }
+        let rates: Vec<f64> = plan
+            .configs()
+            .iter()
+            .map(|(label, _)| report.require(benchmark.name(), label, 0).success())
+            .collect();
         let qiskit = rates[0].max(1e-4);
         let t_smt_star = rates[1].max(1e-4);
         let r_smt_star = rates[2];
         improvements.push(r_smt_star / qiskit);
         improvements_vs_tsmt.push(r_smt_star / t_smt_star);
+        let mut cells = vec![benchmark.name().to_string()];
+        cells.extend(rates.iter().map(|&r| fmt3(r)));
         cells.push(format!("{:.2}x", r_smt_star / qiskit));
         rows.push(cells);
     }

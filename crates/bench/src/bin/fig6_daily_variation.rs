@@ -1,45 +1,42 @@
 //! Figure 6: success rate of T-SMT* and R-SMT* over one week for BV4, HS6
 //! and Toffoli, recompiling every day with that day's calibration data.
 
-use nisq_bench::{fmt3, format_table, ibmq16_on_day, run_benchmark};
+use nisq_bench::{fmt3, format_table, trials_from_env};
 use nisq_core::{CompilerConfig, RouteSelection};
+use nisq_exp::{Session, SweepPlan};
 use nisq_ir::Benchmark;
 
 fn main() {
     let days = 7;
-    let trials = std::env::var("NISQ_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4096);
+    let trials = trials_from_env(4096);
+
+    let plan = SweepPlan::new()
+        .benchmarks(Benchmark::representative())
+        .config(
+            "T-SMT*",
+            CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
+        )
+        .config("R-SMT*", CompilerConfig::r_smt_star(0.5))
+        .days(0..days)
+        .with_trials(trials)
+        .per_day_sim_seed(100);
+    let report = Session::new().run(&plan).expect("benchmarks fit on IBMQ16");
 
     println!("Figure 6: daily success rate over one week ({trials} trials per point)\n");
     let mut rows = Vec::new();
     let mut r_wins = 0usize;
     let mut total = 0usize;
     for day in 0..days {
-        let machine = ibmq16_on_day(day);
         let mut cells = vec![format!("day {day}")];
         for benchmark in Benchmark::representative() {
-            let t = run_benchmark(
-                &machine,
-                CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
-                benchmark,
-                trials,
-                100 + day as u64,
-            );
-            let r = run_benchmark(
-                &machine,
-                CompilerConfig::r_smt_star(0.5),
-                benchmark,
-                trials,
-                100 + day as u64,
-            );
-            if r.success_rate >= t.success_rate {
+            let t = report.require(benchmark.name(), "T-SMT*", day).success();
+            let r = report.require(benchmark.name(), "R-SMT*", day).success();
+            if r >= t {
                 r_wins += 1;
             }
             total += 1;
-            cells.push(fmt3(t.success_rate));
-            cells.push(fmt3(r.success_rate));
+            cells.push(fmt3(t));
+            cells.push(fmt3(r));
         }
         rows.push(cells);
     }

@@ -2,27 +2,38 @@
 //! duration (b) and compile time (c) for BV4, HS6 and Toffoli under T-SMT*
 //! and R-SMT* with omega in {0, 0.5, 1}, plus a finer omega sweep as the
 //! ablation called out in DESIGN.md.
+//!
+//! One plan covers every table: the main configurations and the ablation's
+//! omega grid land in the same report, and the session's compile cache
+//! dedups the omegas both axes share.
 
-use nisq_bench::{fmt3, format_table, ibmq16_on_day, run_benchmark};
+use nisq_bench::{fmt3, format_table, trials_from_env};
 use nisq_core::{CompilerConfig, RouteSelection};
+use nisq_exp::{Session, SweepPlan};
 use nisq_ir::Benchmark;
 
 fn main() {
-    let machine = ibmq16_on_day(0);
-    let trials = std::env::var("NISQ_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8192);
-
-    let configs = [
+    let trials = trials_from_env(8192);
+    let main_configs = [
         (
-            "T-SMT*".to_string(),
+            "T-SMT*",
             CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
         ),
-        ("R-SMT* w=1".to_string(), CompilerConfig::r_smt_star(1.0)),
-        ("R-SMT* w=0".to_string(), CompilerConfig::r_smt_star(0.0)),
-        ("R-SMT* w=0.5".to_string(), CompilerConfig::r_smt_star(0.5)),
+        ("R-SMT* w=1", CompilerConfig::r_smt_star(1.0)),
+        ("R-SMT* w=0", CompilerConfig::r_smt_star(0.0)),
+        ("R-SMT* w=0.5", CompilerConfig::r_smt_star(0.5)),
     ];
+    let omegas = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    let mut plan = SweepPlan::new()
+        .benchmarks(Benchmark::representative())
+        .with_configs(main_configs)
+        .with_trials(trials)
+        .fixed_sim_seed(7);
+    for &omega in &omegas {
+        plan = plan.config(format!("w={omega}"), CompilerConfig::r_smt_star(omega));
+    }
+    let report = Session::new().run(&plan).expect("benchmarks fit on IBMQ16");
 
     for (title, metric) in [
         ("Figure 7a: success rate", 0usize),
@@ -32,38 +43,31 @@ fn main() {
         let mut rows = Vec::new();
         for benchmark in Benchmark::representative() {
             let mut cells = vec![benchmark.name().to_string()];
-            for (_, config) in &configs {
-                let outcome = run_benchmark(&machine, *config, benchmark, trials, 7);
+            for (label, _) in &main_configs {
+                let outcome = report.require(benchmark.name(), label, 0);
                 cells.push(match metric {
-                    0 => fmt3(outcome.success_rate),
+                    0 => fmt3(outcome.success()),
                     1 => outcome.duration_slots.to_string(),
-                    _ => format!("{:.1}", outcome.compile_time.as_secs_f64() * 1000.0),
+                    _ => format!("{:.1}", outcome.compile_ms),
                 });
             }
             rows.push(cells);
         }
         println!("{title} ({trials} trials, day 0)\n");
         let headers: Vec<&str> = std::iter::once("Benchmark")
-            .chain(configs.iter().map(|(n, _)| n.as_str()))
+            .chain(main_configs.iter().map(|(n, _)| *n))
             .collect();
         println!("{}", format_table(&headers, &rows));
     }
 
     // Ablation: finer omega sweep on the representative benchmarks.
     println!("Ablation: omega sweep for R-SMT* (success rate)\n");
-    let omegas = [0.0, 0.25, 0.5, 0.75, 1.0];
     let mut rows = Vec::new();
     for benchmark in Benchmark::representative() {
         let mut cells = vec![benchmark.name().to_string()];
         for &omega in &omegas {
-            let outcome = run_benchmark(
-                &machine,
-                CompilerConfig::r_smt_star(omega),
-                benchmark,
-                trials,
-                7,
-            );
-            cells.push(fmt3(outcome.success_rate));
+            let label = format!("w={omega}");
+            cells.push(fmt3(report.require(benchmark.name(), &label, 0).success()));
         }
         rows.push(cells);
     }

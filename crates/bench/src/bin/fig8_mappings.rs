@@ -1,14 +1,19 @@
 //! Figure 8: the BV4 qubit mappings chosen by Qiskit, T-SMT*, R-SMT*
 //! (omega = 1) and R-SMT* (omega = 0.5), with the error rates of the
 //! hardware resources they use.
+//!
+//! This figure inspects placements and routed schedules rather than
+//! aggregate metrics, so it drives [`Session::compile`] directly instead of
+//! rendering a report.
 
-use nisq_bench::ibmq16_on_day;
-use nisq_core::{Compiler, CompilerConfig, RouteSelection};
+use nisq_core::{CompilerConfig, RouteSelection};
+use nisq_exp::{Session, DEFAULT_MACHINE_SEED};
 use nisq_ir::{Benchmark, Qubit};
-use nisq_machine::HwQubit;
+use nisq_machine::{HwQubit, TopologySpec};
 
 fn main() {
-    let machine = ibmq16_on_day(0);
+    let mut session = Session::new();
+    let machine = session.machine(TopologySpec::Ibmq16, DEFAULT_MACHINE_SEED, 0);
     let circuit = Benchmark::Bv4.circuit();
 
     let configs = [
@@ -43,8 +48,8 @@ fn main() {
     println!();
 
     for (label, config) in configs {
-        let compiled = Compiler::new(&machine, config)
-            .compile(&circuit)
+        let compiled = session
+            .compile(&machine, &config, &circuit)
             .expect("BV4 compiles on IBMQ16");
         let placement = compiled.placement();
         println!("{label}");

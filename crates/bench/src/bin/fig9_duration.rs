@@ -1,14 +1,15 @@
 //! Figure 9: effect of gate durations, routing policy and objective on
 //! execution duration. Compares T-SMT (RR, uniform gate times) against
 //! T-SMT* (RR), T-SMT* (1BP) and R-SMT* (1BP), all using calibrated gate
-//! durations for the final duration report.
+//! durations for the final duration report. A compile-only sweep: no
+//! simulation trials are requested.
 
-use nisq_bench::{format_table, geomean, ibmq16_on_day};
-use nisq_core::{Compiler, CompilerConfig, RouteSelection};
+use nisq_bench::{format_table, geomean};
+use nisq_core::{CompilerConfig, RouteSelection};
+use nisq_exp::{Session, SweepPlan};
 use nisq_ir::Benchmark;
 
 fn main() {
-    let machine = ibmq16_on_day(0);
     let configs = [
         (
             "T-SMT RR",
@@ -24,22 +25,22 @@ fn main() {
         ),
         ("R-SMT* 1BP", CompilerConfig::r_smt_star(0.5)),
     ];
+    let plan = SweepPlan::new()
+        .benchmarks(Benchmark::all())
+        .with_configs(configs);
+    let report = Session::new().run(&plan).expect("benchmarks fit on IBMQ16");
 
     let mut rows = Vec::new();
     let mut noise_aware_gain = Vec::new();
     for benchmark in Benchmark::all() {
-        let circuit = benchmark.circuit();
+        let durations: Vec<u32> = configs
+            .iter()
+            .map(|(label, _)| report.require(benchmark.name(), label, 0).duration_slots)
+            .collect();
         let mut cells = vec![benchmark.name().to_string()];
-        let mut durations = Vec::new();
-        for (_, config) in &configs {
-            let compiled = Compiler::new(&machine, *config)
-                .compile(&circuit)
-                .expect("benchmark compiles");
-            durations.push(compiled.duration_slots());
-            cells.push(compiled.duration_slots().to_string());
-        }
+        cells.extend(durations.iter().map(|d| d.to_string()));
         // Gain of the calibration-aware duration objective over T-SMT.
-        noise_aware_gain.push(durations[0] as f64 / durations[1].max(1) as f64);
+        noise_aware_gain.push(f64::from(durations[0]) / f64::from(durations[1].max(1)));
         rows.push(cells);
     }
 

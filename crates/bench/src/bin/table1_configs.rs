@@ -1,13 +1,19 @@
 //! Table 1: the compiler configurations used in the study.
+//!
+//! The configuration axis of every figure's sweep plan, rendered as a
+//! table; [`SweepPlan::table1_configs`] is the single source of truth for
+//! the six configurations and their labels.
 
 use nisq_bench::format_table;
-use nisq_core::CompilerConfig;
+use nisq_exp::SweepPlan;
 
 fn main() {
     println!("Table 1: compiler configurations\n");
-    let rows: Vec<Vec<String>> = CompilerConfig::table1()
-        .into_iter()
-        .map(|config| {
+    let plan = SweepPlan::new().table1_configs();
+    let rows: Vec<Vec<String>> = plan
+        .configs()
+        .iter()
+        .map(|(label, config)| {
             let objective = match config.algorithm {
                 nisq_core::Algorithm::Qiskit => "heuristic, minimize duration",
                 nisq_core::Algorithm::TSmt | nisq_core::Algorithm::TSmtStar => {
@@ -26,7 +32,7 @@ fn main() {
                 _ => format!("routing {}", config.routing),
             };
             vec![
-                config.algorithm.name().to_string(),
+                label.clone(),
                 objective.to_string(),
                 params,
                 if config.algorithm.is_calibration_aware() {

@@ -1,16 +1,21 @@
 //! Table 2: characteristics of the benchmark programs.
+//!
+//! The circuit axis of the evaluation's sweep plans, rendered as a table.
 
 use nisq_bench::format_table;
+use nisq_exp::SweepPlan;
 use nisq_ir::Benchmark;
 
 fn main() {
     println!("Table 2: benchmark characteristics\n");
-    let rows: Vec<Vec<String>> = Benchmark::all()
+    let plan = SweepPlan::new().benchmarks(Benchmark::all());
+    let rows: Vec<Vec<String>> = plan
+        .circuits()
         .iter()
-        .map(|b| {
-            let stats = b.circuit().stats();
+        .map(|spec| {
+            let stats = spec.circuit.stats();
             vec![
-                b.name().to_string(),
+                spec.name.clone(),
                 stats.num_qubits.to_string(),
                 stats.gates.to_string(),
                 stats.cnots.to_string(),

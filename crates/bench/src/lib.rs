@@ -1,9 +1,13 @@
 //! # nisq-bench — experiment harness for the paper's tables and figures
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md for the index); this library holds the pieces they share:
-//! building machines for a given calibration day, running the
-//! compile-then-simulate pipeline, and simple text-table / statistics
+//! (see DESIGN.md for the index). The binaries are thin declarations over
+//! the experiment API of [`nisq_exp`] — each one builds a
+//! [`SweepPlan`](nisq_exp::SweepPlan), executes it through a caching
+//! [`Session`](nisq_exp::Session), and renders the resulting
+//! [`Report`](nisq_exp::Report) as a text table. This library holds the
+//! pieces they share: the canonical machine/calibration helpers, the
+//! single-cell compile-then-simulate path, and text-table / statistics
 //! helpers.
 //!
 //! The experiments substitute a noisy simulator driven by synthetic
@@ -16,13 +20,14 @@
 
 use nisq_core::{Compiler, CompilerConfig};
 use nisq_ir::{Benchmark, Circuit};
-use nisq_machine::{CalibrationGenerator, GridTopology, Machine};
+use nisq_machine::{Calibration, CalibrationGenerator, GridTopology, Machine};
 use nisq_sim::{Simulator, SimulatorConfig};
 use std::time::Duration;
 
 /// The default machine seed used across the experiment binaries, so the
-/// whole evaluation refers to one consistent synthetic device.
-pub const DEFAULT_MACHINE_SEED: u64 = 2019;
+/// whole evaluation refers to one consistent synthetic device (re-exported
+/// from the experiment API, which applies it to every plan by default).
+pub const DEFAULT_MACHINE_SEED: u64 = nisq_exp::DEFAULT_MACHINE_SEED;
 
 /// The default number of simulation trials (matches the paper's 8192 trials
 /// per execution on IBMQ16).
@@ -43,6 +48,22 @@ pub fn machine_with_qubits(num_qubits: usize) -> Machine {
         topology,
         calibration,
     )
+}
+
+/// The first `days` calibration snapshots of the default synthetic IBMQ16
+/// device — the canonical calibration series every daily-variation figure
+/// draws from.
+pub fn ibmq16_calibration_days(days: usize) -> Vec<Calibration> {
+    CalibrationGenerator::new(GridTopology::ibmq16(), DEFAULT_MACHINE_SEED).days(days)
+}
+
+/// Reads the `NISQ_TRIALS` override every figure binary honours, falling
+/// back to `default` trials per cell.
+pub fn trials_from_env(default: u32) -> u32 {
+    std::env::var("NISQ_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The result of compiling and simulating one benchmark under one

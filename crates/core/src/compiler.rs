@@ -53,6 +53,31 @@ impl<'m> Compiler<'m> {
         }
     }
 
+    /// Creates a compiler driving an explicit (possibly shared) pipeline
+    /// instead of building the standard one — the cheap way to construct
+    /// many short-lived compilers over one pipeline, as the experiment
+    /// session does.
+    pub fn with_pipeline(
+        machine: &'m Machine,
+        config: CompilerConfig,
+        pipeline: Arc<Pipeline>,
+    ) -> Self {
+        Compiler {
+            machine,
+            config,
+            pipeline,
+        }
+    }
+
+    /// Returns a copy of this compiler whose place pass memoizes results in
+    /// `cache`. The cache is shareable: install the same `Arc` into many
+    /// compilers (across machines, configs and threads) and identical
+    /// `(circuit, machine-day, config)` triples are placed once.
+    pub fn with_placement_cache(mut self, cache: Arc<crate::PlacementCache>) -> Self {
+        self.pipeline = Arc::new(Pipeline::standard_with_placement_cache(cache));
+        self
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &CompilerConfig {
         &self.config

@@ -204,6 +204,25 @@ impl CompilerConfig {
     pub fn calibration_aware(&self) -> bool {
         self.algorithm.is_calibration_aware()
     }
+
+    /// A deterministic 64-bit fingerprint of every field (ω by its IEEE-754
+    /// bits). Configurations that compare equal fingerprint equal, so the
+    /// fingerprint serves as the config component of compile-cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        self.algorithm.hash(&mut h);
+        self.routing.hash(&mut h);
+        h.write_u64(self.omega.to_bits());
+        self.uniform_cnot_slots.hash(&mut h);
+        self.static_coherence_slots.hash(&mut h);
+        self.solver_max_nodes.hash(&mut h);
+        self.solver_time_limit.hash(&mut h);
+        self.anneal_seed.hash(&mut h);
+        self.swap_handling.hash(&mut h);
+        self.decompose_swaps.hash(&mut h);
+        h.finish()
+    }
 }
 
 impl fmt::Display for CompilerConfig {

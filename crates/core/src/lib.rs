@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod compiler;
 mod config;
 mod error;
@@ -46,6 +47,7 @@ pub mod mapping;
 pub mod metrics;
 pub mod pipeline;
 
+pub use cache::{PlacementCache, PlacementCacheStats};
 pub use compiler::Compiler;
 pub use config::{Algorithm, CompilerConfig};
 pub use error::CompileError;

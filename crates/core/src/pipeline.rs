@@ -50,6 +50,7 @@
 //! assert_eq!(ctx.timings().last().unwrap().pass, "coherence-lint");
 //! ```
 
+use crate::cache::PlacementCache;
 use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::mapping::PlacementRegistry;
@@ -59,6 +60,7 @@ use nisq_machine::Machine;
 use nisq_opt::{
     Placement, RouteSelection, RoutedOp, RoutingPolicy, Schedule, Scheduler, SchedulerConfig,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The routing decision installed by the [`RoutePass`]: the requested route
@@ -324,12 +326,33 @@ impl Pipeline {
         Pipeline::with_registry(PlacementRegistry::standard())
     }
 
+    /// The standard pipeline with placements memoized in `cache`
+    /// (shareable across pipelines and threads): repeat compiles of an
+    /// identical `(circuit, machine-day, config)` triple skip the placement
+    /// strategy entirely.
+    pub fn standard_with_placement_cache(cache: Arc<PlacementCache>) -> Self {
+        let mut p = Pipeline::empty();
+        p.push(DecomposePass);
+        p.push(PlacePass {
+            registry: PlacementRegistry::standard(),
+            cache: Some(cache),
+        });
+        p.push(RoutePass);
+        p.push(SchedulePass);
+        p.push(EmitPass);
+        p.push(EstimatePass);
+        p
+    }
+
     /// The standard pipeline with a custom placement registry (additional
     /// strategies, replaced defaults, ...).
     pub fn with_registry(registry: PlacementRegistry) -> Self {
         let mut p = Pipeline::empty();
         p.push(DecomposePass);
-        p.push(PlacePass { registry });
+        p.push(PlacePass {
+            registry,
+            cache: None,
+        });
         p.push(RoutePass);
         p.push(SchedulePass);
         p.push(EmitPass);
@@ -390,11 +413,16 @@ impl Pass for DecomposePass {
 
 /// Computes the initial placement by dispatching to the
 /// [`PlacementStrategy`](crate::mapping::PlacementStrategy) registered for
-/// the configured algorithm.
+/// the configured algorithm, optionally memoizing results in a shared
+/// [`PlacementCache`] keyed on the `(circuit, machine-day, config)`
+/// fingerprints.
 #[derive(Debug)]
 pub struct PlacePass {
     /// The strategies this pass dispatches over.
     pub registry: PlacementRegistry,
+    /// Shared memo of placement results; `None` disables caching (the
+    /// default for [`Pipeline::standard`]).
+    pub cache: Option<Arc<PlacementCache>>,
 }
 
 impl Pass for PlacePass {
@@ -409,6 +437,12 @@ impl Pass for PlacePass {
                 hardware_qubits: ctx.machine().num_qubits(),
             });
         }
+        if let Some(cache) = &self.cache {
+            if let Some(placement) = cache.lookup(ctx.circuit(), ctx.machine(), ctx.config()) {
+                ctx.set_placement(placement);
+                return Ok(());
+            }
+        }
         let name = ctx.config().algorithm.name();
         let strategy = self
             .registry
@@ -417,6 +451,14 @@ impl Pass for PlacePass {
                 name: name.to_string(),
             })?;
         let placement = strategy.place(ctx.circuit(), ctx.machine(), ctx.config())?;
+        if let Some(cache) = &self.cache {
+            cache.insert(
+                ctx.circuit(),
+                ctx.machine(),
+                ctx.config(),
+                placement.clone(),
+            );
+        }
         ctx.set_placement(placement);
         Ok(())
     }

@@ -1,0 +1,356 @@
+//! Structured experiment reports with stable JSON serialization.
+
+use crate::json::{self, JsonError, Value};
+use serde::{Deserialize, Serialize};
+
+/// Version tag embedded in every serialized report.
+pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v1";
+
+/// Aggregate cache behaviour of the [`Session`](crate::Session) run that
+/// produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Compilations requested (one per plan cell).
+    pub compile_requests: u64,
+    /// Requests answered from the full-compile cache.
+    pub compile_hits: u64,
+    /// Placement-pass lookups answered from the placement cache.
+    pub place_hits: u64,
+    /// Placement passes actually executed (= placement-cache misses).
+    pub place_runs: u64,
+}
+
+impl CacheStats {
+    /// Compilations that actually ran the pipeline.
+    pub fn compile_runs(&self) -> u64 {
+        self.compile_requests - self.compile_hits
+    }
+
+    /// Cache hits at any level (full compile or placement pass).
+    pub fn total_hits(&self) -> u64 {
+        self.compile_hits + self.place_hits
+    }
+}
+
+/// The outcome of one plan cell: compile metrics, and simulation metrics
+/// when the plan requested trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Circuit display name.
+    pub circuit: String,
+    /// Configuration label.
+    pub config: String,
+    /// Machine topology name (e.g. `IBMQ16`, `grid-4x4`).
+    pub topology: String,
+    /// Calibration day index.
+    pub day: usize,
+    /// Logical qubit count of the circuit.
+    pub qubits: usize,
+    /// Logical gate count of the circuit.
+    pub gates: usize,
+    /// Seed used for this cell's trials.
+    pub sim_seed: u64,
+    /// Trials simulated (0 = compile only).
+    pub trials: u32,
+    /// Fraction of trials returning the correct answer; `None` when the
+    /// cell was not simulated or has no known correct answer.
+    pub success_rate: Option<f64>,
+    /// The compiler's analytic reliability estimate.
+    pub estimated_reliability: f64,
+    /// Execution duration in hardware timeslots.
+    pub duration_slots: u32,
+    /// One-way SWAPs inserted by the router.
+    pub swap_count: usize,
+    /// Hardware CNOTs in the executable (SWAPs count as three).
+    pub hardware_cnots: usize,
+    /// Wall-clock compile time in milliseconds (of the original compile if
+    /// this cell hit the compile cache).
+    pub compile_ms: f64,
+    /// Wall-clock time of the placement pass in microseconds, as recorded
+    /// by the compile that produced this cell's executable: a full-compile
+    /// cache hit repeats the original compile's value, and a placement-
+    /// cache hit records only the (near-zero) lookup time.
+    pub place_us: f64,
+    /// Whether the compilation was served from the full-compile cache.
+    pub cache_hit: bool,
+}
+
+impl CellRecord {
+    /// The measured success rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not simulated; check
+    /// [`CellRecord::success_rate`] when that is possible.
+    pub fn success(&self) -> f64 {
+        self.success_rate.unwrap_or_else(|| {
+            panic!(
+                "cell {}/{}/day {} was not simulated",
+                self.circuit, self.config, self.day
+            )
+        })
+    }
+}
+
+/// The structured result of executing a [`SweepPlan`](crate::SweepPlan):
+/// one record per cell plus the run's cache statistics, serializable to a
+/// stable JSON document (and parseable back, so CI can validate emitted
+/// reports without external dependencies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Machine calibration seed of the run.
+    pub machine_seed: u64,
+    /// Trials per cell requested by the plan (0 = compile only).
+    pub trials: u32,
+    /// One record per plan cell, in plan order.
+    pub cells: Vec<CellRecord>,
+    /// Cache behaviour over the whole run.
+    pub cache: CacheStats,
+}
+
+impl Report {
+    /// The first record matching `(circuit, config, day)` (topology is not
+    /// discriminated; use [`Report::cells`] directly for multi-topology
+    /// plans).
+    pub fn cell(&self, circuit: &str, config: &str, day: usize) -> Option<&CellRecord> {
+        self.cells
+            .iter()
+            .find(|c| c.circuit == circuit && c.config == config && c.day == day)
+    }
+
+    /// Like [`Report::cell`] but panicking with a descriptive message —
+    /// for figure binaries whose plans are static.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such cell exists.
+    pub fn require(&self, circuit: &str, config: &str, day: usize) -> &CellRecord {
+        self.cell(circuit, config, day)
+            .unwrap_or_else(|| panic!("no cell for {circuit}/{config}/day {day} in report"))
+    }
+
+    /// Serializes to the stable JSON format (`nisq-sweep-report/v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema\": {},\n",
+            json::write_str(REPORT_SCHEMA)
+        ));
+        out.push_str(&format!("  \"machine_seed\": {},\n", self.machine_seed));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials));
+        out.push_str(&format!(
+            "  \"cache\": {{\"compile_requests\": {}, \"compile_hits\": {}, \"place_hits\": {}, \"place_runs\": {}}},\n",
+            self.cache.compile_requests,
+            self.cache.compile_hits,
+            self.cache.place_hits,
+            self.cache.place_runs,
+        ));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let success = match c.success_rate {
+                Some(rate) => format!("{rate}"),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"circuit\": {}, \"config\": {}, \"topology\": {}, \"day\": {}, \
+                 \"qubits\": {}, \"gates\": {}, \"sim_seed\": {}, \"trials\": {}, \
+                 \"success_rate\": {}, \"estimated_reliability\": {}, \"duration_slots\": {}, \
+                 \"swap_count\": {}, \"hardware_cnots\": {}, \"compile_ms\": {:.3}, \
+                 \"place_us\": {:.3}, \"cache_hit\": {}}}{}\n",
+                json::write_str(&c.circuit),
+                json::write_str(&c.config),
+                json::write_str(&c.topology),
+                c.day,
+                c.qubits,
+                c.gates,
+                c.sim_seed,
+                c.trials,
+                success,
+                c.estimated_reliability,
+                c.duration_slots,
+                c.swap_count,
+                c.hardware_cnots,
+                c.compile_ms,
+                c.place_us,
+                c.cache_hit,
+                if i + 1 == self.cells.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Report::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed JSON, an unknown schema tag, or
+    /// missing fields.
+    pub fn from_json(text: &str) -> Result<Report, JsonError> {
+        let doc = json::parse(text)?;
+        let schema = req_str(&doc, "schema")?;
+        if schema != REPORT_SCHEMA {
+            return Err(shape_err(format!(
+                "unsupported schema {schema:?} (expected {REPORT_SCHEMA:?})"
+            )));
+        }
+        let cache_doc = req(&doc, "cache")?;
+        let cache = CacheStats {
+            compile_requests: req_u64(cache_doc, "compile_requests")?,
+            compile_hits: req_u64(cache_doc, "compile_hits")?,
+            place_hits: req_u64(cache_doc, "place_hits")?,
+            place_runs: req_u64(cache_doc, "place_runs")?,
+        };
+        let mut cells = Vec::new();
+        for cell in req(&doc, "cells")?
+            .as_array()
+            .ok_or_else(|| shape_err("\"cells\" is not an array".to_string()))?
+        {
+            cells.push(CellRecord {
+                circuit: req_str(cell, "circuit")?.to_string(),
+                config: req_str(cell, "config")?.to_string(),
+                topology: req_str(cell, "topology")?.to_string(),
+                day: req_u64(cell, "day")? as usize,
+                qubits: req_u64(cell, "qubits")? as usize,
+                gates: req_u64(cell, "gates")? as usize,
+                sim_seed: req_u64(cell, "sim_seed")?,
+                trials: req_u64(cell, "trials")? as u32,
+                success_rate: match req(cell, "success_rate")? {
+                    Value::Null => None,
+                    v => Some(
+                        v.as_f64()
+                            .ok_or_else(|| shape_err("non-numeric success_rate".to_string()))?,
+                    ),
+                },
+                estimated_reliability: req_f64(cell, "estimated_reliability")?,
+                duration_slots: req_u64(cell, "duration_slots")? as u32,
+                swap_count: req_u64(cell, "swap_count")? as usize,
+                hardware_cnots: req_u64(cell, "hardware_cnots")? as usize,
+                compile_ms: req_f64(cell, "compile_ms")?,
+                place_us: req_f64(cell, "place_us")?,
+                cache_hit: req(cell, "cache_hit")?
+                    .as_bool()
+                    .ok_or_else(|| shape_err("non-boolean cache_hit".to_string()))?,
+            });
+        }
+        Ok(Report {
+            machine_seed: req_u64(&doc, "machine_seed")?,
+            trials: req_u64(&doc, "trials")? as u32,
+            cells,
+            cache,
+        })
+    }
+}
+
+fn shape_err(message: String) -> JsonError {
+    JsonError { message, offset: 0 }
+}
+
+fn req<'a>(doc: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
+    doc.get(key)
+        .ok_or_else(|| shape_err(format!("missing field {key:?}")))
+}
+
+fn req_str<'a>(doc: &'a Value, key: &str) -> Result<&'a str, JsonError> {
+    req(doc, key)?
+        .as_str()
+        .ok_or_else(|| shape_err(format!("field {key:?} is not a string")))
+}
+
+fn req_u64(doc: &Value, key: &str) -> Result<u64, JsonError> {
+    req(doc, key)?
+        .as_u64()
+        .ok_or_else(|| shape_err(format!("field {key:?} is not an unsigned integer")))
+}
+
+fn req_f64(doc: &Value, key: &str) -> Result<f64, JsonError> {
+    req(doc, key)?
+        .as_f64()
+        .ok_or_else(|| shape_err(format!("field {key:?} is not a number")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            machine_seed: 2019,
+            trials: 64,
+            cells: vec![
+                CellRecord {
+                    circuit: "BV4".into(),
+                    config: "Qiskit".into(),
+                    topology: "IBMQ16".into(),
+                    day: 0,
+                    qubits: 4,
+                    gates: 11,
+                    sim_seed: 42,
+                    trials: 64,
+                    success_rate: Some(0.59375),
+                    estimated_reliability: 0.6123456789,
+                    duration_slots: 40,
+                    swap_count: 1,
+                    hardware_cnots: 9,
+                    compile_ms: 1.25,
+                    place_us: 310.0,
+                    cache_hit: false,
+                },
+                CellRecord {
+                    circuit: "BV4".into(),
+                    config: "GreedyE*".into(),
+                    topology: "IBMQ16".into(),
+                    day: 3,
+                    qubits: 4,
+                    gates: 11,
+                    sim_seed: 43,
+                    trials: 0,
+                    success_rate: None,
+                    estimated_reliability: 0.7,
+                    duration_slots: 30,
+                    swap_count: 0,
+                    hardware_cnots: 3,
+                    compile_ms: 0.5,
+                    place_us: 120.5,
+                    cache_hit: true,
+                },
+            ],
+            cache: CacheStats {
+                compile_requests: 2,
+                compile_hits: 1,
+                place_hits: 1,
+                place_runs: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn lookup_finds_cells_by_coordinates() {
+        let report = sample();
+        assert_eq!(report.require("BV4", "Qiskit", 0).swap_count, 1);
+        assert!(report.cell("BV4", "Qiskit", 5).is_none());
+        assert!((report.require("BV4", "Qiskit", 0).success() - 0.59375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_and_shapes() {
+        assert!(Report::from_json("{}").is_err());
+        assert!(Report::from_json("{\"schema\": \"other/v9\"}").is_err());
+        assert!(Report::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn cache_stats_derive_runs_and_hits() {
+        let cache = sample().cache;
+        assert_eq!(cache.compile_runs(), 1);
+        assert_eq!(cache.total_hits(), 2);
+    }
+}

@@ -1,0 +1,406 @@
+//! The long-lived experiment executor.
+
+use crate::plan::{CircuitSpec, SweepPlan};
+use crate::report::{CacheStats, CellRecord, Report};
+use nisq_core::{
+    CompileError, CompiledCircuit, Compiler, CompilerConfig, Pipeline, PlacementCache,
+};
+use nisq_ir::Circuit;
+use nisq_machine::{Machine, TopologySpec};
+use nisq_sim::{Simulator, SimulatorConfig};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Key of the full-compile cache: circuit, machine and config fingerprints.
+type CompileKey = (u64, u64, u64);
+
+/// A long-lived executor for [`SweepPlan`] workloads.
+///
+/// A session owns three layers of reusable state, so a sequence of plans
+/// (or one plan with overlapping cells) never repeats work:
+///
+/// * **machine snapshots** — `(topology, seed, day)` builds calibration
+///   data once and shares the [`Machine`] behind an `Arc`;
+/// * **a full-compile cache** — identical `(circuit, machine-day, config)`
+///   triples return the same [`CompiledCircuit`], bit for bit;
+/// * **a placement cache** (see [`PlacementCache`]) — shared by every
+///   compile the session runs, so even compile-cache *misses* skip the
+///   expensive placement pass when only the calibration day changed for a
+///   calibration-unaware configuration.
+///
+/// Simulation batches are executed on a rayon pool: cells run in parallel,
+/// each replaying its trials with a deterministic per-cell stream, so
+/// results are independent of thread count and identical to a serial run.
+///
+/// # Example
+///
+/// ```
+/// use nisq_exp::{Session, SweepPlan};
+/// use nisq_core::CompilerConfig;
+/// use nisq_ir::Benchmark;
+///
+/// let mut session = Session::new();
+/// let report = session
+///     .run(
+///         &SweepPlan::new()
+///             .benchmark(Benchmark::Bv4)
+///             .config("GreedyE*", CompilerConfig::greedy_e())
+///             .with_trials(128),
+///     )
+///     .unwrap();
+/// assert_eq!(report.cells.len(), 1);
+/// assert!(report.cells[0].success() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    machines: FxHashMap<(TopologySpec, u64, usize), Arc<Machine>>,
+    compiled: FxHashMap<CompileKey, Arc<CompiledCircuit>>,
+    place_cache: Arc<PlacementCache>,
+    pipeline: Arc<Pipeline>,
+    compile_requests: u64,
+    compile_hits: u64,
+    threads: usize,
+    /// Worker pool for batch simulation, built once per thread budget (not
+    /// per run) so a long-lived session executing many plans does not pay
+    /// repeated pool setup.
+    pool: rayon::ThreadPool,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// Creates a session with an empty cache and the default thread budget
+    /// (the machine's available parallelism, capped at 8 like the
+    /// simulator's default).
+    pub fn new() -> Self {
+        let place_cache = Arc::new(PlacementCache::new());
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+        Session {
+            machines: FxHashMap::default(),
+            compiled: FxHashMap::default(),
+            pipeline: Arc::new(Pipeline::standard_with_placement_cache(place_cache.clone())),
+            place_cache,
+            compile_requests: 0,
+            compile_hits: 0,
+            threads,
+            pool: Session::build_pool(threads),
+        }
+    }
+
+    fn build_pool(threads: usize) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("building the batch thread pool cannot fail")
+    }
+
+    /// Sets the worker-thread budget for batch simulation.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.pool = Session::build_pool(self.threads);
+        self
+    }
+
+    /// The machine snapshot for `(spec, seed, day)`, built on first use and
+    /// shared afterwards.
+    pub fn machine(&mut self, spec: TopologySpec, seed: u64, day: usize) -> Arc<Machine> {
+        self.machines
+            .entry((spec, seed, day))
+            .or_insert_with(|| Arc::new(Machine::from_spec(spec, seed, day)))
+            .clone()
+    }
+
+    /// Compiles `circuit` for `machine` under `config` through the
+    /// session's caches. The returned flag is `true` when the result came
+    /// from the full-compile cache (bit-identical to the original compile).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit does not fit on the machine or the
+    /// configuration is invalid.
+    pub fn compile_cached(
+        &mut self,
+        machine: &Machine,
+        config: &CompilerConfig,
+        circuit: &Circuit,
+    ) -> Result<(Arc<CompiledCircuit>, bool), CompileError> {
+        self.compile_requests += 1;
+        let key = (
+            circuit.fingerprint(),
+            machine.fingerprint(),
+            config.fingerprint(),
+        );
+        if let Some(hit) = self.compiled.get(&key) {
+            self.compile_hits += 1;
+            return Ok((hit.clone(), true));
+        }
+        let compiled = Arc::new(
+            Compiler::with_pipeline(machine, *config, self.pipeline.clone()).compile(circuit)?,
+        );
+        self.compiled.insert(key, compiled.clone());
+        Ok((compiled, false))
+    }
+
+    /// Like [`Session::compile_cached`], discarding the hit flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit does not fit on the machine or the
+    /// configuration is invalid.
+    pub fn compile(
+        &mut self,
+        machine: &Machine,
+        config: &CompilerConfig,
+        circuit: &Circuit,
+    ) -> Result<Arc<CompiledCircuit>, CompileError> {
+        self.compile_cached(machine, config, circuit)
+            .map(|(compiled, _)| compiled)
+    }
+
+    /// The placement cache shared by every compile this session runs.
+    pub fn placement_cache(&self) -> &Arc<PlacementCache> {
+        &self.place_cache
+    }
+
+    /// Cache behaviour accumulated over the session's lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        let place = self.place_cache.stats();
+        CacheStats {
+            compile_requests: self.compile_requests,
+            compile_hits: self.compile_hits,
+            place_hits: place.hits,
+            place_runs: place.misses,
+        }
+    }
+
+    /// Executes every cell of `plan`: compiles through the caches, then —
+    /// when the plan requests trials — simulates the cells in parallel and
+    /// scores success rates against each circuit's expected output.
+    ///
+    /// The report's [`CacheStats`] are the session totals *for this run*
+    /// (deltas against the session state before the call).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile error; cells already compiled are
+    /// discarded.
+    pub fn run(&mut self, plan: &SweepPlan) -> Result<Report, CompileError> {
+        let before = self.cache_stats();
+        let cells = plan.cells();
+        let trials = plan.trials();
+
+        // Compile phase: serial, so every cell sees the warmest cache.
+        let mut compiled = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            let machine = self.machine(cell.topology, plan.machine_seed(), cell.day);
+            let spec = &plan.circuits()[cell.circuit];
+            let config = &plan.configs()[cell.config].1;
+            let (executable, cache_hit) = self.compile_cached(&machine, config, &spec.circuit)?;
+            compiled.push((machine, executable, cache_hit));
+        }
+
+        // Simulation phase: one worker per cell, each replaying its trials
+        // serially — deterministic for a plan regardless of thread count.
+        let work: Vec<(usize, Arc<Machine>, Arc<CompiledCircuit>)> = cells
+            .iter()
+            .enumerate()
+            .filter(|(_, cell)| trials > 0 && plan.circuits()[cell.circuit].expected.is_some())
+            .map(|(i, _)| (i, compiled[i].0.clone(), compiled[i].1.clone()))
+            .collect();
+        let mut success: Vec<Option<f64>> = vec![None; cells.len()];
+        let simulate = |machine: &Machine,
+                        executable: &CompiledCircuit,
+                        seed: u64,
+                        spec: &CircuitSpec,
+                        threads: usize| {
+            let mut config = SimulatorConfig::with_trials(trials, seed);
+            config.threads = threads;
+            let simulator = Simulator::new(machine, config);
+            simulator.success_rate(executable, spec.expected.as_ref().expect("filtered above"))
+        };
+        if work.len() > 1 {
+            let rates: Vec<(usize, f64)> = self.pool.install(|| {
+                work.into_par_iter()
+                    .map(|(i, machine, executable)| {
+                        let cell = &cells[i];
+                        let spec = &plan.circuits()[cell.circuit];
+                        (i, simulate(&machine, &executable, cell.sim_seed, spec, 1))
+                    })
+                    .collect()
+            });
+            for (i, rate) in rates {
+                success[i] = Some(rate);
+            }
+        } else {
+            // A single simulated cell parallelizes over its trials instead.
+            for (i, machine, executable) in work {
+                let cell = &cells[i];
+                let spec = &plan.circuits()[cell.circuit];
+                success[i] = Some(simulate(
+                    &machine,
+                    &executable,
+                    cell.sim_seed,
+                    spec,
+                    self.threads,
+                ));
+            }
+        }
+
+        let records = cells
+            .iter()
+            .zip(compiled.iter())
+            .zip(success)
+            .map(|((cell, (_, executable, cache_hit)), success_rate)| {
+                let spec = &plan.circuits()[cell.circuit];
+                // Timings are rounded to the JSON precision (3 decimals) so
+                // serializing a report round-trips bit-exactly.
+                let round3 = |v: f64| (v * 1e3).round() / 1e3;
+                let place_us = executable
+                    .pass_timings()
+                    .iter()
+                    .find(|t| t.pass == "place")
+                    .map_or(0.0, |t| round3(t.elapsed.as_secs_f64() * 1e6));
+                CellRecord {
+                    circuit: spec.name.clone(),
+                    config: plan.configs()[cell.config].0.clone(),
+                    topology: cell.topology.name(),
+                    day: cell.day,
+                    qubits: spec.circuit.num_qubits(),
+                    gates: spec.circuit.gate_count(),
+                    sim_seed: cell.sim_seed,
+                    trials,
+                    success_rate,
+                    estimated_reliability: executable.estimated_reliability(),
+                    duration_slots: executable.duration_slots(),
+                    swap_count: executable.swap_count(),
+                    hardware_cnots: executable.hardware_cnot_count(),
+                    compile_ms: round3(executable.compile_time().as_secs_f64() * 1e3),
+                    place_us,
+                    cache_hit: *cache_hit,
+                }
+            })
+            .collect();
+
+        let after = self.cache_stats();
+        Ok(Report {
+            machine_seed: plan.machine_seed(),
+            trials,
+            cells: records,
+            cache: CacheStats {
+                compile_requests: after.compile_requests - before.compile_requests,
+                compile_hits: after.compile_hits - before.compile_hits,
+                place_hits: after.place_hits - before.place_hits,
+                place_runs: after.place_runs - before.place_runs,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CircuitSpec;
+    use nisq_ir::Benchmark;
+
+    #[test]
+    fn run_scores_success_and_counts_caches() {
+        let mut session = Session::new();
+        let plan = SweepPlan::new()
+            .benchmarks([Benchmark::Bv4, Benchmark::Hs2])
+            .config("Qiskit", CompilerConfig::qiskit())
+            .config("GreedyE*", CompilerConfig::greedy_e())
+            .with_trials(128)
+            .fixed_sim_seed(7);
+        let report = session.run(&plan).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            let rate = cell.success();
+            assert!(
+                rate > 0.0 && rate <= 1.0,
+                "{}/{}: {rate}",
+                cell.circuit,
+                cell.config
+            );
+            assert!(!cell.cache_hit);
+        }
+        assert_eq!(report.cache.compile_requests, 4);
+        assert_eq!(report.cache.compile_hits, 0);
+        assert_eq!(report.cache.place_runs, 4);
+
+        // The same plan again is answered entirely from the compile cache.
+        let again = session.run(&plan).unwrap();
+        assert_eq!(again.cache.compile_hits, 4);
+        assert!(again.cells.iter().all(|c| c.cache_hit));
+        for (a, b) in report.cells.iter().zip(again.cells.iter()) {
+            assert_eq!(a.success_rate, b.success_rate, "fixed seeds must reproduce");
+            assert_eq!(a.estimated_reliability, b.estimated_reliability);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_batch_results() {
+        let plan = SweepPlan::new()
+            .benchmarks(Benchmark::representative())
+            .config("GreedyV*", CompilerConfig::greedy_v())
+            .days([0, 1])
+            .with_trials(96);
+        let serial = Session::new().with_threads(1).run(&plan).unwrap();
+        let parallel = Session::new().with_threads(7).run(&plan).unwrap();
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(parallel.cells.iter()) {
+            // Wall-clock fields (compile_ms, place_us) vary run to run;
+            // everything observable must not.
+            assert_eq!(a.success_rate, b.success_rate, "{}/{}", a.circuit, a.day);
+            assert_eq!(a.estimated_reliability, b.estimated_reliability);
+            assert_eq!(a.sim_seed, b.sim_seed);
+            assert_eq!(
+                (a.duration_slots, a.swap_count, a.hardware_cnots),
+                (b.duration_slots, b.swap_count, b.hardware_cnots)
+            );
+        }
+    }
+
+    #[test]
+    fn compile_only_plans_skip_simulation() {
+        let mut session = Session::new();
+        let plan = SweepPlan::new()
+            .benchmark(Benchmark::Toffoli)
+            .table1_configs();
+        let report = session.run(&plan).unwrap();
+        assert_eq!(report.cells.len(), 6);
+        assert!(report.cells.iter().all(|c| c.success_rate.is_none()));
+        assert!(report.cells.iter().all(|c| c.duration_slots > 0));
+    }
+
+    #[test]
+    fn circuits_without_expected_output_are_not_scored() {
+        let mut session = Session::new();
+        let mut ghz = Circuit::new(3);
+        ghz.h(nisq_ir::Qubit(0));
+        ghz.cnot(nisq_ir::Qubit(0), nisq_ir::Qubit(1));
+        ghz.cnot(nisq_ir::Qubit(1), nisq_ir::Qubit(2));
+        ghz.measure_all();
+        let plan = SweepPlan::new()
+            .circuit(CircuitSpec::new("ghz", ghz))
+            .config("GreedyE*", CompilerConfig::greedy_e())
+            .with_trials(64);
+        let report = session.run(&plan).unwrap();
+        assert_eq!(report.cells[0].success_rate, None);
+        assert_eq!(report.cells[0].trials, 64);
+    }
+
+    #[test]
+    fn machines_are_shared_snapshots() {
+        let mut session = Session::new();
+        let a = session.machine(TopologySpec::Ibmq16, 2019, 0);
+        let b = session.machine(TopologySpec::Ibmq16, 2019, 0);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = session.machine(TopologySpec::Ibmq16, 2019, 1);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -95,6 +95,37 @@ impl Circuit {
         self.gates.iter()
     }
 
+    /// A deterministic 64-bit content fingerprint of this circuit: name,
+    /// register sizes and the full gate list (rotation angles by their
+    /// IEEE-754 bits). Equal circuits always fingerprint equal, so the
+    /// fingerprint is usable as a compile-cache key; it is stable within a
+    /// process and across runs of the same build, but is not a
+    /// serialization format.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nisq_ir::{Circuit, Qubit};
+    ///
+    /// let mut a = Circuit::new(2);
+    /// a.h(Qubit(0)).cnot(Qubit(0), Qubit(1));
+    /// let mut b = a.clone();
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// b.x(Qubit(1));
+    /// assert_ne!(a.fingerprint(), b.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        self.name.hash(&mut h);
+        self.num_qubits.hash(&mut h);
+        self.num_clbits.hash(&mut h);
+        for gate in &self.gates {
+            gate.hash(&mut h);
+        }
+        h.finish()
+    }
+
     fn check_qubit(&self, q: Qubit) -> Result<(), IrError> {
         if q.0 >= self.num_qubits {
             Err(IrError::QubitOutOfRange {

@@ -96,6 +96,29 @@ impl GateKind {
         }
     }
 
+    /// Hash discriminant for this kind: a small code plus the rotation
+    /// angle's IEEE-754 bits for the parameterized kinds, so structurally
+    /// identical kinds hash identically (used by [`crate::Circuit::fingerprint`]).
+    fn hash_code(&self) -> (u8, u64) {
+        match *self {
+            GateKind::H => (0, 0),
+            GateKind::X => (1, 0),
+            GateKind::Y => (2, 0),
+            GateKind::Z => (3, 0),
+            GateKind::S => (4, 0),
+            GateKind::Sdg => (5, 0),
+            GateKind::T => (6, 0),
+            GateKind::Tdg => (7, 0),
+            GateKind::Rx(a) => (8, a.to_bits()),
+            GateKind::Ry(a) => (9, a.to_bits()),
+            GateKind::Rz(a) => (10, a.to_bits()),
+            GateKind::Cnot => (11, 0),
+            GateKind::Swap => (12, 0),
+            GateKind::Measure => (13, 0),
+            GateKind::Barrier => (14, 0),
+        }
+    }
+
     /// Whether this kind acts on exactly one qubit.
     pub fn is_single_qubit(&self) -> bool {
         matches!(
@@ -128,6 +151,17 @@ impl fmt::Display for GateKind {
             GateKind::Rz(a) => write!(f, "rz({a})"),
             other => f.write_str(other.mnemonic()),
         }
+    }
+}
+
+impl std::hash::Hash for GateKind {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Manual impl because the rotation kinds carry `f64` angles; hashing
+        // the IEEE-754 bits keeps the `PartialEq`/`Hash` contract (equal
+        // kinds compare equal angles, so equal bits).
+        let (code, angle_bits) = self.hash_code();
+        state.write_u8(code);
+        state.write_u64(angle_bits);
     }
 }
 
@@ -247,6 +281,14 @@ impl Gate {
         } else {
             None
         }
+    }
+}
+
+impl std::hash::Hash for Gate {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.kind.hash(state);
+        self.qubits.hash(state);
+        self.clbits.hash(state);
     }
 }
 

@@ -105,6 +105,39 @@ impl Calibration {
         self.t2_us.len()
     }
 
+    /// A deterministic 64-bit content fingerprint of this snapshot: the day
+    /// index plus every error rate, coherence time and duration (floats by
+    /// their IEEE-754 bits). Two snapshots with identical data fingerprint
+    /// identically regardless of how they were generated, which is what
+    /// identifies a "machine day" for compile caching.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        self.day.hash(&mut h);
+        for table in [
+            &self.t1_us,
+            &self.t2_us,
+            &self.readout_error,
+            &self.single_qubit_error,
+        ] {
+            for v in table.iter() {
+                h.write_u64(v.to_bits());
+            }
+        }
+        for (edge, rate) in &self.cnot_error {
+            edge.hash(&mut h);
+            h.write_u64(rate.to_bits());
+        }
+        self.durations.single_qubit_slots.hash(&mut h);
+        self.durations.readout_slots.hash(&mut h);
+        for (edge, slots) in &self.durations.cnot_slots {
+            edge.hash(&mut h);
+            slots.hash(&mut h);
+        }
+        h.write_u64(self.timeslot_ns.to_bits());
+        h.finish()
+    }
+
     /// Validates that the snapshot covers exactly the given topology.
     ///
     /// # Errors

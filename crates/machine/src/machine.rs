@@ -92,6 +92,19 @@ impl Machine {
         &self.name
     }
 
+    /// A deterministic 64-bit fingerprint of this machine snapshot: the
+    /// coupling graph plus the full calibration data. Two `Machine` values
+    /// built from the same spec, seed and day fingerprint identically, and
+    /// any change to topology or calibration changes the fingerprint — the
+    /// "machine-day" component of compile-cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        self.topology
+            .fingerprint()
+            .rotate_left(17)
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            ^ self.calibration.fingerprint()
+    }
+
     /// The hardware topology.
     pub fn topology(&self) -> &Topology {
         &self.topology

@@ -522,6 +522,22 @@ impl Topology {
         self.spec
     }
 
+    /// A deterministic 64-bit fingerprint of the coupling graph: the spec,
+    /// qubit count and edge list. Calibration-unaware compiler passes key
+    /// their caches on this (their results depend only on the graph, not on
+    /// the day's calibration data).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        self.spec.hash(&mut h);
+        self.n.hash(&mut h);
+        for &(a, b) in &self.edges {
+            a.0.hash(&mut h);
+            b.0.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// The 2-D grid layout, when the topology is grid-shaped. Grid-only
     /// routing (one-bend paths, rectangle reservation) is available exactly
     /// when this returns `Some`; other policies fall back to best-path

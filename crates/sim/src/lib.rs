@@ -43,6 +43,7 @@ pub mod gates;
 pub mod noise;
 pub mod program;
 mod result;
+mod rng;
 mod simulator;
 mod state;
 
@@ -50,5 +51,6 @@ pub use complex::Complex;
 pub use noise::NoiseModel;
 pub use program::{TrialOp, TrialProgram};
 pub use result::SimulationResult;
+pub use rng::TrialRng;
 pub use simulator::{Simulator, SimulatorConfig};
 pub use state::StateVector;

@@ -24,11 +24,11 @@
 use crate::complex::Complex;
 use crate::gates::{single_qubit_matrix, Matrix2};
 use crate::noise::{self, NoiseModel, Pauli};
+use crate::rng::TrialRng;
 use crate::state::StateVector;
 use nisq_ir::{Circuit, GateKind};
 use nisq_machine::{HwQubit, Machine};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Default CNOT duration (timeslots) when an edge has no calibration entry,
 /// matching the fallback of the pre-program simulator.
@@ -368,7 +368,7 @@ impl TrialProgram {
     /// happens when a CNOT or measurement forces materialization. Under the
     /// full noise model this removes almost every single-qubit sweep, since
     /// most noise draws are the identity.
-    pub fn run_trial(&self, scratch: &mut TrialScratch, rng: &mut StdRng) -> u64 {
+    pub fn run_trial<R: Rng + ?Sized>(&self, scratch: &mut TrialScratch, rng: &mut R) -> u64 {
         scratch.reset();
         let mut clbits = 0u64;
         for op in &self.ops {
@@ -486,12 +486,11 @@ impl TrialProgram {
         clbits
     }
 
-    /// Derives the deterministic per-trial RNG for `(base_seed, trial)`.
+    /// Derives the deterministic per-trial RNG for `(base_seed, trial)` —
+    /// a counter-based [`TrialRng`] stream with no per-trial seeding work.
     /// Exposed so tests and tools can reproduce a single trial exactly.
-    pub fn trial_rng(base_seed: u64, trial: u32) -> StdRng {
-        StdRng::seed_from_u64(splitmix64(
-            base_seed ^ u64::from(trial).wrapping_mul(0x9e3779b9),
-        ))
+    pub fn trial_rng(base_seed: u64, trial: u32) -> TrialRng {
+        TrialRng::new(base_seed, trial)
     }
 }
 
@@ -697,20 +696,12 @@ fn sink_measures(ops: &mut Vec<TrialOp>) {
     }
 }
 
-fn sample_dephase(p: f64, rng: &mut StdRng) -> Pauli {
+fn sample_dephase<R: Rng + ?Sized>(p: f64, rng: &mut R) -> Pauli {
     if p > 0.0 && rng.gen_bool(p) {
         Pauli::Z
     } else {
         Pauli::I
     }
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

@@ -2,6 +2,11 @@
 //! calibration data and watch how the noise-adaptive mapping tracks the
 //! machine while a static mapping degrades.
 //!
+//! The adaptive arm is a one-line `SweepPlan` day sweep; the static arm
+//! reuses one day-0 executable against every day's machine, which the
+//! declarative API cannot express — it drives `Session::compile` and the
+//! simulator directly, sharing the session's machine snapshots.
+//!
 //! Run with `cargo run --release --example daily_recompilation`.
 
 use nisq::prelude::*;
@@ -12,16 +17,28 @@ fn main() {
     let expected = benchmark.expected_output();
     let days = 7;
 
+    let mut session = Session::new();
+
+    // The adaptive flow: recompile R-SMT* against each day's calibration.
+    let plan = SweepPlan::new()
+        .benchmark(benchmark)
+        .config("R-SMT*", CompilerConfig::r_smt_star(0.5))
+        .days(0..days)
+        .with_trials(4096)
+        .per_day_sim_seed(90);
+    let report = session.run(&plan).expect("Toffoli fits on IBMQ16");
+
     // The static mapping: compiled once on day 0 with the duration-only
     // objective, then reused all week (what T-SMT* effectively does, since
     // topology and durations barely change).
-    let day0 = Machine::ibmq16_on_day(2019, 0);
-    let static_compiled = Compiler::new(
-        &day0,
-        CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
-    )
-    .compile(&circuit)
-    .expect("Toffoli fits on IBMQ16");
+    let day0 = session.machine(TopologySpec::Ibmq16, plan.machine_seed(), 0);
+    let static_compiled = session
+        .compile(
+            &day0,
+            &CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
+            &circuit,
+        )
+        .expect("Toffoli fits on IBMQ16");
 
     println!("Daily recompilation study for {benchmark} over {days} days (4096 trials/day)\n");
     println!(
@@ -31,19 +48,13 @@ fn main() {
     let mut static_total = 0.0;
     let mut adaptive_total = 0.0;
     for day in 0..days {
-        let machine = Machine::ibmq16_on_day(2019, day);
+        let machine = session.machine(TopologySpec::Ibmq16, plan.machine_seed(), day);
         let simulator = Simulator::new(
             &machine,
             SimulatorConfig::with_trials(4096, 90 + day as u64),
         );
-
-        // The noise-adaptive flow recompiles against today's calibration.
-        let adaptive = Compiler::new(&machine, CompilerConfig::r_smt_star(0.5))
-            .compile(&circuit)
-            .expect("Toffoli fits on IBMQ16");
-
         let static_success = simulator.success_rate(&static_compiled, &expected);
-        let adaptive_success = simulator.success_rate(&adaptive, &expected);
+        let adaptive_success = report.require("Toffoli", "R-SMT*", day).success();
         static_total += static_success;
         adaptive_total += adaptive_success;
         println!(

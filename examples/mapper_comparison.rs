@@ -1,5 +1,6 @@
 //! Compare every compiler configuration of the paper's Table 1 on a single
-//! benchmark: success rate, duration, swap count and compile time.
+//! benchmark: success rate, duration, swap count and compile time — one
+//! six-config `SweepPlan` cell row.
 //!
 //! Run with `cargo run --release --example mapper_comparison [benchmark]`
 //! where `benchmark` is one of the Table 2 names (default: Toffoli).
@@ -18,32 +19,31 @@ fn main() {
             Benchmark::Toffoli
         });
 
-    let machine = Machine::ibmq16_on_day(2019, 0);
-    let circuit = benchmark.circuit();
-    let expected = benchmark.expected_output();
-    let simulator = Simulator::new(&machine, SimulatorConfig::with_trials(8192, 3));
+    let plan = SweepPlan::new()
+        .benchmark(benchmark)
+        .table1_configs()
+        .with_trials(8192)
+        .fixed_sim_seed(3);
+    let report = Session::new().run(&plan).expect("benchmark fits on IBMQ16");
 
     println!(
-        "Mapper comparison for {} on {} (8192 trials)\n",
-        benchmark, machine
+        "Mapper comparison for {} on IBMQ16 day-0 calibration (8192 trials)\n",
+        benchmark
     );
     println!(
         "{:<12} {:>10} {:>10} {:>7} {:>12} {:>12}",
         "Mapper", "success", "est. rel.", "swaps", "duration", "compile (ms)"
     );
-    for config in CompilerConfig::table1() {
-        let compiled = Compiler::new(&machine, config)
-            .compile(&circuit)
-            .expect("benchmark fits on IBMQ16");
-        let success = simulator.success_rate(&compiled, &expected);
+    for (label, _) in plan.configs() {
+        let cell = report.require(benchmark.name(), label, 0);
         println!(
             "{:<12} {:>10.3} {:>10.3} {:>7} {:>12} {:>12.2}",
-            config.algorithm.name(),
-            success,
-            compiled.estimated_reliability(),
-            compiled.swap_count(),
-            compiled.duration_slots(),
-            compiled.compile_time().as_secs_f64() * 1000.0
+            label,
+            cell.success(),
+            cell.estimated_reliability,
+            cell.swap_count,
+            cell.duration_slots,
+            cell.compile_ms
         );
     }
     println!(

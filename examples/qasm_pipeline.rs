@@ -1,7 +1,7 @@
 //! A full OpenQASM pipeline: parse an externally-written OpenQASM 2.0
-//! program, compile it noise-adaptively, and emit the hardware executable as
-//! OpenQASM again — the top-to-bottom flow the paper's framework provides
-//! for Scaffold programs.
+//! program, compile it noise-adaptively through a session, and emit the
+//! hardware executable as OpenQASM again — the top-to-bottom flow the
+//! paper's framework provides for Scaffold programs.
 //!
 //! Run with `cargo run --release --example qasm_pipeline`.
 
@@ -32,9 +32,10 @@ fn main() {
         circuit.cnot_count()
     );
 
-    let machine = Machine::ibmq16_on_day(2019, 0);
-    let compiled = Compiler::new(&machine, CompilerConfig::greedy_e())
-        .compile(&circuit)
+    let mut session = Session::new();
+    let machine = session.machine(TopologySpec::Ibmq16, 2019, 0);
+    let compiled = session
+        .compile(&machine, &CompilerConfig::greedy_e(), &circuit)
         .expect("GHZ fits on IBMQ16");
 
     println!(

@@ -1,18 +1,23 @@
-//! Quickstart: compile one benchmark with the noise-adaptive mapper and
-//! compare its simulated success rate against the Qiskit-style baseline.
+//! Quickstart: declare a one-benchmark workload, execute it through a
+//! caching session, and compare the noise-adaptive mapper against the
+//! Qiskit-style baseline.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use nisq::prelude::*;
 
 fn main() {
-    // A machine snapshot: the IBMQ16 topology with today's (synthetic)
-    // calibration data.
-    let machine = Machine::ibmq16_on_day(2019, 0);
-    println!("Target machine: {machine}");
-
-    // The program: 4-qubit Bernstein-Vazirani, whose correct answer is known.
+    // The workload, declared rather than hand-rolled: 4-qubit
+    // Bernstein-Vazirani under two mappers, 8192 noisy trials each (the
+    // paper's real-hardware methodology), day-0 calibration.
     let benchmark = Benchmark::Bv4;
+    let plan = SweepPlan::new()
+        .benchmark(benchmark)
+        .config("R-SMT*", CompilerConfig::r_smt_star(0.5))
+        .config("Qiskit", CompilerConfig::qiskit())
+        .with_trials(8192)
+        .fixed_sim_seed(7);
+
     let circuit = benchmark.circuit();
     println!(
         "Program: {} ({} qubits, {} gates, {} CNOTs)",
@@ -22,36 +27,38 @@ fn main() {
         circuit.cnot_count()
     );
 
-    // Compile with the reliability-optimal noise-adaptive mapper (R-SMT*)
-    // and with the calibration-unaware baseline.
-    let adaptive = Compiler::new(&machine, CompilerConfig::r_smt_star(0.5))
-        .compile(&circuit)
-        .expect("BV4 fits on IBMQ16");
-    let baseline = Compiler::new(&machine, CompilerConfig::qiskit())
-        .compile(&circuit)
-        .expect("BV4 fits on IBMQ16");
+    // The session owns the machine snapshot and the compile caches; `run`
+    // compiles every cell and measures its success rate.
+    let mut session = Session::new();
+    let report = session.run(&plan).expect("BV4 fits on IBMQ16");
 
-    println!("\nR-SMT* mapping : {adaptive}");
-    println!("Qiskit mapping : {baseline}");
-
-    // Measure success rates with the noisy simulator (8192 trials, as in the
-    // paper's real-hardware methodology).
-    let simulator = Simulator::new(&machine, SimulatorConfig::with_trials(8192, 7));
-    let expected = benchmark.expected_output();
-    let adaptive_success = simulator.success_rate(&adaptive, &expected);
-    let baseline_success = simulator.success_rate(&baseline, &expected);
-
-    println!("\nSimulated success rates over 8192 trials:");
-    println!("  R-SMT* : {adaptive_success:.3}");
-    println!("  Qiskit : {baseline_success:.3}");
+    let adaptive = report.require("BV4", "R-SMT*", 0);
+    let baseline = report.require("BV4", "Qiskit", 0);
     println!(
-        "  improvement: {:.2}x",
-        adaptive_success / baseline_success.max(1e-4)
+        "\nR-SMT* mapping : {} swaps, {} timeslots, estimated reliability {:.3}",
+        adaptive.swap_count, adaptive.duration_slots, adaptive.estimated_reliability
+    );
+    println!(
+        "Qiskit mapping : {} swaps, {} timeslots, estimated reliability {:.3}",
+        baseline.swap_count, baseline.duration_slots, baseline.estimated_reliability
     );
 
-    // The compiled executable is plain OpenQASM 2.0.
+    println!("\nSimulated success rates over 8192 trials:");
+    println!("  R-SMT* : {:.3}", adaptive.success());
+    println!("  Qiskit : {:.3}", baseline.success());
+    println!(
+        "  improvement: {:.2}x",
+        adaptive.success() / baseline.success().max(1e-4)
+    );
+
+    // The compiled executable is plain OpenQASM 2.0 — fetch it from the
+    // session's cache (this compile is a guaranteed hit).
+    let machine = session.machine(TopologySpec::Ibmq16, plan.machine_seed(), 0);
+    let compiled = session
+        .compile(&machine, &CompilerConfig::r_smt_star(0.5), &circuit)
+        .expect("cached compile");
     println!("\nFirst lines of the R-SMT* executable:");
-    for line in adaptive.qasm().lines().take(8) {
+    for line in compiled.qasm().lines().take(8) {
         println!("  {line}");
     }
 }

@@ -1,43 +1,43 @@
 //! Compile-time scalability of the optimal and heuristic mappers on random
-//! circuits (a quick interactive version of Figure 11).
+//! circuits (a quick interactive version of Figure 11): one compile-only
+//! `SweepPlan` over random instances, with the machine grid sized to each
+//! circuit.
 //!
 //! Run with `cargo run --release --example scalability_sweep`.
 
+use nisq::ir::{random_circuit, RandomCircuitConfig};
 use nisq::prelude::*;
-use nisq_ir::{random_circuit, RandomCircuitConfig};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn main() {
+    let instances = [(4usize, 128usize), (8, 128), (8, 256), (16, 256), (24, 256)];
+    let exact_config =
+        CompilerConfig::r_smt_star(0.5).with_solver_budget(u64::MAX, Some(Duration::from_secs(10)));
+
+    let mut plan = SweepPlan::new()
+        .config("R-SMT*", exact_config)
+        .config("GreedyE*", CompilerConfig::greedy_e())
+        .grid_per_circuit();
+    for &(qubits, gates) in &instances {
+        plan = plan.circuit(CircuitSpec::new(
+            format!("{qubits}q / {gates} gates"),
+            random_circuit(RandomCircuitConfig::new(qubits, gates, 1)),
+        ));
+    }
+    let report = Session::new().run(&plan).expect("random circuits compile");
+
     println!("Compile time of R-SMT* (exact, 10s budget) vs GreedyE* on random circuits\n");
     println!(
         "{:<20} {:>16} {:>16}",
         "Instance", "R-SMT* (ms)", "GreedyE* (ms)"
     );
-    for (qubits, gates) in [(4usize, 128usize), (8, 128), (8, 256), (16, 256), (24, 256)] {
-        let topology = GridTopology::at_least(qubits);
-        let calibration = CalibrationGenerator::new(topology.clone(), 2019).day(0);
-        let machine = Machine::new("synthetic", topology, calibration);
-        let circuit = random_circuit(RandomCircuitConfig::new(qubits, gates, 1));
-
-        let exact_config = CompilerConfig::r_smt_star(0.5)
-            .with_solver_budget(u64::MAX, Some(Duration::from_secs(10)));
-        let start = Instant::now();
-        Compiler::new(&machine, exact_config)
-            .compile(&circuit)
-            .expect("random circuit compiles");
-        let exact_ms = start.elapsed().as_secs_f64() * 1000.0;
-
-        let start = Instant::now();
-        Compiler::new(&machine, CompilerConfig::greedy_e())
-            .compile(&circuit)
-            .expect("random circuit compiles");
-        let greedy_ms = start.elapsed().as_secs_f64() * 1000.0;
-
+    for &(qubits, gates) in &instances {
+        let instance = format!("{qubits}q / {gates} gates");
         println!(
             "{:<20} {:>16.1} {:>16.1}",
-            format!("{qubits}q / {gates} gates"),
-            exact_ms,
-            greedy_ms
+            instance,
+            report.require(&instance, "R-SMT*", 0).compile_ms,
+            report.require(&instance, "GreedyE*", 0).compile_ms,
         );
     }
     println!(

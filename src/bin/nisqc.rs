@@ -8,6 +8,8 @@
 //! ```text
 //! Usage: nisqc <input.qasm> [options]
 //!        nisqc --benchmark BV4 [options]
+//!        nisqc sweep [sweep options]
+//!        nisqc sweep --validate report.json [--expect-cells N]
 //!
 //! Options:
 //!   --mapper <name>    qiskit | t-smt | t-smt-star | r-smt-star |
@@ -18,6 +20,22 @@
 //!   --trials <n>       simulate n noisy trials          (default: 0 = skip)
 //!   --expected <bits>  correct answer, e.g. 1101, for success-rate reporting
 //!   --output <path>    write the compiled OpenQASM here
+//!
+//! Sweep options (execute a declarative plan, emit a JSON report):
+//!   --benchmarks <l>   comma list of Table-2 names, "all" or
+//!                      "representative"                 (default: representative)
+//!   --mappers <l>      comma list of mapper names or "table1"
+//!                                                       (default: r-smt-star)
+//!   --omega <w>        readout weight for r-smt-star    (default: 0.5)
+//!   --days <l>         comma list and/or a..b ranges    (default: 0)
+//!   --topology <t>     ibmq16 | grid-MxN | ring-N | heavy-hex-RxC
+//!                                                       (default: ibmq16)
+//!   --trials <n>       noisy trials per cell            (default: 0 = compile only)
+//!   --machine-seed <s> machine calibration seed         (default: 2019)
+//!   --sim-seed <s>     fixed simulation seed            (default: per-cell seeds)
+//!   --output <path>    write the JSON report here       (default: stdout)
+//!   --validate <path>  parse an emitted report instead of running a sweep
+//!   --expect-cells <n> with --validate: require exactly n cells
 //! ```
 
 use nisq::prelude::*;
@@ -200,8 +218,224 @@ fn run(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a day-axis argument: comma-separated items, each a single index
+/// or an `a..b` half-open range (`"0,3,5..8"` → `[0, 3, 5, 6, 7]`).
+fn parse_days(text: &str) -> Result<Vec<usize>, String> {
+    let mut days = Vec::new();
+    for item in text.split(',') {
+        let item = item.trim();
+        if let Some((start, end)) = item.split_once("..") {
+            let start: usize = start
+                .parse()
+                .map_err(|_| format!("invalid day range start {start:?}"))?;
+            let end: usize = end
+                .parse()
+                .map_err(|_| format!("invalid day range end {end:?}"))?;
+            if start >= end {
+                return Err(format!("empty day range {item:?}"));
+            }
+            days.extend(start..end);
+        } else {
+            days.push(
+                item.parse()
+                    .map_err(|_| format!("invalid day index {item:?}"))?,
+            );
+        }
+    }
+    if days.is_empty() {
+        return Err("no days given".to_string());
+    }
+    Ok(days)
+}
+
+/// Parses a topology name: `ibmq16`, `grid-MxN`, `ring-N` or
+/// `heavy-hex-RxC`.
+fn parse_topology(text: &str) -> Result<TopologySpec, String> {
+    let lower = text.to_ascii_lowercase();
+    let dims = |spec: &str| -> Result<(usize, usize), String> {
+        spec.split_once('x')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .ok_or_else(|| format!("invalid topology dimensions in {text:?}"))
+    };
+    if lower == "ibmq16" {
+        Ok(TopologySpec::Ibmq16)
+    } else if let Some(rest) = lower.strip_prefix("grid-") {
+        let (mx, my) = dims(rest)?;
+        Ok(TopologySpec::Grid { mx, my })
+    } else if let Some(rest) = lower.strip_prefix("ring-") {
+        let n = rest
+            .parse()
+            .map_err(|_| format!("invalid ring size in {text:?}"))?;
+        Ok(TopologySpec::Ring { n })
+    } else if let Some(rest) = lower.strip_prefix("heavy-hex-") {
+        let (rows, cols) = dims(rest)?;
+        Ok(TopologySpec::HeavyHex { rows, cols })
+    } else {
+        Err(format!("unknown topology {text:?}"))
+    }
+}
+
+/// Resolves a benchmark-list argument into circuit specs.
+fn parse_benchmarks(text: &str) -> Result<Vec<Benchmark>, String> {
+    match text.to_ascii_lowercase().as_str() {
+        "all" => Ok(Benchmark::all().to_vec()),
+        "representative" => Ok(Benchmark::representative().to_vec()),
+        _ => text
+            .split(',')
+            .map(|name| {
+                let name = name.trim();
+                Benchmark::all()
+                    .into_iter()
+                    .find(|b| b.name().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| format!("unknown benchmark {name}"))
+            })
+            .collect(),
+    }
+}
+
+/// Resolves a mapper-list argument into labelled configurations.
+fn parse_mappers(text: &str, omega: f64) -> Result<Vec<(String, CompilerConfig)>, String> {
+    if text.eq_ignore_ascii_case("table1") {
+        return Ok(CompilerConfig::table1()
+            .into_iter()
+            .map(|c| (c.algorithm.name().to_string(), c))
+            .collect());
+    }
+    let mappers: Vec<(String, CompilerConfig)> = text
+        .split(',')
+        .map(|name| {
+            let name = name.trim();
+            config_for(name, omega).map(|c| (name.to_string(), c))
+        })
+        .collect::<Result<_, _>>()?;
+    // Labels address report cells, so they must be unambiguous.
+    for (i, (label, _)) in mappers.iter().enumerate() {
+        if mappers[..i].iter().any(|(seen, _)| seen == label) {
+            return Err(format!("duplicate mapper {label}"));
+        }
+    }
+    Ok(mappers)
+}
+
+/// Runs the `sweep` subcommand: execute a plan and emit JSON, or validate
+/// an emitted report (`--validate`).
+fn run_sweep(args: &[String]) -> Result<(), String> {
+    let mut benchmarks = "representative".to_string();
+    let mut mappers = "r-smt-star".to_string();
+    let mut omega = 0.5;
+    let mut days = vec![0usize];
+    let mut topology = TopologySpec::Ibmq16;
+    let mut trials = 0u32;
+    let mut machine_seed = nisq::exp::DEFAULT_MACHINE_SEED;
+    let mut sim_seed: Option<u64> = None;
+    let mut output: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut expect_cells: Option<usize> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {arg}"))
+        };
+        let parse = |text: String, what: &str| -> Result<u64, String> {
+            text.parse()
+                .map_err(|_| format!("{what} must be an integer"))
+        };
+        match arg.as_str() {
+            "--benchmarks" => benchmarks = take_value(&mut i)?,
+            "--mappers" => mappers = take_value(&mut i)?,
+            "--omega" => {
+                omega = take_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "omega must be a number".to_string())?
+            }
+            "--days" => days = parse_days(&take_value(&mut i)?)?,
+            "--topology" => topology = parse_topology(&take_value(&mut i)?)?,
+            "--trials" => {
+                trials = u32::try_from(parse(take_value(&mut i)?, "trials")?)
+                    .map_err(|_| format!("trials must be at most {}", u32::MAX))?
+            }
+            "--machine-seed" => machine_seed = parse(take_value(&mut i)?, "machine-seed")?,
+            "--sim-seed" => sim_seed = Some(parse(take_value(&mut i)?, "sim-seed")?),
+            "--output" => output = Some(take_value(&mut i)?),
+            "--validate" => validate = Some(take_value(&mut i)?),
+            "--expect-cells" => {
+                expect_cells = Some(parse(take_value(&mut i)?, "expect-cells")? as usize)
+            }
+            other => return Err(format!("unknown sweep option {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report = Report::from_json(&text).map_err(|e| format!("invalid report: {e}"))?;
+        if let Some(expected) = expect_cells {
+            if report.cells.len() != expected {
+                return Err(format!(
+                    "expected {expected} cells, report has {}",
+                    report.cells.len()
+                ));
+            }
+        }
+        println!(
+            "{path}: valid report ({} cells, {} compiles, {} compile hits, {} placement passes)",
+            report.cells.len(),
+            report.cache.compile_requests,
+            report.cache.compile_hits,
+            report.cache.place_runs,
+        );
+        return Ok(());
+    }
+
+    let mut plan = SweepPlan::new()
+        .benchmarks(parse_benchmarks(&benchmarks)?)
+        .with_configs(parse_mappers(&mappers, omega)?)
+        .days(days)
+        .topology(topology)
+        .with_machine_seed(machine_seed)
+        .with_trials(trials);
+    if let Some(seed) = sim_seed {
+        plan = plan.fixed_sim_seed(seed);
+    }
+
+    let mut session = Session::new();
+    let report = session
+        .run(&plan)
+        .map_err(|e| format!("sweep failed: {e}"))?;
+    let json = report.to_json();
+    match output {
+        Some(path) => {
+            std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "wrote {path} ({} cells, {} compile hits, {} placement passes over {} compiles)",
+                report.cells.len(),
+                report.cache.compile_hits,
+                report.cache.place_runs,
+                report.cache.compile_requests,
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        return match run_sweep(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match parse_args(&args) {
         Ok(options) => options,
         Err(message) => {
@@ -280,5 +514,75 @@ mod tests {
     fn run_compiles_a_builtin_benchmark() {
         let options = parse_args(&args(&["--benchmark", "HS2", "--trials", "64"])).unwrap();
         run(&options).unwrap();
+    }
+
+    #[test]
+    fn parses_day_lists_and_ranges() {
+        assert_eq!(parse_days("0,3,5..8").unwrap(), vec![0, 3, 5, 6, 7]);
+        assert_eq!(parse_days("2").unwrap(), vec![2]);
+        assert!(parse_days("5..5").is_err());
+        assert!(parse_days("x").is_err());
+    }
+
+    #[test]
+    fn parses_topology_names() {
+        assert_eq!(parse_topology("ibmq16").unwrap(), TopologySpec::Ibmq16);
+        assert_eq!(
+            parse_topology("grid-4x4").unwrap(),
+            TopologySpec::Grid { mx: 4, my: 4 }
+        );
+        assert_eq!(
+            parse_topology("ring-12").unwrap(),
+            TopologySpec::Ring { n: 12 }
+        );
+        assert_eq!(
+            parse_topology("heavy-hex-2x7").unwrap(),
+            TopologySpec::HeavyHex { rows: 2, cols: 7 }
+        );
+        assert!(parse_topology("torus-3x3").is_err());
+    }
+
+    #[test]
+    fn parses_benchmark_and_mapper_lists() {
+        assert_eq!(parse_benchmarks("all").unwrap().len(), 12);
+        assert_eq!(parse_benchmarks("representative").unwrap().len(), 3);
+        assert_eq!(
+            parse_benchmarks("bv4,toffoli").unwrap(),
+            vec![Benchmark::Bv4, Benchmark::Toffoli]
+        );
+        assert!(parse_benchmarks("bv99").is_err());
+
+        assert_eq!(parse_mappers("table1", 0.5).unwrap().len(), 6);
+        let pair = parse_mappers("qiskit,greedy-e", 0.5).unwrap();
+        assert_eq!(pair[0].0, "qiskit");
+        assert_eq!(pair[1].1, CompilerConfig::greedy_e());
+        assert!(parse_mappers("magic", 0.5).is_err());
+        assert!(parse_mappers("qiskit,qiskit", 0.5).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_and_validates_a_tiny_plan() {
+        let dir = std::env::temp_dir().join("nisqc-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let path_str = path.to_str().unwrap().to_string();
+        run_sweep(&args(&[
+            "--benchmarks",
+            "bv4,hs2",
+            "--mappers",
+            "qiskit,greedy-e",
+            "--days",
+            "0..2",
+            "--trials",
+            "32",
+            "--output",
+            &path_str,
+        ]))
+        .unwrap();
+        // 2 benchmarks x 2 mappers x 2 days = 8 cells.
+        run_sweep(&args(&["--validate", &path_str, "--expect-cells", "8"])).unwrap();
+        assert!(run_sweep(&args(&["--validate", &path_str, "--expect-cells", "9"])).is_err());
+        let report = Report::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(report.cells.iter().all(|c| c.success_rate.is_some()));
     }
 }

@@ -12,6 +12,9 @@
 //! * [`compiler`] — the noise-adaptive compiler itself ([`nisq_core`])
 //! * [`sim`] — the noisy simulator used to measure success rates
 //!   ([`nisq_sim`])
+//! * [`exp`] — the declarative experiment API: [`SweepPlan`] workloads
+//!   executed by a caching [`Session`] into serializable [`Report`]s
+//!   ([`nisq_exp`])
 //!
 //! The [`prelude`] pulls in the handful of types most programs need.
 //!
@@ -20,21 +23,29 @@
 //! ```
 //! use nisq::prelude::*;
 //!
-//! // Compile Bernstein-Vazirani for today's calibration and measure how
-//! // often it returns the right answer under realistic noise.
-//! let machine = Machine::ibmq16_on_day(0, 0);
-//! let compiled = Compiler::new(&machine, CompilerConfig::r_smt_star(0.5))
-//!     .compile(&Benchmark::Bv4.circuit())
-//!     .unwrap();
-//! let sim = Simulator::new(&machine, SimulatorConfig::with_trials(256, 0));
-//! let success = sim.success_rate(&compiled, &Benchmark::Bv4.expected_output());
-//! assert!(success > 0.0);
+//! // Declare a workload — Bernstein-Vazirani under the noise-adaptive
+//! // mapper and the baseline — and execute it through a caching session.
+//! let plan = SweepPlan::new()
+//!     .benchmark(Benchmark::Bv4)
+//!     .config("Qiskit", CompilerConfig::qiskit())
+//!     .config("R-SMT*", CompilerConfig::r_smt_star(0.5))
+//!     .with_trials(256)
+//!     .fixed_sim_seed(0);
+//! let report = Session::new().run(&plan).unwrap();
+//! let adaptive = report.require("BV4", "R-SMT*", 0);
+//! assert!(adaptive.success() > 0.0);
+//! assert!(adaptive.estimated_reliability > 0.0);
 //! ```
+//!
+//! [`SweepPlan`]: prelude::SweepPlan
+//! [`Session`]: prelude::Session
+//! [`Report`]: prelude::Report
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use nisq_core as compiler;
+pub use nisq_exp as exp;
 pub use nisq_ir as ir;
 pub use nisq_machine as machine;
 pub use nisq_opt as opt;
@@ -44,8 +55,9 @@ pub use nisq_sim as sim;
 pub mod prelude {
     pub use nisq_core::{
         Algorithm, CompileContext, CompiledCircuit, Compiler, CompilerConfig, Pass, Pipeline,
-        RouteSelection, SwapHandling,
+        PlacementCache, RouteSelection, SwapHandling,
     };
+    pub use nisq_exp::{CacheStats, Cell, CellRecord, CircuitSpec, Report, Session, SweepPlan};
     pub use nisq_ir::{Benchmark, Circuit, Gate, GateKind, Qubit};
     pub use nisq_machine::{
         CalibrationGenerator, GridTopology, HwQubit, Machine, Topology, TopologySpec,
