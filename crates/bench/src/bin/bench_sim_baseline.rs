@@ -21,12 +21,18 @@
 
 use nisq_core::CompilerConfig;
 use nisq_exp::{Session, DEFAULT_MACHINE_SEED};
-use nisq_ir::Benchmark;
+use nisq_ir::{bernstein_vazirani, random_circuit, Benchmark, Circuit, RandomCircuitConfig};
 use nisq_machine::TopologySpec;
 use nisq_sim::{Simulator, SimulatorConfig};
 use std::time::Instant;
 
 const TRIALS: u32 = 4096;
+/// The random-circuit scalability entries (rand12/rand14) route onto a 4x4
+/// grid and simulate states up to 2^16 amplitudes with errors in nearly
+/// every trial, so they run fewer trials per repetition to keep the
+/// wall-clock sane. (BV12 stays at the full trial count: its classical
+/// output keeps the tier-1 shortcut hot.)
+const LARGE_TRIALS: u32 = 1024;
 const REPETITIONS: usize = 5;
 
 struct Measurement {
@@ -38,18 +44,38 @@ struct Measurement {
     mean_trials_per_sec: f64,
 }
 
-fn measure(
-    session: &mut Session,
-    benchmark: Benchmark,
-    compiler_name: &'static str,
+/// One benchmarked configuration: a circuit compiled with `config` on
+/// `topology`, simulated under full noise for `trials` per repetition.
+struct Spec {
+    name: &'static str,
+    compiler: &'static str,
     config: CompilerConfig,
-) -> Measurement {
-    let machine = session.machine(TopologySpec::Ibmq16, DEFAULT_MACHINE_SEED, 0);
+    circuit: Circuit,
+    topology: TopologySpec,
+    trials: u32,
+}
+
+impl Spec {
+    /// A paper benchmark on the default IBMQ16 device at full trial count.
+    fn paper(benchmark: Benchmark, compiler: &'static str, config: CompilerConfig) -> Self {
+        Spec {
+            name: benchmark.name(),
+            compiler,
+            config,
+            circuit: benchmark.circuit(),
+            topology: TopologySpec::Ibmq16,
+            trials: TRIALS,
+        }
+    }
+}
+
+fn measure(session: &mut Session, spec: &Spec) -> Measurement {
+    let machine = session.machine(spec.topology, DEFAULT_MACHINE_SEED, 0);
     let compiled = session
-        .compile(&machine, &config, &benchmark.circuit())
-        .expect("paper benchmarks compile on IBMQ16");
+        .compile(&machine, &spec.config, &spec.circuit)
+        .expect("baseline benchmarks compile on their machine");
     let physical = compiled.physical_circuit();
-    let sim = Simulator::new(&machine, SimulatorConfig::with_trials(TRIALS, 1));
+    let sim = Simulator::new(&machine, SimulatorConfig::with_trials(spec.trials, 1));
 
     // One warm-up run outside the timed region.
     let _ = sim.run(physical);
@@ -59,16 +85,16 @@ fn measure(
         let start = Instant::now();
         let result = sim.run(physical);
         let elapsed = start.elapsed().as_secs_f64();
-        assert_eq!(result.trials(), TRIALS);
-        rates.push(f64::from(TRIALS) / elapsed);
+        assert_eq!(result.trials(), spec.trials);
+        rates.push(f64::from(spec.trials) / elapsed);
     }
     let best = rates.iter().cloned().fold(0.0f64, f64::max);
     let mean = rates.iter().sum::<f64>() / rates.len() as f64;
     Measurement {
-        benchmark: benchmark.name(),
-        compiler: compiler_name,
+        benchmark: spec.name,
+        compiler: spec.compiler,
         gates: physical.expand_swaps().len(),
-        trials: TRIALS,
+        trials: spec.trials,
         best_trials_per_sec: best,
         mean_trials_per_sec: mean,
     }
@@ -188,35 +214,55 @@ fn main() {
         }
     }
 
-    // One session for the whole run: the machine snapshot is built once
-    // and compiles share the placement cache.
-    let mut session = Session::new();
-    let measurements = vec![
-        measure(
-            &mut session,
-            Benchmark::Bv8,
-            "qiskit",
-            CompilerConfig::qiskit(),
-        ),
-        measure(
-            &mut session,
+    // One session for the whole run: machine snapshots are built once and
+    // compiles share the placement cache.
+    //
+    // The ≥12-qubit entries (BV12 on IBMQ16, random circuits routed onto a
+    // 4x4 grid) exercise the fig11-scale regime where the state-vector
+    // kernels dominate a trial, so SIMD kernel regressions are ratcheted
+    // where they matter most.
+    let specs = [
+        Spec::paper(Benchmark::Bv8, "qiskit", CompilerConfig::qiskit()),
+        Spec::paper(
             Benchmark::Bv8,
             "r_smt_star",
             CompilerConfig::r_smt_star(0.5),
         ),
-        measure(
-            &mut session,
-            Benchmark::Toffoli,
-            "qiskit",
-            CompilerConfig::qiskit(),
-        ),
-        measure(
-            &mut session,
+        Spec::paper(Benchmark::Toffoli, "qiskit", CompilerConfig::qiskit()),
+        Spec::paper(
             Benchmark::Adder,
             "r_smt_star",
             CompilerConfig::r_smt_star(0.5),
         ),
+        Spec {
+            name: "BV12",
+            compiler: "qiskit",
+            config: CompilerConfig::qiskit(),
+            circuit: bernstein_vazirani(&[
+                true, false, true, true, false, true, false, true, true, false, true,
+            ]),
+            topology: TopologySpec::Ibmq16,
+            trials: TRIALS,
+        },
+        Spec {
+            name: "rand12",
+            compiler: "greedy_e",
+            config: CompilerConfig::greedy_e(),
+            circuit: random_circuit(RandomCircuitConfig::new(12, 96, 7)),
+            topology: TopologySpec::Grid { mx: 4, my: 4 },
+            trials: LARGE_TRIALS,
+        },
+        Spec {
+            name: "rand14",
+            compiler: "greedy_e",
+            config: CompilerConfig::greedy_e(),
+            circuit: random_circuit(RandomCircuitConfig::new(14, 112, 9)),
+            topology: TopologySpec::Grid { mx: 4, my: 4 },
+            trials: LARGE_TRIALS,
+        },
     ];
+    let mut session = Session::new();
+    let measurements: Vec<Measurement> = specs.iter().map(|s| measure(&mut session, s)).collect();
 
     // Hand-rolled JSON: the workspace has no serde_json offline (see
     // shims/README.md); the format below is stable and append-friendly.

@@ -3,8 +3,48 @@
 use crate::json::{self, JsonError, Value};
 use serde::{Deserialize, Serialize};
 
-/// Version tag embedded in every serialized report.
-pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v1";
+/// Version tag embedded in every serialized report. `v2` added the
+/// simulator tier-occupancy counts (per cell and as run totals).
+pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v2";
+
+/// How many trials each tier of the simulator's three-tier engine served —
+/// error-free shortcut, checkpointed resume, full replay (see
+/// `nisq_sim::TierCounts`). Recorded per cell and summed over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TierStats {
+    /// Trials with no sampled error, served from the ideal terminal
+    /// distribution without state evolution.
+    pub error_free: u64,
+    /// Trials resumed from a shared ideal-prefix (or measure-divergence)
+    /// checkpoint.
+    pub checkpointed: u64,
+    /// Trials replayed from the initial state.
+    pub full_replay: u64,
+}
+
+impl TierStats {
+    /// Total trials across every tier.
+    pub fn total(&self) -> u64 {
+        self.error_free + self.checkpointed + self.full_replay
+    }
+
+    /// Accumulates another cell's counts.
+    pub fn merge(&mut self, other: &TierStats) {
+        self.error_free += other.error_free;
+        self.checkpointed += other.checkpointed;
+        self.full_replay += other.full_replay;
+    }
+}
+
+impl From<nisq_sim::TierCounts> for TierStats {
+    fn from(counts: nisq_sim::TierCounts) -> Self {
+        TierStats {
+            error_free: counts.error_free,
+            checkpointed: counts.checkpointed,
+            full_replay: counts.full_replay,
+        }
+    }
+}
 
 /// Aggregate cache behaviour of the [`Session`](crate::Session) run that
 /// produced a report.
@@ -73,6 +113,9 @@ pub struct CellRecord {
     pub place_us: f64,
     /// Whether the compilation was served from the full-compile cache.
     pub cache_hit: bool,
+    /// Simulator tier occupancy of this cell's trials (all zero when the
+    /// cell was not simulated).
+    pub tiers: TierStats,
 }
 
 impl CellRecord {
@@ -106,6 +149,8 @@ pub struct Report {
     pub cells: Vec<CellRecord>,
     /// Cache behaviour over the whole run.
     pub cache: CacheStats,
+    /// Simulator tier occupancy summed over every simulated cell.
+    pub tiers: TierStats,
 }
 
 impl Report {
@@ -129,7 +174,7 @@ impl Report {
             .unwrap_or_else(|| panic!("no cell for {circuit}/{config}/day {day} in report"))
     }
 
-    /// Serializes to the stable JSON format (`nisq-sweep-report/v1`).
+    /// Serializes to the stable JSON format (`nisq-sweep-report/v2`).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -146,6 +191,7 @@ impl Report {
             self.cache.place_hits,
             self.cache.place_runs,
         ));
+        out.push_str(&format!("  \"tiers\": {},\n", write_tiers(&self.tiers)));
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let success = match c.success_rate {
@@ -157,7 +203,7 @@ impl Report {
                  \"qubits\": {}, \"gates\": {}, \"sim_seed\": {}, \"trials\": {}, \
                  \"success_rate\": {}, \"estimated_reliability\": {}, \"duration_slots\": {}, \
                  \"swap_count\": {}, \"hardware_cnots\": {}, \"compile_ms\": {:.3}, \
-                 \"place_us\": {:.3}, \"cache_hit\": {}}}{}\n",
+                 \"place_us\": {:.3}, \"cache_hit\": {}, \"tiers\": {}}}{}\n",
                 json::write_str(&c.circuit),
                 json::write_str(&c.config),
                 json::write_str(&c.topology),
@@ -174,6 +220,7 @@ impl Report {
                 c.compile_ms,
                 c.place_us,
                 c.cache_hit,
+                write_tiers(&c.tiers),
                 if i + 1 == self.cells.len() { "" } else { "," },
             ));
         }
@@ -232,6 +279,7 @@ impl Report {
                 cache_hit: req(cell, "cache_hit")?
                     .as_bool()
                     .ok_or_else(|| shape_err("non-boolean cache_hit".to_string()))?,
+                tiers: parse_tiers(req(cell, "tiers")?)?,
             });
         }
         Ok(Report {
@@ -239,8 +287,26 @@ impl Report {
             trials: req_u64(&doc, "trials")? as u32,
             cells,
             cache,
+            tiers: parse_tiers(req(&doc, "tiers")?)?,
         })
     }
+}
+
+/// Serializes a [`TierStats`] as its inline JSON object.
+fn write_tiers(tiers: &TierStats) -> String {
+    format!(
+        "{{\"error_free\": {}, \"checkpointed\": {}, \"full_replay\": {}}}",
+        tiers.error_free, tiers.checkpointed, tiers.full_replay
+    )
+}
+
+/// Parses a [`TierStats`] from its JSON object.
+fn parse_tiers(doc: &Value) -> Result<TierStats, JsonError> {
+    Ok(TierStats {
+        error_free: req_u64(doc, "error_free")?,
+        checkpointed: req_u64(doc, "checkpointed")?,
+        full_replay: req_u64(doc, "full_replay")?,
+    })
 }
 
 fn shape_err(message: String) -> JsonError {
@@ -296,6 +362,11 @@ mod tests {
                     compile_ms: 1.25,
                     place_us: 310.0,
                     cache_hit: false,
+                    tiers: TierStats {
+                        error_free: 40,
+                        checkpointed: 20,
+                        full_replay: 4,
+                    },
                 },
                 CellRecord {
                     circuit: "BV4".into(),
@@ -314,6 +385,7 @@ mod tests {
                     compile_ms: 0.5,
                     place_us: 120.5,
                     cache_hit: true,
+                    tiers: TierStats::default(),
                 },
             ],
             cache: CacheStats {
@@ -321,6 +393,11 @@ mod tests {
                 compile_hits: 1,
                 place_hits: 1,
                 place_runs: 1,
+            },
+            tiers: TierStats {
+                error_free: 40,
+                checkpointed: 20,
+                full_replay: 4,
             },
         }
     }
@@ -352,5 +429,30 @@ mod tests {
         let cache = sample().cache;
         assert_eq!(cache.compile_runs(), 1);
         assert_eq!(cache.total_hits(), 2);
+    }
+
+    #[test]
+    fn tier_stats_total_and_merge() {
+        let mut totals = TierStats::default();
+        for cell in &sample().cells {
+            totals.merge(&cell.tiers);
+        }
+        assert_eq!(totals, sample().tiers);
+        assert_eq!(totals.total(), 64);
+    }
+
+    #[test]
+    fn tiers_round_trip_through_json() {
+        let report = sample();
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.tiers, report.tiers);
+        assert_eq!(parsed.cells[0].tiers.error_free, 40);
+        assert_eq!(parsed.cells[1].tiers, TierStats::default());
+        // A document missing the tier fields is rejected, not defaulted.
+        let stripped = report.to_json().replace(
+            "\"tiers\": {\"error_free\": 40, \"checkpointed\": 20, \"full_replay\": 4}",
+            "\"tiers\": {\"error_free\": 40}",
+        );
+        assert!(Report::from_json(&stripped).is_err());
     }
 }

@@ -1,7 +1,7 @@
 //! The long-lived experiment executor.
 
 use crate::plan::{CircuitSpec, SweepPlan};
-use crate::report::{CacheStats, CellRecord, Report};
+use crate::report::{CacheStats, CellRecord, Report, TierStats};
 use nisq_core::{
     CompileError, CompiledCircuit, Compiler, CompilerConfig, Pipeline, PlacementCache,
 };
@@ -204,8 +204,12 @@ impl Session {
             compiled.push((machine, executable, cache_hit));
         }
 
-        // Simulation phase: one worker per cell, each replaying its trials
-        // serially — deterministic for a plan regardless of thread count.
+        // Simulation phase: one worker per cell, each driving the tiered
+        // trial engine over its trials — deterministic for a plan
+        // regardless of thread count. Worker-local engine scratch (state
+        // vectors, checkpoint and event buffers) is reused across the
+        // cells and chunks a worker processes instead of being reallocated
+        // per chunk.
         let work: Vec<(usize, Arc<Machine>, Arc<CompiledCircuit>)> = cells
             .iter()
             .enumerate()
@@ -213,6 +217,7 @@ impl Session {
             .map(|(i, _)| (i, compiled[i].0.clone(), compiled[i].1.clone()))
             .collect();
         let mut success: Vec<Option<f64>> = vec![None; cells.len()];
+        let mut cell_tiers: Vec<TierStats> = vec![TierStats::default(); cells.len()];
         let simulate = |machine: &Machine,
                         executable: &CompiledCircuit,
                         seed: u64,
@@ -221,69 +226,78 @@ impl Session {
             let mut config = SimulatorConfig::with_trials(trials, seed);
             config.threads = threads;
             let simulator = Simulator::new(machine, config);
-            simulator.success_rate(executable, spec.expected.as_ref().expect("filtered above"))
+            let program = simulator.prepare(executable.physical_circuit());
+            let (result, tiers) = simulator.run_program_with_stats(&program);
+            let rate = result.probability_of(spec.expected.as_ref().expect("filtered above"));
+            (rate, TierStats::from(tiers))
         };
         if work.len() > 1 {
-            let rates: Vec<(usize, f64)> = self.pool.install(|| {
+            let rates: Vec<(usize, f64, TierStats)> = self.pool.install(|| {
                 work.into_par_iter()
                     .map(|(i, machine, executable)| {
                         let cell = &cells[i];
                         let spec = &plan.circuits()[cell.circuit];
-                        (i, simulate(&machine, &executable, cell.sim_seed, spec, 1))
+                        let (rate, tiers) = simulate(&machine, &executable, cell.sim_seed, spec, 1);
+                        (i, rate, tiers)
                     })
                     .collect()
             });
-            for (i, rate) in rates {
+            for (i, rate, tiers) in rates {
                 success[i] = Some(rate);
+                cell_tiers[i] = tiers;
             }
         } else {
             // A single simulated cell parallelizes over its trials instead.
             for (i, machine, executable) in work {
                 let cell = &cells[i];
                 let spec = &plan.circuits()[cell.circuit];
-                success[i] = Some(simulate(
-                    &machine,
-                    &executable,
-                    cell.sim_seed,
-                    spec,
-                    self.threads,
-                ));
+                let (rate, tiers) =
+                    simulate(&machine, &executable, cell.sim_seed, spec, self.threads);
+                success[i] = Some(rate);
+                cell_tiers[i] = tiers;
             }
         }
 
+        let mut tier_totals = TierStats::default();
+        for tiers in &cell_tiers {
+            tier_totals.merge(tiers);
+        }
         let records = cells
             .iter()
             .zip(compiled.iter())
-            .zip(success)
-            .map(|((cell, (_, executable, cache_hit)), success_rate)| {
-                let spec = &plan.circuits()[cell.circuit];
-                // Timings are rounded to the JSON precision (3 decimals) so
-                // serializing a report round-trips bit-exactly.
-                let round3 = |v: f64| (v * 1e3).round() / 1e3;
-                let place_us = executable
-                    .pass_timings()
-                    .iter()
-                    .find(|t| t.pass == "place")
-                    .map_or(0.0, |t| round3(t.elapsed.as_secs_f64() * 1e6));
-                CellRecord {
-                    circuit: spec.name.clone(),
-                    config: plan.configs()[cell.config].0.clone(),
-                    topology: cell.topology.name(),
-                    day: cell.day,
-                    qubits: spec.circuit.num_qubits(),
-                    gates: spec.circuit.gate_count(),
-                    sim_seed: cell.sim_seed,
-                    trials,
-                    success_rate,
-                    estimated_reliability: executable.estimated_reliability(),
-                    duration_slots: executable.duration_slots(),
-                    swap_count: executable.swap_count(),
-                    hardware_cnots: executable.hardware_cnot_count(),
-                    compile_ms: round3(executable.compile_time().as_secs_f64() * 1e3),
-                    place_us,
-                    cache_hit: *cache_hit,
-                }
-            })
+            .zip(success.into_iter().zip(cell_tiers))
+            .map(
+                |((cell, (_, executable, cache_hit)), (success_rate, tiers))| {
+                    let spec = &plan.circuits()[cell.circuit];
+                    // Timings are rounded to the JSON precision (3 decimals) so
+                    // serializing a report round-trips bit-exactly.
+                    let round3 = |v: f64| (v * 1e3).round() / 1e3;
+                    let place_us = executable
+                        .pass_timings()
+                        .iter()
+                        .find(|t| t.pass == "place")
+                        .map_or(0.0, |t| round3(t.elapsed.as_secs_f64() * 1e6));
+                    CellRecord {
+                        circuit: spec.name.clone(),
+                        config: plan.configs()[cell.config].0.clone(),
+                        topology: cell.topology.name(),
+                        day: cell.day,
+                        qubits: spec.circuit.num_qubits(),
+                        gates: spec.circuit.gate_count(),
+                        sim_seed: cell.sim_seed,
+                        trials,
+                        success_rate,
+                        estimated_reliability: executable.estimated_reliability(),
+                        duration_slots: executable.duration_slots(),
+                        swap_count: executable.swap_count(),
+                        hardware_cnots: executable.hardware_cnot_count(),
+                        compile_ms: round3(executable.compile_time().as_secs_f64() * 1e3),
+                        place_us,
+                        cache_hit: *cache_hit,
+                        tiers,
+                    }
+                },
+            )
             .collect();
 
         let after = self.cache_stats();
@@ -297,6 +311,7 @@ impl Session {
                 place_hits: after.place_hits - before.place_hits,
                 place_runs: after.place_runs - before.place_runs,
             },
+            tiers: tier_totals,
         })
     }
 }

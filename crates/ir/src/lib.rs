@@ -47,7 +47,7 @@ pub mod qasm;
 mod random;
 
 pub use analysis::CircuitStats;
-pub use benchmarks::{Benchmark, BenchmarkInfo};
+pub use benchmarks::{bernstein_vazirani, hidden_shift, Benchmark, BenchmarkInfo};
 pub use circuit::Circuit;
 pub use dag::{DependencyDag, Layer};
 pub use error::IrError;

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod complex;
+pub mod engine;
 pub mod gates;
 pub mod noise;
 pub mod program;
@@ -48,8 +49,9 @@ mod simulator;
 mod state;
 
 pub use complex::Complex;
+pub use engine::{TierCounts, TieredEngine};
 pub use noise::NoiseModel;
-pub use program::{TrialOp, TrialProgram};
+pub use program::{TrialEvent, TrialOp, TrialProgram, TrialScratch};
 pub use result::SimulationResult;
 pub use rng::TrialRng;
 pub use simulator::{Simulator, SimulatorConfig};

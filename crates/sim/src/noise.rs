@@ -119,10 +119,23 @@ impl Pauli {
 /// probability `p`, a uniformly random non-identity Pauli.
 pub fn depolarizing_1q<R: Rng + ?Sized>(p: f64, rng: &mut R) -> Pauli {
     if rng.gen_bool(p.clamp(0.0, 1.0)) {
-        Pauli::from_index(rng.gen_range(1..4))
+        fired_depol_1q(rng)
     } else {
         Pauli::I
     }
+}
+
+/// The severity draw of a single-qubit depolarizing error that is known to
+/// have fired: a uniformly random non-identity Pauli.
+pub(crate) fn fired_depol_1q<R: Rng + ?Sized>(rng: &mut R) -> Pauli {
+    Pauli::from_index(rng.gen_range(1..4))
+}
+
+/// The severity draw of a two-qubit depolarizing error that is known to
+/// have fired: a uniformly random non-identity pair of Paulis.
+pub(crate) fn fired_depol_2q<R: Rng + ?Sized>(rng: &mut R) -> (Pauli, Pauli) {
+    let idx = rng.gen_range(1..16usize);
+    (Pauli::from_index(idx / 4), Pauli::from_index(idx % 4))
 }
 
 /// Samples a two-qubit depolarizing error with probability `p`: with
@@ -130,8 +143,7 @@ pub fn depolarizing_1q<R: Rng + ?Sized>(p: f64, rng: &mut R) -> Pauli {
 pub fn depolarizing_2q<R: Rng + ?Sized>(p: f64, rng: &mut R) -> (Pauli, Pauli) {
     if rng.gen_bool(p.clamp(0.0, 1.0)) {
         // Uniform over the 15 non-identity two-qubit Paulis.
-        let idx = rng.gen_range(1..16usize);
-        (Pauli::from_index(idx / 4), Pauli::from_index(idx % 4))
+        fired_depol_2q(rng)
     } else {
         (Pauli::I, Pauli::I)
     }

@@ -15,11 +15,33 @@
 //! ideal mode; between CNOTs under the paper's CNOT+readout-only model), so
 //! a run of `h, t, h, s` costs one strided pass instead of four.
 //!
+//! # Two-phase trials: pre-sampled error patterns
+//!
+//! A trial splits into two phases that consume one RNG stream in a fixed
+//! order:
+//!
+//! 1. **Pre-sampling** ([`TrialProgram::pre_sample`]): every stochastic
+//!    error of the program — depolarizing draws, dephasing draws, the three
+//!    CNOT error groups of each SWAP — is drawn *without touching the
+//!    state*, in program order, into a flat [`TrialEvent`] buffer. The
+//!    index of the first non-identity event (if any) is returned.
+//! 2. **Replay** ([`TrialProgram::replay_from`]): the state evolution
+//!    replays the ops, injecting the pre-drawn events instead of drawing,
+//!    and only then consumes measurement/readout draws.
+//!
+//! Because phase 1 never touches the state, the tiered engine
+//! ([`crate::engine`]) can classify trials by their first error site before
+//! doing any state work: error-free trials skip evolution entirely, and
+//! trials whose first error occurs deep in the program resume from a shared
+//! ideal-prefix checkpoint.
+//!
 //! Determinism contract: a trial's outcome is a pure function of
 //! `(program, base_seed, trial_index)`. Replay order inside a trial is the
-//! op order fixed at lowering time, and every random draw comes from the
-//! trial's own seeded RNG stream — so results are bit-for-bit reproducible
-//! for a seed and invariant under how trials are distributed over threads.
+//! op order fixed at lowering time, every random draw comes from the
+//! trial's own seeded RNG stream, and terminal sampling traverses basis
+//! states in *canonical* (program-qubit) order so relabeling SWAPs cannot
+//! perturb draws — so results are bit-for-bit reproducible for a seed and
+//! invariant under how trials are distributed over threads.
 
 use crate::complex::Complex;
 use crate::gates::{single_qubit_matrix, Matrix2};
@@ -127,12 +149,141 @@ pub struct SwapNoise {
     pub p_dephase_b: f64,
 }
 
+/// One pre-sampled stochastic outcome of a noise site, produced by
+/// [`TrialProgram::pre_sample`] and consumed by
+/// [`TrialProgram::replay_from`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialEvent {
+    /// Every draw of the site came up identity: the site is a no-op on the
+    /// state.
+    Clean,
+    /// Composed (depolarizing ∘ dephasing) Pauli after a single-qubit gate.
+    Gate(Pauli),
+    /// Composed per-qubit Paulis after a CNOT (control, target).
+    Cnot(Pauli, Pauli),
+    /// The residual Pauli pair of a noisy SWAP, in program-qubit `(a, b)`
+    /// order, to be applied *after* the relabeling.
+    ///
+    /// The three per-CNOT error pairs of the SWAP's 3-CNOT decomposition
+    /// are conjugated through the remaining internal CNOTs at sampling
+    /// time (Paulis are closed under CNOT conjugation up to global phase,
+    /// which never affects measurement statistics), so even an erroneous
+    /// SWAP replays as a zero-pass relabeling plus at most one fused Pauli
+    /// per wire — never as three materialized CNOT passes.
+    Swap(Pauli, Pauli),
+}
+
+impl TrialEvent {
+    /// Whether the event perturbs the state.
+    pub fn is_error(&self) -> bool {
+        !matches!(
+            self,
+            TrialEvent::Clean
+                | TrialEvent::Gate(Pauli::I)
+                | TrialEvent::Cnot(Pauli::I, Pauli::I)
+                | TrialEvent::Swap(Pauli::I, Pauli::I)
+        )
+    }
+}
+
+/// A two-qubit Pauli pair in symplectic (X-bit, Z-bit) form: bits
+/// `(xa, za, xb, zb)` with `P = X^x Z^z` up to global phase. CNOT
+/// conjugation is linear over these bits, which is how a SWAP's interleaved
+/// errors are pushed past its internal CNOTs.
+#[derive(Clone, Copy, Default)]
+struct PauliPairBits {
+    xa: bool,
+    za: bool,
+    xb: bool,
+    zb: bool,
+}
+
+impl PauliPairBits {
+    fn from_paulis(a: Pauli, b: Pauli) -> Self {
+        let bits = |p: Pauli| match p {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        };
+        let (xa, za) = bits(a);
+        let (xb, zb) = bits(b);
+        PauliPairBits { xa, za, xb, zb }
+    }
+
+    fn to_paulis(self) -> (Pauli, Pauli) {
+        let pauli = |x: bool, z: bool| match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        };
+        (pauli(self.xa, self.za), pauli(self.xb, self.zb))
+    }
+
+    /// Composes another pair onto this one (Pauli products compose by XOR
+    /// of symplectic bits, up to global phase).
+    fn compose(&mut self, other: PauliPairBits) {
+        self.xa ^= other.xa;
+        self.za ^= other.za;
+        self.xb ^= other.xb;
+        self.zb ^= other.zb;
+    }
+
+    /// Conjugates through a CNOT with wire `a` as control (`CX P CX†`):
+    /// X on the control copies onto the target, Z on the target copies onto
+    /// the control.
+    fn conj_cnot_ab(&mut self) {
+        self.xb ^= self.xa;
+        self.za ^= self.zb;
+    }
+
+    /// Conjugates through a CNOT with wire `b` as control.
+    fn conj_cnot_ba(&mut self) {
+        self.xa ^= self.xb;
+        self.zb ^= self.za;
+    }
+}
+
+/// One Bernoulli gate of the program's flattened error-draw sequence: which
+/// noise site (and, for SWAP sites, which internal CNOT group) it belongs
+/// to, which channel it gates, and where the site group's draws end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GatingEntry {
+    /// Noise-site index the draw belongs to.
+    site: u32,
+    /// Internal CNOT group for SWAP sites (0 otherwise).
+    swap_k: u8,
+    /// Channel: 0 = depolarizing, 1 = first dephasing, 2 = second
+    /// dephasing (in the group's draw order).
+    sub: u8,
+    /// Gating index just past this draw's group — where inversion sampling
+    /// resumes after the group is resolved.
+    group_end: u32,
+    /// The draw's firing probability — used by the sequential fallback
+    /// when the survival product has collapsed to zero (a certain-fire
+    /// channel earlier in the program).
+    prob: f64,
+}
+
 /// A physical circuit lowered against one machine snapshot and noise model,
 /// ready for cheap repeated trials. See the module docs for what lowering
 /// precomputes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrialProgram {
     ops: Vec<TrialOp>,
+    /// Op index of every noise site (op that consumes error draws), in
+    /// program order — the coordinate system of pre-sampled
+    /// [`TrialEvent`]s.
+    noise_sites: Vec<u32>,
+    /// The flattened Bernoulli-gate sequence of one trial's error pattern,
+    /// in draw order (identical for a native-SWAP program and its 3-CNOT
+    /// expansion).
+    gating: Vec<GatingEntry>,
+    /// `survival[i]` = probability that no gate at index `<= i` fires —
+    /// the inversion-sampling table that lets [`TrialProgram::pre_sample`]
+    /// jump straight to the next firing draw with one uniform.
+    survival: Vec<f64>,
     /// Hardware qubit of each compact index (sorted ascending).
     touched: Vec<usize>,
     num_clbits: usize,
@@ -321,8 +472,96 @@ impl TrialProgram {
         let mut ops = lowering.ops;
         sink_measures(&mut ops);
 
+        let noise_sites: Vec<u32> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| {
+                matches!(
+                    op,
+                    TrialOp::GateNoise { .. }
+                        | TrialOp::CnotNoise { .. }
+                        | TrialOp::Swap { noise: Some(_), .. }
+                )
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        // Flatten every stochastic channel into the trial's Bernoulli-gate
+        // sequence and its running survival product. Draw order matches the
+        // sequential sampling of one trial exactly (per group: depolarizing
+        // gate, then each non-zero dephasing gate), so a native-SWAP
+        // program and its 3-CNOT expansion produce identical tables.
+        let mut gating: Vec<GatingEntry> = Vec::new();
+        let mut survival: Vec<f64> = Vec::new();
+        let mut alive = 1.0f64;
+        for (site, &op_index) in noise_sites.iter().enumerate() {
+            let mut push_group = |gating: &mut Vec<GatingEntry>,
+                                  survival: &mut Vec<f64>,
+                                  swap_k: u8,
+                                  probs: [f64; 3]| {
+                let start = gating.len();
+                for (sub, &p) in probs.iter().enumerate() {
+                    if p > 0.0 {
+                        let prob = p.clamp(0.0, 1.0);
+                        gating.push(GatingEntry {
+                            site: site as u32,
+                            swap_k,
+                            sub: sub as u8,
+                            group_end: 0,
+                            prob,
+                        });
+                        alive *= 1.0 - prob;
+                        survival.push(alive);
+                    }
+                }
+                let end = gating.len() as u32;
+                for entry in &mut gating[start..] {
+                    entry.group_end = end;
+                }
+            };
+            match ops[op_index as usize] {
+                TrialOp::GateNoise {
+                    p_depol, p_dephase, ..
+                } => push_group(&mut gating, &mut survival, 0, [p_depol, p_dephase, 0.0]),
+                TrialOp::CnotNoise {
+                    p_depol,
+                    p_dephase_control,
+                    p_dephase_target,
+                    ..
+                } => push_group(
+                    &mut gating,
+                    &mut survival,
+                    0,
+                    [p_depol, p_dephase_control, p_dephase_target],
+                ),
+                TrialOp::Swap {
+                    noise: Some(ref n), ..
+                } => {
+                    for k in 0..3u8 {
+                        // The middle CNOT runs reversed, so its dephasing
+                        // draws come in (b, a) order.
+                        let (p_first, p_second) = if k == 1 {
+                            (n.p_dephase_b, n.p_dephase_a)
+                        } else {
+                            (n.p_dephase_a, n.p_dephase_b)
+                        };
+                        push_group(
+                            &mut gating,
+                            &mut survival,
+                            k,
+                            [n.p_depol, p_first, p_second],
+                        );
+                    }
+                }
+                _ => unreachable!("noise_sites point at stochastic ops"),
+            }
+        }
+
         TrialProgram {
             ops,
+            noise_sites,
+            gating,
+            survival,
             touched,
             num_clbits: physical.num_clbits(),
         }
@@ -331,6 +570,13 @@ impl TrialProgram {
     /// The lowered instruction stream.
     pub fn ops(&self) -> &[TrialOp] {
         &self.ops
+    }
+
+    /// Op index of every noise site (op that consumes error draws), in
+    /// program order. Pre-sampled [`TrialEvent`]s use positions in this
+    /// list as their coordinates.
+    pub fn noise_sites(&self) -> &[u32] {
+        &self.noise_sites
     }
 
     /// Number of compacted qubits a trial state needs.
@@ -354,12 +600,158 @@ impl TrialProgram {
             state: StateVector::new(self.num_qubits()),
             pending: vec![None; self.num_qubits()],
             perm: (0..self.num_qubits() as u8).collect(),
+            events: Vec::with_capacity(self.noise_sites.len()),
         }
     }
 
-    /// Replays the program once against `scratch` (which is reset first),
-    /// returning the measured classical bits packed into a `u64` (bit `i` =
-    /// clbit `i`).
+    /// Phase 1 of a trial: samples the trial's full error pattern — without
+    /// touching any state — into `events` (cleared first; one entry per
+    /// noise site). Returns the index of the first error event, or `None`
+    /// for an error-free trial.
+    ///
+    /// Instead of one Bernoulli draw per stochastic channel, the position
+    /// of the next *firing* draw is inversion-sampled from the precomputed
+    /// survival table with a single uniform (then the firing group is
+    /// resolved with its severity draws, and sampling resumes past it).
+    /// An error-free trial — the overwhelmingly common case at calibrated
+    /// error rates — costs exactly one uniform draw, independent of
+    /// program length.
+    ///
+    /// The draws consumed here are a prefix of the trial's RNG stream; the
+    /// replay phase continues from the same `rng`. A native-SWAP program
+    /// and its 3-CNOT expansion share identical gating tables and resolve
+    /// groups with identical draw sequences, so the two remain bit-for-bit
+    /// interchangeable.
+    pub fn pre_sample<R: Rng + ?Sized>(
+        &self,
+        events: &mut Vec<TrialEvent>,
+        rng: &mut R,
+    ) -> Option<u32> {
+        events.clear();
+        events.resize(self.noise_sites.len(), TrialEvent::Clean);
+        let mut fired_any = false;
+        let mut cursor = 0usize; // next gating index to consider
+        while cursor < self.gating.len() {
+            // Inversion step: P(next fire at j | survived past cursor-1) has
+            // CDF 1 - survival[j]/prev, so u maps to the first j whose
+            // survival drops below prev * (1 - u). No such j: no more fires.
+            let prev = if cursor == 0 {
+                1.0
+            } else {
+                self.survival[cursor - 1]
+            };
+            let j = if prev > 0.0 {
+                let u: f64 = rng.gen();
+                let threshold = prev * (1.0 - u);
+                cursor + self.survival[cursor..].partition_point(|&s| s >= threshold)
+            } else {
+                // The survival product collapsed to zero (a certain-fire
+                // channel, or underflow on an extreme program): the
+                // conditional distribution is no longer resolvable from
+                // the products, so fall back to one Bernoulli per
+                // remaining gate.
+                let mut j = cursor;
+                while j < self.gating.len() && !rng.gen_bool(self.gating[j].prob) {
+                    j += 1;
+                }
+                j
+            };
+            if j >= self.gating.len() {
+                break;
+            }
+            fired_any = true;
+            let entry = self.gating[j];
+            self.resolve_fire(events, entry, rng);
+            cursor = entry.group_end as usize;
+        }
+        if !fired_any {
+            return None;
+        }
+        // A fired draw is never the identity, but a SWAP residual can
+        // cancel across the site's groups — scan for the first event that
+        // actually perturbs the state.
+        events
+            .iter()
+            .position(TrialEvent::is_error)
+            .map(|i| i as u32)
+    }
+
+    /// Resolves the group of a fired gating draw: draws its severity (the
+    /// depolarizing Pauli choice) and the group's remaining dephasing
+    /// gates sequentially — the exact draws sequential sampling would make
+    /// past the firing point — and writes the group's contribution into
+    /// `events`.
+    fn resolve_fire<R: Rng + ?Sized>(
+        &self,
+        events: &mut [TrialEvent],
+        entry: GatingEntry,
+        rng: &mut R,
+    ) {
+        let site = entry.site as usize;
+        match self.ops[self.noise_sites[site] as usize] {
+            TrialOp::GateNoise { p_dephase, .. } => {
+                let composed = if entry.sub == 0 {
+                    noise::fired_depol_1q(rng).compose(sample_dephase(p_dephase, rng))
+                } else {
+                    Pauli::Z
+                };
+                events[site] = TrialEvent::Gate(composed);
+            }
+            TrialOp::CnotNoise {
+                p_dephase_control,
+                p_dephase_target,
+                ..
+            } => {
+                let (ec, et) = resolve_group(entry.sub, p_dephase_control, p_dephase_target, rng);
+                events[site] = TrialEvent::Cnot(ec, et);
+            }
+            TrialOp::Swap {
+                noise: Some(ref n), ..
+            } => {
+                let k = entry.swap_k;
+                // The middle CNOT runs reversed: control is wire `b`.
+                let (p_first, p_second) = if k == 1 {
+                    (n.p_dephase_b, n.p_dephase_a)
+                } else {
+                    (n.p_dephase_a, n.p_dephase_b)
+                };
+                let (e_control, e_target) = resolve_group(entry.sub, p_first, p_second, rng);
+                let (e_a, e_b) = if k == 1 {
+                    (e_target, e_control)
+                } else {
+                    (e_control, e_target)
+                };
+                // Conjugate the group's pair through the SWAP's remaining
+                // internal CNOTs (U_2 = cnot(b,a), U_3 = cnot(a,b)), then
+                // compose onto the site's residual — Pauli composition is
+                // XOR in symplectic bits, so per-group contributions
+                // combine independently of firing order.
+                let mut contribution = PauliPairBits::from_paulis(e_a, e_b);
+                if k == 0 {
+                    contribution.conj_cnot_ba();
+                    contribution.conj_cnot_ab();
+                } else if k == 1 {
+                    contribution.conj_cnot_ab();
+                }
+                let mut residual = match events[site] {
+                    TrialEvent::Swap(ra, rb) => PauliPairBits::from_paulis(ra, rb),
+                    _ => PauliPairBits::default(),
+                };
+                residual.compose(contribution);
+                let (ra, rb) = residual.to_paulis();
+                events[site] = TrialEvent::Swap(ra, rb);
+            }
+            _ => unreachable!("noise_sites point at stochastic ops"),
+        }
+    }
+
+    /// Phase 2 of a trial: replays `self.ops[start_op..]` against `scratch`
+    /// (whose state must already hold the evolution of `ops[..start_op]` —
+    /// a reset scratch for `start_op == 0`, or a restored checkpoint),
+    /// injecting pre-drawn `events` (the first event consumed is
+    /// `events[0]`, i.e. the slice is positioned at the first noise site at
+    /// or after `start_op`). Returns the measured classical bits packed
+    /// into a `u64` (bit `i` = clbit `i`).
     ///
     /// Beyond the compile-time fusion done at lowering, the replay fuses at
     /// *runtime* across noise-injection points: a sampled Pauli is itself a
@@ -367,11 +759,17 @@ impl TrialProgram {
     /// accumulate into one pending matrix per qubit, and a state pass only
     /// happens when a CNOT or measurement forces materialization. Under the
     /// full noise model this removes almost every single-qubit sweep, since
-    /// most noise draws are the identity.
-    pub fn run_trial<R: Rng + ?Sized>(&self, scratch: &mut TrialScratch, rng: &mut R) -> u64 {
-        scratch.reset();
+    /// most pre-drawn events are the identity.
+    pub fn replay_from<R: Rng + ?Sized>(
+        &self,
+        scratch: &mut TrialScratch,
+        start_op: usize,
+        events: &[TrialEvent],
+        rng: &mut R,
+    ) -> u64 {
+        let mut site = 0usize;
         let mut clbits = 0u64;
-        for op in &self.ops {
+        for op in &self.ops[start_op..] {
             match *op {
                 TrialOp::Unitary { qubit, ref matrix } => {
                     scratch.fuse(qubit, matrix);
@@ -381,84 +779,52 @@ impl TrialProgram {
                     scratch.flush(target);
                     scratch.apply_cnot(control, target);
                 }
-                TrialOp::Swap { a, b, ref noise } => match noise {
-                    None => scratch.relabel_swap(a, b),
-                    Some(n) => {
-                        // Pre-draw every error event of the three CNOTs —
-                        // cnot(a,b), cnot(b,a), cnot(a,b) — in exactly the
-                        // order the expanded circuit would (per CNOT: the
-                        // depolarizing pair, then control dephasing, then
-                        // target dephasing), so replaying this op consumes
-                        // the same RNG stream as replaying the expansion,
-                        // and the relabeling fast path matches the
-                        // materializing slow path bit for bit.
-                        let mut events = [(Pauli::I, Pauli::I); 3];
-                        let mut any_error = false;
-                        for (k, event) in events.iter_mut().enumerate() {
-                            let reversed = k == 1;
-                            let (p_control, p_target) = noise::depolarizing_2q(n.p_depol, rng);
-                            let (p_deph_c, p_deph_t) = if reversed {
-                                (n.p_dephase_b, n.p_dephase_a)
-                            } else {
-                                (n.p_dephase_a, n.p_dephase_b)
-                            };
-                            let d_control = sample_dephase(p_deph_c, rng);
-                            let d_target = sample_dephase(p_deph_t, rng);
-                            let e_control = p_control.compose(d_control);
-                            let e_target = p_target.compose(d_target);
-                            *event = if reversed {
-                                (e_target, e_control)
-                            } else {
-                                (e_control, e_target)
-                            };
-                            any_error |= *event != (Pauli::I, Pauli::I);
+                TrialOp::Swap { a, b, ref noise } => {
+                    let event = if noise.is_some() {
+                        let e = events[site];
+                        site += 1;
+                        e
+                    } else {
+                        TrialEvent::Clean
+                    };
+                    // Every SWAP — noisy or not — is a zero-pass
+                    // relabeling; a sampled error only fuses the residual
+                    // (pre-conjugated) Pauli pair onto the relabeled wires.
+                    scratch.relabel_swap(a, b);
+                    match event {
+                        TrialEvent::Clean => {}
+                        TrialEvent::Swap(ra, rb) => {
+                            scratch.fuse_pauli(a, ra);
+                            scratch.fuse_pauli(b, rb);
                         }
-                        if !any_error {
-                            scratch.relabel_swap(a, b);
-                        } else {
-                            // Exact semantics: each CNOT's sampled errors
-                            // injected right after it.
-                            for (k, &(ea, eb)) in events.iter().enumerate() {
-                                let (c, t) = if k == 1 { (b, a) } else { (a, b) };
-                                scratch.flush(c);
-                                scratch.flush(t);
-                                scratch.apply_cnot(c, t);
-                                scratch.fuse_pauli(a, ea);
-                                scratch.fuse_pauli(b, eb);
-                            }
-                        }
+                        other => unreachable!("swap site pre-sampled {other:?}"),
                     }
-                },
-                TrialOp::GateNoise {
-                    qubit,
-                    p_depol,
-                    p_dephase,
-                } => {
-                    let depol = noise::depolarizing_1q(p_depol, rng);
-                    let dephase = sample_dephase(p_dephase, rng);
-                    scratch.fuse_pauli(qubit, depol.compose(dephase));
+                }
+                TrialOp::GateNoise { qubit, .. } => {
+                    let event = events[site];
+                    site += 1;
+                    if let TrialEvent::Gate(pauli) = event {
+                        scratch.fuse_pauli(qubit, pauli);
+                    }
                 }
                 TrialOp::CnotNoise {
-                    control,
-                    target,
-                    p_depol,
-                    p_dephase_control,
-                    p_dephase_target,
+                    control, target, ..
                 } => {
-                    let (pc, pt) = noise::depolarizing_2q(p_depol, rng);
-                    let dc = sample_dephase(p_dephase_control, rng);
-                    let dt = sample_dephase(p_dephase_target, rng);
-                    scratch.fuse_pauli(control, pc.compose(dc));
-                    scratch.fuse_pauli(target, pt.compose(dt));
+                    let event = events[site];
+                    site += 1;
+                    if let TrialEvent::Cnot(pc, pt) = event {
+                        scratch.fuse_pauli(control, pc);
+                        scratch.fuse_pauli(target, pt);
+                    }
                 }
                 TrialOp::Measure {
                     qubit,
                     clbit,
                     p_flip,
                 } => {
-                    scratch.flush(qubit);
-                    let slot = usize::from(scratch.perm[usize::from(qubit)]);
-                    let mut outcome = scratch.state.measure(slot, rng);
+                    let p1 = scratch.flush_and_p1(qubit).clamp(0.0, 1.0);
+                    let mut outcome = rng.gen_bool(p1);
+                    scratch.collapse_measured(qubit, outcome, p1);
                     if p_flip > 0.0 && rng.gen_bool(p_flip) {
                         outcome = !outcome;
                     }
@@ -470,9 +836,14 @@ impl TrialProgram {
                     for &(qubit, _, _) in measures {
                         scratch.flush(qubit);
                     }
-                    let basis = scratch.state.sample_basis(rng);
+                    // Canonical traversal: basis states are visited in
+                    // program-qubit bit order regardless of how relabeling
+                    // SWAPs permuted the physical layout, so the same
+                    // uniform draw picks the same logical outcome in every
+                    // layout (and in the tiered engine's precomputed CDF).
+                    let canonical = scratch.state.sample_canonical(&scratch.perm, rng);
                     for &(qubit, clbit, p_flip) in measures {
-                        let mut outcome = basis >> scratch.perm[usize::from(qubit)] & 1 == 1;
+                        let mut outcome = canonical >> qubit & 1 == 1;
                         if p_flip > 0.0 && rng.gen_bool(p_flip) {
                             outcome = !outcome;
                         }
@@ -486,6 +857,53 @@ impl TrialProgram {
         clbits
     }
 
+    /// Advances `scratch` ideally over `self.ops[from_op..to_op]`: unitary
+    /// fusion, CNOTs and relabeling SWAPs are applied, noise sites are
+    /// skipped (an error-free trial's evolution). This is the shared
+    /// ideal-prefix walk of the tiered engine; it applies exactly the same
+    /// state operations as an error-free [`TrialProgram::replay_from`] over
+    /// the same range, so resuming a replay from the advanced scratch is
+    /// bit-identical to replaying from the start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range contains a measurement (prefixes never extend
+    /// past the first measurement: its outcome is per-trial randomness).
+    pub fn advance_ideal(&self, scratch: &mut TrialScratch, from_op: usize, to_op: usize) {
+        for op in &self.ops[from_op..to_op] {
+            match *op {
+                TrialOp::Unitary { qubit, ref matrix } => scratch.fuse(qubit, matrix),
+                TrialOp::Cnot { control, target } => {
+                    scratch.flush(control);
+                    scratch.flush(target);
+                    scratch.apply_cnot(control, target);
+                }
+                TrialOp::Swap { a, b, .. } => scratch.relabel_swap(a, b),
+                TrialOp::GateNoise { .. } | TrialOp::CnotNoise { .. } => {}
+                TrialOp::Measure { .. } | TrialOp::TerminalSample { .. } => {
+                    unreachable!("ideal prefixes never cross a measurement")
+                }
+            }
+        }
+    }
+
+    /// Replays the program once against `scratch` (which is reset first),
+    /// returning the measured classical bits packed into a `u64` (bit `i` =
+    /// clbit `i`).
+    ///
+    /// This is the single-trial reference path: phase 1 pre-samples the
+    /// trial's full error pattern, phase 2 replays with the events
+    /// injected. The tiered engine produces bit-identical outcomes for
+    /// every trial while skipping most of the replay work.
+    pub fn run_trial<R: Rng + ?Sized>(&self, scratch: &mut TrialScratch, rng: &mut R) -> u64 {
+        scratch.reset();
+        let mut events = std::mem::take(&mut scratch.events);
+        let _ = self.pre_sample(&mut events, rng);
+        let key = self.replay_from(scratch, 0, &events, rng);
+        scratch.events = events;
+        key
+    }
+
     /// Derives the deterministic per-trial RNG for `(base_seed, trial)` —
     /// a counter-based [`TrialRng`] stream with no per-trial seeding work.
     /// Exposed so tests and tools can reproduce a single trial exactly.
@@ -496,15 +914,17 @@ impl TrialProgram {
 
 /// Reusable per-worker trial state: the scratch [`StateVector`], the
 /// runtime-fusion accumulator (one pending 2×2 matrix per program qubit),
-/// and the program-qubit → state-slot permutation maintained by relabeling
-/// SWAPs. Allocate once via [`TrialProgram::make_scratch`], replay many
-/// trials through it.
+/// the program-qubit → state-slot permutation maintained by relabeling
+/// SWAPs, and the pre-sampled event buffer. Allocate once via
+/// [`TrialProgram::make_scratch`], replay many trials through it.
 #[derive(Debug, Clone)]
 pub struct TrialScratch {
     state: StateVector,
     pending: Vec<Option<Matrix2>>,
     /// `perm[program qubit] = state slot`. Identity until a SWAP relabels.
     perm: Vec<u8>,
+    /// Pre-sampled error events of the current trial (reference path).
+    events: Vec<TrialEvent>,
 }
 
 impl TrialScratch {
@@ -522,12 +942,39 @@ impl TrialScratch {
         usize::from(self.perm[program_qubit])
     }
 
-    fn reset(&mut self) {
+    /// The full program-qubit → state-slot permutation.
+    pub fn perm(&self) -> &[u8] {
+        &self.perm
+    }
+
+    /// Resets to the `|0...0>` state with an identity permutation and no
+    /// pending matrices.
+    pub fn reset(&mut self) {
         self.state.reset();
         self.pending.fill(None);
         for (i, p) in self.perm.iter_mut().enumerate() {
             *p = i as u8;
         }
+    }
+
+    /// Resizes the scratch for a program of `num_qubits` qubits (growing
+    /// buffers only when needed) and resets it — so one pooled scratch
+    /// serves programs of different widths without reallocation.
+    pub fn ensure(&mut self, num_qubits: usize) {
+        if self.state.num_qubits() != num_qubits {
+            self.state.resize_for(num_qubits);
+            self.pending.resize(num_qubits, None);
+            self.perm.resize(num_qubits, 0);
+        }
+        self.reset();
+    }
+
+    /// Restores this scratch from a checkpoint of the same width without
+    /// allocating.
+    pub fn copy_from(&mut self, checkpoint: &TrialScratch) {
+        self.state.copy_from(&checkpoint.state);
+        self.pending.clone_from_slice(&checkpoint.pending);
+        self.perm.copy_from_slice(&checkpoint.perm);
     }
 
     /// Composes `m` onto the pending matrix of `qubit` (applied after it).
@@ -551,10 +998,21 @@ impl TrialScratch {
     }
 
     /// Materializes the pending matrix of `qubit` into its current slot.
-    fn flush(&mut self, qubit: u8) {
+    pub(crate) fn flush(&mut self, qubit: u8) {
         if let Some(matrix) = self.pending[usize::from(qubit)].take() {
             self.state
                 .apply_matrix(usize::from(self.perm[usize::from(qubit)]), &matrix);
+        }
+    }
+
+    /// Materializes the pending matrix of `qubit` and returns the
+    /// probability of measuring it as 1, fusing the flush pass with the
+    /// probability read (bit-identical to `flush` + `probability_one`).
+    pub(crate) fn flush_and_p1(&mut self, qubit: u8) -> f64 {
+        let slot = usize::from(self.perm[usize::from(qubit)]);
+        match self.pending[usize::from(qubit)].take() {
+            Some(matrix) => self.state.apply_matrix_measure(slot, &matrix),
+            None => self.state.probability_one(slot),
         }
     }
 
@@ -572,6 +1030,17 @@ impl TrialScratch {
     fn relabel_swap(&mut self, a: u8, b: u8) {
         self.perm.swap(usize::from(a), usize::from(b));
         self.pending.swap(usize::from(a), usize::from(b));
+    }
+
+    /// Projects `qubit` onto a known measurement `outcome` given the
+    /// pre-computed probability `p1` of measuring 1 — exactly the collapse
+    /// half of [`StateVector::measure`], for replaying a measurement whose
+    /// outcome was drawn elsewhere (the engine's dominant-path walker and
+    /// its divergence fallback).
+    pub(crate) fn collapse_measured(&mut self, qubit: u8, outcome: bool, p1: f64) {
+        let slot = usize::from(self.perm[usize::from(qubit)]);
+        let norm = if outcome { p1 } else { 1.0 - p1 };
+        self.state.collapse_with_norm(slot, outcome, norm);
     }
 }
 
@@ -696,11 +1165,33 @@ fn sink_measures(ops: &mut Vec<TrialOp>) {
     }
 }
 
-fn sample_dephase<R: Rng + ?Sized>(p: f64, rng: &mut R) -> Pauli {
+pub(crate) fn sample_dephase<R: Rng + ?Sized>(p: f64, rng: &mut R) -> Pauli {
     if p > 0.0 && rng.gen_bool(p) {
         Pauli::Z
     } else {
         Pauli::I
+    }
+}
+
+/// Resolves one two-qubit noise group — a depolarizing gate followed by a
+/// control and a target dephasing gate — given which of the three fired
+/// first: the fired gate's severity plus the group's remaining gates are
+/// drawn sequentially, gates before the fired one are known identity.
+fn resolve_group<R: Rng + ?Sized>(
+    sub: u8,
+    p_dephase_control: f64,
+    p_dephase_target: f64,
+    rng: &mut R,
+) -> (Pauli, Pauli) {
+    match sub {
+        0 => {
+            let (pc, pt) = noise::fired_depol_2q(rng);
+            let dc = sample_dephase(p_dephase_control, rng);
+            let dt = sample_dephase(p_dephase_target, rng);
+            (pc.compose(dc), pt.compose(dt))
+        }
+        1 => (Pauli::Z, sample_dephase(p_dephase_target, rng)),
+        _ => (Pauli::I, Pauli::Z),
     }
 }
 
@@ -738,6 +1229,7 @@ mod tests {
             .ops()
             .iter()
             .any(|op| matches!(op, TrialOp::GateNoise { .. } | TrialOp::CnotNoise { .. })));
+        assert!(program.noise_sites().is_empty());
     }
 
     #[test]
@@ -801,6 +1293,70 @@ mod tests {
     }
 
     #[test]
+    fn noise_sites_index_every_stochastic_op() {
+        let m = machine();
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.push(nisq_ir::Gate::swap(Qubit(1), Qubit(2)));
+        c.measure_all();
+        let program = TrialProgram::lower(&c, &m, &NoiseModel::full());
+        for &site in program.noise_sites() {
+            assert!(matches!(
+                program.ops()[site as usize],
+                TrialOp::GateNoise { .. }
+                    | TrialOp::CnotNoise { .. }
+                    | TrialOp::Swap { noise: Some(_), .. }
+            ));
+        }
+        let stochastic = program
+            .ops()
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    TrialOp::GateNoise { .. }
+                        | TrialOp::CnotNoise { .. }
+                        | TrialOp::Swap { noise: Some(_), .. }
+                )
+            })
+            .count();
+        assert_eq!(program.noise_sites().len(), stochastic);
+        assert!(stochastic >= 3, "ops: {:?}", program.ops());
+    }
+
+    #[test]
+    fn pre_sample_reports_first_error_site() {
+        let m = machine();
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.measure_all();
+        let program = TrialProgram::lower(&c, &m, &NoiseModel::full());
+        let mut events = Vec::new();
+        let mut clean = 0u32;
+        let mut with_error = 0u32;
+        for trial in 0..512u32 {
+            let mut rng = TrialProgram::trial_rng(3, trial);
+            match program.pre_sample(&mut events, &mut rng) {
+                None => {
+                    clean += 1;
+                    assert!(events.iter().all(|e| !e.is_error()));
+                }
+                Some(first) => {
+                    with_error += 1;
+                    assert!(events[first as usize].is_error());
+                    assert!(events[..first as usize].iter().all(|e| !e.is_error()));
+                }
+            }
+            assert_eq!(events.len(), program.noise_sites().len());
+        }
+        // At the paper's calibration-derived error rates, both kinds occur.
+        assert!(clean > 0, "no error-free trials in 512");
+        assert!(with_error > 0, "no error trials in 512");
+    }
+
+    #[test]
     fn lowering_compacts_onto_touched_qubits() {
         let mut c = Circuit::with_clbits(16, 16);
         c.h(Qubit(3));
@@ -859,8 +1415,54 @@ mod tests {
                 kind => naive.apply_single(gate.qubits()[0].0, kind),
             }
         }
-        for (a, b) in fused.amplitudes().iter().zip(naive.amplitudes()) {
-            assert!((*a - *b).norm_sqr() < 1e-20, "{a} vs {b}");
+        for i in 0..naive.len() {
+            let (a, b) = (fused.amplitude(i), naive.amplitude(i));
+            assert!((a - b).norm_sqr() < 1e-20, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn replay_from_checkpoint_matches_full_replay() {
+        // Resuming from an ideally-advanced prefix must be bit-identical to
+        // replaying from op 0 with the same pre-sampled events.
+        let m = machine();
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)).t(Qubit(1));
+        c.cnot(Qubit(0), Qubit(1));
+        c.h(Qubit(2));
+        c.cnot(Qubit(1), Qubit(2));
+        c.measure_all();
+        let program = TrialProgram::lower(&c, &m, &NoiseModel::full());
+        let sites = program.noise_sites();
+        assert!(!sites.is_empty());
+
+        for trial in 0..256u32 {
+            let mut rng = TrialProgram::trial_rng(11, trial);
+            let mut events = Vec::new();
+            let first = program.pre_sample(&mut events, &mut rng);
+            let Some(first) = first else { continue };
+            let resume_op = sites[first as usize] as usize;
+
+            // Full replay.
+            let mut full = program.make_scratch();
+            full.reset();
+            let mut rng_full = rng.clone();
+            let key_full = program.replay_from(&mut full, 0, &events, &mut rng_full);
+
+            // Checkpointed replay: advance ideally to the first error site,
+            // then replay the suffix with the events positioned there.
+            let mut prefix = program.make_scratch();
+            prefix.reset();
+            program.advance_ideal(&mut prefix, 0, resume_op);
+            let mut rng_ckpt = rng.clone();
+            let key_ckpt = program.replay_from(
+                &mut prefix,
+                resume_op,
+                &events[first as usize..],
+                &mut rng_ckpt,
+            );
+            assert_eq!(key_full, key_ckpt, "trial {trial}");
+            assert_eq!(rng_full, rng_ckpt, "trial {trial}: draw counts diverged");
         }
     }
 

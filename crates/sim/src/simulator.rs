@@ -1,3 +1,4 @@
+use crate::engine::{with_engine_scratch, TierCounts, TieredEngine};
 use crate::noise::NoiseModel;
 use crate::program::TrialProgram;
 use crate::result::SimulationResult;
@@ -133,39 +134,54 @@ impl<'m> Simulator<'m> {
 
     /// Runs the configured number of trials of an already-lowered program.
     ///
-    /// Trials are partitioned into fixed-size chunks processed in parallel;
-    /// each worker reuses one scratch [`StateVector`] across its trials and
-    /// aggregates bit-packed outcomes into a hash map with no per-trial
-    /// allocation. Results are bit-for-bit deterministic for a seed and
-    /// independent of the thread count.
+    /// Trials are executed by the three-tier engine (see [`TieredEngine`]):
+    /// error patterns are pre-sampled per trial, error-free trials are
+    /// served from the precomputed ideal terminal distribution, trials
+    /// whose first error fires mid-program resume from a shared
+    /// ideal-prefix checkpoint, and only the rest replay in full. Results
+    /// are bit-for-bit deterministic for a seed, bit-identical to a
+    /// [`TrialProgram::run_trial`] loop, and independent of the thread
+    /// count.
     pub fn run_program(&self, program: &TrialProgram) -> SimulationResult {
+        self.run_program_with_stats(program).0
+    }
+
+    /// Like [`Simulator::run_program`], additionally reporting how many
+    /// trials each engine tier served.
+    pub fn run_program_with_stats(&self, program: &TrialProgram) -> (SimulationResult, TierCounts) {
         let trials = self.config.trials;
         let seed = self.config.seed;
+        let engine = TieredEngine::new(program);
 
         let pool = self.pool.as_ref().filter(|_| trials > TRIAL_CHUNK);
-        let counts: FxHashMap<u64, u32> = if let Some(pool) = pool {
+        let (counts, tiers) = if let Some(pool) = pool {
             let chunks: Vec<(u32, u32)> = (0..trials.div_ceil(TRIAL_CHUNK))
                 .map(|c| (c * TRIAL_CHUNK, ((c + 1) * TRIAL_CHUNK).min(trials)))
                 .collect();
-            let partials: Vec<FxHashMap<u64, u32>> = pool.install(|| {
+            let partials: Vec<(FxHashMap<u64, u32>, TierCounts)> = pool.install(|| {
                 chunks
                     .into_par_iter()
-                    .map(|(start, end)| simulate_chunk(program, seed, start, end))
+                    .map(|(start, end)| simulate_chunk(&engine, seed, start, end))
                     .collect()
             });
             // Count merging is commutative, so the final map does not
             // depend on chunk completion order.
             let mut merged = FxHashMap::default();
-            for partial in partials {
+            let mut tiers = TierCounts::default();
+            for (partial, partial_tiers) in partials {
                 for (key, count) in partial {
                     *merged.entry(key).or_insert(0) += count;
                 }
+                tiers.merge(&partial_tiers);
             }
-            merged
+            (merged, tiers)
         } else {
-            simulate_chunk(program, seed, 0, trials)
+            simulate_chunk(&engine, seed, 0, trials)
         };
-        SimulationResult::from_bitpacked(counts, program.num_clbits())
+        (
+            SimulationResult::from_bitpacked(counts, program.num_clbits()),
+            tiers,
+        )
     }
 
     /// Runs the circuit without any noise (regardless of the configured
@@ -192,17 +208,21 @@ impl<'m> Simulator<'m> {
     }
 }
 
-/// Simulates trials `[start, end)` with one scratch state, returning
-/// bit-packed outcome counts.
-fn simulate_chunk(program: &TrialProgram, seed: u64, start: u32, end: u32) -> FxHashMap<u64, u32> {
-    let mut scratch = program.make_scratch();
+/// Simulates trials `[start, end)` through the tiered engine with the
+/// calling worker's pooled scratch, returning bit-packed outcome counts and
+/// tier occupancy.
+fn simulate_chunk(
+    engine: &TieredEngine<'_>,
+    seed: u64,
+    start: u32,
+    end: u32,
+) -> (FxHashMap<u64, u32>, TierCounts) {
     let mut local: FxHashMap<u64, u32> = FxHashMap::default();
-    for trial in start..end {
-        let mut rng = TrialProgram::trial_rng(seed, trial);
-        let key = program.run_trial(&mut scratch, &mut rng);
-        *local.entry(key).or_insert(0) += 1;
-    }
-    local
+    let mut tiers = TierCounts::default();
+    with_engine_scratch(|scratch| {
+        engine.run_chunk(seed, start, end, scratch, &mut local, &mut tiers);
+    });
+    (local, tiers)
 }
 
 #[cfg(test)]

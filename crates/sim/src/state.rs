@@ -5,13 +5,26 @@ use rand::Rng;
 /// A pure quantum state over `n` qubits, stored as `2^n` complex amplitudes
 /// with qubit `q` mapped to bit `q` of the basis-state index.
 ///
+/// # Layout: split-complex (SoA)
+///
+/// Amplitudes are stored as two parallel `f64` arrays (`re`, `im`) instead
+/// of an array of complex structs. Interleaved re/im pairs defeat the
+/// auto-vectorizer on the hot `apply_matrix` pair loops (every vector lane
+/// would need a shuffle); with split arrays every kernel below is a
+/// stride-1 walk over plain `f64` slices that LLVM turns into packed SIMD
+/// arithmetic. The low-stride pairings that remain hostile even then
+/// (qubit 0: adjacent pairs; qubit 1: pairs two apart) get dedicated
+/// kernels that process a whole cache line of amplitudes per iteration
+/// with a fixed shuffle pattern.
+///
 /// All kernels iterate amplitude *pairs* directly by stride — the
 /// `2^(n-1)` pairs `(i, i + 2^q)` — instead of testing `i & mask` over all
 /// `2^n` indices, and the frequent operations of the noisy simulator
 /// (Pauli injection, measurement) have dedicated fast paths: a Z error is a
-/// sign flip over half the amplitudes with no pair shuffle, an X error is a
-/// pure pair swap, and `measure` collapses in a single pass reusing the
-/// already-computed outcome probability as the renormalization constant.
+/// sign flip over half the amplitudes with no pair shuffle, an X error and
+/// a CNOT are pure `swap_with_slice` runs, and `measure` collapses in a
+/// single pass reusing the already-computed outcome probability as the
+/// renormalization constant.
 ///
 /// # Example
 ///
@@ -29,7 +42,8 @@ use rand::Rng;
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateVector {
     num_qubits: usize,
-    amps: Vec<Complex>,
+    re: Vec<f64>,
+    im: Vec<f64>,
 }
 
 impl StateVector {
@@ -45,16 +59,65 @@ impl StateVector {
             num_qubits <= 24,
             "state vectors beyond 24 qubits are not supported"
         );
-        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
-        amps[0] = Complex::ONE;
-        StateVector { num_qubits, amps }
+        let len = 1usize << num_qubits;
+        let mut state = StateVector {
+            num_qubits,
+            re: vec![0.0; len],
+            im: vec![0.0; len],
+        };
+        state.re[0] = 1.0;
+        state
     }
 
     /// Resets the state to `|0...0>` without reallocating, so one scratch
     /// state can be replayed across many trials.
     pub fn reset(&mut self) {
-        self.amps.fill(Complex::ZERO);
-        self.amps[0] = Complex::ONE;
+        self.re.fill(0.0);
+        self.im.fill(0.0);
+        self.re[0] = 1.0;
+    }
+
+    /// Resizes the state for `num_qubits` qubits (growing the buffers only
+    /// when needed) and resets it to `|0...0>` — so one pooled scratch
+    /// state can serve programs of different widths without reallocating
+    /// on every switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 24.
+    pub fn resize_for(&mut self, num_qubits: usize) {
+        assert!(
+            num_qubits <= 24,
+            "state vectors beyond 24 qubits are not supported"
+        );
+        let len = 1usize << num_qubits;
+        self.num_qubits = num_qubits;
+        self.re.resize(len, 0.0);
+        self.im.resize(len, 0.0);
+        // Long-lived pooled scratches serve programs of many widths; when
+        // the high-water capacity is far above the current need (a 24-qubit
+        // buffer is 256 MiB per component), release it rather than pinning
+        // it for the life of the worker thread.
+        if self.re.capacity() > len << 3 {
+            self.re.shrink_to(len);
+            self.im.shrink_to(len);
+        }
+        self.reset();
+    }
+
+    /// Copies another state of the same width into this one without
+    /// allocating — the restore half of the checkpoint mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn copy_from(&mut self, other: &StateVector) {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "checkpoint width mismatch"
+        );
+        self.re.copy_from_slice(&other.re);
+        self.im.copy_from_slice(&other.im);
     }
 
     /// Number of qubits.
@@ -62,14 +125,25 @@ impl StateVector {
         self.num_qubits
     }
 
-    /// Probability of measuring the exact basis state `index`.
-    pub fn probability_of_basis(&self, index: usize) -> f64 {
-        self.amps[index].norm_sqr()
+    /// Number of amplitudes (`2^n`).
+    pub fn len(&self) -> usize {
+        self.re.len()
     }
 
-    /// The raw amplitudes, indexed by basis state (qubit `q` is bit `q`).
-    pub fn amplitudes(&self) -> &[Complex] {
-        &self.amps
+    /// Whether the state holds no amplitudes (never true in practice; kept
+    /// for API symmetry with `len`).
+    pub fn is_empty(&self) -> bool {
+        self.re.is_empty()
+    }
+
+    /// The amplitude of basis state `index` (qubit `q` is bit `q`).
+    pub fn amplitude(&self, index: usize) -> Complex {
+        Complex::new(self.re[index], self.im[index])
+    }
+
+    /// Probability of measuring the exact basis state `index`.
+    pub fn probability_of_basis(&self, index: usize) -> f64 {
+        self.re[index] * self.re[index] + self.im[index] * self.im[index]
     }
 
     /// Applies a single-qubit gate to `qubit`, dispatching Paulis to their
@@ -88,7 +162,8 @@ impl StateVector {
     }
 
     /// Applies an arbitrary 2x2 unitary to `qubit`. Diagonal matrices take
-    /// a multiply-only fast path (no pair shuffle).
+    /// a multiply-only fast path (no pair shuffle); qubits 0 and 1 take the
+    /// dedicated low-stride kernels.
     ///
     /// # Panics
     ///
@@ -98,18 +173,153 @@ impl StateVector {
         if m[1] == Complex::ZERO && m[2] == Complex::ZERO {
             return self.apply_diagonal(qubit, m[0], m[3]);
         }
+        if m[0] == Complex::ZERO && m[3] == Complex::ZERO {
+            // Anti-diagonal (X/Y-like, the shape of every fused Pauli
+            // error): a pair swap with phases, half the arithmetic of the
+            // general kernel — and bitwise identical to it, because the
+            // `0 * a ± 0 * b` terms of the general update vanish exactly.
+            return self.apply_antidiagonal(qubit, m[1], m[2]);
+        }
+        let c = MatrixCoeffs::from(m);
+        match 1usize << qubit {
+            1 => self.apply_matrix_q0(&c),
+            2 => self.apply_matrix_q1(&c),
+            mask => self.apply_matrix_strided(mask, &c),
+        }
+    }
+
+    /// Applies the anti-diagonal unitary `[[0, u], [l, 0]]` to `qubit`:
+    /// `lo' = u * hi`, `hi' = l * lo`.
+    fn apply_antidiagonal(&mut self, qubit: usize, u: Complex, l: Complex) {
         let mask = 1usize << qubit;
-        let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
-        let mut base = 0;
-        while base < self.amps.len() {
-            for i in base..base + mask {
-                let j = i + mask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m00 * a0 + m01 * a1;
-                self.amps[j] = m10 * a0 + m11 * a1;
+        if mask == 1 {
+            let mut p = 0;
+            while p < self.re.len() {
+                let (ar, ai, br, bi) = (self.re[p], self.im[p], self.re[p + 1], self.im[p + 1]);
+                self.re[p] = u.re * br - u.im * bi;
+                self.im[p] = u.re * bi + u.im * br;
+                self.re[p + 1] = l.re * ar - l.im * ai;
+                self.im[p + 1] = l.re * ai + l.im * ar;
+                p += 2;
             }
-            base += mask << 1;
+            return;
+        }
+        let step = mask << 1;
+        let mut base = 0;
+        while base < self.re.len() {
+            let (re_lo, re_hi) = self.re[base..base + step].split_at_mut(mask);
+            let (im_lo, im_hi) = self.im[base..base + step].split_at_mut(mask);
+            for k in 0..mask {
+                let (ar, ai, br, bi) = (re_lo[k], im_lo[k], re_hi[k], im_hi[k]);
+                re_lo[k] = u.re * br - u.im * bi;
+                im_lo[k] = u.re * bi + u.im * br;
+                re_hi[k] = l.re * ar - l.im * ai;
+                im_hi[k] = l.re * ai + l.im * ar;
+            }
+            base += step;
+        }
+    }
+
+    /// Applies a 2x2 unitary to `qubit` and returns the post-update
+    /// probability of measuring 1 — the fused form of
+    /// `apply_matrix(q, m); probability_one(q)` a measurement needs,
+    /// saving the separate read pass. Bitwise identical to the unfused
+    /// sequence: the fused accumulation visits the freshly-written values
+    /// in exactly [`StateVector::probability_one`]'s lane order.
+    pub(crate) fn apply_matrix_measure(&mut self, qubit: usize, m: &Matrix2) -> f64 {
+        let mask = 1usize << qubit;
+        let diagonal = m[1] == Complex::ZERO && m[2] == Complex::ZERO;
+        let antidiagonal = m[0] == Complex::ZERO && m[3] == Complex::ZERO;
+        if mask < 4 || diagonal || antidiagonal {
+            self.apply_matrix(qubit, m);
+            return self.probability_one(qubit);
+        }
+        let c = MatrixCoeffs::from(m);
+        let step = mask << 1;
+        let mut acc = [0.0f64; 4];
+        let mut base = 0;
+        while base < self.re.len() {
+            let (re_lo, re_hi) = self.re[base..base + step].split_at_mut(mask);
+            let (im_lo, im_hi) = self.im[base..base + step].split_at_mut(mask);
+            for k in 0..mask {
+                (re_lo[k], im_lo[k], re_hi[k], im_hi[k]) =
+                    c.pair(re_lo[k], im_lo[k], re_hi[k], im_hi[k]);
+            }
+            let mut k = 0;
+            while k < mask {
+                acc[0] += re_hi[k] * re_hi[k] + im_hi[k] * im_hi[k];
+                acc[1] += re_hi[k + 1] * re_hi[k + 1] + im_hi[k + 1] * im_hi[k + 1];
+                acc[2] += re_hi[k + 2] * re_hi[k + 2] + im_hi[k + 2] * im_hi[k + 2];
+                acc[3] += re_hi[k + 3] * re_hi[k + 3] + im_hi[k + 3] * im_hi[k + 3];
+                k += 4;
+            }
+            base += step;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
+    }
+
+    /// General pair kernel for `mask >= 4`: each 2·mask block splits into a
+    /// contiguous lo half and hi half, and the update walks all four slices
+    /// at stride 1 — exactly the shape the auto-vectorizer wants.
+    fn apply_matrix_strided(&mut self, mask: usize, c: &MatrixCoeffs) {
+        let step = mask << 1;
+        let mut base = 0;
+        while base < self.re.len() {
+            let (re_lo, re_hi) = self.re[base..base + step].split_at_mut(mask);
+            let (im_lo, im_hi) = self.im[base..base + step].split_at_mut(mask);
+            for k in 0..mask {
+                (re_lo[k], im_lo[k], re_hi[k], im_hi[k]) =
+                    c.pair(re_lo[k], im_lo[k], re_hi[k], im_hi[k]);
+            }
+            base += step;
+        }
+    }
+
+    /// Qubit-0 kernel: pairs are adjacent `(2k, 2k+1)` elements, the
+    /// auto-vectorizer-hostile case. Processing four pairs (eight
+    /// amplitudes) per iteration with a fixed even/odd shuffle pattern
+    /// keeps the loop body branch-free and SLP-vectorizable.
+    fn apply_matrix_q0(&mut self, c: &MatrixCoeffs) {
+        let mut re_chunks = self.re.chunks_exact_mut(8);
+        let mut im_chunks = self.im.chunks_exact_mut(8);
+        for (rc, ic) in (&mut re_chunks).zip(&mut im_chunks) {
+            let mut p = 0;
+            while p < 8 {
+                (rc[p], ic[p], rc[p + 1], ic[p + 1]) = c.pair(rc[p], ic[p], rc[p + 1], ic[p + 1]);
+                p += 2;
+            }
+        }
+        let re_rest = re_chunks.into_remainder();
+        let im_rest = im_chunks.into_remainder();
+        let mut p = 0;
+        while p < re_rest.len() {
+            (re_rest[p], im_rest[p], re_rest[p + 1], im_rest[p + 1]) =
+                c.pair(re_rest[p], im_rest[p], re_rest[p + 1], im_rest[p + 1]);
+            p += 2;
+        }
+    }
+
+    /// Qubit-1 kernel: pairs sit two apart, so each 8-amplitude chunk holds
+    /// four full pairs `(0,2) (1,3) (4,6) (5,7)` — again a fixed shuffle
+    /// pattern the SLP vectorizer can digest.
+    fn apply_matrix_q1(&mut self, c: &MatrixCoeffs) {
+        let mut re_chunks = self.re.chunks_exact_mut(8);
+        let mut im_chunks = self.im.chunks_exact_mut(8);
+        for (rc, ic) in (&mut re_chunks).zip(&mut im_chunks) {
+            for half in [0usize, 4] {
+                for k in half..half + 2 {
+                    (rc[k], ic[k], rc[k + 2], ic[k + 2]) =
+                        c.pair(rc[k], ic[k], rc[k + 2], ic[k + 2]);
+                }
+            }
+        }
+        let re_rest = re_chunks.into_remainder();
+        let im_rest = im_chunks.into_remainder();
+        if !re_rest.is_empty() {
+            for k in 0..2 {
+                (re_rest[k], im_rest[k], re_rest[k + 2], im_rest[k + 2]) =
+                    c.pair(re_rest[k], im_rest[k], re_rest[k + 2], im_rest[k + 2]);
+            }
         }
     }
 
@@ -118,27 +328,38 @@ impl StateVector {
     fn apply_diagonal(&mut self, qubit: usize, d0: Complex, d1: Complex) {
         let mask = 1usize << qubit;
         let step = mask << 1;
+        let scale_run = |re: &mut [f64], im: &mut [f64], d: Complex| {
+            for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+                let (ar, ai) = (*r, *i);
+                *r = d.re * ar - d.im * ai;
+                *i = d.re * ai + d.im * ar;
+            }
+        };
         if d0 != Complex::ONE {
             let mut base = 0;
-            while base < self.amps.len() {
-                for i in base..base + mask {
-                    self.amps[i] = d0 * self.amps[i];
-                }
+            while base < self.re.len() {
+                scale_run(
+                    &mut self.re[base..base + mask],
+                    &mut self.im[base..base + mask],
+                    d0,
+                );
                 base += step;
             }
         }
         if d1 != Complex::ONE {
             let mut base = mask;
-            while base < self.amps.len() {
-                for j in base..base + mask {
-                    self.amps[j] = d1 * self.amps[j];
-                }
+            while base < self.re.len() {
+                scale_run(
+                    &mut self.re[base..base + mask],
+                    &mut self.im[base..base + mask],
+                    d1,
+                );
                 base += step;
             }
         }
     }
 
-    /// Applies a Pauli-X to `qubit`: a pure pair swap, no arithmetic.
+    /// Applies a Pauli-X to `qubit`: a pure run swap, no arithmetic.
     ///
     /// # Panics
     ///
@@ -147,10 +368,11 @@ impl StateVector {
         assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
         let mask = 1usize << qubit;
         let mut base = 0;
-        while base < self.amps.len() {
-            for i in base..base + mask {
-                self.amps.swap(i, i + mask);
-            }
+        while base < self.re.len() {
+            let (re_lo, re_hi) = self.re[base..base + (mask << 1)].split_at_mut(mask);
+            re_lo.swap_with_slice(re_hi);
+            let (im_lo, im_hi) = self.im[base..base + (mask << 1)].split_at_mut(mask);
+            im_lo.swap_with_slice(im_hi);
             base += mask << 1;
         }
     }
@@ -163,17 +385,32 @@ impl StateVector {
     pub fn apply_pauli_y(&mut self, qubit: usize) {
         assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
         let mask = 1usize << qubit;
-        let mut base = 0;
-        while base < self.amps.len() {
-            for i in base..base + mask {
-                let j = i + mask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
+        if mask == 1 {
+            let mut p = 0;
+            while p < self.re.len() {
+                let (ar, ai, br, bi) = (self.re[p], self.im[p], self.re[p + 1], self.im[p + 1]);
                 // Y = [[0, -i], [i, 0]].
-                self.amps[i] = Complex::new(a1.im, -a1.re);
-                self.amps[j] = Complex::new(-a0.im, a0.re);
+                self.re[p] = bi;
+                self.im[p] = -br;
+                self.re[p + 1] = -ai;
+                self.im[p + 1] = ar;
+                p += 2;
             }
-            base += mask << 1;
+            return;
+        }
+        let step = mask << 1;
+        let mut base = 0;
+        while base < self.re.len() {
+            let (re_lo, re_hi) = self.re[base..base + step].split_at_mut(mask);
+            let (im_lo, im_hi) = self.im[base..base + step].split_at_mut(mask);
+            for k in 0..mask {
+                let (ar, ai, br, bi) = (re_lo[k], im_lo[k], re_hi[k], im_hi[k]);
+                re_lo[k] = bi;
+                im_lo[k] = -br;
+                re_hi[k] = -ai;
+                im_hi[k] = ar;
+            }
+            base += step;
         }
     }
 
@@ -187,15 +424,22 @@ impl StateVector {
         assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
         let mask = 1usize << qubit;
         let mut base = mask;
-        while base < self.amps.len() {
-            for j in base..base + mask {
-                self.amps[j] = -self.amps[j];
+        while base < self.re.len() {
+            for r in &mut self.re[base..base + mask] {
+                *r = -*r;
+            }
+            for i in &mut self.im[base..base + mask] {
+                *i = -*i;
             }
             base += mask << 1;
         }
     }
 
     /// Applies a CNOT with the given control and target.
+    ///
+    /// The amplitude exchange decomposes into contiguous runs of length
+    /// `min(2^c, 2^t)` swapped via `swap_with_slice`, so the kernel is pure
+    /// (vectorizable) memory movement.
     ///
     /// # Panics
     ///
@@ -205,21 +449,23 @@ impl StateVector {
         assert_ne!(control, target, "control and target must differ");
         let cmask = 1usize << control;
         let tmask = 1usize << target;
-        // Iterate the 2^(n-2) indices with control = 1, target = 0 as
-        // nested block strides around the two bit positions.
         let (lo, hi) = if cmask < tmask {
             (cmask, tmask)
         } else {
             (tmask, cmask)
         };
         let mut outer = 0;
-        while outer < self.amps.len() {
+        while outer < self.re.len() {
             let mut mid = outer;
             while mid < outer + hi {
-                for i in mid..mid + lo {
-                    let src = i | cmask;
-                    self.amps.swap(src, src | tmask);
-                }
+                // Indices `i | cmask` for consecutive `i` form a contiguous
+                // run of length `lo`; OR-ing in `tmask` shifts the whole run.
+                let src = mid | cmask;
+                let dst = src | tmask;
+                let (re_a, re_b) = self.re.split_at_mut(dst);
+                re_a[src..src + lo].swap_with_slice(&mut re_b[..lo]);
+                let (im_a, im_b) = self.im.split_at_mut(dst);
+                im_a[src..src + lo].swap_with_slice(&mut im_b[..lo]);
                 mid += lo << 1;
             }
             outer += hi << 1;
@@ -242,12 +488,15 @@ impl StateVector {
             (bmask, amask)
         };
         let mut outer = 0;
-        while outer < self.amps.len() {
+        while outer < self.re.len() {
             let mut mid = outer;
             while mid < outer + hi {
-                for i in mid..mid + lo {
-                    self.amps.swap(i | amask, i | bmask);
-                }
+                let src = mid | lo;
+                let dst = mid | hi;
+                let (re_a, re_b) = self.re.split_at_mut(dst);
+                re_a[src..src + lo].swap_with_slice(&mut re_b[..lo]);
+                let (im_a, im_b) = self.im.split_at_mut(dst);
+                im_a[src..src + lo].swap_with_slice(&mut im_b[..lo]);
                 mid += lo << 1;
             }
             outer += hi << 1;
@@ -255,18 +504,60 @@ impl StateVector {
     }
 
     /// Probability that measuring `qubit` yields 1: a strided sum over the
-    /// `qubit = 1` half of the amplitudes.
+    /// `qubit = 1` half of the amplitudes, accumulated in four independent
+    /// lanes (vectorizable — an FP reduction cannot be auto-vectorized in
+    /// its sequential order) with dedicated low-stride patterns for qubits
+    /// 0 and 1.
     pub fn probability_one(&self, qubit: usize) -> f64 {
         let mask = 1usize << qubit;
-        let mut sum = 0.0;
-        let mut base = mask;
-        while base < self.amps.len() {
-            for j in base..base + mask {
-                sum += self.amps[j].norm_sqr();
+        let n = self.re.len();
+        let mut acc = [0.0f64; 4];
+        match mask {
+            1 if n >= 8 => {
+                for (rc, ic) in self.re.chunks_exact(8).zip(self.im.chunks_exact(8)) {
+                    acc[0] += rc[1] * rc[1] + ic[1] * ic[1];
+                    acc[1] += rc[3] * rc[3] + ic[3] * ic[3];
+                    acc[2] += rc[5] * rc[5] + ic[5] * ic[5];
+                    acc[3] += rc[7] * rc[7] + ic[7] * ic[7];
+                }
             }
-            base += mask << 1;
+            1 => {
+                let mut i = 1;
+                while i < n {
+                    acc[0] += self.re[i] * self.re[i] + self.im[i] * self.im[i];
+                    i += 2;
+                }
+            }
+            2 if n >= 8 => {
+                for (rc, ic) in self.re.chunks_exact(8).zip(self.im.chunks_exact(8)) {
+                    acc[0] += rc[2] * rc[2] + ic[2] * ic[2];
+                    acc[1] += rc[3] * rc[3] + ic[3] * ic[3];
+                    acc[2] += rc[6] * rc[6] + ic[6] * ic[6];
+                    acc[3] += rc[7] * rc[7] + ic[7] * ic[7];
+                }
+            }
+            2 => {
+                acc[0] += self.re[2] * self.re[2] + self.im[2] * self.im[2];
+                acc[1] += self.re[3] * self.re[3] + self.im[3] * self.im[3];
+            }
+            _ => {
+                let mut base = mask;
+                while base < n {
+                    let re = &self.re[base..base + mask];
+                    let im = &self.im[base..base + mask];
+                    let mut k = 0;
+                    while k < mask {
+                        acc[0] += re[k] * re[k] + im[k] * im[k];
+                        acc[1] += re[k + 1] * re[k + 1] + im[k + 1] * im[k + 1];
+                        acc[2] += re[k + 2] * re[k + 2] + im[k + 2] * im[k + 2];
+                        acc[3] += re[k + 3] * re[k + 3] + im[k + 3] * im[k + 3];
+                        k += 4;
+                    }
+                    base += mask << 1;
+                }
+            }
         }
-        sum
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
     }
 
     /// Measures `qubit` in the computational basis, collapsing the state and
@@ -294,34 +585,54 @@ impl StateVector {
     }
 
     /// Zeroes the discarded half and rescales the kept half in one pass,
-    /// given the kept half's probability mass.
-    fn collapse_with_norm(&mut self, qubit: usize, outcome: bool, norm: f64) {
+    /// given the kept half's probability mass. Low strides use a fixed
+    /// per-chunk pattern so the pass vectorizes at every qubit index.
+    pub(crate) fn collapse_with_norm(&mut self, qubit: usize, outcome: bool, norm: f64) {
         let mask = 1usize << qubit;
         let scale = if norm > 0.0 { 1.0 / norm.sqrt() } else { 0.0 };
         // Kept half starts at `mask` for outcome 1, at 0 for outcome 0.
         let (kept_off, dead_off) = if outcome { (mask, 0) } else { (0, mask) };
-        let mut base = 0;
-        while base < self.amps.len() {
-            for k in base + kept_off..base + kept_off + mask {
-                self.amps[k] = self.amps[k].scale(scale);
+        if mask < 4 {
+            let step = mask << 1;
+            for (rc, ic) in self
+                .re
+                .chunks_exact_mut(step)
+                .zip(self.im.chunks_exact_mut(step))
+            {
+                for k in 0..mask {
+                    rc[kept_off + k] *= scale;
+                    ic[kept_off + k] *= scale;
+                    rc[dead_off + k] = 0.0;
+                    ic[dead_off + k] = 0.0;
+                }
             }
-            for d in base + dead_off..base + dead_off + mask {
-                self.amps[d] = Complex::ZERO;
+            return;
+        }
+        let step = mask << 1;
+        for (rc, ic) in self
+            .re
+            .chunks_exact_mut(step)
+            .zip(self.im.chunks_exact_mut(step))
+        {
+            for r in &mut rc[kept_off..kept_off + mask] {
+                *r *= scale;
             }
-            base += mask << 1;
+            for i in &mut ic[kept_off..kept_off + mask] {
+                *i *= scale;
+            }
+            rc[dead_off..dead_off + mask].fill(0.0);
+            ic[dead_off..dead_off + mask].fill(0.0);
         }
     }
 
     /// Samples a full basis state from the `|amplitude|^2` distribution in
-    /// one cumulative pass, without collapsing the state. This is how the
-    /// simulator realizes a *terminal* run of measurements: one pass
-    /// replaces a measure-and-collapse sweep per qubit.
+    /// one cumulative pass, without collapsing the state.
     pub fn sample_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u = rng.gen();
         let mut cum = 0.0;
         let mut last_nonzero = 0;
-        for (i, a) in self.amps.iter().enumerate() {
-            let p = a.norm_sqr();
+        for i in 0..self.re.len() {
+            let p = self.re[i] * self.re[i] + self.im[i] * self.im[i];
             if p > 0.0 {
                 last_nonzero = i;
                 cum += p;
@@ -335,21 +646,152 @@ impl StateVector {
         last_nonzero
     }
 
+    /// Samples a basis state like [`StateVector::sample_basis`], but
+    /// traverses (and returns) *canonical* indices: canonical bit `q` lives
+    /// at physical bit `perm[q]` of the stored layout. Two states that are
+    /// bit-permutations of each other (e.g. a relabeling-SWAP trial vs. its
+    /// materialized twin) therefore accumulate identical probability
+    /// sequences and map the same uniform draw to the same canonical
+    /// outcome — the property the tiered engine's determinism contract
+    /// rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_qubits`.
+    pub fn sample_canonical<R: Rng + ?Sized>(&self, perm: &[u8], rng: &mut R) -> usize {
+        assert_eq!(perm.len(), self.num_qubits, "permutation width mismatch");
+        if perm.iter().enumerate().all(|(q, &p)| usize::from(p) == q) {
+            return self.sample_basis(rng);
+        }
+        // Only the displaced bits need scattering; identity bits copy
+        // through in one mask.
+        let mut keep = 0usize;
+        let mut moved: [(u32, u32); 24] = [(0, 0); 24];
+        let mut num_moved = 0;
+        for (q, &p) in perm.iter().enumerate() {
+            if usize::from(p) == q {
+                keep |= 1 << q;
+            } else {
+                moved[num_moved] = (q as u32, u32::from(p));
+                num_moved += 1;
+            }
+        }
+        let scatter = |c: usize| {
+            let mut phys = c & keep;
+            for &(q, p) in &moved[..num_moved] {
+                phys |= (c >> q & 1) << p;
+            }
+            phys
+        };
+        let u = rng.gen();
+        let mut cum = 0.0;
+        let mut last_nonzero = 0;
+        for c in 0..self.re.len() {
+            let i = scatter(c);
+            let p = self.re[i] * self.re[i] + self.im[i] * self.im[i];
+            if p > 0.0 {
+                last_nonzero = c;
+                cum += p;
+                if u < cum {
+                    return c;
+                }
+            }
+        }
+        last_nonzero
+    }
+
+    /// Walks the non-zero-probability basis states in canonical order (see
+    /// [`StateVector::sample_canonical`]), yielding `(canonical index,
+    /// probability)` — the traversal the tiered engine uses to precompute
+    /// its terminal outcome CDF so that a binary search over the CDF is
+    /// draw-for-draw identical to the linear scan of a replayed trial.
+    pub fn for_each_canonical_probability(&self, perm: &[u8], mut f: impl FnMut(usize, f64)) {
+        assert_eq!(perm.len(), self.num_qubits, "permutation width mismatch");
+        let mut keep = 0usize;
+        let mut moved: [(u32, u32); 24] = [(0, 0); 24];
+        let mut num_moved = 0;
+        for (q, &p) in perm.iter().enumerate() {
+            if usize::from(p) == q {
+                keep |= 1 << q;
+            } else {
+                moved[num_moved] = (q as u32, u32::from(p));
+                num_moved += 1;
+            }
+        }
+        for c in 0..self.re.len() {
+            let mut i = c & keep;
+            for &(q, p) in &moved[..num_moved] {
+                i |= (c >> q & 1) << p;
+            }
+            let p = self.re[i] * self.re[i] + self.im[i] * self.im[i];
+            if p > 0.0 {
+                f(c, p);
+            }
+        }
+    }
+
     /// Total probability (should stay 1 up to rounding; used in tests).
     pub fn total_probability(&self) -> f64 {
-        self.amps.iter().map(Complex::norm_sqr).sum()
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(r, i)| r * r + i * i)
+            .sum()
     }
 
     /// The basis state with the largest probability and that probability.
     pub fn most_likely_basis(&self) -> (usize, f64) {
         let mut best = (0usize, 0.0f64);
-        for (i, a) in self.amps.iter().enumerate() {
-            let p = a.norm_sqr();
+        for i in 0..self.re.len() {
+            let p = self.re[i] * self.re[i] + self.im[i] * self.im[i];
             if p > best.1 {
                 best = (i, p);
             }
         }
         best
+    }
+}
+
+/// The eight scalar coefficients of a 2x2 complex matrix, unpacked once per
+/// kernel call so the inner loops touch no `Complex` structs.
+struct MatrixCoeffs {
+    m00r: f64,
+    m00i: f64,
+    m01r: f64,
+    m01i: f64,
+    m10r: f64,
+    m10i: f64,
+    m11r: f64,
+    m11i: f64,
+}
+
+impl MatrixCoeffs {
+    /// The 2x2 complex pair update `(lo', hi') = M · (lo, hi)` — the single
+    /// shared body of every general kernel, so a change to the update
+    /// cannot break the documented bitwise-identity between kernel paths.
+    #[inline(always)]
+    fn pair(&self, ar: f64, ai: f64, br: f64, bi: f64) -> (f64, f64, f64, f64) {
+        (
+            self.m00r * ar - self.m00i * ai + (self.m01r * br - self.m01i * bi),
+            self.m00r * ai + self.m00i * ar + (self.m01r * bi + self.m01i * br),
+            self.m10r * ar - self.m10i * ai + (self.m11r * br - self.m11i * bi),
+            self.m10r * ai + self.m10i * ar + (self.m11r * bi + self.m11i * br),
+        )
+    }
+}
+
+impl From<&Matrix2> for MatrixCoeffs {
+    fn from(m: &Matrix2) -> Self {
+        MatrixCoeffs {
+            m00r: m[0].re,
+            m00i: m[0].im,
+            m01r: m[1].re,
+            m01i: m[1].im,
+            m10r: m[2].re,
+            m10i: m[2].im,
+            m11r: m[3].re,
+            m11i: m[3].im,
+        }
     }
 }
 
@@ -374,6 +816,19 @@ mod tests {
         s.apply_cnot(0, 2);
         s.reset();
         assert_eq!(s.probability_of_basis(0), 1.0);
+        assert_eq!(s.total_probability(), 1.0);
+    }
+
+    #[test]
+    fn resize_for_reuses_and_resets() {
+        let mut s = StateVector::new(2);
+        s.apply_single(0, GateKind::H);
+        s.resize_for(4);
+        assert_eq!(s.num_qubits(), 4);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.probability_of_basis(0), 1.0);
+        s.resize_for(1);
+        assert_eq!(s.len(), 2);
         assert_eq!(s.total_probability(), 1.0);
     }
 
@@ -416,6 +871,7 @@ mod tests {
         for (kind, qubit) in [
             (GateKind::X, 0usize),
             (GateKind::X, 2),
+            (GateKind::Y, 0),
             (GateKind::Y, 1),
             (GateKind::Y, 3),
             (GateKind::Z, 0),
@@ -428,15 +884,71 @@ mod tests {
             fast.apply_cnot(0, 2);
             fast.apply_cnot(1, 3);
             fast.apply_single(3, GateKind::T);
-            let mut generic = fast.clone();
+            let generic = fast.clone();
 
             fast.apply_single(qubit, kind);
-            generic.apply_matrix(qubit, &crate::gates::single_qubit_matrix(kind));
-            for (a, b) in fast.amplitudes().iter().zip(generic.amplitudes()) {
+            // Route around the Pauli dispatch: apply the raw matrix through
+            // the strided kernel by inlining the reference pair update.
+            let m = crate::gates::single_qubit_matrix(kind);
+            let mask = 1usize << qubit;
+            let mut amps: Vec<Complex> = (0..generic.len()).map(|i| generic.amplitude(i)).collect();
+            let mut base = 0;
+            while base < amps.len() {
+                for i in base..base + mask {
+                    let j = i + mask;
+                    let a0 = amps[i];
+                    let a1 = amps[j];
+                    amps[i] = m[0] * a0 + m[1] * a1;
+                    amps[j] = m[2] * a0 + m[3] * a1;
+                }
+                base += mask << 1;
+            }
+            for (i, b) in amps.iter().enumerate() {
+                let a = fast.amplitude(i);
                 assert!(
-                    (*a - *b).norm_sqr() < 1e-24,
+                    (a - *b).norm_sqr() < 1e-24,
                     "{kind:?} on qubit {qubit}: {a} vs {b}"
                 );
+            }
+        }
+    }
+
+    /// The dedicated qubit-0/1 kernels must match the generic strided path.
+    #[test]
+    fn low_stride_kernels_match_reference_pair_update() {
+        for qubit in [0usize, 1, 2, 3] {
+            for kind in [GateKind::H, GateKind::Ry(0.9), GateKind::Rx(0.4)] {
+                let mut s = StateVector::new(4);
+                s.apply_single(0, GateKind::H);
+                s.apply_single(1, GateKind::Ry(0.7));
+                s.apply_single(2, GateKind::T);
+                s.apply_cnot(0, 3);
+                s.apply_cnot(1, 2);
+                let reference: Vec<Complex> = {
+                    let m = crate::gates::single_qubit_matrix(kind);
+                    let mut amps: Vec<Complex> = (0..s.len()).map(|i| s.amplitude(i)).collect();
+                    let mask = 1usize << qubit;
+                    let mut base = 0;
+                    while base < amps.len() {
+                        for i in base..base + mask {
+                            let j = i + mask;
+                            let a0 = amps[i];
+                            let a1 = amps[j];
+                            amps[i] = m[0] * a0 + m[1] * a1;
+                            amps[j] = m[2] * a0 + m[3] * a1;
+                        }
+                        base += mask << 1;
+                    }
+                    amps
+                };
+                s.apply_single(qubit, kind);
+                for (i, want) in reference.iter().enumerate() {
+                    let got = s.amplitude(i);
+                    assert!(
+                        (got - *want).norm_sqr() < 1e-24,
+                        "{kind:?} on qubit {qubit}, amp {i}: {got} vs {want}"
+                    );
+                }
             }
         }
     }
@@ -450,16 +962,11 @@ mod tests {
             a.apply_cnot(1, 2);
             let b = a.clone();
             a.apply_single(1, kind);
-            // Route around the diagonal fast path by embedding the matrix in
-            // a generic (non-detectable) form: add a zero off-diagonal
-            // explicitly via the full pair update.
             let m = crate::gates::single_qubit_matrix(kind);
             let mask = 1usize << 1;
-            let amps: Vec<Complex> = b
-                .amplitudes()
-                .iter()
-                .enumerate()
-                .map(|(i, &amp)| {
+            let amps: Vec<Complex> = (0..b.len())
+                .map(|i| {
+                    let amp = b.amplitude(i);
                     if i & mask == 0 {
                         m[0] * amp
                     } else {
@@ -467,8 +974,9 @@ mod tests {
                     }
                 })
                 .collect();
-            for (x, y) in a.amplitudes().iter().zip(&amps) {
-                assert!((*x - *y).norm_sqr() < 1e-24, "{kind:?}");
+            for (i, y) in amps.iter().enumerate() {
+                let x = a.amplitude(i);
+                assert!((x - *y).norm_sqr() < 1e-24, "{kind:?}");
             }
         }
     }
@@ -563,6 +1071,50 @@ mod tests {
         s.apply_cnot(1, 2);
         s.apply_swap(0, 2);
         assert!((s.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_canonical_matches_sample_basis_under_identity() {
+        let mut s = StateVector::new(3);
+        s.apply_single(0, GateKind::H);
+        s.apply_single(1, GateKind::Ry(0.8));
+        s.apply_cnot(0, 2);
+        let perm = [0u8, 1, 2];
+        for seed in 0..32u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            assert_eq!(s.sample_canonical(&perm, &mut a), s.sample_basis(&mut b));
+        }
+    }
+
+    #[test]
+    fn sample_canonical_is_layout_invariant() {
+        // The same logical state stored in two layouts (physical swap vs.
+        // relabeled permutation) must map identical draws to identical
+        // canonical outcomes.
+        let build = || {
+            let mut s = StateVector::new(3);
+            s.apply_single(0, GateKind::H);
+            s.apply_single(1, GateKind::Ry(0.8));
+            s.apply_single(2, GateKind::T);
+            s.apply_cnot(0, 1);
+            s.apply_cnot(1, 2);
+            s
+        };
+        let canonical = build();
+        let mut swapped = build();
+        swapped.apply_swap(0, 2); // content of wire 0 now lives at slot 2
+        let identity = [0u8, 1, 2];
+        let relabeled = [2u8, 1, 0];
+        for seed in 0..64u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            assert_eq!(
+                canonical.sample_canonical(&identity, &mut a),
+                swapped.sample_canonical(&relabeled, &mut b),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -86,8 +86,8 @@ fn fused_program_is_amplitude_identical_to_naive_replay() {
                     naive_index |= 1 << program.touched()[i];
                 }
             }
-            let a = scratch.state().amplitudes()[program_index];
-            let b = naive.amplitudes()[naive_index];
+            let a = scratch.state().amplitude(program_index);
+            let b = naive.amplitude(naive_index);
             assert!(
                 (a - b).norm_sqr() < 1e-20,
                 "seed {seed}, assignment {assignment:b}: {a} vs {b}"

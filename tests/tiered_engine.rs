@@ -1,0 +1,372 @@
+//! Acceptance properties of the three-tier trial engine:
+//!
+//! * **exactness** — the tiered engine (error-pattern pre-sampling, tier-1
+//!   multinomial shortcut, ideal-prefix / dominant-path checkpoints) is
+//!   bit-identical to the single-trial reference path
+//!   ([`TrialProgram::run_trial`]) on every workload shape, including
+//!   mid-circuit measurements and divergence fallbacks;
+//! * **statistical equivalence** — success rates agree (within sampling
+//!   tolerance) with a fully independent interleaved-draw replayer built
+//!   on the public state-vector API, i.e. the draw-order restructuring did
+//!   not change the simulated distribution;
+//! * **determinism** — a seed reproduces a report bit-for-bit, at the
+//!   simulator and at the `Session` level;
+//! * **thread invariance** — the multinomial aggregation of tier-1 trials
+//!   (and everything else) is independent of the worker-thread count;
+//! * **occupancy accounting** — tier counts partition the trial budget and
+//!   aggregate correctly into `Report` totals.
+
+use nisq::prelude::*;
+use nisq_exp::{SweepPlan, TierStats};
+use nisq_ir::{GateKind, Qubit};
+use nisq_sim::{noise, NoiseModel, StateVector, TierCounts, TrialOp, TrialProgram};
+use rand::Rng;
+use std::collections::HashMap;
+
+fn machine() -> Machine {
+    Machine::ibmq16_on_day(2019, 0)
+}
+
+/// A physical circuit whose mid-circuit measurement has a genuinely random
+/// outcome (p1 = 0.5) and is *not* sinkable — later gates reference the
+/// measured qubit — so the engine's dominant-path walker diverges on about
+/// half the trials and must fall back to its pre-measure checkpoint.
+fn coin_flip_circuit() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.h(Qubit(0));
+    c.measure(Qubit(0), nisq_ir::Clbit(0));
+    c.cnot(Qubit(0), Qubit(1));
+    c.h(Qubit(2));
+    c.cnot(Qubit(2), Qubit(1));
+    c.measure(Qubit(1), nisq_ir::Clbit(1));
+    c.measure(Qubit(2), nisq_ir::Clbit(2));
+    c
+}
+
+/// Reference aggregation: run every trial through the single-trial path.
+fn reference_counts(program: &TrialProgram, seed: u64, trials: u32) -> HashMap<u64, u32> {
+    let mut scratch = program.make_scratch();
+    let mut counts = HashMap::new();
+    for trial in 0..trials {
+        let mut rng = TrialProgram::trial_rng(seed, trial);
+        let key = program.run_trial(&mut scratch, &mut rng);
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn engine_counts(
+    machine: &Machine,
+    program: &TrialProgram,
+    seed: u64,
+    trials: u32,
+    threads: usize,
+) -> (HashMap<u64, u32>, TierCounts) {
+    let mut config = SimulatorConfig::with_trials(trials, seed);
+    config.threads = threads;
+    let sim = Simulator::new(machine, config);
+    let (result, tiers) = sim.run_program_with_stats(program);
+    let mut counts = HashMap::new();
+    for (bits, n) in result.counts() {
+        let mut key = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                key |= 1u64 << i;
+            }
+        }
+        *counts.entry(key).or_insert(0) += n;
+    }
+    (counts, tiers)
+}
+
+#[test]
+fn engine_is_bit_identical_to_reference_replay() {
+    let m = machine();
+    let mut programs: Vec<(String, TrialProgram)> = Vec::new();
+    // Compiled paper benchmarks: swap-back executables with mid-circuit
+    // measurements (BV8/qiskit) and terminal-sample-only programs.
+    for (benchmark, config) in [
+        (Benchmark::Bv8, CompilerConfig::qiskit()),
+        (Benchmark::Toffoli, CompilerConfig::qiskit()),
+        (Benchmark::Adder, CompilerConfig::r_smt_star(0.5)),
+    ] {
+        let compiled = Compiler::new(&m, config)
+            .compile(&benchmark.circuit())
+            .unwrap();
+        programs.push((
+            format!("{benchmark}"),
+            TrialProgram::lower(compiled.physical_circuit(), &m, &NoiseModel::full()),
+        ));
+    }
+    // A coin-flip mid-measure: exercises the divergence fallback on ~half
+    // of all trials, under full noise and in the noiseless limit.
+    for noise_model in [NoiseModel::full(), NoiseModel::ideal()] {
+        programs.push((
+            "coin-flip".into(),
+            TrialProgram::lower(&coin_flip_circuit(), &m, &noise_model),
+        ));
+    }
+
+    for (name, program) in &programs {
+        for seed in [1u64, 42] {
+            let reference = reference_counts(program, seed, 1536);
+            let (engine, tiers) = engine_counts(&m, program, seed, 1536, 4);
+            assert_eq!(&engine, &reference, "{name} seed {seed} diverged");
+            assert_eq!(tiers.total(), 1536, "{name}: tiers must partition trials");
+        }
+    }
+}
+
+/// An interleaved-draw replayer with no fusion, no relabeling, no
+/// pre-sampling and no measurement sinking: every gate and error is applied
+/// directly through the public [`StateVector`] API, drawing stochastic
+/// outcomes at the point they occur (the pre-rework trial semantics).
+/// Different RNG stream layout than the engine, so only distributions can
+/// be compared.
+fn interleaved_success_rate(
+    program: &TrialProgram,
+    expected_key: u64,
+    seed: u64,
+    trials: u32,
+) -> f64 {
+    let n = program.num_qubits();
+    let mut hits = 0u32;
+    for trial in 0..trials {
+        let mut rng = TrialProgram::trial_rng(seed ^ 0x5eed, trial);
+        let mut state = StateVector::new(n);
+        let mut clbits = 0u64;
+        let apply_pauli = |state: &mut StateVector, q: u8, p: noise::Pauli| {
+            if let Some(kind) = p.gate_kind() {
+                state.apply_single(usize::from(q), kind);
+            }
+        };
+        for op in program.ops() {
+            match *op {
+                TrialOp::Unitary { qubit, ref matrix } => {
+                    state.apply_matrix(usize::from(qubit), matrix);
+                }
+                TrialOp::Cnot { control, target } => {
+                    state.apply_cnot(usize::from(control), usize::from(target));
+                }
+                TrialOp::Swap {
+                    a,
+                    b,
+                    noise: ref swap_noise,
+                } => match swap_noise {
+                    None => state.apply_swap(usize::from(a), usize::from(b)),
+                    Some(sn) => {
+                        for k in 0..3 {
+                            let (c, t) = if k == 1 { (b, a) } else { (a, b) };
+                            state.apply_cnot(usize::from(c), usize::from(t));
+                            let (pc, pt) = noise::depolarizing_2q(sn.p_depol, &mut rng);
+                            let (p_dc, p_dt) = if k == 1 {
+                                (sn.p_dephase_b, sn.p_dephase_a)
+                            } else {
+                                (sn.p_dephase_a, sn.p_dephase_b)
+                            };
+                            apply_pauli(&mut state, c, pc);
+                            apply_pauli(&mut state, t, pt);
+                            if p_dc > 0.0 && rng.gen_bool(p_dc) {
+                                state.apply_single(usize::from(c), GateKind::Z);
+                            }
+                            if p_dt > 0.0 && rng.gen_bool(p_dt) {
+                                state.apply_single(usize::from(t), GateKind::Z);
+                            }
+                        }
+                    }
+                },
+                TrialOp::GateNoise {
+                    qubit,
+                    p_depol,
+                    p_dephase,
+                } => {
+                    let p = noise::depolarizing_1q(p_depol, &mut rng);
+                    apply_pauli(&mut state, qubit, p);
+                    if p_dephase > 0.0 && rng.gen_bool(p_dephase) {
+                        state.apply_single(usize::from(qubit), GateKind::Z);
+                    }
+                }
+                TrialOp::CnotNoise {
+                    control,
+                    target,
+                    p_depol,
+                    p_dephase_control,
+                    p_dephase_target,
+                } => {
+                    let (pc, pt) = noise::depolarizing_2q(p_depol, &mut rng);
+                    apply_pauli(&mut state, control, pc);
+                    apply_pauli(&mut state, target, pt);
+                    if p_dephase_control > 0.0 && rng.gen_bool(p_dephase_control) {
+                        state.apply_single(usize::from(control), GateKind::Z);
+                    }
+                    if p_dephase_target > 0.0 && rng.gen_bool(p_dephase_target) {
+                        state.apply_single(usize::from(target), GateKind::Z);
+                    }
+                }
+                TrialOp::Measure {
+                    qubit,
+                    clbit,
+                    p_flip,
+                } => {
+                    let mut outcome = state.measure(usize::from(qubit), &mut rng);
+                    if p_flip > 0.0 && rng.gen_bool(p_flip) {
+                        outcome = !outcome;
+                    }
+                    if outcome {
+                        clbits |= 1u64 << clbit;
+                    }
+                }
+                TrialOp::TerminalSample { ref measures } => {
+                    let basis = state.sample_basis(&mut rng);
+                    for &(qubit, clbit, p_flip) in measures {
+                        let mut outcome = basis >> qubit & 1 == 1;
+                        if p_flip > 0.0 && rng.gen_bool(p_flip) {
+                            outcome = !outcome;
+                        }
+                        if outcome {
+                            clbits |= 1u64 << clbit;
+                        }
+                    }
+                }
+            }
+        }
+        if clbits == expected_key {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(trials)
+}
+
+#[test]
+fn engine_statistically_matches_interleaved_reference() {
+    // The engine restructures every trial's draw order (error pattern
+    // first, measurements after). The simulated distribution must not
+    // move: success rates of the engine and of a naive interleaved-draw
+    // replayer agree within sampling noise at 8192 trials (~3 sigma of a
+    // Bernoulli at p ~ 0.5 is about 0.017; 0.03 leaves headroom).
+    let m = machine();
+    for (benchmark, config) in [
+        (Benchmark::Bv8, CompilerConfig::qiskit()),
+        (Benchmark::Toffoli, CompilerConfig::qiskit()),
+    ] {
+        let compiled = Compiler::new(&m, config)
+            .compile(&benchmark.circuit())
+            .unwrap();
+        let program = TrialProgram::lower(compiled.physical_circuit(), &m, &NoiseModel::full());
+        let expected = benchmark.expected_output();
+        let mut expected_key = 0u64;
+        for (i, &b) in expected.iter().enumerate() {
+            if b {
+                expected_key |= 1u64 << i;
+            }
+        }
+
+        let trials = 8192u32;
+        let sim = Simulator::new(&m, SimulatorConfig::with_trials(trials, 11));
+        let engine_rate = sim.run_program(&program).probability_of(&expected);
+        let interleaved_rate = interleaved_success_rate(&program, expected_key, 11, trials);
+        assert!(
+            (engine_rate - interleaved_rate).abs() < 0.03,
+            "{benchmark}: engine {engine_rate} vs interleaved {interleaved_rate}"
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_report_bit_for_bit() {
+    let plan = SweepPlan::new()
+        .benchmarks([Benchmark::Bv8, Benchmark::Toffoli])
+        .config("Qiskit", CompilerConfig::qiskit())
+        .config("R-SMT*", CompilerConfig::r_smt_star(0.5))
+        .days([0, 1])
+        .with_trials(512)
+        .per_cell_sim_seed(99);
+    let a = Session::new().run(&plan).unwrap();
+    let b = Session::new().run(&plan).unwrap();
+    for (ca, cb) in a.cells.iter().zip(b.cells.iter()) {
+        assert_eq!(
+            ca.success_rate, cb.success_rate,
+            "{}/{}",
+            ca.circuit, ca.day
+        );
+        assert_eq!(ca.tiers, cb.tiers, "{}/{}", ca.circuit, ca.day);
+    }
+    assert_eq!(a.tiers, b.tiers);
+}
+
+#[test]
+fn multinomial_aggregation_is_thread_count_invariant() {
+    let m = machine();
+    // R-SMT* BV8 is tier-1 dominated (few physical gates, low error mass):
+    // most trials take the multinomial shortcut, so this pins the tier-1
+    // aggregation itself, not just the replay path.
+    let compiled = Compiler::new(&m, CompilerConfig::r_smt_star(0.5))
+        .compile(&Benchmark::Bv8.circuit())
+        .unwrap();
+    let program = TrialProgram::lower(compiled.physical_circuit(), &m, &NoiseModel::full());
+    let (serial, serial_tiers) = engine_counts(&m, &program, 5, 3073, 1);
+    assert!(
+        serial_tiers.error_free > serial_tiers.checkpointed + serial_tiers.full_replay,
+        "expected a tier-1-dominated workload, got {serial_tiers:?}"
+    );
+    for threads in [2, 3, 8] {
+        let (parallel, tiers) = engine_counts(&m, &program, 5, 3073, threads);
+        assert_eq!(serial, parallel, "counts diverged at {threads} threads");
+        assert_eq!(serial_tiers, tiers, "tiers diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn tier_occupancy_partitions_trials_and_aggregates_into_reports() {
+    let m = machine();
+
+    // Ideal noise: every trial is error-free by construction.
+    let compiled = Compiler::new(&m, CompilerConfig::qiskit())
+        .compile(&Benchmark::Toffoli.circuit())
+        .unwrap();
+    let ideal = TrialProgram::lower(compiled.physical_circuit(), &m, &NoiseModel::ideal());
+    let (_, tiers) = engine_counts(&m, &ideal, 3, 777, 4);
+    assert_eq!(
+        tiers,
+        TierCounts {
+            error_free: 777,
+            checkpointed: 0,
+            full_replay: 0
+        }
+    );
+
+    // Full noise on a swap-heavy executable: every tier fires, and the
+    // counts partition the trial budget.
+    let noisy = TrialProgram::lower(compiled.physical_circuit(), &m, &NoiseModel::full());
+    let (_, tiers) = engine_counts(&m, &noisy, 3, 4096, 4);
+    assert_eq!(tiers.total(), 4096);
+    assert!(tiers.error_free > 0, "{tiers:?}");
+    assert!(tiers.checkpointed > 0, "{tiers:?}");
+
+    // Report plumbing: per-cell occupancy sums to the report totals, cells
+    // without simulation report zeros, and the JSON round-trips.
+    let plan = SweepPlan::new()
+        .benchmarks([Benchmark::Bv4, Benchmark::Toffoli])
+        .config("Qiskit", CompilerConfig::qiskit())
+        .with_trials(256)
+        .fixed_sim_seed(4);
+    let report = Session::new().run(&plan).unwrap();
+    let mut summed = TierStats::default();
+    for cell in &report.cells {
+        assert_eq!(cell.tiers.total(), 256, "{}", cell.circuit);
+        summed.merge(&cell.tiers);
+    }
+    assert_eq!(summed, report.tiers);
+    let parsed = nisq_exp::Report::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+
+    let compile_only = Session::new()
+        .run(
+            &SweepPlan::new()
+                .benchmark(Benchmark::Bv4)
+                .config("Qiskit", CompilerConfig::qiskit()),
+        )
+        .unwrap();
+    assert_eq!(compile_only.cells[0].tiers, TierStats::default());
+    assert_eq!(compile_only.tiers, TierStats::default());
+}
