@@ -69,6 +69,31 @@ impl Spec {
     }
 }
 
+/// A deep Clifford-only circuit (H/S layers over a CNOT ladder): every
+/// error trial has an all-Clifford suffix, so the whole error budget is
+/// served by the engine's tier-0 Pauli propagation. This entry ratchets the
+/// tier-0 path itself — before tier 0, every one of its error trials paid a
+/// multi-hundred-gate state replay at 2^14 amplitudes.
+fn clifford_ladder(qubits: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(qubits);
+    for layer in 0..layers {
+        for q in 0..qubits {
+            if (q + layer) % 2 == 0 {
+                c.h(nisq_ir::Qubit(q));
+            } else {
+                c.s(nisq_ir::Qubit(q));
+            }
+        }
+        let mut q = layer % 2;
+        while q + 1 < qubits {
+            c.cnot(nisq_ir::Qubit(q), nisq_ir::Qubit(q + 1));
+            q += 2;
+        }
+    }
+    c.measure_all();
+    c
+}
+
 fn measure(session: &mut Session, spec: &Spec) -> Measurement {
     let machine = session.machine(spec.topology, DEFAULT_MACHINE_SEED, 0);
     let compiled = session
@@ -257,6 +282,28 @@ fn main() {
             compiler: "greedy_e",
             config: CompilerConfig::greedy_e(),
             circuit: random_circuit(RandomCircuitConfig::new(14, 112, 9)),
+            topology: TopologySpec::Grid { mx: 4, my: 4 },
+            trials: LARGE_TRIALS,
+        },
+        // BV16 fills the whole IBMQ16 device (2^16 amplitudes): the widest
+        // paper-family entry, Clifford-only, with swap-back mid-circuit
+        // measurements — the tier-0 + fused-flush showcase.
+        Spec {
+            name: "BV16",
+            compiler: "qiskit",
+            config: CompilerConfig::qiskit(),
+            circuit: bernstein_vazirani(&[
+                true, false, true, true, false, true, false, true, true, false, true, true, false,
+                false, true,
+            ]),
+            topology: TopologySpec::Ibmq16,
+            trials: TRIALS,
+        },
+        Spec {
+            name: "cliff14",
+            compiler: "greedy_e",
+            config: CompilerConfig::greedy_e(),
+            circuit: clifford_ladder(14, 40),
             topology: TopologySpec::Grid { mx: 4, my: 4 },
             trials: LARGE_TRIALS,
         },

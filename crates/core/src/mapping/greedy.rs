@@ -20,8 +20,79 @@
 
 use crate::error::CompileError;
 use nisq_ir::{Circuit, InteractionGraph, Qubit};
-use nisq_machine::{HwQubit, Machine};
+use nisq_machine::{HwQubit, Machine, TopologySpec};
 use nisq_opt::Placement;
+
+/// First hardware index of a heavy-hex lattice's dedicated bridge qubits
+/// (bridges are appended after all chain qubits), or `usize::MAX` for any
+/// other topology — so `q.0 >= heavy_hex_bridge_start(m)` tests
+/// "is a bridge".
+fn heavy_hex_bridge_start(machine: &Machine) -> usize {
+    match machine.topology().spec() {
+        TopologySpec::HeavyHex { rows, cols } => rows * cols,
+        _ => usize::MAX,
+    }
+}
+
+/// Summed CNOT reliability of the hardware edges incident to `q` — how
+/// good a *neighborhood* the location offers, not just the location
+/// itself. The sum (not the mean) deliberately rewards degree: on
+/// heavy-hex it pulls seeds toward the degree-3 chain qubits at bridge
+/// columns — the lattice's only cross-row gateways — while on rings
+/// (uniform degree 2) it reduces to pure calibration quality.
+fn neighborhood_cnot_reliability(machine: &Machine, q: HwQubit) -> f64 {
+    let calibration = machine.calibration();
+    machine
+        .topology()
+        .neighbors(q)
+        .iter()
+        .map(|&nb| calibration.cnot_reliability(q, nb).unwrap_or(0.0))
+        .sum()
+}
+
+/// Topology-aware seed location for GreedyV*'s first (highest-degree)
+/// program qubit. On grids this is the paper's original rule — best
+/// readout among the maximum-degree locations — which golden snapshots
+/// pin. Off-grid the degree signal degenerates (every ring qubit has
+/// degree 2; heavy-hex maxima sit next to bridges), so the seed instead
+/// maximizes `readout × summed adjacent CNOT reliability` — on a ring that
+/// lands the hub antipodal to the weakest arc, and on heavy-hex the
+/// candidate set additionally excludes the degree-2 bridge qubits
+/// (articulation points whose neighborhoods dead-end into single chains).
+fn seed_vertex_location(machine: &Machine) -> HwQubit {
+    let topology = machine.topology();
+    let reliability = machine.reliability();
+    if topology.as_grid().is_some() {
+        let max_degree = topology
+            .qubits()
+            .map(|q| topology.neighbors(q).len())
+            .max()
+            .unwrap_or(0);
+        return topology
+            .qubits()
+            .filter(|&q| topology.neighbors(q).len() == max_degree)
+            .max_by(|&a, &b| {
+                reliability
+                    .readout_reliability(a)
+                    .partial_cmp(&reliability.readout_reliability(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("topology has at least one qubit");
+    }
+    let bridge_start = heavy_hex_bridge_start(machine);
+    let score =
+        |q: HwQubit| reliability.readout_reliability(q) * neighborhood_cnot_reliability(machine, q);
+    topology
+        .qubits()
+        .filter(|&q| q.0 < bridge_start)
+        .max_by(|&a, &b| {
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .or_else(|| topology.qubits().next())
+        .expect("topology has at least one qubit")
+}
 
 /// State shared by both heuristics while they assign locations.
 struct Assigner<'m> {
@@ -141,8 +212,6 @@ fn check_size(circuit: &Circuit, machine: &Machine) -> Result<(), CompileError> 
 pub fn place_vertex_first(circuit: &Circuit, machine: &Machine) -> Result<Placement, CompileError> {
     check_size(circuit, machine)?;
     let mut assigner = Assigner::new(circuit, machine);
-    let topology = machine.topology();
-    let reliability = machine.reliability();
 
     let order = assigner.graph.qubits_by_degree();
     let interacting: Vec<Qubit> = order
@@ -152,22 +221,7 @@ pub fn place_vertex_first(circuit: &Circuit, machine: &Machine) -> Result<Placem
         .collect();
 
     if let Some(&first) = interacting.first() {
-        // Best readout among the highest-degree hardware locations.
-        let max_degree = topology
-            .qubits()
-            .map(|q| topology.neighbors(q).len())
-            .max()
-            .unwrap_or(0);
-        let loc = topology
-            .qubits()
-            .filter(|&q| topology.neighbors(q).len() == max_degree)
-            .max_by(|&a, &b| {
-                reliability
-                    .readout_reliability(a)
-                    .partial_cmp(&reliability.readout_reliability(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("topology has at least one qubit");
+        let loc = seed_vertex_location(machine);
         assigner.assign(first, loc);
     }
     for &q in interacting.iter().skip(1) {
@@ -191,6 +245,14 @@ pub fn place_edge_first(circuit: &Circuit, machine: &Machine) -> Result<Placemen
     let calibration = machine.calibration();
 
     let edges = assigner.graph.edges_by_weight();
+    // The neighborhood factor picks the best arc on rings, where every
+    // edge looks alike structurally — the seed lands antipodal to the
+    // weakest stretch so the chain grows through reliable territory. On
+    // heavy-hex the plain score already seeds well (a heavy bridge edge
+    // puts the component on the cross-row junction, which measurement
+    // shows is the *right* place — bridge avoidance belongs to GreedyV*'s
+    // hub seat, not here), and on grids it is pinned by golden snapshots.
+    let weigh_neighborhood = matches!(topology.spec(), TopologySpec::Ring { .. });
 
     // Seeds a new connected component: place both endpoints of `edge` on the
     // free hardware edge with the best combined CNOT and readout
@@ -202,11 +264,15 @@ pub fn place_edge_first(circuit: &Circuit, machine: &Machine) -> Result<Placemen
             if !assigner.free[h1.0] || !assigner.free[h2.0] {
                 continue;
             }
-            let score = calibration
+            let mut score = calibration
                 .cnot_reliability(h1, h2)
                 .expect("topology edges have calibration")
                 * reliability.readout_reliability(h1)
                 * reliability.readout_reliability(h2);
+            if weigh_neighborhood {
+                score *= neighborhood_cnot_reliability(machine, h1)
+                    * neighborhood_cnot_reliability(machine, h2);
+            }
             if best.is_none_or(|(s, _, _)| score > s) {
                 best = Some((score, h1, h2));
             }

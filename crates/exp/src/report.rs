@@ -4,35 +4,52 @@ use crate::json::{self, JsonError, Value};
 use serde::{Deserialize, Serialize};
 
 /// Version tag embedded in every serialized report. `v2` added the
-/// simulator tier-occupancy counts (per cell and as run totals).
-pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v2";
+/// simulator tier-occupancy counts (per cell and as run totals); `v3`
+/// added the tier-0 `pauli_prop` occupancy and the single-error suffix
+/// memo's `memo_hits`/`memo_misses` counters.
+pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v3";
 
-/// How many trials each tier of the simulator's three-tier engine served —
-/// error-free shortcut, checkpointed resume, full replay (see
-/// `nisq_sim::TierCounts`). Recorded per cell and summed over the run.
+/// How many trials each tier of the simulator's four-tier engine served —
+/// error-free shortcut, tier-0 Pauli propagation, checkpointed resume,
+/// full replay — plus the single-error suffix memo's hit/miss counters
+/// (see `nisq_sim::TierCounts`). Recorded per cell and summed over the
+/// run. The four tier fields partition the trial count; the memo counters
+/// describe a subset of the checkpointed/full-replay trials and are not
+/// part of the partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct TierStats {
     /// Trials with no sampled error, served from the ideal terminal
     /// distribution without state evolution.
     pub error_free: u64,
+    /// Error trials whose suffix was all-Clifford, served by symplectic
+    /// Pauli propagation without state evolution.
+    pub pauli_prop: u64,
     /// Trials resumed from a shared ideal-prefix (or measure-divergence)
     /// checkpoint.
     pub checkpointed: u64,
     /// Trials replayed from the initial state.
     pub full_replay: u64,
+    /// Single-error trials served from the memoized suffix evolution.
+    pub memo_hits: u64,
+    /// Single-error trials that built a memo entry.
+    pub memo_misses: u64,
 }
 
 impl TierStats {
-    /// Total trials across every tier.
+    /// Total trials across every tier (memo counters overlap the partition
+    /// and are not added).
     pub fn total(&self) -> u64 {
-        self.error_free + self.checkpointed + self.full_replay
+        self.error_free + self.pauli_prop + self.checkpointed + self.full_replay
     }
 
     /// Accumulates another cell's counts.
     pub fn merge(&mut self, other: &TierStats) {
         self.error_free += other.error_free;
+        self.pauli_prop += other.pauli_prop;
         self.checkpointed += other.checkpointed;
         self.full_replay += other.full_replay;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
     }
 }
 
@@ -40,8 +57,11 @@ impl From<nisq_sim::TierCounts> for TierStats {
     fn from(counts: nisq_sim::TierCounts) -> Self {
         TierStats {
             error_free: counts.error_free,
+            pauli_prop: counts.pauli_prop,
             checkpointed: counts.checkpointed,
             full_replay: counts.full_replay,
+            memo_hits: counts.memo_hits,
+            memo_misses: counts.memo_misses,
         }
     }
 }
@@ -174,7 +194,7 @@ impl Report {
             .unwrap_or_else(|| panic!("no cell for {circuit}/{config}/day {day} in report"))
     }
 
-    /// Serializes to the stable JSON format (`nisq-sweep-report/v2`).
+    /// Serializes to the stable JSON format (`nisq-sweep-report/v3`).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -295,8 +315,14 @@ impl Report {
 /// Serializes a [`TierStats`] as its inline JSON object.
 fn write_tiers(tiers: &TierStats) -> String {
     format!(
-        "{{\"error_free\": {}, \"checkpointed\": {}, \"full_replay\": {}}}",
-        tiers.error_free, tiers.checkpointed, tiers.full_replay
+        "{{\"error_free\": {}, \"pauli_prop\": {}, \"checkpointed\": {}, \"full_replay\": {}, \
+         \"memo_hits\": {}, \"memo_misses\": {}}}",
+        tiers.error_free,
+        tiers.pauli_prop,
+        tiers.checkpointed,
+        tiers.full_replay,
+        tiers.memo_hits,
+        tiers.memo_misses,
     )
 }
 
@@ -304,8 +330,11 @@ fn write_tiers(tiers: &TierStats) -> String {
 fn parse_tiers(doc: &Value) -> Result<TierStats, JsonError> {
     Ok(TierStats {
         error_free: req_u64(doc, "error_free")?,
+        pauli_prop: req_u64(doc, "pauli_prop")?,
         checkpointed: req_u64(doc, "checkpointed")?,
         full_replay: req_u64(doc, "full_replay")?,
+        memo_hits: req_u64(doc, "memo_hits")?,
+        memo_misses: req_u64(doc, "memo_misses")?,
     })
 }
 
@@ -364,8 +393,11 @@ mod tests {
                     cache_hit: false,
                     tiers: TierStats {
                         error_free: 40,
-                        checkpointed: 20,
+                        pauli_prop: 12,
+                        checkpointed: 8,
                         full_replay: 4,
+                        memo_hits: 3,
+                        memo_misses: 2,
                     },
                 },
                 CellRecord {
@@ -396,8 +428,11 @@ mod tests {
             },
             tiers: TierStats {
                 error_free: 40,
-                checkpointed: 20,
+                pauli_prop: 12,
+                checkpointed: 8,
                 full_replay: 4,
+                memo_hits: 3,
+                memo_misses: 2,
             },
         }
     }
@@ -447,11 +482,15 @@ mod tests {
         let parsed = Report::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed.tiers, report.tiers);
         assert_eq!(parsed.cells[0].tiers.error_free, 40);
+        assert_eq!(parsed.cells[0].tiers.pauli_prop, 12);
+        assert_eq!(parsed.cells[0].tiers.memo_hits, 3);
         assert_eq!(parsed.cells[1].tiers, TierStats::default());
-        // A document missing the tier fields is rejected, not defaulted.
+        // A document missing the tier fields (e.g. a v2-shaped object) is
+        // rejected, not defaulted.
         let stripped = report.to_json().replace(
-            "\"tiers\": {\"error_free\": 40, \"checkpointed\": 20, \"full_replay\": 4}",
-            "\"tiers\": {\"error_free\": 40}",
+            "\"pauli_prop\": 12, \"checkpointed\": 8, \"full_replay\": 4, \
+             \"memo_hits\": 3, \"memo_misses\": 2",
+            "\"checkpointed\": 8, \"full_replay\": 4",
         );
         assert!(Report::from_json(&stripped).is_err());
     }

@@ -1,0 +1,433 @@
+//! Symplectic Clifford machinery for the engine's tier-0 fast path.
+//!
+//! A Clifford unitary maps Paulis to Paulis under conjugation, so an error
+//! Pauli injected before an all-Clifford program suffix can be pushed past
+//! the suffix with pure bit arithmetic — no state-vector pass at all. This
+//! module provides the two pieces the tier-0 path needs:
+//!
+//! * [`classify`] decides whether a (possibly fused) 2×2 unitary is one of
+//!   the **24 single-qubit Cliffords up to global phase** by exact matching
+//!   against a generated table, and returns the element's *symplectic
+//!   action* — where conjugation sends `X` and `Z` (signs are dropped:
+//!   tier-0 only ever propagates a single Pauli string applied to a pure
+//!   state, so its phase is global and can never affect measurement
+//!   statistics).
+//! * [`SymplecticPauli`] is a one-row compact symplectic tableau: an
+//!   n-qubit Pauli string (n ≤ 24) bit-packed as an X row and a Z row in
+//!   one `u32` each, with conjugation rules for classified single-qubit
+//!   Cliffords, CNOT and SWAP, and composition with freshly sampled error
+//!   Paulis. Every operation is a handful of XOR/AND/shifts.
+//!
+//! Matching is *exact up to phase* with a tight tolerance
+//! ([`MATCH_TOLERANCE`]): fused products of Clifford generators accumulate
+//! only a few ulps of rounding, while the nearest non-Clifford gates of the
+//! gate set (`T`, generic rotations) sit at entry distances of order 1.
+//! A matrix within the tolerance of a Clifford but not exactly equal to it
+//! perturbs amplitudes by at most ~1e-12 per op — far below the
+//! statistical-equivalence tolerance tier-0 is fenced with.
+
+use crate::complex::Complex;
+use crate::gates::Matrix2;
+use crate::noise::Pauli;
+use std::sync::OnceLock;
+
+/// Maximum per-entry deviation for a fused matrix to match a canonical
+/// Clifford element (after normalizing the global phase).
+pub const MATCH_TOLERANCE: f64 = 1e-12;
+
+/// The symplectic action of a single-qubit Clifford: the images of `X` and
+/// `Z` under conjugation, as `(x-bit, z-bit)` pairs (sign discarded).
+///
+/// Conjugation of an arbitrary Pauli is linear over its symplectic bits:
+/// `U X^x Z^z U† ∝ (U X U†)^x (U Z U†)^z`, so the images of the two
+/// generators determine the whole action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clifford1Q {
+    /// `(x, z)` bits of `U X U†`.
+    pub x_image: (bool, bool),
+    /// `(x, z)` bits of `U Z U†`.
+    pub z_image: (bool, bool),
+}
+
+impl Clifford1Q {
+    /// The identity action.
+    pub const IDENTITY: Clifford1Q = Clifford1Q {
+        x_image: (true, false),
+        z_image: (false, true),
+    };
+
+    /// Conjugates the single-qubit Pauli `(x, z)` through this Clifford.
+    #[inline]
+    pub fn conjugate(&self, x: bool, z: bool) -> (bool, bool) {
+        (
+            (x & self.x_image.0) ^ (z & self.z_image.0),
+            (x & self.x_image.1) ^ (z & self.z_image.1),
+        )
+    }
+}
+
+/// An n-qubit Pauli string (n ≤ 24) in compact symplectic form: bit `q` of
+/// `x`/`z` is the X/Z component on qubit `q`. The phase is deliberately not
+/// tracked (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymplecticPauli {
+    /// Bit-packed X row.
+    pub x: u32,
+    /// Bit-packed Z row.
+    pub z: u32,
+}
+
+impl SymplecticPauli {
+    /// The identity string.
+    pub const IDENTITY: SymplecticPauli = SymplecticPauli { x: 0, z: 0 };
+
+    /// Whether the string is the identity (up to phase).
+    pub fn is_identity(&self) -> bool {
+        self.x == 0 && self.z == 0
+    }
+
+    /// The X bit on `qubit` (whether the string flips that qubit).
+    #[inline]
+    pub fn x_bit(&self, qubit: u8) -> bool {
+        self.x >> qubit & 1 == 1
+    }
+
+    /// The single-qubit Pauli on `qubit`.
+    pub fn pauli_on(&self, qubit: u8) -> Pauli {
+        Pauli::from_symplectic(self.x_bit(qubit), self.z >> qubit & 1 == 1)
+    }
+
+    /// Composes a sampled single-qubit error Pauli onto the string
+    /// (composition is XOR of symplectic bits, up to phase).
+    #[inline]
+    pub fn compose(&mut self, qubit: u8, pauli: Pauli) {
+        let (x, z) = pauli.symplectic();
+        self.x ^= u32::from(x) << qubit;
+        self.z ^= u32::from(z) << qubit;
+    }
+
+    /// Conjugates the string through a classified single-qubit Clifford on
+    /// `qubit`.
+    #[inline]
+    pub fn conjugate_1q(&mut self, qubit: u8, action: &Clifford1Q) {
+        let x = self.x >> qubit & 1 == 1;
+        let z = self.z >> qubit & 1 == 1;
+        let (nx, nz) = action.conjugate(x, z);
+        self.x = self.x & !(1 << qubit) | u32::from(nx) << qubit;
+        self.z = self.z & !(1 << qubit) | u32::from(nz) << qubit;
+    }
+
+    /// Conjugates the string through a CNOT (`control`, `target`): X copies
+    /// from control to target, Z copies from target to control.
+    #[inline]
+    pub fn conjugate_cnot(&mut self, control: u8, target: u8) {
+        self.x ^= (self.x >> control & 1) << target;
+        self.z ^= (self.z >> target & 1) << control;
+    }
+
+    /// Conjugates the string through a SWAP: the two qubits' bits exchange.
+    #[inline]
+    pub fn conjugate_swap(&mut self, a: u8, b: u8) {
+        let xa = self.x >> a & 1;
+        let xb = self.x >> b & 1;
+        if xa != xb {
+            self.x ^= 1 << a | 1 << b;
+        }
+        let za = self.z >> a & 1;
+        let zb = self.z >> b & 1;
+        if za != zb {
+            self.z ^= 1 << a | 1 << b;
+        }
+    }
+
+    /// Clears the Z component on `qubit` — used after a measurement
+    /// collapse, where a Z on the measured qubit degenerates to a global
+    /// phase.
+    #[inline]
+    pub fn clear_z(&mut self, qubit: u8) {
+        self.z &= !(1u32 << qubit);
+    }
+}
+
+/// One canonical single-qubit Clifford: its phase-normalized matrix and its
+/// symplectic action.
+struct CanonicalClifford {
+    matrix: Matrix2,
+    action: Clifford1Q,
+}
+
+/// The 24 single-qubit Cliffords (up to global phase), generated once as
+/// the closure of `{H, S}`.
+fn clifford_table() -> &'static [CanonicalClifford] {
+    static TABLE: OnceLock<Vec<CanonicalClifford>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let h = crate::gates::single_qubit_matrix(nisq_ir::GateKind::H);
+        let s = crate::gates::single_qubit_matrix(nisq_ir::GateKind::S);
+        let mut table: Vec<CanonicalClifford> = vec![CanonicalClifford {
+            matrix: normalize_phase(&[Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ONE]),
+            action: Clifford1Q::IDENTITY,
+        }];
+        // Breadth-first closure under left-multiplication by the
+        // generators; the group has exactly 24 elements mod phase.
+        let mut frontier = 0usize;
+        while frontier < table.len() {
+            let current = table[frontier].matrix;
+            frontier += 1;
+            for generator in [&h, &s] {
+                let product = normalize_phase(&matmul(generator, &current));
+                if !table
+                    .iter()
+                    .any(|c| matrices_equal(&c.matrix, &product, MATCH_TOLERANCE))
+                {
+                    let action = conjugation_action(&product)
+                        .expect("products of Clifford generators are Clifford");
+                    table.push(CanonicalClifford {
+                        matrix: product,
+                        action,
+                    });
+                }
+            }
+        }
+        assert_eq!(
+            table.len(),
+            24,
+            "the single-qubit Clifford group mod phase has 24 elements"
+        );
+        table
+    })
+}
+
+/// Classifies a 2×2 unitary as Clifford-or-not by exact matching (up to
+/// global phase, within [`MATCH_TOLERANCE`]) against the 24 canonical
+/// single-qubit Cliffords. Returns the element's symplectic action on a
+/// match, `None` otherwise.
+pub fn classify(m: &Matrix2) -> Option<Clifford1Q> {
+    let normalized = normalize_phase(m);
+    clifford_table()
+        .iter()
+        .find(|c| matrices_equal(&c.matrix, &normalized, MATCH_TOLERANCE))
+        .map(|c| c.action)
+}
+
+/// Rescales a matrix by a unit phase so its largest-magnitude entry becomes
+/// real and positive — a canonical representative of the matrix's
+/// up-to-global-phase class. (Every unitary row has unit norm, so the
+/// largest entry's magnitude is at least `1/√2`; phase extraction is
+/// well-conditioned.)
+fn normalize_phase(m: &Matrix2) -> Matrix2 {
+    let mut pivot = m[0];
+    for entry in &m[1..] {
+        if entry.norm_sqr() > pivot.norm_sqr() {
+            pivot = *entry;
+        }
+    }
+    let magnitude = pivot.norm_sqr().sqrt();
+    if magnitude == 0.0 {
+        return *m;
+    }
+    // Multiply by conj(pivot)/|pivot|: rotates pivot onto the positive
+    // real axis.
+    let phase = Complex::new(pivot.re / magnitude, -pivot.im / magnitude);
+    [m[0] * phase, m[1] * phase, m[2] * phase, m[3] * phase]
+}
+
+fn matrices_equal(a: &Matrix2, b: &Matrix2, tol: f64) -> bool {
+    a.iter()
+        .zip(b.iter())
+        .all(|(x, y)| (x.re - y.re).abs() <= tol && (x.im - y.im).abs() <= tol)
+}
+
+/// Row-major 2×2 product `a * b`.
+fn matmul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// Derives the symplectic action of a unitary by conjugating `X` and `Z`
+/// and matching the images against `±X/±Y/±Z` (any unit phase): `None` when
+/// either image is not a Pauli, i.e. the matrix is not Clifford.
+fn conjugation_action(m: &Matrix2) -> Option<Clifford1Q> {
+    let x = [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO];
+    let z = [Complex::ONE, Complex::ZERO, Complex::ZERO, -Complex::ONE];
+    let dagger = |u: &Matrix2| -> Matrix2 { [u[0].conj(), u[2].conj(), u[1].conj(), u[3].conj()] };
+    let md = dagger(m);
+    let image = |p: &Matrix2| -> Option<(bool, bool)> {
+        let conj = matmul(m, &matmul(p, &md));
+        pauli_bits_of(&conj)
+    };
+    Some(Clifford1Q {
+        x_image: image(&x)?,
+        z_image: image(&z)?,
+    })
+}
+
+/// Matches a matrix against the Paulis up to any unit phase, returning the
+/// symplectic bits `(x, z)` of the match.
+fn pauli_bits_of(m: &Matrix2) -> Option<(bool, bool)> {
+    let tol = 1e-9;
+    let diag = m[1].norm_sqr() < tol && m[2].norm_sqr() < tol;
+    let anti = m[0].norm_sqr() < tol && m[3].norm_sqr() < tol;
+    if diag {
+        // ∝ I or Z: phases of the diagonal entries agree (I) or oppose (Z).
+        let sum = m[0] + m[3];
+        let diff = m[0] - m[3];
+        if diff.norm_sqr() < tol {
+            Some((false, false))
+        } else if sum.norm_sqr() < tol {
+            Some((false, true))
+        } else {
+            None
+        }
+    } else if anti {
+        // ∝ X or Y: off-diagonal phases agree (X) or oppose (Y).
+        let sum = m[1] + m[2];
+        let diff = m[1] - m[2];
+        if diff.norm_sqr() < tol {
+            Some((true, false))
+        } else if sum.norm_sqr() < tol {
+            Some((true, true))
+        } else {
+            None
+        }
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::single_qubit_matrix;
+    use nisq_ir::GateKind;
+
+    fn mm(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+        matmul(a, b)
+    }
+
+    #[test]
+    fn generated_table_has_24_elements() {
+        assert_eq!(clifford_table().len(), 24);
+    }
+
+    #[test]
+    fn clifford_gates_classify_with_known_actions() {
+        // H: X <-> Z.
+        let h = classify(&single_qubit_matrix(GateKind::H)).expect("H is Clifford");
+        assert_eq!(h.x_image, (false, true));
+        assert_eq!(h.z_image, (true, false));
+        // S: X -> Y, Z -> Z.
+        let s = classify(&single_qubit_matrix(GateKind::S)).expect("S is Clifford");
+        assert_eq!(s.x_image, (true, true));
+        assert_eq!(s.z_image, (false, true));
+        // Paulis act trivially up to sign.
+        for kind in [GateKind::X, GateKind::Y, GateKind::Z] {
+            let p = classify(&single_qubit_matrix(kind)).expect("Paulis are Clifford");
+            assert_eq!(p, Clifford1Q::IDENTITY, "{kind:?}");
+        }
+        // Sdg: X -> Y (sign dropped), Z -> Z.
+        let sdg = classify(&single_qubit_matrix(GateKind::Sdg)).expect("Sdg is Clifford");
+        assert_eq!(sdg.x_image, (true, true));
+        assert_eq!(sdg.z_image, (false, true));
+    }
+
+    #[test]
+    fn rotations_at_clifford_angles_classify_and_others_do_not() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        assert!(classify(&single_qubit_matrix(GateKind::Rz(FRAC_PI_2))).is_some());
+        assert!(classify(&single_qubit_matrix(GateKind::Rx(PI))).is_some());
+        assert!(classify(&single_qubit_matrix(GateKind::Ry(-FRAC_PI_2))).is_some());
+        assert!(classify(&single_qubit_matrix(GateKind::T)).is_none());
+        assert!(classify(&single_qubit_matrix(GateKind::Tdg)).is_none());
+        assert!(classify(&single_qubit_matrix(GateKind::Rz(0.3))).is_none());
+        assert!(classify(&single_qubit_matrix(GateKind::Rx(1e-6))).is_none());
+    }
+
+    #[test]
+    fn fused_clifford_products_still_classify() {
+        let h = single_qubit_matrix(GateKind::H);
+        let s = single_qubit_matrix(GateKind::S);
+        let x = single_qubit_matrix(GateKind::X);
+        // HSH, SHSHS, products with Paulis — all stay in the group.
+        for m in [
+            mm(&h, &mm(&s, &h)),
+            mm(&s, &mm(&h, &mm(&s, &mm(&h, &s)))),
+            mm(&x, &mm(&h, &s)),
+        ] {
+            assert!(classify(&m).is_some(), "fused Clifford failed to match");
+        }
+        // ... but one T in the product breaks membership.
+        let t = single_qubit_matrix(GateKind::T);
+        assert!(classify(&mm(&h, &mm(&t, &h))).is_none());
+    }
+
+    #[test]
+    fn classified_action_matches_textbook_identities() {
+        // HXH = Z, HZH = X, S X S† = Y, S Z S† = Z — checked through the
+        // conjugate() helper on symplectic bits.
+        let h = classify(&single_qubit_matrix(GateKind::H)).unwrap();
+        assert_eq!(h.conjugate(true, false), (false, true)); // X -> Z
+        assert_eq!(h.conjugate(false, true), (true, false)); // Z -> X
+        assert_eq!(h.conjugate(true, true), (true, true)); // Y -> ±Y
+        let s = classify(&single_qubit_matrix(GateKind::S)).unwrap();
+        assert_eq!(s.conjugate(true, false), (true, true)); // X -> Y
+        assert_eq!(s.conjugate(false, true), (false, true)); // Z -> Z
+    }
+
+    #[test]
+    fn symplectic_pauli_conjugation_rules() {
+        // CNOT: X on control copies to target.
+        let mut p = SymplecticPauli::IDENTITY;
+        p.compose(0, Pauli::X);
+        p.conjugate_cnot(0, 1);
+        assert_eq!(p.pauli_on(0), Pauli::X);
+        assert_eq!(p.pauli_on(1), Pauli::X);
+        // CNOT: Z on target copies to control.
+        let mut p = SymplecticPauli::IDENTITY;
+        p.compose(1, Pauli::Z);
+        p.conjugate_cnot(0, 1);
+        assert_eq!(p.pauli_on(0), Pauli::Z);
+        assert_eq!(p.pauli_on(1), Pauli::Z);
+        // SWAP exchanges wires.
+        let mut p = SymplecticPauli::IDENTITY;
+        p.compose(0, Pauli::Y);
+        p.conjugate_swap(0, 2);
+        assert_eq!(p.pauli_on(0), Pauli::I);
+        assert_eq!(p.pauli_on(2), Pauli::Y);
+        // Composition is the Klein four-group per qubit.
+        let mut p = SymplecticPauli::IDENTITY;
+        p.compose(3, Pauli::X);
+        p.compose(3, Pauli::Y);
+        assert_eq!(p.pauli_on(3), Pauli::Z);
+        p.compose(3, Pauli::Z);
+        assert!(p.is_identity());
+    }
+
+    #[test]
+    fn conjugation_matches_dense_matrix_conjugation() {
+        // For every table element and every Pauli, the symplectic action
+        // agrees with dense conjugation U P U†.
+        let paulis = [
+            (Pauli::X, single_qubit_matrix(GateKind::X)),
+            (Pauli::Y, single_qubit_matrix(GateKind::Y)),
+            (Pauli::Z, single_qubit_matrix(GateKind::Z)),
+        ];
+        for element in clifford_table() {
+            for (pauli, matrix) in &paulis {
+                let dagger: Matrix2 = [
+                    element.matrix[0].conj(),
+                    element.matrix[2].conj(),
+                    element.matrix[1].conj(),
+                    element.matrix[3].conj(),
+                ];
+                let conj = matmul(&element.matrix, &matmul(matrix, &dagger));
+                let expected = pauli_bits_of(&conj).expect("Clifford conjugate is a Pauli");
+                let (x, z) = pauli.symplectic();
+                assert_eq!(element.action.conjugate(x, z), expected);
+            }
+        }
+    }
+}

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clifford;
 mod complex;
 pub mod engine;
 pub mod gates;
@@ -48,8 +49,9 @@ mod rng;
 mod simulator;
 mod state;
 
+pub use clifford::{Clifford1Q, SymplecticPauli};
 pub use complex::Complex;
-pub use engine::{TierCounts, TieredEngine};
+pub use engine::{EngineOptions, TierCounts, TieredEngine};
 pub use noise::NoiseModel;
 pub use program::{TrialEvent, TrialOp, TrialProgram, TrialScratch};
 pub use result::SimulationResult;

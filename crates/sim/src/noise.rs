@@ -105,6 +105,29 @@ impl Pauli {
         }
     }
 
+    /// The symplectic `(x, z)` bits of the Pauli: `P = X^x Z^z` up to
+    /// global phase — the coordinate system of the tier-0 propagation
+    /// tableau ([`crate::clifford::SymplecticPauli`]).
+    pub fn symplectic(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// The Pauli with the given symplectic bits (inverse of
+    /// [`Pauli::symplectic`], up to global phase).
+    pub fn from_symplectic(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
     fn from_index(i: usize) -> Pauli {
         match i {
             0 => Pauli::I,

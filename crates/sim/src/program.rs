@@ -43,6 +43,7 @@
 //! perturb draws — so results are bit-for-bit reproducible for a seed and
 //! invariant under how trials are distributed over threads.
 
+use crate::clifford::{self, Clifford1Q, SymplecticPauli};
 use crate::complex::Complex;
 use crate::gates::{single_qubit_matrix, Matrix2};
 use crate::noise::{self, NoiseModel, Pauli};
@@ -186,64 +187,9 @@ impl TrialEvent {
     }
 }
 
-/// A two-qubit Pauli pair in symplectic (X-bit, Z-bit) form: bits
-/// `(xa, za, xb, zb)` with `P = X^x Z^z` up to global phase. CNOT
-/// conjugation is linear over these bits, which is how a SWAP's interleaved
-/// errors are pushed past its internal CNOTs.
-#[derive(Clone, Copy, Default)]
-struct PauliPairBits {
-    xa: bool,
-    za: bool,
-    xb: bool,
-    zb: bool,
-}
-
-impl PauliPairBits {
-    fn from_paulis(a: Pauli, b: Pauli) -> Self {
-        let bits = |p: Pauli| match p {
-            Pauli::I => (false, false),
-            Pauli::X => (true, false),
-            Pauli::Y => (true, true),
-            Pauli::Z => (false, true),
-        };
-        let (xa, za) = bits(a);
-        let (xb, zb) = bits(b);
-        PauliPairBits { xa, za, xb, zb }
-    }
-
-    fn to_paulis(self) -> (Pauli, Pauli) {
-        let pauli = |x: bool, z: bool| match (x, z) {
-            (false, false) => Pauli::I,
-            (true, false) => Pauli::X,
-            (true, true) => Pauli::Y,
-            (false, true) => Pauli::Z,
-        };
-        (pauli(self.xa, self.za), pauli(self.xb, self.zb))
-    }
-
-    /// Composes another pair onto this one (Pauli products compose by XOR
-    /// of symplectic bits, up to global phase).
-    fn compose(&mut self, other: PauliPairBits) {
-        self.xa ^= other.xa;
-        self.za ^= other.za;
-        self.xb ^= other.xb;
-        self.zb ^= other.zb;
-    }
-
-    /// Conjugates through a CNOT with wire `a` as control (`CX P CX†`):
-    /// X on the control copies onto the target, Z on the target copies onto
-    /// the control.
-    fn conj_cnot_ab(&mut self) {
-        self.xb ^= self.xa;
-        self.za ^= self.zb;
-    }
-
-    /// Conjugates through a CNOT with wire `b` as control.
-    fn conj_cnot_ba(&mut self) {
-        self.xa ^= self.xb;
-        self.zb ^= self.za;
-    }
-}
+// (The two-qubit symplectic arithmetic a SWAP's interleaved errors are
+// conjugated with now lives in [`crate::clifford::SymplecticPauli`], shared
+// with the engine's tier-0 Pauli-propagation path.)
 
 /// One Bernoulli gate of the program's flattened error-draw sequence: which
 /// noise site (and, for SWAP sites, which internal CNOT group) it belongs
@@ -287,6 +233,19 @@ pub struct TrialProgram {
     /// Hardware qubit of each compact index (sorted ascending).
     touched: Vec<usize>,
     num_clbits: usize,
+    /// The symplectic action of each op's fused 2×2 unitary when it matched
+    /// one of the 24 single-qubit Cliffords (up to phase); `None` for
+    /// non-Clifford unitaries and for every non-`Unitary` op. Parallel to
+    /// `ops`.
+    clifford_actions: Vec<Option<Clifford1Q>>,
+    /// The program's Clifford-suffix table, collapsed to its one defining
+    /// number: the smallest op index from which every single-qubit unitary
+    /// is Clifford. An error site at op `i` has an all-Clifford suffix —
+    /// and is eligible for the engine's tier-0 Pauli propagation — exactly
+    /// when `i >= clifford_suffix_from` (CNOTs, SWAPs, noise injections and
+    /// measurements are all symplectic-compatible, so only non-Clifford
+    /// unitaries bound the suffix).
+    clifford_suffix_from: usize,
 }
 
 impl TrialProgram {
@@ -557,6 +516,23 @@ impl TrialProgram {
             }
         }
 
+        // Clifford classification (tier-0): match every fused unitary
+        // against the 24 single-qubit Cliffords, then mark the longest
+        // all-Clifford suffix (two-qubit gates are Clifford by
+        // construction: CNOT exactly, SWAP as a relabeling).
+        let clifford_actions: Vec<Option<Clifford1Q>> = ops
+            .iter()
+            .map(|op| match op {
+                TrialOp::Unitary { matrix, .. } => clifford::classify(matrix),
+                _ => None,
+            })
+            .collect();
+        let clifford_suffix_from = ops
+            .iter()
+            .zip(&clifford_actions)
+            .rposition(|(op, action)| matches!(op, TrialOp::Unitary { .. }) && action.is_none())
+            .map_or(0, |i| i + 1);
+
         TrialProgram {
             ops,
             noise_sites,
@@ -564,6 +540,8 @@ impl TrialProgram {
             survival,
             touched,
             num_clbits: physical.num_clbits(),
+            clifford_actions,
+            clifford_suffix_from,
         }
     }
 
@@ -592,6 +570,29 @@ impl TrialProgram {
     /// Hardware qubit index of each compact qubit, ascending.
     pub fn touched(&self) -> &[usize] {
         &self.touched
+    }
+
+    /// The smallest op index from which every single-qubit unitary matched
+    /// a Clifford — the program's Clifford-suffix boundary. Error sites at
+    /// or past this index qualify for tier-0 Pauli propagation; for a
+    /// fully-Clifford program (the BV family) this is 0.
+    pub fn clifford_suffix_from(&self) -> usize {
+        self.clifford_suffix_from
+    }
+
+    /// The symplectic action of the unitary at `op`, when it matched a
+    /// Clifford (`None` for non-Clifford unitaries and non-unitary ops).
+    pub fn clifford_action(&self, op: usize) -> Option<Clifford1Q> {
+        self.clifford_actions[op]
+    }
+
+    /// Probability that a trial samples no error anywhere (the tail of the
+    /// survival table). `1.0` for noiseless programs. The engine's
+    /// single-error memo gates itself on this: memoization only pays below
+    /// an expected error count of about one, i.e. while this stays above
+    /// `e^{-1}`.
+    pub fn survival_probability(&self) -> f64 {
+        self.survival.last().copied().unwrap_or(1.0)
     }
 
     /// Allocates the reusable per-worker scratch for [`Self::run_trial`].
@@ -725,21 +726,22 @@ impl TrialProgram {
                 // internal CNOTs (U_2 = cnot(b,a), U_3 = cnot(a,b)), then
                 // compose onto the site's residual — Pauli composition is
                 // XOR in symplectic bits, so per-group contributions
-                // combine independently of firing order.
-                let mut contribution = PauliPairBits::from_paulis(e_a, e_b);
+                // combine independently of firing order. Wire `a` is
+                // tableau qubit 0, wire `b` qubit 1.
+                let mut contribution = SymplecticPauli::IDENTITY;
+                contribution.compose(0, e_a);
+                contribution.compose(1, e_b);
                 if k == 0 {
-                    contribution.conj_cnot_ba();
-                    contribution.conj_cnot_ab();
+                    contribution.conjugate_cnot(1, 0);
+                    contribution.conjugate_cnot(0, 1);
                 } else if k == 1 {
-                    contribution.conj_cnot_ab();
+                    contribution.conjugate_cnot(0, 1);
                 }
-                let mut residual = match events[site] {
-                    TrialEvent::Swap(ra, rb) => PauliPairBits::from_paulis(ra, rb),
-                    _ => PauliPairBits::default(),
-                };
-                residual.compose(contribution);
-                let (ra, rb) = residual.to_paulis();
-                events[site] = TrialEvent::Swap(ra, rb);
+                if let TrialEvent::Swap(ra, rb) = events[site] {
+                    contribution.compose(0, ra);
+                    contribution.compose(1, rb);
+                }
+                events[site] = TrialEvent::Swap(contribution.pauli_on(0), contribution.pauli_on(1));
             }
             _ => unreachable!("noise_sites point at stochastic ops"),
         }
@@ -775,8 +777,7 @@ impl TrialProgram {
                     scratch.fuse(qubit, matrix);
                 }
                 TrialOp::Cnot { control, target } => {
-                    scratch.flush(control);
-                    scratch.flush(target);
+                    scratch.flush_two(control, target);
                     scratch.apply_cnot(control, target);
                 }
                 TrialOp::Swap { a, b, ref noise } => {
@@ -833,9 +834,7 @@ impl TrialProgram {
                     }
                 }
                 TrialOp::TerminalSample { ref measures } => {
-                    for &(qubit, _, _) in measures {
-                        scratch.flush(qubit);
-                    }
+                    scratch.flush_terminal(measures);
                     // Canonical traversal: basis states are visited in
                     // program-qubit bit order regardless of how relabeling
                     // SWAPs permuted the physical layout, so the same
@@ -874,14 +873,83 @@ impl TrialProgram {
             match *op {
                 TrialOp::Unitary { qubit, ref matrix } => scratch.fuse(qubit, matrix),
                 TrialOp::Cnot { control, target } => {
-                    scratch.flush(control);
-                    scratch.flush(target);
+                    scratch.flush_two(control, target);
                     scratch.apply_cnot(control, target);
                 }
                 TrialOp::Swap { a, b, .. } => scratch.relabel_swap(a, b),
                 TrialOp::GateNoise { .. } | TrialOp::CnotNoise { .. } => {}
                 TrialOp::Measure { .. } | TrialOp::TerminalSample { .. } => {
                     unreachable!("ideal prefixes never cross a measurement")
+                }
+            }
+        }
+    }
+
+    /// Advances `scratch` over `self.ops[from_op..to_op]` with pre-drawn
+    /// `events` injected (the slice is positioned at the first noise site
+    /// at or after `from_op`) — the deterministic, measurement-free segment
+    /// of an error trial's replay. Applies exactly the state operations
+    /// [`TrialProgram::replay_from`] would over the same range and consumes
+    /// **no** RNG draws, so a replay resumed from the advanced scratch is
+    /// bit-identical to one that ran straight through. This is how the
+    /// engine's single-error suffix memo builds its shared checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range contains a measurement (measurement outcomes are
+    /// per-trial randomness and can never be part of a shared evolution).
+    pub fn advance_noisy(
+        &self,
+        scratch: &mut TrialScratch,
+        from_op: usize,
+        to_op: usize,
+        events: &[TrialEvent],
+    ) {
+        let mut site = 0usize;
+        for op in &self.ops[from_op..to_op] {
+            match *op {
+                TrialOp::Unitary { qubit, ref matrix } => scratch.fuse(qubit, matrix),
+                TrialOp::Cnot { control, target } => {
+                    scratch.flush_two(control, target);
+                    scratch.apply_cnot(control, target);
+                }
+                TrialOp::Swap { a, b, ref noise } => {
+                    let event = if noise.is_some() {
+                        let e = events[site];
+                        site += 1;
+                        e
+                    } else {
+                        TrialEvent::Clean
+                    };
+                    scratch.relabel_swap(a, b);
+                    match event {
+                        TrialEvent::Clean => {}
+                        TrialEvent::Swap(ra, rb) => {
+                            scratch.fuse_pauli(a, ra);
+                            scratch.fuse_pauli(b, rb);
+                        }
+                        other => unreachable!("swap site pre-sampled {other:?}"),
+                    }
+                }
+                TrialOp::GateNoise { qubit, .. } => {
+                    let event = events[site];
+                    site += 1;
+                    if let TrialEvent::Gate(pauli) = event {
+                        scratch.fuse_pauli(qubit, pauli);
+                    }
+                }
+                TrialOp::CnotNoise {
+                    control, target, ..
+                } => {
+                    let event = events[site];
+                    site += 1;
+                    if let TrialEvent::Cnot(pc, pt) = event {
+                        scratch.fuse_pauli(control, pc);
+                        scratch.fuse_pauli(target, pt);
+                    }
+                }
+                TrialOp::Measure { .. } | TrialOp::TerminalSample { .. } => {
+                    unreachable!("shared noisy advances never cross a measurement")
                 }
             }
         }
@@ -988,7 +1056,7 @@ impl TrialScratch {
 
     /// Composes a sampled Pauli error onto the pending matrix (identity is
     /// free: no work at all).
-    fn fuse_pauli(&mut self, qubit: u8, pauli: Pauli) {
+    pub(crate) fn fuse_pauli(&mut self, qubit: u8, pauli: Pauli) {
         match pauli {
             Pauli::I => {}
             Pauli::X => self.fuse(qubit, &PAULI_X_MATRIX),
@@ -997,11 +1065,84 @@ impl TrialScratch {
         }
     }
 
+    /// Composes an n-qubit Pauli string onto the pending matrices, qubit by
+    /// qubit (a Pauli string is a tensor product of single-qubit Paulis up
+    /// to global phase) — how the engine materializes a propagated tier-0
+    /// error onto a restored checkpoint when a measure draw diverges.
+    pub(crate) fn fuse_symplectic(&mut self, pauli: &SymplecticPauli) {
+        let mut live = pauli.x | pauli.z;
+        while live != 0 {
+            let qubit = live.trailing_zeros() as u8;
+            live &= live - 1;
+            self.fuse_pauli(qubit, pauli.pauli_on(qubit));
+        }
+    }
+
     /// Materializes the pending matrix of `qubit` into its current slot.
     pub(crate) fn flush(&mut self, qubit: u8) {
         if let Some(matrix) = self.pending[usize::from(qubit)].take() {
             self.state
                 .apply_matrix(usize::from(self.perm[usize::from(qubit)]), &matrix);
+        }
+    }
+
+    /// Materializes the pending matrices of two distinct qubits — `a`'s
+    /// first — in one state traversal when both are pending and
+    /// general-shaped, halving the memory traffic of the back-to-back
+    /// flushes in front of every two-qubit gate. Falls back to sequential
+    /// flushes otherwise (diagonal/anti-diagonal matrices have their own
+    /// specialized single-wire kernels). Bitwise identical to
+    /// `flush(a); flush(b)`: the fused kernel evaluates the same two pair
+    /// updates, in the same order, on the same intermediate values — they
+    /// just stay in registers instead of round-tripping through memory.
+    pub(crate) fn flush_two(&mut self, a: u8, b: u8) {
+        let (ia, ib) = (usize::from(a), usize::from(b));
+        if let (Some(ma), Some(mb)) = (self.pending[ia], self.pending[ib]) {
+            if crate::state::is_general_shape(&ma) && crate::state::is_general_shape(&mb) {
+                self.pending[ia] = None;
+                self.pending[ib] = None;
+                self.state.apply_two_matrices(
+                    usize::from(self.perm[ia]),
+                    &ma,
+                    usize::from(self.perm[ib]),
+                    &mb,
+                );
+                return;
+            }
+        }
+        self.flush(a);
+        self.flush(b);
+    }
+
+    /// Materializes the pending matrices of a terminal run of measurements,
+    /// pairing consecutive pending wires into fused two-wire passes (same
+    /// kernel and same guarantees as [`Self::flush_two`]; flush order is
+    /// the measure order, so the result is bitwise identical to flushing
+    /// one wire at a time).
+    pub(crate) fn flush_terminal(&mut self, measures: &[(u8, u8, f64)]) {
+        let mut carry: Option<u8> = None;
+        for &(qubit, _, _) in measures {
+            let iq = usize::from(qubit);
+            let Some(matrix) = self.pending[iq] else {
+                continue;
+            };
+            match carry {
+                None if crate::state::is_general_shape(&matrix) => carry = Some(qubit),
+                None => self.flush(qubit),
+                // A re-measured qubit meets its own delayed flush: one
+                // flush, exactly what the sequential order would have done.
+                Some(held) if held == qubit => {
+                    self.flush(held);
+                    carry = None;
+                }
+                Some(held) => {
+                    self.flush_two(held, qubit);
+                    carry = None;
+                }
+            }
+        }
+        if let Some(held) = carry {
+            self.flush(held);
         }
     }
 

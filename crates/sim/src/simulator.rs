@@ -1,4 +1,4 @@
-use crate::engine::{with_engine_scratch, TierCounts, TieredEngine};
+use crate::engine::{with_engine_scratch, EngineOptions, TierCounts, TieredEngine};
 use crate::noise::NoiseModel;
 use crate::program::TrialProgram;
 use crate::result::SimulationResult;
@@ -27,6 +27,9 @@ pub struct SimulatorConfig {
     pub noise: NoiseModel,
     /// Number of worker threads (trials are embarrassingly parallel).
     pub threads: usize,
+    /// Trial-engine tuning: tier-0 Pauli propagation (statistically
+    /// equivalent, on by default) and the exact single-error suffix memo.
+    pub engine: EngineOptions,
 }
 
 impl Default for SimulatorConfig {
@@ -36,6 +39,7 @@ impl Default for SimulatorConfig {
             seed: 0,
             noise: NoiseModel::full(),
             threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            engine: EngineOptions::default(),
         }
     }
 }
@@ -134,14 +138,18 @@ impl<'m> Simulator<'m> {
 
     /// Runs the configured number of trials of an already-lowered program.
     ///
-    /// Trials are executed by the three-tier engine (see [`TieredEngine`]):
+    /// Trials are executed by the four-tier engine (see [`TieredEngine`]):
     /// error patterns are pre-sampled per trial, error-free trials are
-    /// served from the precomputed ideal terminal distribution, trials
-    /// whose first error fires mid-program resume from a shared
-    /// ideal-prefix checkpoint, and only the rest replay in full. Results
-    /// are bit-for-bit deterministic for a seed, bit-identical to a
-    /// [`TrialProgram::run_trial`] loop, and independent of the thread
-    /// count.
+    /// served from the precomputed ideal terminal distribution, errors
+    /// with an all-Clifford suffix are conjugated symplectically onto that
+    /// distribution (tier 0), trials whose first error fires before the
+    /// Clifford boundary resume from a shared ideal-prefix checkpoint (with
+    /// single-error suffixes memoized), and only the rest replay in full.
+    /// Results are bit-for-bit deterministic for a seed and independent of
+    /// the thread count; with [`EngineOptions::pauli_prop`] disabled they
+    /// are additionally bit-identical to a [`TrialProgram::run_trial`]
+    /// loop (tier-0 outcomes are statistically equivalent instead — see
+    /// [`crate::engine`]).
     pub fn run_program(&self, program: &TrialProgram) -> SimulationResult {
         self.run_program_with_stats(program).0
     }
@@ -151,33 +159,39 @@ impl<'m> Simulator<'m> {
     pub fn run_program_with_stats(&self, program: &TrialProgram) -> (SimulationResult, TierCounts) {
         let trials = self.config.trials;
         let seed = self.config.seed;
-        let engine = TieredEngine::new(program);
+        let engine = TieredEngine::with_options(program, self.config.engine);
 
+        // The serial path walks the same fixed-size chunk partition the
+        // pool distributes, so *everything* the engine reports — outcomes
+        // and the per-chunk memo hit counters alike — is a pure function
+        // of (program, seed, trials), independent of the thread count.
+        let chunks: Vec<(u32, u32)> = (0..trials.div_ceil(TRIAL_CHUNK))
+            .map(|c| (c * TRIAL_CHUNK, ((c + 1) * TRIAL_CHUNK).min(trials)))
+            .collect();
         let pool = self.pool.as_ref().filter(|_| trials > TRIAL_CHUNK);
-        let (counts, tiers) = if let Some(pool) = pool {
-            let chunks: Vec<(u32, u32)> = (0..trials.div_ceil(TRIAL_CHUNK))
-                .map(|c| (c * TRIAL_CHUNK, ((c + 1) * TRIAL_CHUNK).min(trials)))
-                .collect();
-            let partials: Vec<(FxHashMap<u64, u32>, TierCounts)> = pool.install(|| {
+        let partials: Vec<(FxHashMap<u64, u32>, TierCounts)> = if let Some(pool) = pool {
+            pool.install(|| {
                 chunks
                     .into_par_iter()
                     .map(|(start, end)| simulate_chunk(&engine, seed, start, end))
                     .collect()
-            });
-            // Count merging is commutative, so the final map does not
-            // depend on chunk completion order.
-            let mut merged = FxHashMap::default();
-            let mut tiers = TierCounts::default();
-            for (partial, partial_tiers) in partials {
-                for (key, count) in partial {
-                    *merged.entry(key).or_insert(0) += count;
-                }
-                tiers.merge(&partial_tiers);
-            }
-            (merged, tiers)
+            })
         } else {
-            simulate_chunk(&engine, seed, 0, trials)
+            chunks
+                .into_iter()
+                .map(|(start, end)| simulate_chunk(&engine, seed, start, end))
+                .collect()
         };
+        // Count merging is commutative, so the final map does not depend
+        // on chunk completion order.
+        let mut counts = FxHashMap::default();
+        let mut tiers = TierCounts::default();
+        for (partial, partial_tiers) in partials {
+            for (key, count) in partial {
+                *counts.entry(key).or_insert(0) += count;
+            }
+            tiers.merge(&partial_tiers);
+        }
         (
             SimulationResult::from_bitpacked(counts, program.num_clbits()),
             tiers,

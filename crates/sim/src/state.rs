@@ -258,6 +258,90 @@ impl StateVector {
         (acc[0] + acc[1]) + (acc[2] + acc[3])
     }
 
+    /// Applies two single-qubit unitaries — `ma` on `qa` first, then `mb`
+    /// on `qb` — in **one** state traversal: each group of four amplitudes
+    /// `{i, i|2^qa, i|2^qb, i|2^qa|2^qb}` is loaded once, run through the
+    /// `qa` pair update and then the `qb` pair update in registers, and
+    /// stored once. That is the Kronecker product `mb ⊗ ma` evaluated
+    /// factored, so the arithmetic — every multiply, add and rounding —
+    /// is *identical* to `apply_matrix(qa, ma); apply_matrix(qb, mb)`;
+    /// only the intermediate memory round-trip disappears, halving the
+    /// traffic of the terminal-flush and pre-CNOT flush pairs that
+    /// dominate the ≥12-qubit entries.
+    ///
+    /// Callers must route diagonal/anti-diagonal matrices to
+    /// [`StateVector::apply_matrix`] instead (see [`is_general_shape`]):
+    /// those shapes dispatch to specialized single-wire kernels whose
+    /// FP-operation sequences this fused kernel does not reproduce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range or they coincide.
+    pub(crate) fn apply_two_matrices(&mut self, qa: usize, ma: &Matrix2, qb: usize, mb: &Matrix2) {
+        assert!(qa < self.num_qubits && qb < self.num_qubits);
+        assert_ne!(qa, qb, "fused flush wires must differ");
+        let amask = 1usize << qa;
+        let bmask = 1usize << qb;
+        let (lo, hi) = if amask < bmask {
+            (amask, bmask)
+        } else {
+            (bmask, amask)
+        };
+        if lo < 4 {
+            // Short runs would leave the fused loop scalar; the dedicated
+            // qubit-0/1 single-wire kernels are faster. (Sequential
+            // application is the fused kernel's definition, so this arm is
+            // trivially bitwise identical.)
+            self.apply_matrix(qa, ma);
+            self.apply_matrix(qb, mb);
+            return;
+        }
+        let ca = MatrixCoeffs::from(ma);
+        let cb = MatrixCoeffs::from(mb);
+        let a_is_lo = amask == lo;
+        // Each 4-group {i, i+lo, i+hi, i+hi+lo} splits into four contiguous
+        // runs of length `lo`, walked at stride 1 — the same shape as the
+        // single-wire strided kernel, twice over. The qa update runs on the
+        // qa-pairs first, then the qb update on the results; the
+        // intermediate values never leave registers but are the exact
+        // values two sequential passes would write and re-read.
+        let mut base = 0;
+        while base < self.re.len() {
+            let mut mid = base;
+            while mid < base + hi {
+                let (re0, re1, re2, re3) = four_runs(&mut self.re, mid, lo, hi);
+                let (im0, im1, im2, im3) = four_runs(&mut self.im, mid, lo, hi);
+                for k in 0..lo {
+                    let (r0, i0, r1, i1, r2, i2, r3, i3) = if a_is_lo {
+                        // qa pairs (0,1) (2,3); qb pairs (0,2) (1,3).
+                        let (r0, i0, r1, i1) = ca.pair(re0[k], im0[k], re1[k], im1[k]);
+                        let (r2, i2, r3, i3) = ca.pair(re2[k], im2[k], re3[k], im3[k]);
+                        let (r0, i0, r2, i2) = cb.pair(r0, i0, r2, i2);
+                        let (r1, i1, r3, i3) = cb.pair(r1, i1, r3, i3);
+                        (r0, i0, r1, i1, r2, i2, r3, i3)
+                    } else {
+                        // qa pairs (0,2) (1,3); qb pairs (0,1) (2,3).
+                        let (r0, i0, r2, i2) = ca.pair(re0[k], im0[k], re2[k], im2[k]);
+                        let (r1, i1, r3, i3) = ca.pair(re1[k], im1[k], re3[k], im3[k]);
+                        let (r0, i0, r1, i1) = cb.pair(r0, i0, r1, i1);
+                        let (r2, i2, r3, i3) = cb.pair(r2, i2, r3, i3);
+                        (r0, i0, r1, i1, r2, i2, r3, i3)
+                    };
+                    re0[k] = r0;
+                    im0[k] = i0;
+                    re1[k] = r1;
+                    im1[k] = i1;
+                    re2[k] = r2;
+                    im2[k] = i2;
+                    re3[k] = r3;
+                    im3[k] = i3;
+                }
+                mid += lo << 1;
+            }
+            base += hi << 1;
+        }
+    }
+
     /// General pair kernel for `mask >= 4`: each 2·mask block splits into a
     /// contiguous lo half and hi half, and the update walks all four slices
     /// at stride 1 — exactly the shape the auto-vectorizer wants.
@@ -752,6 +836,36 @@ impl StateVector {
     }
 }
 
+/// Splits out the four contiguous length-`lo` runs of the 4-group block at
+/// `mid` — offsets `0`, `lo`, `hi`, `hi + lo` — as disjoint mutable slices
+/// (the stride-1 walking surface of the fused two-wire kernel).
+#[inline]
+#[allow(clippy::type_complexity)]
+fn four_runs(
+    v: &mut [f64],
+    mid: usize,
+    lo: usize,
+    hi: usize,
+) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+    let (head, tail) = v[mid..].split_at_mut(hi);
+    let (r0, rest) = head.split_at_mut(lo);
+    let r1 = &mut rest[..lo];
+    let (r2, rest) = tail.split_at_mut(lo);
+    let r3 = &mut rest[..lo];
+    (r0, r1, r2, r3)
+}
+
+/// Whether a 2×2 matrix takes [`StateVector::apply_matrix`]'s *general*
+/// kernel — neither diagonal nor anti-diagonal. The fused two-wire kernel
+/// ([`StateVector::apply_two_matrices`]) is bitwise identical to sequential
+/// application exactly for this shape, so callers gate fusion on it. Kept
+/// next to the kernels so the dispatch conditions cannot drift apart.
+pub(crate) fn is_general_shape(m: &Matrix2) -> bool {
+    let diagonal = m[1] == Complex::ZERO && m[2] == Complex::ZERO;
+    let antidiagonal = m[0] == Complex::ZERO && m[3] == Complex::ZERO;
+    !diagonal && !antidiagonal
+}
+
 /// The eight scalar coefficients of a 2x2 complex matrix, unpacked once per
 /// kernel call so the inner loops touch no `Complex` structs.
 struct MatrixCoeffs {
@@ -1011,6 +1125,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The fused two-wire kernel must be *bitwise* identical to the two
+    /// sequential general-kernel passes it replaces, at every stride
+    /// pairing (including the dedicated qubit-0/1 kernels, which share the
+    /// same per-element pair update).
+    #[test]
+    fn fused_two_wire_kernel_is_bitwise_identical_to_sequential() {
+        use crate::gates::single_qubit_matrix;
+        let ma = single_qubit_matrix(GateKind::Ry(0.9));
+        let mb = single_qubit_matrix(GateKind::H);
+        for (qa, qb) in [(0, 1), (1, 0), (0, 3), (2, 1), (3, 2), (0, 2), (3, 0)] {
+            assert!(is_general_shape(&ma) && is_general_shape(&mb));
+            let mut sequential = StateVector::new(4);
+            sequential.apply_single(0, GateKind::H);
+            sequential.apply_single(1, GateKind::Ry(0.7));
+            sequential.apply_single(3, GateKind::T);
+            sequential.apply_cnot(0, 2);
+            sequential.apply_cnot(1, 3);
+            let mut fused = sequential.clone();
+            sequential.apply_matrix(qa, &ma);
+            sequential.apply_matrix(qb, &mb);
+            fused.apply_two_matrices(qa, &ma, qb, &mb);
+            for i in 0..sequential.len() {
+                let (s, f) = (sequential.amplitude(i), fused.amplitude(i));
+                assert_eq!(s.re.to_bits(), f.re.to_bits(), "({qa},{qb}) amp {i}");
+                assert_eq!(s.im.to_bits(), f.im.to_bits(), "({qa},{qb}) amp {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn general_shape_excludes_diagonal_and_antidiagonal() {
+        use crate::gates::single_qubit_matrix;
+        assert!(is_general_shape(&single_qubit_matrix(GateKind::H)));
+        assert!(is_general_shape(&single_qubit_matrix(GateKind::Ry(0.4))));
+        assert!(!is_general_shape(&single_qubit_matrix(GateKind::S)));
+        assert!(!is_general_shape(&single_qubit_matrix(GateKind::Rz(0.3))));
+        assert!(!is_general_shape(&single_qubit_matrix(GateKind::X)));
+        assert!(!is_general_shape(&single_qubit_matrix(GateKind::Y)));
     }
 
     #[test]

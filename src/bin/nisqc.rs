@@ -384,11 +384,18 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
             }
         }
         println!(
-            "{path}: valid report ({} cells, {} compiles, {} compile hits, {} placement passes)",
+            "{path}: valid report ({} cells, {} compiles, {} compile hits, {} placement passes; \
+             tiers {} error-free / {} pauli-prop / {} checkpointed / {} full, memo {}/{} hits)",
             report.cells.len(),
             report.cache.compile_requests,
             report.cache.compile_hits,
             report.cache.place_runs,
+            report.tiers.error_free,
+            report.tiers.pauli_prop,
+            report.tiers.checkpointed,
+            report.tiers.full_replay,
+            report.tiers.memo_hits,
+            report.tiers.memo_hits + report.tiers.memo_misses,
         );
         return Ok(());
     }

@@ -209,3 +209,83 @@ fn daily_calibration_exists_for_every_topology() {
         assert!(reliability.best_path_cnot_reliability(HwQubit(0), far) > 0.0);
     }
 }
+
+/// Quality regression guard for the topology-aware greedy seeding
+/// (ROADMAP: "seed on highest-degree hardware qubit is untuned off-grid").
+///
+/// The floors below were measured at implementation time on the fixed
+/// machine seed 2019 and carry ~30% headroom; they pin the ring
+/// neighborhood-aware seeding (GreedyE*/GreedyV* antipodal to the weakest
+/// arc) and the heavy-hex behavior (bridge-free GreedyV* hub seat) against
+/// accidental regressions. Everything here is deterministic.
+#[test]
+fn topology_aware_greedy_seeding_quality_on_ring_and_heavy_hex() {
+    let suite = [Benchmark::Bv8, Benchmark::Adder, Benchmark::Hs6];
+    let quality = |machine: &Machine, config: CompilerConfig| -> f64 {
+        suite
+            .iter()
+            .map(|b| {
+                Compiler::new(machine, config)
+                    .compile(&b.circuit())
+                    .unwrap()
+                    .estimated_reliability()
+            })
+            .product()
+    };
+    for (spec, floor_v, floor_e) in [
+        (TopologySpec::Ring { n: 16 }, 0.07, 0.09),
+        (TopologySpec::HeavyHex { rows: 2, cols: 7 }, 0.09, 0.09),
+    ] {
+        for day in 0..4 {
+            let machine = Machine::from_spec(spec, 2019, day);
+            let greedy_v = quality(&machine, CompilerConfig::greedy_v());
+            let greedy_e = quality(&machine, CompilerConfig::greedy_e());
+            let qiskit = quality(&machine, CompilerConfig::qiskit());
+            assert!(
+                greedy_v >= floor_v,
+                "{} day {day}: GreedyV* quality {greedy_v} under floor {floor_v}",
+                machine.name()
+            );
+            assert!(
+                greedy_e >= floor_e,
+                "{} day {day}: GreedyE* quality {greedy_e} under floor {floor_e}",
+                machine.name()
+            );
+            // The calibration-aware heuristics must dominate the
+            // topology-blind baseline by a wide margin off-grid.
+            assert!(
+                greedy_v > 2.0 * qiskit && greedy_e > 2.0 * qiskit,
+                "{} day {day}: greedy ({greedy_v}/{greedy_e}) vs qiskit {qiskit}",
+                machine.name()
+            );
+        }
+    }
+}
+
+/// The GreedyV* hub (the highest-degree program qubit) must never be
+/// seated on a heavy-hex bridge: bridges are degree-2 articulation
+/// points, the worst possible home for the interaction graph's hub.
+#[test]
+fn greedy_v_hub_avoids_heavy_hex_bridges() {
+    let (rows, cols) = (2, 7);
+    let spec = TopologySpec::HeavyHex { rows, cols };
+    for day in 0..6 {
+        let machine = Machine::from_spec(spec, 2019, day);
+        for b in [Benchmark::Bv4, Benchmark::Bv8, Benchmark::Hs6] {
+            let circuit = b.circuit();
+            let placement =
+                nisq_core::mapping::greedy::place_vertex_first(&circuit, &machine).unwrap();
+            let hub = circuit
+                .interaction_graph()
+                .qubits_by_degree()
+                .into_iter()
+                .next()
+                .unwrap();
+            assert!(
+                placement.hw(hub).0 < rows * cols,
+                "{b} day {day}: hub {hub:?} seated on bridge {}",
+                placement.hw(hub)
+            );
+        }
+    }
+}
