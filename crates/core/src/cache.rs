@@ -145,6 +145,14 @@ impl PlacementCache {
         self.len() == 0
     }
 
+    /// Whether a panic while holding the cache lock has poisoned it. A
+    /// poisoned cache makes every later compile through it panic too, so
+    /// long-lived owners (the serve daemon) check this after catching a
+    /// request panic and rebuild their session instead of reusing it.
+    pub fn is_poisoned(&self) -> bool {
+        self.entries.is_poisoned()
+    }
+
     /// Hit/miss counters accumulated so far.
     pub fn stats(&self) -> PlacementCacheStats {
         PlacementCacheStats {

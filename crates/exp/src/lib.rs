@@ -43,10 +43,11 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod names;
 mod plan;
 mod report;
 mod session;
 
 pub use plan::{Cell, CircuitSpec, MachineScope, SeedMode, SweepPlan, DEFAULT_MACHINE_SEED};
 pub use report::{CacheStats, CellRecord, Report, TierStats, REPORT_SCHEMA};
-pub use session::Session;
+pub use session::{RunControl, RunOutcome, Session};

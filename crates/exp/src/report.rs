@@ -248,6 +248,36 @@ impl Report {
         out
     }
 
+    /// Serializes to a single line of JSON — the framing the serve
+    /// protocol uses (one response per line). Identical content to
+    /// [`Report::to_json`]: the pretty form's newlines are purely
+    /// structural (string content newlines are escaped by the writer), so
+    /// stripping them cannot change the document.
+    pub fn to_json_line(&self) -> String {
+        self.to_json()
+            .split('\n')
+            .map(str::trim)
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    /// A copy with every wall-clock and cache-provenance field zeroed
+    /// (`compile_ms`, `place_us`, `cache_hit`, the run's [`CacheStats`]),
+    /// leaving only fields that are deterministic functions of the plan.
+    /// Two canonicalized reports for the same plan and seeds compare equal
+    /// bit for bit no matter which session — warm or cold, daemon or
+    /// direct — produced them.
+    pub fn canonicalized(&self) -> Report {
+        let mut report = self.clone();
+        report.cache = CacheStats::default();
+        for cell in &mut report.cells {
+            cell.compile_ms = 0.0;
+            cell.place_us = 0.0;
+            cell.cache_hit = false;
+        }
+        report
+    }
+
     /// Parses a document produced by [`Report::to_json`].
     ///
     /// # Errors
@@ -442,6 +472,40 @@ mod tests {
         let report = sample();
         let parsed = Report::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_equivalent() {
+        let report = sample();
+        let line = report.to_json_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Report::from_json(&line).unwrap(), report);
+        // Content newlines survive framing because the writer escapes them.
+        let mut tricky = report;
+        tricky.cells[0].circuit = "multi\nline \"name\"".into();
+        let line = tricky.to_json_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Report::from_json(&line).unwrap(), tricky);
+    }
+
+    #[test]
+    fn canonicalized_zeroes_provenance_but_keeps_results() {
+        let canon = sample().canonicalized();
+        assert_eq!(canon.cache, CacheStats::default());
+        for cell in &canon.cells {
+            assert_eq!(cell.compile_ms, 0.0);
+            assert_eq!(cell.place_us, 0.0);
+            assert!(!cell.cache_hit);
+        }
+        assert_eq!(canon.cells[0].success_rate, Some(0.59375));
+        assert_eq!(canon.tiers, sample().tiers);
+        // A warm-cache rerun differs only in provenance fields, so its
+        // canonical form is identical.
+        let mut warm = sample();
+        warm.cells[0].cache_hit = true;
+        warm.cells[0].compile_ms = 0.001;
+        warm.cache.compile_hits = 2;
+        assert_eq!(warm.canonicalized(), sample().canonicalized());
     }
 
     #[test]

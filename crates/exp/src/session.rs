@@ -1,19 +1,57 @@
 //! The long-lived experiment executor.
 
-use crate::plan::{CircuitSpec, SweepPlan};
+use crate::plan::{Cell, CircuitSpec, SweepPlan};
 use crate::report::{CacheStats, CellRecord, Report, TierStats};
 use nisq_core::{
     CompileError, CompiledCircuit, Compiler, CompilerConfig, Pipeline, PlacementCache,
 };
 use nisq_ir::Circuit;
-use nisq_machine::{Machine, TopologySpec};
+use nisq_machine::{Machine, MachineError, TopologySpec};
 use nisq_sim::{Simulator, SimulatorConfig};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Key of the full-compile cache: circuit, machine and config fingerprints.
 type CompileKey = (u64, u64, u64);
+
+/// External controls for [`Session::run_controlled`]: the knobs a hosting
+/// service (the serve daemon) uses to bound a run without forking the
+/// execution logic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunControl {
+    /// Stop before starting any cell that would begin after this instant.
+    /// `None` runs to completion.
+    pub deadline: Option<Instant>,
+}
+
+impl RunControl {
+    /// A control block with no limits (equivalent to [`Session::run`]'s
+    /// behaviour, executed serially).
+    pub fn unbounded() -> Self {
+        RunControl::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// What [`Session::run_controlled`] produced: the (possibly partial)
+/// report plus how far through the plan the run got.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Records for every cell that finished, in plan order.
+    pub report: Report,
+    /// `true` when every plan cell ran; `false` when the deadline cut the
+    /// run short (the report then holds a prefix of the plan's cells).
+    pub completed: bool,
+    /// Total cells the plan describes.
+    pub cells_total: usize,
+}
 
 /// A long-lived executor for [`SweepPlan`] workloads.
 ///
@@ -113,6 +151,28 @@ impl Session {
             .entry((spec, seed, day))
             .or_insert_with(|| Arc::new(Machine::from_spec(spec, seed, day)))
             .clone()
+    }
+
+    /// Like [`Session::machine`], but validating the spec first so a
+    /// degenerate topology (a `ring-2`, a `grid-0x5`) surfaces as a typed
+    /// error instead of a panic — the variant untrusted plans go through.
+    /// Only successful builds enter the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`Machine::try_from_spec`] reports.
+    pub fn try_machine(
+        &mut self,
+        spec: TopologySpec,
+        seed: u64,
+        day: usize,
+    ) -> Result<Arc<Machine>, MachineError> {
+        if let Some(hit) = self.machines.get(&(spec, seed, day)) {
+            return Ok(hit.clone());
+        }
+        let machine = Arc::new(Machine::try_from_spec(spec, seed, day)?);
+        self.machines.insert((spec, seed, day), machine.clone());
+        Ok(machine)
     }
 
     /// Compiles `circuit` for `machine` under `config` through the
@@ -268,34 +328,15 @@ impl Session {
             .zip(success.into_iter().zip(cell_tiers))
             .map(
                 |((cell, (_, executable, cache_hit)), (success_rate, tiers))| {
-                    let spec = &plan.circuits()[cell.circuit];
-                    // Timings are rounded to the JSON precision (3 decimals) so
-                    // serializing a report round-trips bit-exactly.
-                    let round3 = |v: f64| (v * 1e3).round() / 1e3;
-                    let place_us = executable
-                        .pass_timings()
-                        .iter()
-                        .find(|t| t.pass == "place")
-                        .map_or(0.0, |t| round3(t.elapsed.as_secs_f64() * 1e6));
-                    CellRecord {
-                        circuit: spec.name.clone(),
-                        config: plan.configs()[cell.config].0.clone(),
-                        topology: cell.topology.name(),
-                        day: cell.day,
-                        qubits: spec.circuit.num_qubits(),
-                        gates: spec.circuit.gate_count(),
-                        sim_seed: cell.sim_seed,
+                    cell_record(
+                        plan,
+                        cell,
+                        executable,
+                        *cache_hit,
                         trials,
                         success_rate,
-                        estimated_reliability: executable.estimated_reliability(),
-                        duration_slots: executable.duration_slots(),
-                        swap_count: executable.swap_count(),
-                        hardware_cnots: executable.hardware_cnot_count(),
-                        compile_ms: round3(executable.compile_time().as_secs_f64() * 1e3),
-                        place_us,
-                        cache_hit: *cache_hit,
                         tiers,
-                    }
+                    )
                 },
             )
             .collect();
@@ -313,6 +354,136 @@ impl Session {
             },
             tiers: tier_totals,
         })
+    }
+
+    /// Executes `plan` cell by cell under external controls — the serial
+    /// sibling of [`Session::run`] used by hosting services that need to
+    /// cut a run short.
+    ///
+    /// Cells execute in plan order; before each cell the control block's
+    /// deadline is checked, and an expired deadline ends the run with the
+    /// cells finished so far (`completed == false`). Per-cell results are
+    /// identical to [`Session::run`]'s: the simulator's trial streams are
+    /// thread-invariant, so a report produced here matches a parallel run
+    /// of the same plan bit for bit (wall-clock fields aside).
+    ///
+    /// Machines are built through [`Session::try_machine`], so a plan
+    /// naming a degenerate topology returns a typed error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile error; cells already executed are
+    /// discarded.
+    pub fn run_controlled(
+        &mut self,
+        plan: &SweepPlan,
+        control: &RunControl,
+    ) -> Result<RunOutcome, CompileError> {
+        let before = self.cache_stats();
+        let cells = plan.cells();
+        let cells_total = cells.len();
+        let trials = plan.trials();
+
+        let mut records = Vec::with_capacity(cells.len());
+        let mut tier_totals = TierStats::default();
+        let mut completed = true;
+        for cell in &cells {
+            if let Some(deadline) = control.deadline {
+                if Instant::now() >= deadline {
+                    completed = false;
+                    break;
+                }
+            }
+            let machine = self.try_machine(cell.topology, plan.machine_seed(), cell.day)?;
+            let spec = &plan.circuits()[cell.circuit];
+            let config = &plan.configs()[cell.config].1;
+            let (executable, cache_hit) = self.compile_cached(&machine, config, &spec.circuit)?;
+
+            let (success_rate, tiers) = match &spec.expected {
+                Some(expected) if trials > 0 => {
+                    let mut sim_config = SimulatorConfig::with_trials(trials, cell.sim_seed);
+                    sim_config.threads = self.threads;
+                    let simulator = Simulator::new(&machine, sim_config);
+                    let program = simulator.prepare(executable.physical_circuit());
+                    let (result, counts) = simulator.run_program_with_stats(&program);
+                    (
+                        Some(result.probability_of(expected)),
+                        TierStats::from(counts),
+                    )
+                }
+                _ => (None, TierStats::default()),
+            };
+            tier_totals.merge(&tiers);
+            records.push(cell_record(
+                plan,
+                cell,
+                &executable,
+                cache_hit,
+                trials,
+                success_rate,
+                tiers,
+            ));
+        }
+
+        let after = self.cache_stats();
+        Ok(RunOutcome {
+            report: Report {
+                machine_seed: plan.machine_seed(),
+                trials,
+                cells: records,
+                cache: CacheStats {
+                    compile_requests: after.compile_requests - before.compile_requests,
+                    compile_hits: after.compile_hits - before.compile_hits,
+                    place_hits: after.place_hits - before.place_hits,
+                    place_runs: after.place_runs - before.place_runs,
+                },
+                tiers: tier_totals,
+            },
+            completed,
+            cells_total,
+        })
+    }
+}
+
+/// Builds the report record for one executed cell — shared by the parallel
+/// and the controlled execution paths so both emit identical records.
+fn cell_record(
+    plan: &SweepPlan,
+    cell: &Cell,
+    executable: &CompiledCircuit,
+    cache_hit: bool,
+    trials: u32,
+    success_rate: Option<f64>,
+    tiers: TierStats,
+) -> CellRecord {
+    let spec = &plan.circuits()[cell.circuit];
+    // Timings are rounded to the JSON precision (3 decimals) so
+    // serializing a report round-trips bit-exactly.
+    let round3 = |v: f64| (v * 1e3).round() / 1e3;
+    let place_us = executable
+        .pass_timings()
+        .iter()
+        .find(|t| t.pass == "place")
+        .map_or(0.0, |t| round3(t.elapsed.as_secs_f64() * 1e6));
+    CellRecord {
+        circuit: spec.name.clone(),
+        config: plan.configs()[cell.config].0.clone(),
+        topology: cell.topology.name(),
+        day: cell.day,
+        qubits: spec.circuit.num_qubits(),
+        gates: spec.circuit.gate_count(),
+        sim_seed: cell.sim_seed,
+        trials,
+        success_rate,
+        estimated_reliability: executable.estimated_reliability(),
+        duration_slots: executable.duration_slots(),
+        swap_count: executable.swap_count(),
+        hardware_cnots: executable.hardware_cnot_count(),
+        compile_ms: round3(executable.compile_time().as_secs_f64() * 1e3),
+        place_us,
+        cache_hit,
+        tiers,
     }
 }
 
@@ -407,6 +578,55 @@ mod tests {
         let report = session.run(&plan).unwrap();
         assert_eq!(report.cells[0].success_rate, None);
         assert_eq!(report.cells[0].trials, 64);
+    }
+
+    #[test]
+    fn controlled_run_matches_parallel_run_canonically() {
+        let plan = SweepPlan::new()
+            .benchmarks([Benchmark::Bv4, Benchmark::Hs2])
+            .config("Qiskit", CompilerConfig::qiskit())
+            .config("GreedyE*", CompilerConfig::greedy_e())
+            .days([0, 1])
+            .with_trials(64);
+        let parallel = Session::new().run(&plan).unwrap();
+        let outcome = Session::new()
+            .run_controlled(&plan, &RunControl::unbounded())
+            .unwrap();
+        assert!(outcome.completed);
+        assert_eq!(outcome.cells_total, parallel.cells.len());
+        assert_eq!(
+            outcome.report.canonicalized(),
+            parallel.canonicalized(),
+            "controlled and parallel runs must agree on everything observable"
+        );
+    }
+
+    #[test]
+    fn controlled_run_stops_at_an_expired_deadline() {
+        let plan = SweepPlan::new()
+            .benchmarks([Benchmark::Bv4, Benchmark::Hs2])
+            .config("GreedyE*", CompilerConfig::greedy_e())
+            .with_trials(32);
+        let control = RunControl::unbounded().with_deadline(Instant::now());
+        let outcome = Session::new().run_controlled(&plan, &control).unwrap();
+        assert!(!outcome.completed);
+        assert_eq!(outcome.report.cells.len(), 0);
+        assert_eq!(outcome.cells_total, 2);
+    }
+
+    #[test]
+    fn try_machine_rejects_degenerate_specs_without_caching() {
+        let mut session = Session::new();
+        assert!(session
+            .try_machine(TopologySpec::Ring { n: 2 }, 1, 0)
+            .is_err());
+        let ok = session
+            .try_machine(TopologySpec::Ring { n: 4 }, 1, 0)
+            .unwrap();
+        let again = session
+            .try_machine(TopologySpec::Ring { n: 4 }, 1, 0)
+            .unwrap();
+        assert!(Arc::ptr_eq(&ok, &again));
     }
 
     #[test]

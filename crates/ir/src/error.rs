@@ -31,6 +31,15 @@ pub enum IrError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A register declaration asked for more qubits/clbits than the
+    /// toolchain accepts — a guard against untrusted QASM allocating
+    /// unbounded memory before any simulation-size check can run.
+    RegisterTooLarge {
+        /// Requested register size.
+        requested: usize,
+        /// Maximum accepted register size.
+        max: usize,
+    },
     /// A requested benchmark size is not supported.
     InvalidBenchmarkSize {
         /// Name of the benchmark family.
@@ -59,6 +68,10 @@ impl fmt::Display for IrError {
             IrError::QasmParse { line, message } => {
                 write!(f, "OpenQASM parse error at line {line}: {message}")
             }
+            IrError::RegisterTooLarge { requested, max } => write!(
+                f,
+                "register size {requested} exceeds the supported maximum of {max}"
+            ),
             IrError::InvalidBenchmarkSize {
                 name,
                 requested,

@@ -231,11 +231,16 @@ fn parse_statement(
     Ok(())
 }
 
+/// Largest register size [`parse`] accepts. Untrusted QASM is rejected with
+/// [`IrError::RegisterTooLarge`] before any per-qubit allocation happens;
+/// simulation-size limits downstream are far tighter than this.
+pub const MAX_REGISTER_SIZE: usize = 1 << 16;
+
 fn parse_reg_size(rest: &str, line: usize) -> Result<usize, IrError> {
     let rest = rest.trim();
     let open = rest.find('[');
     let close = rest.find(']');
-    match (open, close) {
+    let size: usize = match (open, close) {
         (Some(o), Some(c)) if c > o => {
             rest[o + 1..c]
                 .trim()
@@ -243,13 +248,22 @@ fn parse_reg_size(rest: &str, line: usize) -> Result<usize, IrError> {
                 .map_err(|_| IrError::QasmParse {
                     line,
                     message: format!("invalid register size in: {rest}"),
-                })
+                })?
         }
-        _ => Err(IrError::QasmParse {
-            line,
-            message: format!("malformed register declaration: {rest}"),
-        }),
+        _ => {
+            return Err(IrError::QasmParse {
+                line,
+                message: format!("malformed register declaration: {rest}"),
+            })
+        }
+    };
+    if size > MAX_REGISTER_SIZE {
+        return Err(IrError::RegisterTooLarge {
+            requested: size,
+            max: MAX_REGISTER_SIZE,
+        });
     }
+    Ok(size)
 }
 
 fn parse_index(op: &str, reg: char, line: usize) -> Result<usize, IrError> {
@@ -390,6 +404,67 @@ mod tests {
         let src = "qreg q[2]; creg c[2]; h q[0]; cx q[0], q[1];";
         let c = parse(src).unwrap();
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_oversized_registers_without_allocating() {
+        let src = format!("qreg q[{}];\ncreg c[2];\nh q[0];", MAX_REGISTER_SIZE + 1);
+        match parse(&src).unwrap_err() {
+            IrError::RegisterTooLarge { requested, max } => {
+                assert_eq!(requested, MAX_REGISTER_SIZE + 1);
+                assert_eq!(max, MAX_REGISTER_SIZE);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The boundary itself is accepted (declaration only, no gates).
+        let src = format!("qreg q[{MAX_REGISTER_SIZE}];\ncreg c[1];");
+        assert!(parse(&src).is_ok());
+    }
+
+    #[test]
+    fn malformed_input_yields_typed_errors_never_panics() {
+        // Each entry is (description, source). All must return Err — the
+        // battery exists to prove untrusted QASM cannot panic the parser.
+        let cases: &[(&str, &str)] = &[
+            ("negative register size", "qreg q[-4];"),
+            ("non-numeric register size", "qreg q[two];"),
+            ("missing bracket in qreg", "qreg q4];"),
+            ("reversed brackets in qreg", "qreg q]4[;"),
+            ("empty register size", "qreg q[];"),
+            (
+                "huge register size overflow",
+                "qreg q[99999999999999999999];",
+            ),
+            ("truncated measure", "qreg q[2]; creg c[2]; measure q[0];"),
+            (
+                "measure into wrong register",
+                "qreg q[2]; creg c[2]; measure q[0] -> q[1];",
+            ),
+            ("unknown gate", "qreg q[1]; frobnicate q[0];"),
+            ("unknown statement", "qreg q[1]; gibberish;"),
+            ("unbalanced parenthesis", "qreg q[1]; rx(pi/2 q[0];"),
+            ("missing angle", "qreg q[1]; rz q[0];"),
+            ("bad angle expression", "qreg q[1]; rx(banana) q[0];"),
+            ("bad pi divisor", "qreg q[1]; rz(pi/zero) q[0];"),
+            ("cx with one operand", "qreg q[2]; cx q[0];"),
+            ("cx with three operands", "qreg q[3]; cx q[0], q[1], q[2];"),
+            ("h with two operands", "qreg q[2]; h q[0], q[1];"),
+            ("duplicate cx operands", "qreg q[2]; cx q[0], q[0];"),
+            ("operand index out of range", "qreg q[2]; h q[7];"),
+            ("operand with bad index", "qreg q[2]; h q[x];"),
+            ("operand missing close bracket", "qreg q[2]; h q[0;"),
+            (
+                "clbit out of range",
+                "qreg q[2]; creg c[1]; measure q[1] -> c[1];",
+            ),
+            ("barrier on bad operand", "qreg q[2]; barrier q[0], nope;"),
+            ("no qreg at all", "creg c[3]; h q[0];"),
+        ];
+        for (what, src) in cases {
+            let err = std::panic::catch_unwind(|| parse(src))
+                .unwrap_or_else(|_| panic!("{what}: parser panicked"));
+            assert!(err.is_err(), "{what}: expected a typed error, got Ok");
+        }
     }
 
     #[test]

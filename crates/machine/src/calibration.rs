@@ -138,18 +138,73 @@ impl Calibration {
         h.finish()
     }
 
-    /// Validates that the snapshot covers exactly the given topology.
+    /// Validates that the snapshot covers exactly the given topology and
+    /// carries no degenerate data.
+    ///
+    /// Coverage: every qubit has per-qubit tables, every topology edge has
+    /// a CNOT error rate and duration. Sanity: error rates (readout,
+    /// single-qubit, CNOT) must be finite and in `[0, 1)` — an error rate
+    /// of 1.0 is a zero-reliability element that silently zeroes or NaNs
+    /// every downstream success estimate — and coherence times and the
+    /// timeslot length must be positive and finite (a `t2_us` of zero
+    /// turns [`Calibration::dephasing_probability`] into `NaN`).
     ///
     /// # Errors
     ///
-    /// Returns an error if the sizes disagree or an edge of the topology has
-    /// no CNOT calibration.
+    /// Returns [`MachineError::CalibrationSizeMismatch`],
+    /// [`MachineError::MissingEdgeCalibration`] or
+    /// [`MachineError::InvalidCalibration`] describing the first problem.
     pub fn validate(&self, topology: &Topology) -> Result<(), MachineError> {
         if self.num_qubits() != topology.num_qubits() {
             return Err(MachineError::CalibrationSizeMismatch {
                 topology_qubits: topology.num_qubits(),
                 calibration_qubits: self.num_qubits(),
             });
+        }
+        let invalid = |field: &'static str, element: String, value: f64| {
+            Err(MachineError::InvalidCalibration {
+                field,
+                element,
+                value: format!("{value}"),
+            })
+        };
+        if !(self.timeslot_ns.is_finite() && self.timeslot_ns > 0.0) {
+            return invalid("timeslot_ns", "-".to_string(), self.timeslot_ns);
+        }
+        let n = self.num_qubits();
+        for (field, table) in [("t1_us", &self.t1_us), ("t2_us", &self.t2_us)] {
+            if table.len() != n {
+                return Err(MachineError::CalibrationSizeMismatch {
+                    topology_qubits: n,
+                    calibration_qubits: table.len(),
+                });
+            }
+            for (q, &v) in table.iter().enumerate() {
+                if !(v.is_finite() && v > 0.0) {
+                    return invalid(field, q.to_string(), v);
+                }
+            }
+        }
+        for (field, table) in [
+            ("readout_error", &self.readout_error),
+            ("single_qubit_error", &self.single_qubit_error),
+        ] {
+            if table.len() != n {
+                return Err(MachineError::CalibrationSizeMismatch {
+                    topology_qubits: n,
+                    calibration_qubits: table.len(),
+                });
+            }
+            for (q, &v) in table.iter().enumerate() {
+                if !(v.is_finite() && (0.0..1.0).contains(&v)) {
+                    return invalid(field, q.to_string(), v);
+                }
+            }
+        }
+        for (&edge, &rate) in &self.cnot_error {
+            if !(rate.is_finite() && (0.0..1.0).contains(&rate)) {
+                return invalid("cnot_error", format!("{}-{}", edge.0, edge.1), rate);
+            }
         }
         for &(a, b) in topology.edges() {
             let edge = EdgeId::new(a, b);

@@ -40,6 +40,34 @@ pub enum MachineError {
         /// Display name of the offending topology.
         topology: String,
     },
+    /// A calibration snapshot carried a degenerate value — NaN, infinite,
+    /// an error rate at or above 1.0 (a zero-reliability element), or a
+    /// non-positive coherence time / timeslot length — that would surface
+    /// downstream as silent NaN success rates instead of a diagnosis.
+    InvalidCalibration {
+        /// Which table the value came from (`"cnot_error"`, `"t2_us"`, ...).
+        field: &'static str,
+        /// Human-readable location of the value (qubit index or edge).
+        element: String,
+        /// The offending value, formatted (NaN prints as `NaN`).
+        value: String,
+    },
+    /// A topology spec described a degenerate machine (zero-sized grid,
+    /// ring below 3 qubits, heavy-hex lattice below 2x3).
+    DegenerateTopology {
+        /// Display name of the offending spec.
+        topology: String,
+        /// Why it is degenerate.
+        reason: &'static str,
+    },
+    /// The coupling graph is not connected: some qubit pairs have no
+    /// routing path at all, so placement and routing cannot succeed.
+    DisconnectedTopology {
+        /// Qubits reachable from qubit 0.
+        reachable: usize,
+        /// Total qubits in the topology.
+        total: usize,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -65,6 +93,21 @@ impl fmt::Display for MachineError {
             MachineError::NotAGrid { topology } => {
                 write!(f, "topology {topology} has no 2-D grid layout")
             }
+            MachineError::InvalidCalibration {
+                field,
+                element,
+                value,
+            } => write!(
+                f,
+                "degenerate calibration value {field}[{element}] = {value}"
+            ),
+            MachineError::DegenerateTopology { topology, reason } => {
+                write!(f, "degenerate topology {topology}: {reason}")
+            }
+            MachineError::DisconnectedTopology { reachable, total } => write!(
+                f,
+                "coupling graph is disconnected: only {reachable} of {total} qubits reachable from qubit 0"
+            ),
         }
     }
 }

@@ -52,6 +52,12 @@ impl Machine {
         calibration: Calibration,
     ) -> Result<Self, MachineError> {
         let topology = topology.into();
+        if !topology.is_connected() {
+            return Err(MachineError::DisconnectedTopology {
+                reachable: topology.connected_count(),
+                total: topology.num_qubits(),
+            });
+        }
         calibration.validate(&topology)?;
         let reliability = ReliabilityModel::new(&topology, &calibration);
         Ok(Machine {
@@ -85,6 +91,22 @@ impl Machine {
         let topology = spec.build();
         let calibration = CalibrationGenerator::new(topology.clone(), seed).day(day);
         Machine::new(spec.name(), topology, calibration)
+    }
+
+    /// Like [`Machine::from_spec`], but validating the spec first so
+    /// degenerate parameters (a `ring-2`, a `grid-0x5`) surface as a typed
+    /// error instead of a panic — the entry point for untrusted input (the
+    /// CLI, the serve daemon).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::DegenerateTopology`] for invalid spec
+    /// parameters, or any error [`Machine::try_new`] reports.
+    pub fn try_from_spec(spec: TopologySpec, seed: u64, day: usize) -> Result<Self, MachineError> {
+        spec.validate()?;
+        let topology = spec.build();
+        let calibration = CalibrationGenerator::new(topology.clone(), seed).day(day);
+        Machine::try_new(spec.name(), topology, calibration)
     }
 
     /// Machine name (used in reports).
@@ -173,5 +195,98 @@ mod tests {
     fn reliability_model_matches_calibration() {
         let m = Machine::ibmq16_on_day(9, 2);
         assert_eq!(m.reliability().calibration(), m.calibration());
+    }
+
+    #[test]
+    fn try_from_spec_rejects_degenerate_specs() {
+        for spec in [
+            TopologySpec::Ring { n: 2 },
+            TopologySpec::Grid { mx: 0, my: 5 },
+            TopologySpec::Grid { mx: 4, my: 0 },
+            TopologySpec::HeavyHex { rows: 1, cols: 9 },
+            TopologySpec::HeavyHex { rows: 3, cols: 2 },
+        ] {
+            assert!(
+                matches!(
+                    Machine::try_from_spec(spec, 1, 0),
+                    Err(MachineError::DegenerateTopology { .. })
+                ),
+                "{spec:?} should be rejected"
+            );
+        }
+        assert!(Machine::try_from_spec(TopologySpec::Ring { n: 3 }, 1, 0).is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_calibration_values() {
+        let base = Machine::ibmq16_on_day(7, 0);
+        let topology = base.topology().clone();
+        let edge = {
+            let (a, b) = topology.edges()[0];
+            crate::calibration::EdgeId::new(a, b)
+        };
+        type Poison = Box<dyn Fn(&mut Calibration)>;
+        let cases: Vec<(&str, Poison)> = vec![
+            (
+                "nan cnot",
+                Box::new(move |c| {
+                    c.cnot_error.insert(edge, f64::NAN);
+                }),
+            ),
+            (
+                "zero-reliability cnot",
+                Box::new(move |c| {
+                    c.cnot_error.insert(edge, 1.0);
+                }),
+            ),
+            (
+                "cnot above 1",
+                Box::new(move |c| {
+                    c.cnot_error.insert(edge, 1.5);
+                }),
+            ),
+            ("negative readout", Box::new(|c| c.readout_error[3] = -0.01)),
+            ("readout of 1", Box::new(|c| c.readout_error[3] = 1.0)),
+            (
+                "nan single-qubit",
+                Box::new(|c| c.single_qubit_error[0] = f64::NAN),
+            ),
+            ("zero t2", Box::new(|c| c.t2_us[5] = 0.0)),
+            ("infinite t2", Box::new(|c| c.t2_us[5] = f64::INFINITY)),
+            ("zero timeslot", Box::new(|c| c.timeslot_ns = 0.0)),
+        ];
+        for (what, poison) in cases {
+            let mut cal = base.calibration().clone();
+            poison(&mut cal);
+            let err = Machine::try_new("bad", topology.clone(), cal)
+                .expect_err(&format!("{what} should be rejected"));
+            assert!(
+                matches!(err, MachineError::InvalidCalibration { .. }),
+                "{what}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_disconnected_topologies() {
+        // Two disjoint 2-qubit chains: qubits {0,1} and {2,3}.
+        let topology = Topology::custom_for_tests(
+            TopologySpec::Grid { mx: 2, my: 2 },
+            4,
+            vec![
+                (crate::HwQubit(0), crate::HwQubit(1)),
+                (crate::HwQubit(2), crate::HwQubit(3)),
+            ],
+        );
+        assert!(!topology.is_connected());
+        let cal = CalibrationGenerator::new(topology.clone(), 0).day(0);
+        let err = Machine::try_new("split", topology, cal).unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::DisconnectedTopology {
+                reachable: 2,
+                total: 4
+            }
+        ));
     }
 }

@@ -324,6 +324,75 @@ impl TopologySpec {
         Topology::from_spec(self)
     }
 
+    /// Checks the spec parameters without building anything.
+    ///
+    /// [`TopologySpec::build`] panics on degenerate parameters; callers
+    /// handling untrusted input (the CLI, the serve daemon) call this first
+    /// and surface the typed error instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::DegenerateTopology`] for zero-sized grids,
+    /// rings below 3 qubits, or heavy-hex lattices below 2 rows x 3 columns.
+    pub fn validate(&self) -> Result<(), MachineError> {
+        let fail = |reason: &'static str| {
+            Err(MachineError::DegenerateTopology {
+                topology: self.name(),
+                reason,
+            })
+        };
+        match *self {
+            TopologySpec::Ibmq16 => Ok(()),
+            TopologySpec::Grid { mx, my } => {
+                if mx == 0 || my == 0 {
+                    return fail("grid dimensions must be positive");
+                }
+                Ok(())
+            }
+            TopologySpec::Ring { n } => {
+                if n < 3 {
+                    return fail("a ring needs at least 3 qubits");
+                }
+                Ok(())
+            }
+            TopologySpec::HeavyHex { rows, cols } => {
+                if rows < 2 || cols < 3 {
+                    return fail("a heavy-hex lattice needs at least 2 rows of 3 columns");
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The number of hardware qubits the built topology would have, computed
+    /// without building it (building allocates an `n x n` distance matrix,
+    /// which admission control must be able to refuse *before* paying for).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::DegenerateTopology`] when the spec does not
+    /// validate.
+    pub fn qubit_count(&self) -> Result<usize, MachineError> {
+        self.validate()?;
+        Ok(match *self {
+            TopologySpec::Ibmq16 => 16,
+            TopologySpec::Grid { mx, my } => mx.saturating_mul(my),
+            TopologySpec::Ring { n } => n,
+            TopologySpec::HeavyHex { rows, cols } => {
+                // Chain qubits plus one bridge per selected column between
+                // consecutive rows (mirrors the construction in
+                // `Topology::from_spec`).
+                let mut bridges = 0usize;
+                for r in 0..rows - 1 {
+                    let offset = if r % 2 == 0 { 0 } else { 2 };
+                    let cols_hit = (0..cols).filter(|c| c % 4 == offset).count();
+                    bridges += cols_hit.max(1);
+                }
+                rows.saturating_mul(cols).saturating_add(bridges)
+            }
+        })
+    }
+
     /// Short machine-style name ("IBMQ16", "grid-4x4", "ring-12",
     /// "heavy-hex-2x7").
     pub fn name(&self) -> String {
@@ -520,6 +589,41 @@ impl Topology {
     /// The spec this topology was built from.
     pub fn spec(&self) -> TopologySpec {
         self.spec
+    }
+
+    /// Whether every qubit can reach every other qubit through coupling
+    /// edges. All built-in specs produce connected graphs; the check exists
+    /// so [`Machine::try_new`](crate::Machine::try_new) can refuse a
+    /// disconnected machine with a typed error instead of letting routing
+    /// fail much later on an "unreachable" distance.
+    pub fn is_connected(&self) -> bool {
+        self.connected_count() == self.n
+    }
+
+    /// Number of qubits reachable from qubit 0 (equals
+    /// [`Topology::num_qubits`] exactly when the graph is connected).
+    pub fn connected_count(&self) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        // Row 0 of the precomputed all-pairs BFS table already encodes
+        // reachability from qubit 0.
+        self.dist[..self.n]
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .count()
+    }
+
+    /// Builds a topology from an explicit edge list, for tests that need
+    /// graphs the public specs cannot describe (e.g. disconnected ones).
+    /// The `spec` argument is only a label for naming/fingerprinting.
+    #[cfg(test)]
+    pub(crate) fn custom_for_tests(
+        spec: TopologySpec,
+        n: usize,
+        edges: Vec<(HwQubit, HwQubit)>,
+    ) -> Self {
+        Self::from_edge_list(spec, n, edges, None)
     }
 
     /// A deterministic 64-bit fingerprint of the coupling graph: the spec,

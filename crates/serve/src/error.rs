@@ -1,0 +1,145 @@
+//! The request-level error taxonomy.
+//!
+//! Every way a request can fail maps to exactly one [`ServeError`]
+//! variant, and every variant has a stable wire `code` clients can switch
+//! on. The daemon never answers a request with anything other than a
+//! report or one of these — process death is not part of the taxonomy.
+
+use std::error::Error;
+use std::fmt;
+
+/// A structured request failure, serialized onto the wire as
+/// `{"status": "error", "code": ..., "message": ...}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request line was not valid JSON, exceeded the size limit, or
+    /// did not have the shape of a request envelope.
+    Protocol {
+        /// What was wrong with the framing or envelope.
+        message: String,
+    },
+    /// The envelope was well-formed but the plan it carries is not: an
+    /// unknown benchmark or mapper name, malformed QASM, a degenerate
+    /// topology, an unknown field.
+    InvalidPlan {
+        /// What was wrong with the plan.
+        message: String,
+    },
+    /// The plan is valid but exceeds an admission budget (cells, trials,
+    /// machine size, simulated-circuit width).
+    Budget {
+        /// Which budget was exceeded and by how much.
+        message: String,
+    },
+    /// The work queue is at capacity; the request was not enqueued.
+    QueueFull {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's wall-clock deadline expired before any cell finished
+    /// (a deadline that expires mid-run yields a `partial` response
+    /// instead, carrying the cells that did finish).
+    Timeout {
+        /// Wall-clock time the request spent (queueing included), in
+        /// milliseconds.
+        elapsed_ms: u64,
+    },
+    /// Compilation or machine construction failed for a plan cell.
+    Compile {
+        /// The underlying compile diagnostic.
+        message: String,
+    },
+    /// The request panicked inside the worker. The daemon caught it,
+    /// checked the shared caches for poisoning, and stayed up.
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The daemon is draining for shutdown and refuses new work.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// The stable wire code of this error.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Protocol { .. } => "protocol",
+            ServeError::InvalidPlan { .. } => "invalid-plan",
+            ServeError::Budget { .. } => "budget",
+            ServeError::QueueFull { .. } => "queue-full",
+            ServeError::Timeout { .. } => "timeout",
+            ServeError::Compile { .. } => "compile",
+            ServeError::Panic { .. } => "panic",
+            ServeError::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol { message } => write!(f, "protocol error: {message}"),
+            ServeError::InvalidPlan { message } => write!(f, "invalid plan: {message}"),
+            ServeError::Budget { message } => write!(f, "budget exceeded: {message}"),
+            ServeError::QueueFull { retry_after_ms } => {
+                write!(f, "queue full, retry after {retry_after_ms} ms")
+            }
+            ServeError::Timeout { elapsed_ms } => {
+                write!(f, "deadline expired after {elapsed_ms} ms")
+            }
+            ServeError::Compile { message } => write!(f, "compile failed: {message}"),
+            ServeError::Panic { message } => write!(f, "request panicked: {message}"),
+            ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<nisq_core::CompileError> for ServeError {
+    fn from(err: nisq_core::CompileError) -> Self {
+        ServeError::Compile {
+            message: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_a_distinct_code() {
+        let variants = [
+            ServeError::Protocol {
+                message: String::new(),
+            },
+            ServeError::InvalidPlan {
+                message: String::new(),
+            },
+            ServeError::Budget {
+                message: String::new(),
+            },
+            ServeError::QueueFull { retry_after_ms: 1 },
+            ServeError::Timeout { elapsed_ms: 1 },
+            ServeError::Compile {
+                message: String::new(),
+            },
+            ServeError::Panic {
+                message: String::new(),
+            },
+            ServeError::ShuttingDown,
+        ];
+        let codes: Vec<&str> = variants.iter().map(ServeError::code).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

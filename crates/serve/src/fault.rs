@@ -1,0 +1,34 @@
+//! Injectable faults for the robustness test suite.
+//!
+//! Compiled only under the `fault-injection` feature: a [`FaultPlan`]
+//! installed into a [`ServerConfig`](crate::ServerConfig) makes the worker
+//! misbehave on demand — panic mid-request, or stall long enough to blow
+//! any deadline — so the suite can assert the daemon survives exactly the
+//! failures the isolation machinery exists for. Release builds carry no
+//! hooks.
+
+/// A set of faults the worker injects into matching requests.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Panic (mid-worker, after admission) when a run's plan contains a
+    /// circuit with this name.
+    pub panic_on_circuit: Option<String>,
+    /// Sleep this long before executing every run request — long enough a
+    /// delay turns any deadline into a timeout deterministically.
+    pub delay_before_run_ms: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether `names` contains the panic-trigger circuit.
+    pub fn should_panic<'a>(&self, mut names: impl Iterator<Item = &'a str>) -> bool {
+        match &self.panic_on_circuit {
+            Some(trigger) => names.any(|n| n == trigger),
+            None => false,
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `nisq-serve`: a fault-tolerant compile-and-simulate daemon.
+//!
+//! The daemon wraps one long-lived [`nisq_exp::Session`] behind a
+//! line-delimited JSON protocol over TCP or a Unix socket, so repeated
+//! sweeps share compile and placement caches across clients. It is built
+//! for hostile weather:
+//!
+//! - a **bounded queue** rejects excess load with `queue-full` and a
+//!   `retry_after_ms` hint instead of buffering without limit;
+//! - every request runs under a **wall-clock deadline** (queue wait
+//!   included) and returns a partial, well-formed report when time runs
+//!   out;
+//! - requests execute under **panic isolation**: a panicking request is
+//!   answered with a structured `panic` error, and the shared session is
+//!   rebuilt only if the panic poisoned a cache lock;
+//! - SIGINT/SIGTERM trigger a **graceful drain**: admitted work finishes,
+//!   new work is refused with `shutting-down`, then the process exits 0.
+//!
+//! Every error travels as a typed [`ServeError`] with a stable wire code,
+//! mirrored by the `code` field of error responses. The `fault-injection`
+//! feature (tests only) adds [`FaultPlan`] hooks for panicking or stalling
+//! the worker on demand.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+#[cfg(feature = "fault-injection")]
+mod fault;
+mod queue;
+mod request;
+mod response;
+mod server;
+pub mod signal;
+
+pub use error::ServeError;
+#[cfg(feature = "fault-injection")]
+pub use fault::FaultPlan;
+pub use request::{admit, parse_request, Budgets, Op, Request};
+pub use server::{Endpoint, Server, ServerConfig, ServerHandle};

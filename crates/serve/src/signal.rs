@@ -1,0 +1,49 @@
+//! SIGINT/SIGTERM handling for graceful shutdown.
+//!
+//! The only unsafe code in the daemon lives here: registering a signal
+//! handler that flips an atomic flag. The accept loop polls the flag and
+//! turns it into the drain-and-exit sequence; the handler itself does
+//! nothing else (it is async-signal-safe by construction).
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn record_signal(_signum: i32) {
+    SHUTDOWN_SIGNAL.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs the SIGINT/SIGTERM handler. Idempotent; call once before
+/// entering the accept loop.
+pub fn install() {
+    let handler = record_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// Whether a termination signal has been received since [`install`].
+pub fn received() -> bool {
+    SHUTDOWN_SIGNAL.load(Ordering::SeqCst)
+}
+
+/// Test hook: raise the flag as if a signal had arrived.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn raise_for_tests() {
+    SHUTDOWN_SIGNAL.store(true, Ordering::SeqCst);
+}
+
+/// Test hook: clear the flag between tests.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn reset_for_tests() {
+    SHUTDOWN_SIGNAL.store(false, Ordering::SeqCst);
+}

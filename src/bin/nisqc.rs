@@ -10,6 +10,7 @@
 //!        nisqc --benchmark BV4 [options]
 //!        nisqc sweep [sweep options]
 //!        nisqc sweep --validate report.json [--expect-cells N]
+//!        nisqc serve [serve options]
 //!
 //! Options:
 //!   --mapper <name>    qiskit | t-smt | t-smt-star | r-smt-star |
@@ -22,8 +23,9 @@
 //!   --output <path>    write the compiled OpenQASM here
 //!
 //! Sweep options (execute a declarative plan, emit a JSON report):
-//!   --benchmarks <l>   comma list of Table-2 names, "all" or
-//!                      "representative"                 (default: representative)
+//!   --benchmarks <l>   comma list of Table-2 names, "all", "representative"
+//!                      or "none" (with --qasm)          (default: representative)
+//!   --qasm <path>      add a custom OpenQASM circuit to the plan (repeatable)
 //!   --mappers <l>      comma list of mapper names or "table1"
 //!                                                       (default: r-smt-star)
 //!   --omega <w>        readout weight for r-smt-star    (default: 0.5)
@@ -36,10 +38,23 @@
 //!   --output <path>    write the JSON report here       (default: stdout)
 //!   --validate <path>  parse an emitted report instead of running a sweep
 //!   --expect-cells <n> with --validate: require exactly n cells
+//!
+//! Serve options (run the persistent compile-and-simulate daemon):
+//!   --listen <addr>    TCP listen address               (default: 127.0.0.1:7878)
+//!   --unix <path>      listen on a Unix socket instead of TCP
+//!   --queue <n>        bounded work-queue capacity      (default: 32)
+//!   --timeout-ms <n>   per-request wall-clock budget    (default: 30000)
+//!   --max-cells <n>    largest plan a request may send  (default: 4096)
+//!   --max-trials <n>   largest per-cell trial count     (default: 65536)
+//!   --max-qubits <n>   largest machine a request builds (default: 256)
+//!   --threads <n>      session worker threads           (default: auto)
 //! ```
 
+use nisq::exp::names::{config_for, parse_benchmarks, parse_days, parse_mappers, parse_topology};
 use nisq::prelude::*;
+use nisq::serve::{Endpoint, Server, ServerConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     input: Input,
@@ -141,18 +156,6 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-fn config_for(mapper: &str, omega: f64) -> Result<CompilerConfig, String> {
-    Ok(match mapper {
-        "qiskit" => CompilerConfig::qiskit(),
-        "t-smt" => CompilerConfig::t_smt(RouteSelection::RectangleReservation),
-        "t-smt-star" => CompilerConfig::t_smt_star(RouteSelection::OneBendPaths),
-        "r-smt-star" => CompilerConfig::r_smt_star(omega),
-        "greedy-v" => CompilerConfig::greedy_v(),
-        "greedy-e" => CompilerConfig::greedy_e(),
-        other => return Err(format!("unknown mapper {other}")),
-    })
-}
-
 fn run(options: &Options) -> Result<(), String> {
     let (circuit, default_expected) = match &options.input {
         Input::QasmFile(path) => {
@@ -218,109 +221,20 @@ fn run(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses a day-axis argument: comma-separated items, each a single index
-/// or an `a..b` half-open range (`"0,3,5..8"` → `[0, 3, 5, 6, 7]`).
-fn parse_days(text: &str) -> Result<Vec<usize>, String> {
-    let mut days = Vec::new();
-    for item in text.split(',') {
-        let item = item.trim();
-        if let Some((start, end)) = item.split_once("..") {
-            let start: usize = start
-                .parse()
-                .map_err(|_| format!("invalid day range start {start:?}"))?;
-            let end: usize = end
-                .parse()
-                .map_err(|_| format!("invalid day range end {end:?}"))?;
-            if start >= end {
-                return Err(format!("empty day range {item:?}"));
-            }
-            days.extend(start..end);
-        } else {
-            days.push(
-                item.parse()
-                    .map_err(|_| format!("invalid day index {item:?}"))?,
-            );
-        }
-    }
-    if days.is_empty() {
-        return Err("no days given".to_string());
-    }
-    Ok(days)
-}
-
-/// Parses a topology name: `ibmq16`, `grid-MxN`, `ring-N` or
-/// `heavy-hex-RxC`.
-fn parse_topology(text: &str) -> Result<TopologySpec, String> {
-    let lower = text.to_ascii_lowercase();
-    let dims = |spec: &str| -> Result<(usize, usize), String> {
-        spec.split_once('x')
-            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
-            .ok_or_else(|| format!("invalid topology dimensions in {text:?}"))
-    };
-    if lower == "ibmq16" {
-        Ok(TopologySpec::Ibmq16)
-    } else if let Some(rest) = lower.strip_prefix("grid-") {
-        let (mx, my) = dims(rest)?;
-        Ok(TopologySpec::Grid { mx, my })
-    } else if let Some(rest) = lower.strip_prefix("ring-") {
-        let n = rest
-            .parse()
-            .map_err(|_| format!("invalid ring size in {text:?}"))?;
-        Ok(TopologySpec::Ring { n })
-    } else if let Some(rest) = lower.strip_prefix("heavy-hex-") {
-        let (rows, cols) = dims(rest)?;
-        Ok(TopologySpec::HeavyHex { rows, cols })
-    } else {
-        Err(format!("unknown topology {text:?}"))
-    }
-}
-
-/// Resolves a benchmark-list argument into circuit specs.
-fn parse_benchmarks(text: &str) -> Result<Vec<Benchmark>, String> {
-    match text.to_ascii_lowercase().as_str() {
-        "all" => Ok(Benchmark::all().to_vec()),
-        "representative" => Ok(Benchmark::representative().to_vec()),
-        _ => text
-            .split(',')
-            .map(|name| {
-                let name = name.trim();
-                Benchmark::all()
-                    .into_iter()
-                    .find(|b| b.name().eq_ignore_ascii_case(name))
-                    .ok_or_else(|| format!("unknown benchmark {name}"))
-            })
-            .collect(),
-    }
-}
-
-/// Resolves a mapper-list argument into labelled configurations.
-fn parse_mappers(text: &str, omega: f64) -> Result<Vec<(String, CompilerConfig)>, String> {
-    if text.eq_ignore_ascii_case("table1") {
-        return Ok(CompilerConfig::table1()
-            .into_iter()
-            .map(|c| (c.algorithm.name().to_string(), c))
-            .collect());
-    }
-    let mappers: Vec<(String, CompilerConfig)> = text
-        .split(',')
-        .map(|name| {
-            let name = name.trim();
-            config_for(name, omega).map(|c| (name.to_string(), c))
-        })
-        .collect::<Result<_, _>>()?;
-    // Labels address report cells, so they must be unambiguous.
-    for (i, (label, _)) in mappers.iter().enumerate() {
-        if mappers[..i].iter().any(|(seen, _)| seen == label) {
-            return Err(format!("duplicate mapper {label}"));
-        }
-    }
-    Ok(mappers)
+/// Loads a custom OpenQASM circuit into a plan-ready spec. Malformed
+/// files surface the parser's typed diagnosis; nothing panics.
+fn load_qasm_circuit(path: &str) -> Result<CircuitSpec, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let circuit =
+        nisq::ir::qasm::parse(&source).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    Ok(CircuitSpec::new(path.to_string(), circuit))
 }
 
 /// Runs the `sweep` subcommand: execute a plan and emit JSON, or validate
 /// an emitted report (`--validate`).
 fn run_sweep(args: &[String]) -> Result<(), String> {
     let mut benchmarks = "representative".to_string();
+    let mut qasm_files: Vec<String> = Vec::new();
     let mut mappers = "r-smt-star".to_string();
     let mut omega = 0.5;
     let mut days = vec![0usize];
@@ -347,6 +261,7 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
         };
         match arg.as_str() {
             "--benchmarks" => benchmarks = take_value(&mut i)?,
+            "--qasm" => qasm_files.push(take_value(&mut i)?),
             "--mappers" => mappers = take_value(&mut i)?,
             "--omega" => {
                 omega = take_value(&mut i)?
@@ -407,6 +322,12 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
         .topology(topology)
         .with_machine_seed(machine_seed)
         .with_trials(trials);
+    for path in &qasm_files {
+        plan = plan.circuit(load_qasm_circuit(path)?);
+    }
+    if plan.circuits().is_empty() {
+        return Err("the plan selects no circuits (pass --benchmarks or --qasm)".to_string());
+    }
     if let Some(seed) = sim_seed {
         plan = plan.fixed_sim_seed(seed);
     }
@@ -432,16 +353,75 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the `serve` subcommand: bind the daemon and serve until SIGINT,
+/// SIGTERM or a `shutdown` request drains it.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut endpoint = Endpoint::Tcp("127.0.0.1:7878".to_string());
+    let mut config = ServerConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {arg}"))
+        };
+        let parse = |text: String, what: &str| -> Result<u64, String> {
+            text.parse()
+                .map_err(|_| format!("{what} must be an integer"))
+        };
+        match arg.as_str() {
+            "--listen" => endpoint = Endpoint::Tcp(take_value(&mut i)?),
+            "--unix" => endpoint = Endpoint::Unix(take_value(&mut i)?.into()),
+            "--queue" => config.queue_capacity = parse(take_value(&mut i)?, "queue")? as usize,
+            "--timeout-ms" => {
+                config.request_timeout =
+                    Duration::from_millis(parse(take_value(&mut i)?, "timeout-ms")?)
+            }
+            "--max-cells" => config.max_cells = parse(take_value(&mut i)?, "max-cells")? as usize,
+            "--max-trials" => {
+                config.max_trials = u32::try_from(parse(take_value(&mut i)?, "max-trials")?)
+                    .map_err(|_| format!("max-trials must be at most {}", u32::MAX))?
+            }
+            "--max-qubits" => {
+                config.max_machine_qubits = parse(take_value(&mut i)?, "max-qubits")? as usize
+            }
+            "--threads" => config.threads = parse(take_value(&mut i)?, "threads")? as usize,
+            other => return Err(format!("unknown serve option {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+
+    nisq::serve::signal::install();
+    let server = Server::bind(&endpoint, config).map_err(|e| format!("cannot bind: {e}"))?;
+    match (&endpoint, server.local_addr()) {
+        (_, Some(addr)) => eprintln!("nisqc serve: listening on tcp://{addr}"),
+        (Endpoint::Unix(path), None) => {
+            eprintln!("nisqc serve: listening on unix://{}", path.display())
+        }
+        _ => {}
+    }
+    server.run().map_err(|e| format!("serve failed: {e}"))?;
+    eprintln!("nisqc serve: drained and shut down");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let subcommand = |body: fn(&[String]) -> Result<(), String>, args: &[String]| match body(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    };
     if args.first().map(String::as_str) == Some("sweep") {
-        return match run_sweep(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(message) => {
-                eprintln!("error: {message}");
-                ExitCode::FAILURE
-            }
-        };
+        return subcommand(run_sweep, &args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return subcommand(run_serve, &args[1..]);
     }
     let options = match parse_args(&args) {
         Ok(options) => options,
@@ -565,6 +545,71 @@ mod tests {
         assert_eq!(pair[1].1, CompilerConfig::greedy_e());
         assert!(parse_mappers("magic", 0.5).is_err());
         assert!(parse_mappers("qiskit,qiskit", 0.5).is_err());
+    }
+
+    #[test]
+    fn sweep_accepts_custom_qasm_and_rejects_malformed_input() {
+        let dir = std::env::temp_dir().join("nisqc-qasm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.qasm");
+        std::fs::write(
+            &good,
+            "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\n",
+        )
+        .unwrap();
+        let report_path = dir.join("qasm-report.json");
+        run_sweep(&args(&[
+            "--benchmarks",
+            "none",
+            "--qasm",
+            good.to_str().unwrap(),
+            "--mappers",
+            "qiskit",
+            "--output",
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_sweep(&args(&[
+            "--validate",
+            report_path.to_str().unwrap(),
+            "--expect-cells",
+            "1",
+        ]))
+        .unwrap();
+
+        // A malformed file is a typed diagnosis, never a panic.
+        let bad = dir.join("bad.qasm");
+        std::fs::write(&bad, "OPENQASM 2.0;\nqreg q[;\n").unwrap();
+        let err = run_sweep(&args(&[
+            "--benchmarks",
+            "none",
+            "--qasm",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+
+        // So are a missing file and an empty plan.
+        assert!(run_sweep(&args(&["--qasm", "/nonexistent/x.qasm"])).is_err());
+        assert!(run_sweep(&args(&["--benchmarks", "none"])).is_err());
+        // And an oversized register is refused without allocating.
+        let huge = dir.join("huge.qasm");
+        std::fs::write(&huge, "OPENQASM 2.0;\nqreg q[99999999999];\n").unwrap();
+        let err = run_sweep(&args(&[
+            "--benchmarks",
+            "none",
+            "--qasm",
+            huge.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_unknown_options() {
+        assert!(run_serve(&args(&["--frobnicate", "1"])).is_err());
+        assert!(run_serve(&args(&["--queue"])).is_err());
+        assert!(run_serve(&args(&["--timeout-ms", "soon"])).is_err());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`exp`] — the declarative experiment API: [`SweepPlan`] workloads
 //!   executed by a caching [`Session`] into serializable [`Report`]s
 //!   ([`nisq_exp`])
+//! * [`serve`] — the fault-tolerant `nisqc serve` daemon: a persistent
+//!   session behind a line-delimited JSON protocol ([`nisq_serve`])
 //!
 //! The [`prelude`] pulls in the handful of types most programs need.
 //!
@@ -49,6 +51,7 @@ pub use nisq_exp as exp;
 pub use nisq_ir as ir;
 pub use nisq_machine as machine;
 pub use nisq_opt as opt;
+pub use nisq_serve as serve;
 pub use nisq_sim as sim;
 
 /// The types most users need, in one import.

@@ -1,0 +1,353 @@
+//! Fault-injection suite for the serve daemon.
+//!
+//! Uses the `fault-injection` feature of `nisq-serve` to make the worker
+//! panic or stall on demand, and drives the daemon through the failures
+//! the isolation machinery exists for: malformed wire input, mid-request
+//! panics, deadline blowouts, queue overload, and clients that vanish
+//! mid-request. The invariant under every fault: the daemon stays live
+//! and every surviving request gets a well-formed, correctly-coded
+//! response.
+
+use nisq::exp::json::{self, Value};
+use nisq::prelude::*;
+use nisq::serve::{Endpoint, FaultPlan, Server, ServerConfig, ServerHandle};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn start(config: ServerConfig) -> (ServerHandle, SocketAddr) {
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    (server.spawn(), addr)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim().to_string()
+    }
+
+    fn recv(&mut self) -> Value {
+        json::parse(&self.recv_line()).unwrap()
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn field<'a>(doc: &'a Value, key: &str) -> &'a Value {
+    doc.get(key).unwrap_or_else(|| panic!("missing {key:?}"))
+}
+
+fn status(doc: &Value) -> &str {
+    field(doc, "status").as_str().unwrap()
+}
+
+fn code(doc: &Value) -> &str {
+    field(doc, "code").as_str().unwrap()
+}
+
+fn embedded_report(line: &str) -> Report {
+    let idx = line.find("\"report\": ").expect("response embeds a report");
+    Report::from_json(&line[idx + "\"report\": ".len()..line.len() - 1]).unwrap()
+}
+
+const VALID_RUN: &str = r#"{"op": "run", "id": "ok", "plan": {"benchmarks": "bv4", "mappers": "qiskit", "trials": 32, "sim_seed": 5}}"#;
+
+/// A run whose plan contains a custom circuit named `boom` — the panic
+/// trigger wired into the fault plans below.
+const PANIC_RUN: &str = r#"{"op": "run", "id": "boom", "plan": {"circuits": [{"name": "boom", "qasm": "qreg q[2]; cx q[0], q[1];"}], "mappers": "qiskit"}}"#;
+
+#[test]
+fn mid_request_panic_is_answered_and_the_daemon_lives_on() {
+    let config = ServerConfig {
+        fault_plan: Some(FaultPlan {
+            panic_on_circuit: Some("boom".to_string()),
+            ..FaultPlan::none()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(addr);
+
+    // Three panicking requests in a row: each gets a structured error.
+    for _ in 0..3 {
+        let response = client.roundtrip(PANIC_RUN);
+        assert_eq!(status(&response), "error");
+        assert_eq!(code(&response), "panic");
+        assert_eq!(field(&response, "id").as_str(), Some("boom"));
+    }
+
+    // The daemon still serves, and the post-panic result is canonically
+    // identical to a fresh local session's — faults do not corrupt the
+    // science.
+    client.send(VALID_RUN);
+    let line = client.recv_line();
+    let doc = json::parse(&line).unwrap();
+    assert_eq!(status(&doc), "ok");
+    let plan = SweepPlan::new()
+        .benchmark(Benchmark::Bv4)
+        .config("qiskit", CompilerConfig::qiskit())
+        .with_trials(32)
+        .fixed_sim_seed(5);
+    let direct = Session::new().run(&plan).unwrap().canonicalized();
+    assert_eq!(embedded_report(&line).canonicalized(), direct);
+
+    let stats = client.roundtrip(r#"{"op": "stats"}"#);
+    let body = field(&stats, "stats");
+    assert_eq!(field(body, "panics").as_u64(), Some(3));
+    assert_eq!(field(body, "completed").as_u64(), Some(1));
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn bounded_queue_rejects_excess_load_with_a_retry_hint() {
+    let config = ServerConfig {
+        queue_capacity: 1,
+        fault_plan: Some(FaultPlan {
+            delay_before_run_ms: Some(400),
+            ..FaultPlan::none()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(addr);
+
+    // First request is popped by the (stalled) worker, second fills the
+    // queue; pump more until backpressure appears, then collect every
+    // response and match by id: nothing is lost, nothing malformed.
+    let ids = ["q0", "q1", "q2", "q3", "q4"];
+    for id in ids {
+        client.send(&VALID_RUN.replace("\"ok\"", &format!("{:?}", id)));
+        // Space the sends out so admission order is deterministic.
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let mut responses: HashMap<String, Value> = HashMap::new();
+    for _ in ids {
+        let doc = client.recv();
+        let id = field(&doc, "id").as_str().unwrap().to_string();
+        responses.insert(id, doc);
+    }
+    let rejected = ids
+        .iter()
+        .filter(|id| status(&responses[**id]) == "error")
+        .count();
+    assert!(rejected >= 1, "overload must surface as queue-full");
+    for id in ids {
+        let doc = &responses[id];
+        match status(doc) {
+            "ok" => {}
+            "error" => {
+                assert_eq!(code(doc), "queue-full");
+                assert!(field(doc, "retry_after_ms").as_u64().unwrap() > 0);
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn deadlines_bound_request_wall_clock() {
+    let config = ServerConfig {
+        fault_plan: Some(FaultPlan {
+            delay_before_run_ms: Some(300),
+            ..FaultPlan::none()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(addr);
+
+    // The injected stall eats the whole 100 ms budget before the first
+    // cell can start: a clean timeout, elapsed time reported.
+    let response = client
+        .roundtrip(r#"{"op": "run", "id": "late", "timeout_ms": 100, "plan": {"benchmarks": "bv4", "mappers": "qiskit"}}"#);
+    assert_eq!(status(&response), "error");
+    assert_eq!(code(&response), "timeout");
+    assert!(field(&response, "message").as_str().unwrap().contains("ms"));
+
+    // A request after the timeout is unaffected.
+    let ok = client.roundtrip(VALID_RUN);
+    assert_eq!(status(&ok), "ok");
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn expiring_mid_plan_returns_a_partial_report() {
+    // No injected delay: the budget expires between cells. The first cell
+    // always starts (the deadline is checked before each cell), later
+    // days are cut off once 450 ms of stall + compile + simulate pass the
+    // 500 ms budget.
+    let config = ServerConfig {
+        max_trials: 1 << 20,
+        fault_plan: Some(FaultPlan {
+            delay_before_run_ms: Some(450),
+            ..FaultPlan::none()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(addr);
+
+    client.send(
+        r#"{"op": "run", "id": "cut", "timeout_ms": 500, "plan": {"benchmarks": "bv4", "mappers": "qiskit", "days": "0..6", "trials": 300000, "sim_seed": 1}}"#,
+    );
+    let line = client.recv_line();
+    let doc = json::parse(&line).unwrap();
+    assert_eq!(status(&doc), "partial");
+    assert_eq!(code(&doc), "timeout");
+    let done = field(&doc, "cells_done").as_u64().unwrap();
+    let total = field(&doc, "cells_total").as_u64().unwrap();
+    assert_eq!(total, 6);
+    assert!(
+        done >= 1 && done < total,
+        "partial means a strict prefix, got {done}/{total}"
+    );
+    let report = embedded_report(&line);
+    assert_eq!(report.cells.len() as u64, done);
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn vanishing_clients_do_not_wedge_the_worker() {
+    let config = ServerConfig {
+        fault_plan: Some(FaultPlan {
+            delay_before_run_ms: Some(200),
+            ..FaultPlan::none()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+
+    // Submit work, then vanish before the response can be written.
+    {
+        let mut doomed = Client::connect(addr);
+        doomed.send(VALID_RUN);
+    }
+
+    // The worker finishes the orphaned request and moves on; a live
+    // client sees a healthy daemon.
+    let mut client = Client::connect(addr);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.roundtrip(r#"{"op": "stats"}"#);
+        let done = field(field(&stats, "stats"), "completed").as_u64().unwrap();
+        if done >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "orphaned request never completed"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(status(&client.roundtrip(VALID_RUN)), "ok");
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_work_and_refuses_new_work() {
+    let config = ServerConfig {
+        fault_plan: Some(FaultPlan {
+            delay_before_run_ms: Some(300),
+            ..FaultPlan::none()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut worker_client = Client::connect(addr);
+    worker_client.send(VALID_RUN);
+    // Let the request get admitted before pulling the plug.
+    std::thread::sleep(Duration::from_millis(100));
+
+    handle.shutdown();
+
+    // The in-flight request still completes and its response arrives.
+    let finished = worker_client.recv();
+    assert_eq!(status(&finished), "ok");
+
+    handle.join().unwrap();
+}
+
+#[test]
+fn mixed_hostile_load_yields_one_well_formed_response_per_request() {
+    let config = ServerConfig {
+        fault_plan: Some(FaultPlan {
+            panic_on_circuit: Some("boom".to_string()),
+            ..FaultPlan::none()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut client = Client::connect(addr);
+
+    let battery: &[(&str, &str, &str)] = &[
+        ("{malformed", "error", "protocol"),
+        (r#"{"op": "dance"}"#, "error", "protocol"),
+        (
+            r#"{"op": "run", "id": "bad-plan", "plan": {"benchmarks": "nope"}}"#,
+            "error",
+            "invalid-plan",
+        ),
+        (
+            r#"{"op": "run", "id": "deg", "plan": {"benchmarks": "bv4", "topologies": "ring-1"}}"#,
+            "error",
+            "invalid-plan",
+        ),
+        (
+            r#"{"op": "run", "id": "big", "plan": {"benchmarks": "bv4", "topologies": "grid-1000x1000"}}"#,
+            "error",
+            "budget",
+        ),
+        (PANIC_RUN, "error", "panic"),
+        (VALID_RUN, "ok", ""),
+    ];
+    for (line, want_status, want_code) in battery {
+        let response = client.roundtrip(line);
+        assert_eq!(status(&response), *want_status, "{line}");
+        if !want_code.is_empty() {
+            assert_eq!(code(&response), *want_code, "{line}");
+        }
+    }
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
