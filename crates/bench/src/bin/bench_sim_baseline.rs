@@ -12,12 +12,17 @@
 //! bench_sim_baseline [output-path]                    # write a snapshot
 //! bench_sim_baseline [output-path] --check <baseline> # ...and ratchet
 //!                    [--max-regress <fraction>]       #    (default 0.20)
+//!                    [--require-tableau]              # backend occupancy
 //! ```
 //!
 //! With `--check`, every measured configuration's `best_trials_per_sec` is
 //! compared against the checked-in baseline; the process exits non-zero if
 //! any configuration regresses by more than the allowed fraction (the CI
 //! ratchet of the roadmap). Improvements are reported but never fail.
+//! `--require-tableau` additionally fails the run if any wide Clifford
+//! entry (BV64/BV128/ghz48) was not served by the stabilizer-tableau
+//! backend — backend selection is automatic, so a silent fallback to the
+//! dense path is a bug, not a tuning choice.
 
 use nisq_core::CompilerConfig;
 use nisq_exp::{Session, DEFAULT_MACHINE_SEED};
@@ -40,6 +45,9 @@ struct Measurement {
     compiler: &'static str,
     gates: usize,
     trials: u32,
+    /// Which state backend served the trials ("dense" or "tableau"), as
+    /// reported by the engine's tier counters.
+    backend: &'static str,
     best_trials_per_sec: f64,
     mean_trials_per_sec: f64,
 }
@@ -53,6 +61,10 @@ struct Spec {
     circuit: Circuit,
     topology: TopologySpec,
     trials: u32,
+    /// Entries wider than 24 qubits only exist because the stabilizer
+    /// tableau serves them; `--require-tableau` turns a silent dense
+    /// fallback on these into a hard failure.
+    require_tableau: bool,
 }
 
 impl Spec {
@@ -65,6 +77,7 @@ impl Spec {
             circuit: benchmark.circuit(),
             topology: TopologySpec::Ibmq16,
             trials: TRIALS,
+            require_tableau: false,
         }
     }
 }
@@ -94,6 +107,31 @@ fn clifford_ladder(qubits: usize, layers: usize) -> Circuit {
     c
 }
 
+/// A deep GHZ ladder: one Hadamard seeds a parity chain that is folded
+/// forward and backward `rounds` times before the terminal measurement —
+/// pure H/CNOT, fully Clifford, and far too wide for any dense
+/// representation (2^48 amplitudes at 48 qubits). Exists purely to pin the
+/// tableau backend's wide-path throughput.
+fn ghz_ladder(qubits: usize, rounds: usize) -> Circuit {
+    let mut c = Circuit::new(qubits);
+    c.h(nisq_ir::Qubit(0));
+    for _ in 0..rounds {
+        for q in 0..qubits - 1 {
+            c.cnot(nisq_ir::Qubit(q), nisq_ir::Qubit(q + 1));
+        }
+        for q in (0..qubits - 1).rev() {
+            c.cnot(nisq_ir::Qubit(q), nisq_ir::Qubit(q + 1));
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// An alternating hidden string for the wide Bernstein-Vazirani entries.
+fn bv_hidden(bits: usize) -> Vec<bool> {
+    (0..bits).map(|i| i % 3 != 1).collect()
+}
+
 fn measure(session: &mut Session, spec: &Spec) -> Measurement {
     let machine = session.machine(spec.topology, DEFAULT_MACHINE_SEED, 0);
     let compiled = session
@@ -101,14 +139,18 @@ fn measure(session: &mut Session, spec: &Spec) -> Measurement {
         .expect("baseline benchmarks compile on their machine");
     let physical = compiled.physical_circuit();
     let sim = Simulator::new(&machine, SimulatorConfig::with_trials(spec.trials, 1));
+    // Lowering happens once, outside the timed region: what's ratcheted is
+    // trial throughput, not program analysis.
+    let program = sim.prepare(physical);
 
     // One warm-up run outside the timed region.
-    let _ = sim.run(physical);
+    let (_, tiers) = sim.run_program_with_stats(&program);
+    let backend = tiers.backend.name();
 
     let mut rates = Vec::with_capacity(REPETITIONS);
     for _ in 0..REPETITIONS {
         let start = Instant::now();
-        let result = sim.run(physical);
+        let (result, _) = sim.run_program_with_stats(&program);
         let elapsed = start.elapsed().as_secs_f64();
         assert_eq!(result.trials(), spec.trials);
         rates.push(f64::from(spec.trials) / elapsed);
@@ -120,6 +162,7 @@ fn measure(session: &mut Session, spec: &Spec) -> Measurement {
         compiler: spec.compiler,
         gates: physical.expand_swaps().len(),
         trials: spec.trials,
+        backend,
         best_trials_per_sec: best,
         mean_trials_per_sec: mean,
     }
@@ -209,6 +252,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut output = String::from("BENCH_sim.json");
     let mut check: Option<String> = None;
+    let mut require_tableau = false;
     let mut max_regress = 0.20f64;
     let mut i = 0;
     while i < args.len() {
@@ -220,6 +264,10 @@ fn main() {
                         .clone(),
                 );
                 i += 2;
+            }
+            "--require-tableau" => {
+                require_tableau = true;
+                i += 1;
             }
             "--max-regress" => {
                 max_regress = args
@@ -268,6 +316,7 @@ fn main() {
             ]),
             topology: TopologySpec::Ibmq16,
             trials: TRIALS,
+            require_tableau: false,
         },
         Spec {
             name: "rand12",
@@ -276,6 +325,7 @@ fn main() {
             circuit: random_circuit(RandomCircuitConfig::new(12, 96, 7)),
             topology: TopologySpec::Grid { mx: 4, my: 4 },
             trials: LARGE_TRIALS,
+            require_tableau: false,
         },
         Spec {
             name: "rand14",
@@ -284,6 +334,7 @@ fn main() {
             circuit: random_circuit(RandomCircuitConfig::new(14, 112, 9)),
             topology: TopologySpec::Grid { mx: 4, my: 4 },
             trials: LARGE_TRIALS,
+            require_tableau: false,
         },
         // BV16 fills the whole IBMQ16 device (2^16 amplitudes): the widest
         // paper-family entry, Clifford-only, with swap-back mid-circuit
@@ -298,6 +349,7 @@ fn main() {
             ]),
             topology: TopologySpec::Ibmq16,
             trials: TRIALS,
+            require_tableau: false,
         },
         Spec {
             name: "cliff14",
@@ -306,10 +358,63 @@ fn main() {
             circuit: clifford_ladder(14, 40),
             topology: TopologySpec::Grid { mx: 4, my: 4 },
             trials: LARGE_TRIALS,
+            require_tableau: false,
+        },
+        // The wide Clifford entries below exceed any 2^n state vector and
+        // exist only because the stabilizer-tableau backend serves them;
+        // `--require-tableau` (used by CI) fails the run if backend
+        // selection ever silently falls back to dense for these.
+        Spec {
+            name: "BV64",
+            compiler: "greedy_e",
+            config: CompilerConfig::greedy_e(),
+            circuit: bernstein_vazirani(&bv_hidden(63)),
+            topology: TopologySpec::Grid { mx: 8, my: 8 },
+            trials: TRIALS,
+            require_tableau: true,
+        },
+        Spec {
+            name: "BV128",
+            compiler: "greedy_e",
+            config: CompilerConfig::greedy_e(),
+            circuit: bernstein_vazirani(&bv_hidden(127)),
+            topology: TopologySpec::Grid { mx: 12, my: 11 },
+            trials: LARGE_TRIALS,
+            require_tableau: true,
+        },
+        Spec {
+            name: "ghz48",
+            compiler: "greedy_e",
+            config: CompilerConfig::greedy_e(),
+            circuit: ghz_ladder(48, 8),
+            topology: TopologySpec::Grid { mx: 7, my: 7 },
+            trials: TRIALS,
+            require_tableau: true,
         },
     ];
     let mut session = Session::new();
     let measurements: Vec<Measurement> = specs.iter().map(|s| measure(&mut session, s)).collect();
+
+    // Backend-occupancy guard: the wide Clifford entries must actually be
+    // served by the tableau backend — a silent dense fallback would either
+    // panic (>24 qubits) or quietly ratchet the wrong engine.
+    if require_tableau {
+        let mut missing = 0;
+        for (spec, m) in specs.iter().zip(&measurements) {
+            if spec.require_tableau && m.backend != "tableau" {
+                eprintln!(
+                    "  {:>8} / {:<10} expected the tableau backend, got {}",
+                    m.benchmark, m.compiler, m.backend
+                );
+                missing += 1;
+            }
+        }
+        if missing > 0 {
+            eprintln!("{missing} wide entries were not served by the tableau backend");
+            std::process::exit(1);
+        }
+        println!("backend occupancy check passed (all wide entries on tableau)");
+    }
 
     // Hand-rolled JSON: the workspace has no serde_json offline (see
     // shims/README.md); the format below is stable and append-friendly.
@@ -317,11 +422,13 @@ fn main() {
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"benchmark\": \"{}\", \"compiler\": \"{}\", \"physical_gates\": {}, \
-             \"trials\": {}, \"best_trials_per_sec\": {:.1}, \"mean_trials_per_sec\": {:.1}}}{}\n",
+             \"trials\": {}, \"backend\": \"{}\", \"best_trials_per_sec\": {:.1}, \
+             \"mean_trials_per_sec\": {:.1}}}{}\n",
             m.benchmark,
             m.compiler,
             m.gates,
             m.trials,
+            m.backend,
             m.best_trials_per_sec,
             m.mean_trials_per_sec,
             if i + 1 == measurements.len() { "" } else { "," },
@@ -333,8 +440,13 @@ fn main() {
     println!("wrote {output}");
     for m in &measurements {
         println!(
-            "  {:>8} / {:<10} {:>6} gates  best {:>10.0} trials/s  mean {:>10.0} trials/s",
-            m.benchmark, m.compiler, m.gates, m.best_trials_per_sec, m.mean_trials_per_sec
+            "  {:>8} / {:<10} {:>6} gates  [{}]  best {:>10.0} trials/s  mean {:>10.0} trials/s",
+            m.benchmark,
+            m.compiler,
+            m.gates,
+            m.backend,
+            m.best_trials_per_sec,
+            m.mean_trials_per_sec
         );
     }
 

@@ -98,10 +98,11 @@ pub fn estimate(
         let gate = &circuit.gates()[entry.gate_index];
         match gate.kind() {
             GateKind::Cnot | GateKind::Swap => {
-                let route = entry
-                    .route
-                    .as_ref()
-                    .expect("two-qubit gates always carry a route");
+                // A route-less SWAP was elided as a layout relabeling by
+                // the routing policy: no physical gates, reliability 1.
+                let Some(route) = entry.route.as_ref() else {
+                    continue;
+                };
                 let mut r = route_reliability(calibration, &route.path);
                 if gate.kind() == GateKind::Swap {
                     // A program-level SWAP costs three CNOTs on its final hop.

@@ -545,10 +545,14 @@ impl Pass for EmitPass {
             let gate = &circuit.gates()[entry.gate_index];
             match gate.kind() {
                 GateKind::Cnot | GateKind::Swap => {
-                    let route = entry
-                        .route
-                        .as_ref()
-                        .expect("two-qubit gates always carry a route");
+                    let Some(route) = entry.route.as_ref() else {
+                        // A route-less SWAP was elided by the routing
+                        // policy as a pure layout relabeling; later
+                        // entries' resolved operands already account for
+                        // it, so there is nothing physical to emit.
+                        debug_assert_eq!(gate.kind(), GateKind::Swap);
+                        continue;
+                    };
                     ops.clear();
                     routing.policy.realize(route, &mut ops);
                     for op in &ops {
@@ -686,6 +690,53 @@ mod tests {
         assert_eq!(ctx.circuit().len(), 3, "SWAP lowered to three CNOTs");
         assert!(ctx.circuit().iter().all(|g| g.kind() == GateKind::Cnot));
         assert_eq!(ctx.source_name(), "swapper", "source name preserved");
+    }
+
+    #[test]
+    fn permute_elides_adjacent_program_swaps_end_to_end() {
+        let m = machine();
+        let mut circuit = Circuit::new(2);
+        circuit.cnot(Qubit(0), Qubit(1));
+        circuit.swap(Qubit(0), Qubit(1));
+
+        let run = |handling| {
+            let config = CompilerConfig::greedy_e().with_swap_handling(handling);
+            let mut ctx = CompileContext::new(&m, config, circuit.clone());
+            Pipeline::standard().run(&mut ctx).unwrap();
+            (
+                ctx.physical().unwrap().clone(),
+                ctx.estimate().unwrap().total(),
+            )
+        };
+        let (permuted, permute_rel) = run(SwapHandling::Permute);
+        let (swapped_back, swap_back_rel) = run(SwapHandling::SwapBack);
+
+        // Greedy placement puts both qubits on one edge, so under
+        // permutation routing the program SWAP vanishes from the physical
+        // circuit entirely — only the CNOT remains — and the reliability
+        // estimate strictly improves over paying three CNOTs for it.
+        assert_eq!(
+            permuted
+                .iter()
+                .filter(|g| g.kind() == GateKind::Swap)
+                .count(),
+            0
+        );
+        assert_eq!(
+            permuted
+                .iter()
+                .filter(|g| g.kind() == GateKind::Cnot)
+                .count(),
+            1
+        );
+        assert_eq!(
+            swapped_back
+                .iter()
+                .filter(|g| g.kind() == GateKind::Swap)
+                .count(),
+            1
+        );
+        assert!(permute_rel > swap_back_rel);
     }
 
     #[test]

@@ -49,5 +49,5 @@ mod report;
 mod session;
 
 pub use plan::{Cell, CircuitSpec, MachineScope, SeedMode, SweepPlan, DEFAULT_MACHINE_SEED};
-pub use report::{CacheStats, CellRecord, Report, TierStats, REPORT_SCHEMA};
+pub use report::{BackendTag, CacheStats, CellRecord, Report, TierStats, REPORT_SCHEMA};
 pub use session::{RunControl, RunOutcome, Session};

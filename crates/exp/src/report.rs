@@ -6,8 +6,50 @@ use serde::{Deserialize, Serialize};
 /// Version tag embedded in every serialized report. `v2` added the
 /// simulator tier-occupancy counts (per cell and as run totals); `v3`
 /// added the tier-0 `pauli_prop` occupancy and the single-error suffix
-/// memo's `memo_hits`/`memo_misses` counters.
-pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v3";
+/// memo's `memo_hits`/`memo_misses` counters; `v4` added the `backend`
+/// tag recording which state backend (`dense` or `tableau`, `mixed` in
+/// aggregates) served each cell's trials.
+pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v4";
+
+/// Which simulator state backend served a set of trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BackendTag {
+    /// The dense state-vector backend (also the tag of never-simulated,
+    /// all-zero [`TierStats`]).
+    #[default]
+    Dense,
+    /// The bit-packed stabilizer-tableau backend (fully-Clifford programs).
+    Tableau,
+    /// An aggregate of cells served by different backends (run totals
+    /// only; a single cell is always served by exactly one backend).
+    Mixed,
+}
+
+impl BackendTag {
+    /// The stable serialization name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendTag::Dense => "dense",
+            BackendTag::Tableau => "tableau",
+            BackendTag::Mixed => "mixed",
+        }
+    }
+
+    fn parse(name: &str) -> Option<BackendTag> {
+        match name {
+            "dense" => Some(BackendTag::Dense),
+            "tableau" => Some(BackendTag::Tableau),
+            "mixed" => Some(BackendTag::Mixed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// How many trials each tier of the simulator's four-tier engine served —
 /// error-free shortcut, tier-0 Pauli propagation, checkpointed resume,
@@ -18,6 +60,9 @@ pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v3";
 /// part of the partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct TierStats {
+    /// Which state backend served these trials (`Mixed` only in merged
+    /// run totals).
+    pub backend: BackendTag,
     /// Trials with no sampled error, served from the ideal terminal
     /// distribution without state evolution.
     pub error_free: u64,
@@ -42,8 +87,17 @@ impl TierStats {
         self.error_free + self.pauli_prop + self.checkpointed + self.full_replay
     }
 
-    /// Accumulates another cell's counts.
+    /// Accumulates another cell's counts. Empty operands leave the backend
+    /// tag alone; merging cells served by different backends degrades the
+    /// tag to [`BackendTag::Mixed`].
     pub fn merge(&mut self, other: &TierStats) {
+        if other.total() > 0 {
+            if self.total() == 0 {
+                self.backend = other.backend;
+            } else if self.backend != other.backend {
+                self.backend = BackendTag::Mixed;
+            }
+        }
         self.error_free += other.error_free;
         self.pauli_prop += other.pauli_prop;
         self.checkpointed += other.checkpointed;
@@ -56,6 +110,10 @@ impl TierStats {
 impl From<nisq_sim::TierCounts> for TierStats {
     fn from(counts: nisq_sim::TierCounts) -> Self {
         TierStats {
+            backend: match counts.backend {
+                nisq_sim::BackendKind::Dense => BackendTag::Dense,
+                nisq_sim::BackendKind::Tableau => BackendTag::Tableau,
+            },
             error_free: counts.error_free,
             pauli_prop: counts.pauli_prop,
             checkpointed: counts.checkpointed,
@@ -194,7 +252,7 @@ impl Report {
             .unwrap_or_else(|| panic!("no cell for {circuit}/{config}/day {day} in report"))
     }
 
-    /// Serializes to the stable JSON format (`nisq-sweep-report/v3`).
+    /// Serializes to the stable JSON format (`nisq-sweep-report/v4`).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -345,8 +403,9 @@ impl Report {
 /// Serializes a [`TierStats`] as its inline JSON object.
 fn write_tiers(tiers: &TierStats) -> String {
     format!(
-        "{{\"error_free\": {}, \"pauli_prop\": {}, \"checkpointed\": {}, \"full_replay\": {}, \
-         \"memo_hits\": {}, \"memo_misses\": {}}}",
+        "{{\"backend\": \"{}\", \"error_free\": {}, \"pauli_prop\": {}, \"checkpointed\": {}, \
+         \"full_replay\": {}, \"memo_hits\": {}, \"memo_misses\": {}}}",
+        tiers.backend.name(),
         tiers.error_free,
         tiers.pauli_prop,
         tiers.checkpointed,
@@ -358,7 +417,10 @@ fn write_tiers(tiers: &TierStats) -> String {
 
 /// Parses a [`TierStats`] from its JSON object.
 fn parse_tiers(doc: &Value) -> Result<TierStats, JsonError> {
+    let backend_name = req_str(doc, "backend")?;
     Ok(TierStats {
+        backend: BackendTag::parse(backend_name)
+            .ok_or_else(|| shape_err(format!("unknown backend tag {backend_name:?}")))?,
         error_free: req_u64(doc, "error_free")?,
         pauli_prop: req_u64(doc, "pauli_prop")?,
         checkpointed: req_u64(doc, "checkpointed")?,
@@ -422,6 +484,7 @@ mod tests {
                     place_us: 310.0,
                     cache_hit: false,
                     tiers: TierStats {
+                        backend: BackendTag::Tableau,
                         error_free: 40,
                         pauli_prop: 12,
                         checkpointed: 8,
@@ -457,6 +520,7 @@ mod tests {
                 place_runs: 1,
             },
             tiers: TierStats {
+                backend: BackendTag::Tableau,
                 error_free: 40,
                 pauli_prop: 12,
                 checkpointed: 8,
@@ -521,6 +585,15 @@ mod tests {
         assert!(Report::from_json("{}").is_err());
         assert!(Report::from_json("{\"schema\": \"other/v9\"}").is_err());
         assert!(Report::from_json("not json").is_err());
+        // Pre-backend documents carry the v3 tag and are rejected outright
+        // rather than silently defaulted.
+        let v3 = sample()
+            .to_json()
+            .replace("nisq-sweep-report/v4", "nisq-sweep-report/v3");
+        assert!(Report::from_json(&v3).is_err());
+        // A v4-tagged document with an unknown backend name is malformed.
+        let bad_backend = sample().to_json().replace("\"tableau\"", "\"sparse\"");
+        assert!(Report::from_json(&bad_backend).is_err());
     }
 
     #[test]
@@ -541,10 +614,39 @@ mod tests {
     }
 
     #[test]
+    fn backend_tags_merge_to_mixed_only_across_backends() {
+        let dense = TierStats {
+            backend: BackendTag::Dense,
+            error_free: 10,
+            ..TierStats::default()
+        };
+        let tableau = TierStats {
+            backend: BackendTag::Tableau,
+            error_free: 5,
+            ..TierStats::default()
+        };
+        // Empty totals adopt the first non-empty operand's tag.
+        let mut totals = TierStats::default();
+        totals.merge(&tableau);
+        assert_eq!(totals.backend, BackendTag::Tableau);
+        // Same backend stays pure; a different one degrades to Mixed.
+        totals.merge(&tableau);
+        assert_eq!(totals.backend, BackendTag::Tableau);
+        totals.merge(&dense);
+        assert_eq!(totals.backend, BackendTag::Mixed);
+        // Merging an empty cell (compile-only) never moves the tag.
+        totals = dense;
+        totals.merge(&TierStats::default());
+        assert_eq!(totals.backend, BackendTag::Dense);
+        assert_eq!(totals.total(), 10);
+    }
+
+    #[test]
     fn tiers_round_trip_through_json() {
         let report = sample();
         let parsed = Report::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed.tiers, report.tiers);
+        assert_eq!(parsed.cells[0].tiers.backend, BackendTag::Tableau);
         assert_eq!(parsed.cells[0].tiers.error_free, 40);
         assert_eq!(parsed.cells[0].tiers.pauli_prop, 12);
         assert_eq!(parsed.cells[0].tiers.memo_hits, 3);

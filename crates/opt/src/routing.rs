@@ -301,6 +301,20 @@ pub trait RoutingPolicy: fmt::Debug + Send + Sync {
     /// separately via [`RoutingPolicy::advance`].
     fn realize(&self, route: &CnotRoute, out: &mut Vec<RoutedOp>);
 
+    /// Whether a *program-level* SWAP between currently adjacent hardware
+    /// locations is elided entirely: the scheduler exchanges the layout's
+    /// occupants instead of issuing gates, so the SWAP is free in both the
+    /// duration and the reliability model (its [`ScheduledGate`] carries no
+    /// route and zero duration, and the emitter materializes nothing).
+    /// Only sound for policies that let the layout drift — a swap-back
+    /// policy must keep the initial placement valid, which a relabeling
+    /// would break.
+    ///
+    /// [`ScheduledGate`]: crate::ScheduledGate
+    fn elides_adjacent_swap(&self) -> bool {
+        false
+    }
+
     /// Applies the net layout change of a routed gate (a no-op for
     /// policies that return qubits home). The scheduler calls this after
     /// issuing each two-qubit gate so later gates route from live
@@ -360,7 +374,10 @@ impl RoutingPolicy for SwapBackRouting {
 /// layout is updated in place and later gates route from the qubits' new
 /// positions. Halves the movement cost of every routed gate (`(hops-1)`
 /// SWAPs instead of `2*(hops-1)`) at the price of a drifting placement;
-/// measurements follow the live layout, so results are unchanged.
+/// measurements follow the live layout, so results are unchanged. As a
+/// bonus of the drifting layout, an adjacent *program-level* SWAP costs
+/// nothing at all: it is elided into a pure relabeling
+/// ([`RoutingPolicy::elides_adjacent_swap`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PermutationRouting;
 
@@ -371,6 +388,10 @@ impl RoutingPolicy for PermutationRouting {
 
     fn returns_home(&self) -> bool {
         false
+    }
+
+    fn elides_adjacent_swap(&self) -> bool {
+        true
     }
 
     fn route_duration(&self, hop_slots: &[u32]) -> u32 {

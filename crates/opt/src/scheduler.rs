@@ -305,6 +305,16 @@ impl<'m> Scheduler<'m> {
             let acting: Vec<HwQubit> = gate.qubits().iter().map(|&q| layout.hw(q)).collect();
 
             let (resources, duration, route) = match gate.kind() {
+                GateKind::Swap
+                    if policy.elides_adjacent_swap()
+                        && self.machine.topology().adjacent(acting[0], acting[1]) =>
+                {
+                    // A program-level SWAP of adjacent qubits under a
+                    // drifting layout is a pure relabeling: exchange the
+                    // occupants and issue nothing physical.
+                    layout.apply_swap(acting[0], acting[1]);
+                    (acting.clone(), 0, None)
+                }
                 GateKind::Cnot | GateKind::Swap => {
                     let route = self.route(acting[0], acting[1]);
                     let mut duration = self.route_duration(&route, policy);
@@ -546,6 +556,56 @@ mod tests {
         let schedule = s.schedule(&c, &placement).unwrap();
         assert!(schedule.within_coherence());
         assert!(schedule.makespan < 150);
+    }
+
+    #[test]
+    fn permutation_routing_elides_adjacent_program_swaps() {
+        use crate::routing::PermutationRouting;
+        let m = machine();
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(0), Qubit(1));
+        c.swap(Qubit(0), Qubit(1));
+        let placement = Placement::new(vec![HwQubit(0), HwQubit(1)]);
+        let s = Scheduler::new(&m, SchedulerConfig::default());
+
+        let free = s
+            .schedule_with(&c, &placement, &PermutationRouting)
+            .unwrap();
+        let elided = free.entry(1).unwrap();
+        assert_eq!(elided.duration, 0, "adjacent program SWAP is free");
+        assert!(elided.route.is_none(), "no route for a relabeling");
+        assert_eq!(free.swap_count, 0);
+        // The relabeling still happens: the qubits end up exchanged.
+        assert_eq!(
+            free.final_placement,
+            Placement::new(vec![HwQubit(1), HwQubit(0)])
+        );
+
+        // Swap-back routing must execute the SWAP physically.
+        let paid = s.schedule_with(&c, &placement, &SwapBackRouting).unwrap();
+        let executed = paid.entry(1).unwrap();
+        assert!(executed.duration > 0);
+        assert!(executed.route.is_some());
+        assert_eq!(paid.final_placement, placement);
+        assert!(paid.makespan > free.makespan);
+    }
+
+    #[test]
+    fn non_adjacent_program_swaps_are_still_routed_under_permutation() {
+        use crate::routing::PermutationRouting;
+        let m = machine();
+        let mut c = Circuit::new(2);
+        c.swap(Qubit(0), Qubit(1));
+        // Same row, two columns apart: not adjacent, so the elision must
+        // not fire and the SWAP is routed and executed.
+        let placement = Placement::new(vec![HwQubit(0), HwQubit(2)]);
+        let s = Scheduler::new(&m, SchedulerConfig::default());
+        let schedule = s
+            .schedule_with(&c, &placement, &PermutationRouting)
+            .unwrap();
+        let entry = schedule.entry(0).unwrap();
+        assert!(entry.route.is_some());
+        assert!(entry.duration > 0);
     }
 
     #[test]

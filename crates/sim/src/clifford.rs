@@ -8,10 +8,11 @@
 //! * [`classify`] decides whether a (possibly fused) 2×2 unitary is one of
 //!   the **24 single-qubit Cliffords up to global phase** by exact matching
 //!   against a generated table, and returns the element's *symplectic
-//!   action* — where conjugation sends `X` and `Z` (signs are dropped:
-//!   tier-0 only ever propagates a single Pauli string applied to a pure
-//!   state, so its phase is global and can never affect measurement
-//!   statistics).
+//!   action* — where conjugation sends `X`, `Z` and `Y`, including the
+//!   image signs. Tier-0 ignores the signs (it only ever propagates a
+//!   single Pauli string applied to a pure state, so its phase is global
+//!   and can never affect measurement statistics); the stabilizer-tableau
+//!   backend consumes them for its phase column.
 //! * [`SymplecticPauli`] is a one-row compact symplectic tableau: an
 //!   n-qubit Pauli string (n ≤ 24) bit-packed as an X row and a Z row in
 //!   one `u32` each, with conjugation rules for classified single-qubit
@@ -35,18 +36,30 @@ use std::sync::OnceLock;
 /// Clifford element (after normalizing the global phase).
 pub const MATCH_TOLERANCE: f64 = 1e-12;
 
-/// The symplectic action of a single-qubit Clifford: the images of `X` and
-/// `Z` under conjugation, as `(x-bit, z-bit)` pairs (sign discarded).
+/// The symplectic action of a single-qubit Clifford: the images of `X`, `Z`
+/// and `Y` under conjugation, as `(x-bit, z-bit)` pairs plus a sign bit per
+/// generator (`true` means the image carries a `−1`).
 ///
 /// Conjugation of an arbitrary Pauli is linear over its symplectic bits:
 /// `U X^x Z^z U† ∝ (U X U†)^x (U Z U†)^z`, so the images of the two
-/// generators determine the whole action.
+/// generators determine the whole bit action. The signs are *not* linear in
+/// the bits (the `Y` image sign absorbs an `i²` from reordering), so all
+/// three are recorded; tier-0 Pauli propagation keeps ignoring them (a
+/// single Pauli applied to a pure state has a global phase), while the
+/// stabilizer-tableau backend uses them to update its phase column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Clifford1Q {
     /// `(x, z)` bits of `U X U†`.
     pub x_image: (bool, bool),
     /// `(x, z)` bits of `U Z U†`.
     pub z_image: (bool, bool),
+    /// Whether `U X U†` is the *negative* of the Pauli named by `x_image`.
+    pub x_sign: bool,
+    /// Whether `U Z U†` is the *negative* of the Pauli named by `z_image`.
+    pub z_sign: bool,
+    /// Whether `U Y U†` is the *negative* of the Pauli its bits
+    /// (`x_image ⊕ z_image`) name.
+    pub y_sign: bool,
 }
 
 impl Clifford1Q {
@@ -54,6 +67,9 @@ impl Clifford1Q {
     pub const IDENTITY: Clifford1Q = Clifford1Q {
         x_image: (true, false),
         z_image: (false, true),
+        x_sign: false,
+        z_sign: false,
+        y_sign: false,
     };
 
     /// Conjugates the single-qubit Pauli `(x, z)` through this Clifford.
@@ -63,6 +79,19 @@ impl Clifford1Q {
             (x & self.x_image.0) ^ (z & self.z_image.0),
             (x & self.x_image.1) ^ (z & self.z_image.1),
         )
+    }
+
+    /// Whether conjugating the single-qubit Pauli `(x, z)` (with the
+    /// `(1, 1) = Y` convention) flips its sign.
+    #[inline]
+    pub fn sign_flip(&self, x: bool, z: bool) -> bool {
+        (x & !z & self.x_sign) ^ (!x & z & self.z_sign) ^ (x & z & self.y_sign)
+    }
+
+    /// Whether this action moves the same Pauli bits as `other`, ignoring
+    /// signs — the equivalence tier-0 cares about.
+    pub fn same_bits(&self, other: &Clifford1Q) -> bool {
+        self.x_image == other.x_image && self.z_image == other.z_image
     }
 }
 
@@ -247,49 +276,75 @@ fn matmul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
     ]
 }
 
-/// Derives the symplectic action of a unitary by conjugating `X` and `Z`
-/// and matching the images against `±X/±Y/±Z` (any unit phase): `None` when
-/// either image is not a Pauli, i.e. the matrix is not Clifford.
+/// Derives the symplectic action of a unitary by conjugating `X`, `Z` and
+/// `Y` and matching the images against `±X/±Y/±Z`: `None` when any image is
+/// not a signed Pauli, i.e. the matrix is not Clifford. Conjugating a
+/// Hermitian Pauli by a unitary yields a Hermitian operator, so the image
+/// of a Pauli under a Clifford is *exactly* `±` another Pauli — the sign is
+/// well-defined, with no residual phase freedom.
 fn conjugation_action(m: &Matrix2) -> Option<Clifford1Q> {
     let x = [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO];
+    let y = [
+        Complex::ZERO,
+        Complex::new(0.0, -1.0),
+        Complex::new(0.0, 1.0),
+        Complex::ZERO,
+    ];
     let z = [Complex::ONE, Complex::ZERO, Complex::ZERO, -Complex::ONE];
     let dagger = |u: &Matrix2| -> Matrix2 { [u[0].conj(), u[2].conj(), u[1].conj(), u[3].conj()] };
     let md = dagger(m);
-    let image = |p: &Matrix2| -> Option<(bool, bool)> {
+    let image = |p: &Matrix2| -> Option<((bool, bool), bool)> {
         let conj = matmul(m, &matmul(p, &md));
-        pauli_bits_of(&conj)
+        signed_pauli_of(&conj)
     };
+    let (x_image, x_sign) = image(&x)?;
+    let (z_image, z_sign) = image(&z)?;
+    let (y_image, y_sign) = image(&y)?;
+    debug_assert_eq!(
+        y_image,
+        (x_image.0 ^ z_image.0, x_image.1 ^ z_image.1),
+        "the Y image bits are the XOR of the X and Z image bits"
+    );
     Some(Clifford1Q {
-        x_image: image(&x)?,
-        z_image: image(&z)?,
+        x_image,
+        z_image,
+        x_sign,
+        z_sign,
+        y_sign,
     })
 }
 
-/// Matches a matrix against the Paulis up to any unit phase, returning the
-/// symplectic bits `(x, z)` of the match.
-fn pauli_bits_of(m: &Matrix2) -> Option<(bool, bool)> {
+/// Matches a matrix against `±X/±Y/±Z` *exactly* (no residual phase),
+/// returning the symplectic bits `(x, z)` of the match and whether the
+/// matrix is the negative of that Pauli.
+fn signed_pauli_of(m: &Matrix2) -> Option<((bool, bool), bool)> {
     let tol = 1e-9;
     let diag = m[1].norm_sqr() < tol && m[2].norm_sqr() < tol;
     let anti = m[0].norm_sqr() < tol && m[3].norm_sqr() < tol;
     if diag {
-        // ∝ I or Z: phases of the diagonal entries agree (I) or oppose (Z).
+        // ±I or ±Z: the diagonal entries agree (I) or oppose (Z), and must
+        // be real for an exact signed-Pauli match.
+        if m[0].im.abs() >= tol || m[3].im.abs() >= tol {
+            return None;
+        }
         let sum = m[0] + m[3];
         let diff = m[0] - m[3];
         if diff.norm_sqr() < tol {
-            Some((false, false))
+            Some(((false, false), m[0].re < 0.0))
         } else if sum.norm_sqr() < tol {
-            Some((false, true))
+            Some(((false, true), m[0].re < 0.0))
         } else {
             None
         }
     } else if anti {
-        // ∝ X or Y: off-diagonal phases agree (X) or oppose (Y).
+        // ±X (real off-diagonals that agree) or ±Y (imaginary off-diagonals
+        // that oppose; `+Y` has `−i` in the upper-right entry).
         let sum = m[1] + m[2];
         let diff = m[1] - m[2];
-        if diff.norm_sqr() < tol {
-            Some((true, false))
-        } else if sum.norm_sqr() < tol {
-            Some((true, true))
+        if diff.norm_sqr() < tol && m[1].im.abs() < tol {
+            Some(((true, false), m[1].re < 0.0))
+        } else if sum.norm_sqr() < tol && m[1].re.abs() < tol {
+            Some(((true, true), m[1].im > 0.0))
         } else {
             None
         }
@@ -323,10 +378,20 @@ mod tests {
         let s = classify(&single_qubit_matrix(GateKind::S)).expect("S is Clifford");
         assert_eq!(s.x_image, (true, true));
         assert_eq!(s.z_image, (false, true));
-        // Paulis act trivially up to sign.
-        for kind in [GateKind::X, GateKind::Y, GateKind::Z] {
+        // Paulis act trivially up to sign: identity bit action, and the two
+        // anticommuting generators pick up a minus.
+        for (kind, x_sign, z_sign, y_sign) in [
+            (GateKind::X, false, true, true),
+            (GateKind::Y, true, true, false),
+            (GateKind::Z, true, false, true),
+        ] {
             let p = classify(&single_qubit_matrix(kind)).expect("Paulis are Clifford");
-            assert_eq!(p, Clifford1Q::IDENTITY, "{kind:?}");
+            assert!(p.same_bits(&Clifford1Q::IDENTITY), "{kind:?}");
+            assert_eq!(
+                (p.x_sign, p.z_sign, p.y_sign),
+                (x_sign, z_sign, y_sign),
+                "{kind:?}"
+            );
         }
         // Sdg: X -> Y (sign dropped), Z -> Z.
         let sdg = classify(&single_qubit_matrix(GateKind::Sdg)).expect("Sdg is Clifford");
@@ -424,9 +489,11 @@ mod tests {
                     element.matrix[3].conj(),
                 ];
                 let conj = matmul(&element.matrix, &matmul(matrix, &dagger));
-                let expected = pauli_bits_of(&conj).expect("Clifford conjugate is a Pauli");
+                let (expected_bits, expected_sign) =
+                    signed_pauli_of(&conj).expect("Clifford conjugate is a signed Pauli");
                 let (x, z) = pauli.symplectic();
-                assert_eq!(element.action.conjugate(x, z), expected);
+                assert_eq!(element.action.conjugate(x, z), expected_bits);
+                assert_eq!(element.action.sign_flip(x, z), expected_sign);
             }
         }
     }

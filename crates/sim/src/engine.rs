@@ -87,6 +87,7 @@
 //! a pure function of `(program, seed, trial)` — independent of tier
 //! assignment, batch partitioning and thread count.
 
+use crate::backend::BackendKind;
 use crate::clifford::SymplecticPauli;
 use crate::program::{TrialEvent, TrialOp, TrialProgram, TrialScratch};
 use crate::rng::TrialRng;
@@ -135,6 +136,9 @@ impl EngineOptions {
 /// batches is plain addition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TierCounts {
+    /// Which backend served the batch. Batches are merged per program, and
+    /// a program has exactly one backend, so merging keeps the tag as-is.
+    pub backend: BackendKind,
     /// Tier-1 trials: no error anywhere and every mid-measure on the
     /// dominant path; outcome drawn from the ideal terminal distribution
     /// with no state work at all.
@@ -161,8 +165,13 @@ impl TierCounts {
         self.error_free + self.pauli_prop + self.checkpointed + self.full_replay
     }
 
-    /// Accumulates another batch's counts.
+    /// Accumulates another batch's counts. An empty accumulator adopts the
+    /// other side's backend tag (batches are merged per program, so every
+    /// non-empty operand carries the same tag).
     pub fn merge(&mut self, other: &TierCounts) {
+        if self.total() == 0 {
+            self.backend = other.backend;
+        }
         self.error_free += other.error_free;
         self.pauli_prop += other.pauli_prop;
         self.checkpointed += other.checkpointed;
@@ -180,7 +189,7 @@ impl TierCounts {
 #[derive(Debug, Clone, Copy)]
 struct CdfEntry {
     cum: f64,
-    key: u64,
+    key: u128,
     basis: u32,
 }
 
@@ -225,7 +234,7 @@ struct MeasurePoint {
 /// Result of drawing a trial's measure outcomes along the dominant path.
 struct MeasureWalk {
     /// Clbits recorded by the walked measures (post-flip).
-    clbits: u64,
+    clbits: u128,
     /// First measure whose outcome left the dominant path, with the drawn
     /// (pre-flip) outcome.
     diverged: Option<(usize, bool)>,
@@ -234,7 +243,7 @@ struct MeasureWalk {
 /// How a tier-0 propagation resolved.
 enum Tier0 {
     /// The trial rode the dominant path to the end; its full clbit key.
-    Served(u64),
+    Served(u128),
     /// A measure draw's ideal counterpart left the dominant path: fall
     /// back to the checkpoint before measure `measure_k`, collapsed onto
     /// `ideal_outcome`, with `pauli` fused on top; clbits recorded so far
@@ -242,7 +251,7 @@ enum Tier0 {
     Diverged {
         measure_k: usize,
         ideal_outcome: bool,
-        clbits: u64,
+        clbits: u128,
         pauli: SymplecticPauli,
         site_next: usize,
     },
@@ -358,7 +367,7 @@ impl<'p> TieredEngine<'p> {
         // satisfy this; the guard keeps exotic hand-built programs exact.)
         let xor_safe = match ops.get(terminal_op) {
             Some(TrialOp::TerminalSample { measures }) => {
-                let mut owner = [u8::MAX; 64];
+                let mut owner = [u8::MAX; 128];
                 measures.iter().all(|&(q, c, _)| {
                     let slot = &mut owner[usize::from(c)];
                     if *slot == u8::MAX {
@@ -413,7 +422,7 @@ impl<'p> TieredEngine<'p> {
     /// probability, then the readout flip), stopping at the first outcome
     /// that leaves the dominant path.
     fn walk_measures<R: Rng + ?Sized>(&self, limit_op: usize, rng: &mut R) -> MeasureWalk {
-        let mut clbits = 0u64;
+        let mut clbits = 0u128;
         for (k, m) in self.measures.iter().enumerate() {
             if m.op as usize >= limit_op {
                 break;
@@ -424,7 +433,7 @@ impl<'p> TieredEngine<'p> {
                 bit = !bit;
             }
             if bit {
-                clbits |= 1u64 << m.clbit;
+                clbits |= 1u128 << m.clbit;
             }
             if outcome != m.dominant {
                 return MeasureWalk {
@@ -441,13 +450,13 @@ impl<'p> TieredEngine<'p> {
 
     /// Resolves the terminal op for an on-dominant-path, error-free trial,
     /// consuming exactly the draws a full replay's terminal op would.
-    fn sample_terminal<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    fn sample_terminal<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
         match &self.terminal {
             TerminalPlan::Sample { cdf, flips, .. } => {
                 let mut key = cdf[sample_cdf_index(cdf, rng)].key;
                 for &(clbit, p_flip) in flips {
                     if rng.gen_bool(p_flip) {
-                        key ^= 1u64 << clbit;
+                        key ^= 1u128 << clbit;
                     }
                 }
                 key
@@ -467,7 +476,7 @@ impl<'p> TieredEngine<'p> {
         resume_op: usize,
         first_site: usize,
         events: &[TrialEvent],
-        mut clbits: u64,
+        mut clbits: u128,
         rng: &mut R,
     ) -> Tier0 {
         let program = self.program;
@@ -529,7 +538,7 @@ impl<'p> TieredEngine<'p> {
                         bit = !bit;
                     }
                     if bit {
-                        clbits |= 1u64 << clbit;
+                        clbits |= 1u128 << clbit;
                     }
                     // After the collapse a Z on the measured qubit is a
                     // global phase; the X component survives as the
@@ -562,15 +571,15 @@ impl<'p> TieredEngine<'p> {
                     // shifted sample has exactly the perturbed
                     // distribution (Z components only touch phases).
                     let basis = cdf[sample_cdf_index(cdf, rng)].basis ^ pauli.x;
-                    let mut key = 0u64;
+                    let mut key = 0u128;
                     for &(qubit, clbit) in bit_map {
                         if basis >> qubit & 1 == 1 {
-                            key |= 1u64 << clbit;
+                            key |= 1u128 << clbit;
                         }
                     }
                     for &(clbit, p_flip) in flips {
                         if rng.gen_bool(p_flip) {
-                            key ^= 1u64 << clbit;
+                            key ^= 1u128 << clbit;
                         }
                     }
                     clbits |= key;
@@ -610,11 +619,12 @@ impl<'p> TieredEngine<'p> {
         start: u32,
         end: u32,
         scratch: &mut EngineScratch,
-        counts: &mut FxHashMap<u64, u32>,
+        counts: &mut FxHashMap<u128, u32>,
         tiers: &mut TierCounts,
     ) {
         let program = self.program;
         let sites = program.noise_sites();
+        tiers.backend = BackendKind::Dense;
         scratch.prepare(program);
         let EngineScratch {
             trial,
@@ -820,7 +830,7 @@ impl<'p> TieredEngine<'p> {
         memo: &mut SuffixMemo,
         tiers: &mut TierCounts,
         rng: &mut R,
-    ) -> u64 {
+    ) -> u128 {
         let program = self.program;
         let event = events[s];
         if let Some(entry) = memo.get(s as u32, event) {
@@ -882,12 +892,12 @@ impl<'p> TieredEngine<'p> {
     /// Samples a memoized perturbed terminal CDF, consuming exactly the
     /// draws the cold replay's terminal op would (one uniform, then the
     /// shared readout-flip gates).
-    fn sample_memo_terminal<R: Rng + ?Sized>(&self, cdf: &[CdfEntry], rng: &mut R) -> u64 {
+    fn sample_memo_terminal<R: Rng + ?Sized>(&self, cdf: &[CdfEntry], rng: &mut R) -> u128 {
         let mut key = cdf[sample_cdf_index(cdf, rng)].key;
         if let TerminalPlan::Sample { flips, .. } = &self.terminal {
             for &(clbit, p_flip) in flips {
                 if rng.gen_bool(p_flip) {
-                    key ^= 1u64 << clbit;
+                    key ^= 1u128 << clbit;
                 }
             }
         }
@@ -913,10 +923,10 @@ fn build_terminal_cdf(scratch: &TrialScratch, measures: &[(u8, u8, f64)]) -> Vec
         .state()
         .for_each_canonical_probability(scratch.perm(), |c, p| {
             cum += p;
-            let mut key = 0u64;
+            let mut key = 0u128;
             for &(qubit, clbit, _) in measures {
                 if c >> qubit & 1 == 1 {
-                    key |= 1u64 << clbit;
+                    key |= 1u128 << clbit;
                 }
             }
             match cdf.last_mut() {

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod clifford;
 mod complex;
 pub mod engine;
@@ -48,7 +49,9 @@ mod result;
 mod rng;
 mod simulator;
 mod state;
+pub mod tableau;
 
+pub use backend::{BackendKind, SimBackend};
 pub use clifford::{Clifford1Q, SymplecticPauli};
 pub use complex::Complex;
 pub use engine::{EngineOptions, TierCounts, TieredEngine};
@@ -58,3 +61,4 @@ pub use result::SimulationResult;
 pub use rng::TrialRng;
 pub use simulator::{Simulator, SimulatorConfig};
 pub use state::StateVector;
+pub use tableau::TableauState;

@@ -43,6 +43,7 @@
 //! perturb draws — so results are bit-for-bit reproducible for a seed and
 //! invariant under how trials are distributed over threads.
 
+use crate::backend::{BackendKind, SimBackend};
 use crate::clifford::{self, Clifford1Q, SymplecticPauli};
 use crate::complex::Complex;
 use crate::gates::{single_qubit_matrix, Matrix2};
@@ -246,6 +247,11 @@ pub struct TrialProgram {
     /// measurements are all symplectic-compatible, so only non-Clifford
     /// unitaries bound the suffix).
     clifford_suffix_from: usize,
+    /// The simulation backend serving this program's trials, selected
+    /// automatically at lowering time: the bit-packed stabilizer tableau
+    /// when every single-qubit unitary classified as Clifford
+    /// (`clifford_suffix_from == 0`), the dense state vector otherwise.
+    backend: BackendKind,
 }
 
 impl TrialProgram {
@@ -254,8 +260,10 @@ impl TrialProgram {
     /// # Panics
     ///
     /// Panics if the circuit references qubits outside the machine, uses
-    /// more than 64 classical bits (outcomes are bit-packed in a `u64`), or
-    /// touches more than 24 qubits (the state-vector limit).
+    /// more than 128 classical bits (outcomes are bit-packed in a `u128`),
+    /// or touches more qubits than its backend supports: 24 for the dense
+    /// state vector (any program), 255 for the stabilizer tableau
+    /// (fully-Clifford programs).
     pub fn lower(physical: &Circuit, machine: &Machine, noise: &NoiseModel) -> Self {
         assert!(
             physical
@@ -264,11 +272,14 @@ impl TrialProgram {
             "circuit uses qubits outside the machine"
         );
         assert!(
-            physical.num_clbits() <= 64,
-            "trial outcomes are bit-packed; at most 64 classical bits are supported"
+            physical.num_clbits() <= 128,
+            "trial outcomes are bit-packed; at most 128 classical bits are supported"
         );
 
-        // Compact the circuit onto the qubits it actually touches.
+        // Compact the circuit onto the qubits it actually touches. The
+        // dense 24-qubit limit is enforced *after* Clifford classification,
+        // because fully-Clifford programs select the tableau backend and
+        // carry no 2^n memory term.
         let mut touched: Vec<usize> = physical
             .iter()
             .flat_map(|g| g.qubits().iter().map(|q| q.0))
@@ -276,8 +287,8 @@ impl TrialProgram {
         touched.sort_unstable();
         touched.dedup();
         assert!(
-            touched.len() <= 24,
-            "circuit touches more than 24 qubits; state vector would not fit in memory"
+            touched.len() <= 255,
+            "circuit touches more than 255 qubits; compact indices are u8"
         );
         let mut compact = vec![u8::MAX; machine.num_qubits()];
         for (i, &hw) in touched.iter().enumerate() {
@@ -533,6 +544,21 @@ impl TrialProgram {
             .rposition(|(op, action)| matches!(op, TrialOp::Unitary { .. }) && action.is_none())
             .map_or(0, |i| i + 1);
 
+        // Backend selection: a program that is Clifford end to end (every
+        // fused unitary classified; CNOT/SWAP/Pauli noise/measurement are
+        // Clifford by construction) runs on the stabilizer tableau. Any
+        // non-Clifford gate anywhere selects the dense state vector.
+        let backend = if clifford_suffix_from == 0 {
+            BackendKind::Tableau
+        } else {
+            BackendKind::Dense
+        };
+        assert!(
+            backend == BackendKind::Tableau || touched.len() <= 24,
+            "circuit touches more than 24 qubits and contains non-Clifford gates; \
+             the dense state vector would not fit in memory"
+        );
+
         TrialProgram {
             ops,
             noise_sites,
@@ -542,6 +568,7 @@ impl TrialProgram {
             num_clbits: physical.num_clbits(),
             clifford_actions,
             clifford_suffix_from,
+            backend,
         }
     }
 
@@ -578,6 +605,15 @@ impl TrialProgram {
     /// fully-Clifford program (the BV family) this is 0.
     pub fn clifford_suffix_from(&self) -> usize {
         self.clifford_suffix_from
+    }
+
+    /// The simulation backend selected for this program at lowering time.
+    /// Selection is automatic: [`BackendKind::Tableau`] for fully-Clifford
+    /// programs, [`BackendKind::Dense`] otherwise. The simulator honours
+    /// this except under [`crate::EngineOptions::exact`], which pins the
+    /// dense bit-exact path.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
     }
 
     /// The symplectic action of the unitary at `op`, when it matched a
@@ -747,38 +783,41 @@ impl TrialProgram {
         }
     }
 
-    /// Phase 2 of a trial: replays `self.ops[start_op..]` against `scratch`
+    /// Phase 2 of a trial: replays `self.ops[start_op..]` against `backend`
     /// (whose state must already hold the evolution of `ops[..start_op]` —
-    /// a reset scratch for `start_op == 0`, or a restored checkpoint),
+    /// a reset backend for `start_op == 0`, or a restored checkpoint),
     /// injecting pre-drawn `events` (the first event consumed is
     /// `events[0]`, i.e. the slice is positioned at the first noise site at
     /// or after `start_op`). Returns the measured classical bits packed
-    /// into a `u64` (bit `i` = clbit `i`).
+    /// into a `u128` (bit `i` = clbit `i`).
     ///
-    /// Beyond the compile-time fusion done at lowering, the replay fuses at
-    /// *runtime* across noise-injection points: a sampled Pauli is itself a
-    /// 2×2 matrix, so single-qubit unitaries and (rare) sampled errors
-    /// accumulate into one pending matrix per qubit, and a state pass only
-    /// happens when a CNOT or measurement forces materialization. Under the
-    /// full noise model this removes almost every single-qubit sweep, since
-    /// most pre-drawn events are the identity.
-    pub fn replay_from<R: Rng + ?Sized>(
+    /// The walk is generic over [`SimBackend`]: the dense
+    /// [`TrialScratch`] instantiation is the tiered engine's replay path
+    /// and is bit-identical to the pre-trait monolithic walker (each trait
+    /// hook contains exactly the code that used to be inline); the tableau
+    /// instantiation is the stabilizer engine's full-replay fallback.
+    ///
+    /// Beyond the compile-time fusion done at lowering, the dense backend
+    /// fuses at *runtime* across noise-injection points: a sampled Pauli is
+    /// itself a 2×2 matrix, so single-qubit unitaries and (rare) sampled
+    /// errors accumulate into one pending matrix per qubit, and a state
+    /// pass only happens when a CNOT or measurement forces materialization.
+    pub fn replay_from<B: SimBackend, R: Rng + ?Sized>(
         &self,
-        scratch: &mut TrialScratch,
+        backend: &mut B,
         start_op: usize,
         events: &[TrialEvent],
         rng: &mut R,
-    ) -> u64 {
+    ) -> u128 {
         let mut site = 0usize;
-        let mut clbits = 0u64;
+        let mut clbits = 0u128;
         for op in &self.ops[start_op..] {
             match *op {
                 TrialOp::Unitary { qubit, ref matrix } => {
-                    scratch.fuse(qubit, matrix);
+                    backend.fuse_unitary(qubit, matrix);
                 }
                 TrialOp::Cnot { control, target } => {
-                    scratch.flush_two(control, target);
-                    scratch.apply_cnot(control, target);
+                    backend.cnot(control, target);
                 }
                 TrialOp::Swap { a, b, ref noise } => {
                     let event = if noise.is_some() {
@@ -789,14 +828,14 @@ impl TrialProgram {
                         TrialEvent::Clean
                     };
                     // Every SWAP — noisy or not — is a zero-pass
-                    // relabeling; a sampled error only fuses the residual
+                    // relabeling; a sampled error only injects the residual
                     // (pre-conjugated) Pauli pair onto the relabeled wires.
-                    scratch.relabel_swap(a, b);
+                    backend.swap_relabel(a, b);
                     match event {
                         TrialEvent::Clean => {}
                         TrialEvent::Swap(ra, rb) => {
-                            scratch.fuse_pauli(a, ra);
-                            scratch.fuse_pauli(b, rb);
+                            backend.inject_pauli(a, ra);
+                            backend.inject_pauli(b, rb);
                         }
                         other => unreachable!("swap site pre-sampled {other:?}"),
                     }
@@ -805,7 +844,7 @@ impl TrialProgram {
                     let event = events[site];
                     site += 1;
                     if let TrialEvent::Gate(pauli) = event {
-                        scratch.fuse_pauli(qubit, pauli);
+                        backend.inject_pauli(qubit, pauli);
                     }
                 }
                 TrialOp::CnotNoise {
@@ -814,8 +853,8 @@ impl TrialProgram {
                     let event = events[site];
                     site += 1;
                     if let TrialEvent::Cnot(pc, pt) = event {
-                        scratch.fuse_pauli(control, pc);
-                        scratch.fuse_pauli(target, pt);
+                        backend.inject_pauli(control, pc);
+                        backend.inject_pauli(target, pt);
                     }
                 }
                 TrialOp::Measure {
@@ -823,31 +862,23 @@ impl TrialProgram {
                     clbit,
                     p_flip,
                 } => {
-                    let p1 = scratch.flush_and_p1(qubit).clamp(0.0, 1.0);
-                    let mut outcome = rng.gen_bool(p1);
-                    scratch.collapse_measured(qubit, outcome, p1);
+                    let mut outcome = backend.measure(qubit, rng);
                     if p_flip > 0.0 && rng.gen_bool(p_flip) {
                         outcome = !outcome;
                     }
                     if outcome {
-                        clbits |= 1u64 << clbit;
+                        clbits |= 1u128 << clbit;
                     }
                 }
                 TrialOp::TerminalSample { ref measures } => {
-                    scratch.flush_terminal(measures);
-                    // Canonical traversal: basis states are visited in
-                    // program-qubit bit order regardless of how relabeling
-                    // SWAPs permuted the physical layout, so the same
-                    // uniform draw picks the same logical outcome in every
-                    // layout (and in the tiered engine's precomputed CDF).
-                    let canonical = scratch.state.sample_canonical(&scratch.perm, rng);
-                    for &(qubit, clbit, p_flip) in measures {
-                        let mut outcome = canonical >> qubit & 1 == 1;
+                    let ideal = backend.terminal_sample(measures, rng);
+                    for (i, &(_, clbit, p_flip)) in measures.iter().enumerate() {
+                        let mut outcome = ideal >> i & 1 == 1;
                         if p_flip > 0.0 && rng.gen_bool(p_flip) {
                             outcome = !outcome;
                         }
                         if outcome {
-                            clbits |= 1u64 << clbit;
+                            clbits |= 1u128 << clbit;
                         }
                     }
                 }
@@ -868,15 +899,12 @@ impl TrialProgram {
     ///
     /// Panics if the range contains a measurement (prefixes never extend
     /// past the first measurement: its outcome is per-trial randomness).
-    pub fn advance_ideal(&self, scratch: &mut TrialScratch, from_op: usize, to_op: usize) {
+    pub fn advance_ideal<B: SimBackend>(&self, backend: &mut B, from_op: usize, to_op: usize) {
         for op in &self.ops[from_op..to_op] {
             match *op {
-                TrialOp::Unitary { qubit, ref matrix } => scratch.fuse(qubit, matrix),
-                TrialOp::Cnot { control, target } => {
-                    scratch.flush_two(control, target);
-                    scratch.apply_cnot(control, target);
-                }
-                TrialOp::Swap { a, b, .. } => scratch.relabel_swap(a, b),
+                TrialOp::Unitary { qubit, ref matrix } => backend.fuse_unitary(qubit, matrix),
+                TrialOp::Cnot { control, target } => backend.cnot(control, target),
+                TrialOp::Swap { a, b, .. } => backend.swap_relabel(a, b),
                 TrialOp::GateNoise { .. } | TrialOp::CnotNoise { .. } => {}
                 TrialOp::Measure { .. } | TrialOp::TerminalSample { .. } => {
                     unreachable!("ideal prefixes never cross a measurement")
@@ -898,9 +926,9 @@ impl TrialProgram {
     ///
     /// Panics if the range contains a measurement (measurement outcomes are
     /// per-trial randomness and can never be part of a shared evolution).
-    pub fn advance_noisy(
+    pub fn advance_noisy<B: SimBackend>(
         &self,
-        scratch: &mut TrialScratch,
+        backend: &mut B,
         from_op: usize,
         to_op: usize,
         events: &[TrialEvent],
@@ -908,11 +936,8 @@ impl TrialProgram {
         let mut site = 0usize;
         for op in &self.ops[from_op..to_op] {
             match *op {
-                TrialOp::Unitary { qubit, ref matrix } => scratch.fuse(qubit, matrix),
-                TrialOp::Cnot { control, target } => {
-                    scratch.flush_two(control, target);
-                    scratch.apply_cnot(control, target);
-                }
+                TrialOp::Unitary { qubit, ref matrix } => backend.fuse_unitary(qubit, matrix),
+                TrialOp::Cnot { control, target } => backend.cnot(control, target),
                 TrialOp::Swap { a, b, ref noise } => {
                     let event = if noise.is_some() {
                         let e = events[site];
@@ -921,12 +946,12 @@ impl TrialProgram {
                     } else {
                         TrialEvent::Clean
                     };
-                    scratch.relabel_swap(a, b);
+                    backend.swap_relabel(a, b);
                     match event {
                         TrialEvent::Clean => {}
                         TrialEvent::Swap(ra, rb) => {
-                            scratch.fuse_pauli(a, ra);
-                            scratch.fuse_pauli(b, rb);
+                            backend.inject_pauli(a, ra);
+                            backend.inject_pauli(b, rb);
                         }
                         other => unreachable!("swap site pre-sampled {other:?}"),
                     }
@@ -935,7 +960,7 @@ impl TrialProgram {
                     let event = events[site];
                     site += 1;
                     if let TrialEvent::Gate(pauli) = event {
-                        scratch.fuse_pauli(qubit, pauli);
+                        backend.inject_pauli(qubit, pauli);
                     }
                 }
                 TrialOp::CnotNoise {
@@ -944,8 +969,8 @@ impl TrialProgram {
                     let event = events[site];
                     site += 1;
                     if let TrialEvent::Cnot(pc, pt) = event {
-                        scratch.fuse_pauli(control, pc);
-                        scratch.fuse_pauli(target, pt);
+                        backend.inject_pauli(control, pc);
+                        backend.inject_pauli(target, pt);
                     }
                 }
                 TrialOp::Measure { .. } | TrialOp::TerminalSample { .. } => {
@@ -956,14 +981,14 @@ impl TrialProgram {
     }
 
     /// Replays the program once against `scratch` (which is reset first),
-    /// returning the measured classical bits packed into a `u64` (bit `i` =
-    /// clbit `i`).
+    /// returning the measured classical bits packed into a `u128` (bit `i`
+    /// = clbit `i`).
     ///
     /// This is the single-trial reference path: phase 1 pre-samples the
     /// trial's full error pattern, phase 2 replays with the events
     /// injected. The tiered engine produces bit-identical outcomes for
     /// every trial while skipping most of the replay work.
-    pub fn run_trial<R: Rng + ?Sized>(&self, scratch: &mut TrialScratch, rng: &mut R) -> u64 {
+    pub fn run_trial<R: Rng + ?Sized>(&self, scratch: &mut TrialScratch, rng: &mut R) -> u128 {
         scratch.reset();
         let mut events = std::mem::take(&mut scratch.events);
         let _ = self.pre_sample(&mut events, rng);
@@ -1185,6 +1210,68 @@ impl TrialScratch {
     }
 }
 
+/// The dense state-vector backend. Every hook body is exactly the code the
+/// replay walkers used to inline, so the monomorphized generic walk is
+/// bit-identical to the pre-trait dense path.
+impl SimBackend for TrialScratch {
+    fn reset_state(&mut self) {
+        self.reset();
+    }
+
+    fn fuse_unitary(&mut self, qubit: u8, matrix: &Matrix2) {
+        self.fuse(qubit, matrix);
+    }
+
+    fn inject_pauli(&mut self, qubit: u8, pauli: Pauli) {
+        self.fuse_pauli(qubit, pauli);
+    }
+
+    fn cnot(&mut self, control: u8, target: u8) {
+        self.flush_two(control, target);
+        self.apply_cnot(control, target);
+    }
+
+    fn swap_relabel(&mut self, a: u8, b: u8) {
+        self.relabel_swap(a, b);
+    }
+
+    fn measure<R: Rng + ?Sized>(&mut self, qubit: u8, rng: &mut R) -> bool {
+        let p1 = self.flush_and_p1(qubit).clamp(0.0, 1.0);
+        let outcome = rng.gen_bool(p1);
+        self.collapse_measured(qubit, outcome, p1);
+        outcome
+    }
+
+    fn terminal_sample<R: Rng + ?Sized>(
+        &mut self,
+        measures: &[(u8, u8, f64)],
+        rng: &mut R,
+    ) -> u128 {
+        self.flush_terminal(measures);
+        // Canonical traversal: basis states are visited in program-qubit
+        // bit order regardless of how relabeling SWAPs permuted the
+        // physical layout, so the same uniform draw picks the same logical
+        // outcome in every layout (and in the tiered engine's precomputed
+        // CDF).
+        let canonical = self.state.sample_canonical(&self.perm, rng);
+        let mut ideal = 0u128;
+        for (i, &(qubit, _, _)) in measures.iter().enumerate() {
+            if canonical >> qubit & 1 == 1 {
+                ideal |= 1u128 << i;
+            }
+        }
+        ideal
+    }
+
+    fn save_into(&self, checkpoint: &mut Self) {
+        checkpoint.copy_from(self);
+    }
+
+    fn restore_from(&mut self, checkpoint: &Self) {
+        self.copy_from(checkpoint);
+    }
+}
+
 const PAULI_X_MATRIX: Matrix2 = [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO];
 const PAULI_Y_MATRIX: Matrix2 = [
     Complex::ZERO,
@@ -1246,7 +1333,11 @@ fn matmul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
 /// measure each logical qubit as soon as it is done benefit the most —
 /// every one of their measurements typically sinks.
 fn sink_measures(ops: &mut Vec<TrialOp>) {
-    let mut used_later = 0u32;
+    // 256-bit qubit set (compact indices are u8, so 256 bits cover every
+    // possible wire — wide tableau programs exceed a single machine word).
+    let mut used_later = [0u64; 4];
+    let mark = |set: &mut [u64; 4], q: u8| set[usize::from(q >> 6)] |= 1u64 << (q & 63);
+    let test = |set: &[u64; 4], q: u8| set[usize::from(q >> 6)] >> (q & 63) & 1 == 1;
     // Reverse program order: `used_later` holds the qubits referenced by
     // ops later than the one being examined.
     let mut kept_rev: Vec<TrialOp> = Vec::with_capacity(ops.len());
@@ -1258,7 +1349,7 @@ fn sink_measures(ops: &mut Vec<TrialOp>) {
             p_flip,
         } = op
         {
-            if used_later & (1u32 << qubit) == 0 {
+            if !test(&used_later, qubit) {
                 // Note: the qubit is deliberately NOT marked as used — an
                 // earlier measurement of the same qubit may sink too, and
                 // joint sampling then assigns both clbits the same bit,
@@ -1269,19 +1360,21 @@ fn sink_measures(ops: &mut Vec<TrialOp>) {
         }
         match op {
             TrialOp::Unitary { qubit, .. } | TrialOp::GateNoise { qubit, .. } => {
-                used_later |= 1u32 << qubit;
+                mark(&mut used_later, qubit);
             }
             TrialOp::Measure { qubit, .. } => {
-                used_later |= 1u32 << qubit;
+                mark(&mut used_later, qubit);
             }
             TrialOp::Cnot { control, target }
             | TrialOp::CnotNoise {
                 control, target, ..
             } => {
-                used_later |= 1u32 << control | 1u32 << target;
+                mark(&mut used_later, control);
+                mark(&mut used_later, target);
             }
             TrialOp::Swap { a, b, .. } => {
-                used_later |= 1u32 << a | 1u32 << b;
+                mark(&mut used_later, a);
+                mark(&mut used_later, b);
             }
             TrialOp::TerminalSample { .. } => {
                 unreachable!("sinking runs before any terminal sample exists")

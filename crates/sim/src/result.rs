@@ -16,12 +16,18 @@ impl SimulationResult {
         SimulationResult { counts, trials }
     }
 
-    /// Creates a result from `u64`-bit-packed outcome counts (bit `i` of a
+    /// Creates a result from `u128`-bit-packed outcome counts (bit `i` of a
     /// key is classical bit `i`), the aggregation format of the simulator's
     /// hot loop. Unpacking happens once per *distinct* outcome, not per
     /// trial.
-    pub fn from_bitpacked(counts: impl IntoIterator<Item = (u64, u32)>, num_clbits: usize) -> Self {
-        assert!(num_clbits <= 64, "bit-packed outcomes hold at most 64 bits");
+    pub fn from_bitpacked(
+        counts: impl IntoIterator<Item = (u128, u32)>,
+        num_clbits: usize,
+    ) -> Self {
+        assert!(
+            num_clbits <= 128,
+            "bit-packed outcomes hold at most 128 bits"
+        );
         let unpacked: BTreeMap<Vec<bool>, u32> = counts
             .into_iter()
             .map(|(key, count)| {
@@ -112,7 +118,7 @@ mod tests {
     #[test]
     fn bitpacked_counts_unpack_little_endian() {
         // 0b01 -> [true, false], 0b10 -> [false, true].
-        let r = SimulationResult::from_bitpacked([(0b01u64, 3u32), (0b10, 7)], 2);
+        let r = SimulationResult::from_bitpacked([(0b01u128, 3u32), (0b10, 7)], 2);
         assert_eq!(r.trials(), 10);
         assert_eq!(r.counts().get(&vec![true, false]), Some(&3));
         assert_eq!(r.counts().get(&vec![false, true]), Some(&7));

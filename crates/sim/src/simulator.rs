@@ -1,7 +1,9 @@
+use crate::backend::BackendKind;
 use crate::engine::{with_engine_scratch, EngineOptions, TierCounts, TieredEngine};
 use crate::noise::NoiseModel;
 use crate::program::TrialProgram;
 use crate::result::SimulationResult;
+use crate::tableau::TableauEngine;
 use nisq_core::CompiledCircuit;
 use nisq_ir::Circuit;
 use nisq_machine::Machine;
@@ -121,7 +123,7 @@ impl<'m> Simulator<'m> {
     /// # Panics
     ///
     /// Panics if the circuit references qubits outside the machine or uses
-    /// more than 64 classical bits.
+    /// more than 128 classical bits.
     pub fn prepare(&self, physical: &Circuit) -> TrialProgram {
         TrialProgram::lower(physical, self.machine, &self.config.noise)
     }
@@ -155,11 +157,27 @@ impl<'m> Simulator<'m> {
     }
 
     /// Like [`Simulator::run_program`], additionally reporting how many
-    /// trials each engine tier served.
+    /// trials each engine tier served (and which backend served them).
     pub fn run_program_with_stats(&self, program: &TrialProgram) -> (SimulationResult, TierCounts) {
         let trials = self.config.trials;
         let seed = self.config.seed;
-        let engine = TieredEngine::with_options(program, self.config.engine);
+        // Backend dispatch: fully-Clifford programs run on the stabilizer
+        // tableau unless the caller demanded bit-exactness — the tableau is
+        // statistically equivalent to the dense engine, so it sits behind
+        // the same `pauli_prop` gate as tier 0 and `EngineOptions::exact()`
+        // pins the dense bit-exact path.
+        let engine =
+            if program.backend_kind() == BackendKind::Tableau && self.config.engine.pauli_prop {
+                ChunkEngine::Tableau(TableauEngine::new(program))
+            } else {
+                assert!(
+                    program.num_qubits() <= 24,
+                    "program touches more than 24 qubits, which only the tableau backend can \
+                 simulate; it was forced onto the dense path (EngineOptions::exact() or \
+                 pauli_prop = false)"
+                );
+                ChunkEngine::Dense(TieredEngine::with_options(program, self.config.engine))
+            };
 
         // The serial path walks the same fixed-size chunk partition the
         // pool distributes, so *everything* the engine reports — outcomes
@@ -169,7 +187,7 @@ impl<'m> Simulator<'m> {
             .map(|c| (c * TRIAL_CHUNK, ((c + 1) * TRIAL_CHUNK).min(trials)))
             .collect();
         let pool = self.pool.as_ref().filter(|_| trials > TRIAL_CHUNK);
-        let partials: Vec<(FxHashMap<u64, u32>, TierCounts)> = if let Some(pool) = pool {
+        let partials: Vec<(FxHashMap<u128, u32>, TierCounts)> = if let Some(pool) = pool {
             pool.install(|| {
                 chunks
                     .into_par_iter()
@@ -222,20 +240,34 @@ impl<'m> Simulator<'m> {
     }
 }
 
-/// Simulates trials `[start, end)` through the tiered engine with the
+/// The per-program engine a run dispatches its chunks through: the dense
+/// four-tier engine, or the stabilizer-tableau engine for fully-Clifford
+/// programs.
+#[derive(Debug)]
+enum ChunkEngine<'p> {
+    Dense(TieredEngine<'p>),
+    Tableau(TableauEngine<'p>),
+}
+
+/// Simulates trials `[start, end)` through the selected engine with the
 /// calling worker's pooled scratch, returning bit-packed outcome counts and
 /// tier occupancy.
 fn simulate_chunk(
-    engine: &TieredEngine<'_>,
+    engine: &ChunkEngine<'_>,
     seed: u64,
     start: u32,
     end: u32,
-) -> (FxHashMap<u64, u32>, TierCounts) {
-    let mut local: FxHashMap<u64, u32> = FxHashMap::default();
+) -> (FxHashMap<u128, u32>, TierCounts) {
+    let mut local: FxHashMap<u128, u32> = FxHashMap::default();
     let mut tiers = TierCounts::default();
-    with_engine_scratch(|scratch| {
-        engine.run_chunk(seed, start, end, scratch, &mut local, &mut tiers);
-    });
+    match engine {
+        ChunkEngine::Dense(dense) => with_engine_scratch(|scratch| {
+            dense.run_chunk(seed, start, end, scratch, &mut local, &mut tiers);
+        }),
+        ChunkEngine::Tableau(tableau) => {
+            tableau.run_chunk(seed, start, end, &mut local, &mut tiers);
+        }
+    }
     (local, tiers)
 }
 

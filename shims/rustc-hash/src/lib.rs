@@ -69,6 +69,17 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    #[inline]
     fn write_usize(&mut self, i: usize) {
         self.add_to_hash(i as u64);
     }

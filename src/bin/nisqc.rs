@@ -298,9 +298,20 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
                 ));
             }
         }
+        // Backend occupancy: how many simulated cells each state backend
+        // served (a cell's tag is pure; only run totals can be mixed).
+        let simulated = report.cells.iter().filter(|c| c.tiers.total() > 0);
+        let (mut dense_cells, mut tableau_cells) = (0usize, 0usize);
+        for cell in simulated {
+            match cell.tiers.backend {
+                nisq_exp::BackendTag::Tableau => tableau_cells += 1,
+                _ => dense_cells += 1,
+            }
+        }
         println!(
             "{path}: valid report ({} cells, {} compiles, {} compile hits, {} placement passes; \
-             tiers {} error-free / {} pauli-prop / {} checkpointed / {} full, memo {}/{} hits)",
+             tiers {} error-free / {} pauli-prop / {} checkpointed / {} full, memo {}/{} hits; \
+             backends {} dense / {} tableau cells)",
             report.cells.len(),
             report.cache.compile_requests,
             report.cache.compile_hits,
@@ -311,6 +322,8 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
             report.tiers.full_replay,
             report.tiers.memo_hits,
             report.tiers.memo_hits + report.tiers.memo_misses,
+            dense_cells,
+            tableau_cells,
         );
         return Ok(());
     }

@@ -51,7 +51,7 @@ fn coin_flip_circuit() -> Circuit {
 }
 
 /// Reference aggregation: run every trial through the single-trial path.
-fn reference_counts(program: &TrialProgram, seed: u64, trials: u32) -> HashMap<u64, u32> {
+fn reference_counts(program: &TrialProgram, seed: u64, trials: u32) -> HashMap<u128, u32> {
     let mut scratch = program.make_scratch();
     let mut counts = HashMap::new();
     for trial in 0..trials {
@@ -69,7 +69,7 @@ fn engine_counts_with(
     trials: u32,
     threads: usize,
     options: EngineOptions,
-) -> (HashMap<u64, u32>, TierCounts) {
+) -> (HashMap<u128, u32>, TierCounts) {
     let mut config = SimulatorConfig::with_trials(trials, seed);
     config.threads = threads;
     config.engine = options;
@@ -77,10 +77,10 @@ fn engine_counts_with(
     let (result, tiers) = sim.run_program_with_stats(program);
     let mut counts = HashMap::new();
     for (bits, n) in result.counts() {
-        let mut key = 0u64;
+        let mut key = 0u128;
         for (i, &b) in bits.iter().enumerate() {
             if b {
-                key |= 1u64 << i;
+                key |= 1u128 << i;
             }
         }
         *counts.entry(key).or_insert(0) += n;
@@ -94,7 +94,7 @@ fn engine_counts(
     seed: u64,
     trials: u32,
     threads: usize,
-) -> (HashMap<u64, u32>, TierCounts) {
+) -> (HashMap<u128, u32>, TierCounts) {
     engine_counts_with(
         machine,
         program,
@@ -106,8 +106,8 @@ fn engine_counts(
 }
 
 /// Total variation distance between two empirical outcome distributions.
-fn total_variation(a: &HashMap<u64, u32>, b: &HashMap<u64, u32>, trials: u32) -> f64 {
-    let mut keys: Vec<u64> = a.keys().chain(b.keys()).copied().collect();
+fn total_variation(a: &HashMap<u128, u32>, b: &HashMap<u128, u32>, trials: u32) -> f64 {
+    let mut keys: Vec<u128> = a.keys().chain(b.keys()).copied().collect();
     keys.sort_unstable();
     keys.dedup();
     let n = f64::from(trials);
@@ -252,20 +252,24 @@ fn memoized_trials_are_bit_identical_to_cold() {
 
 #[test]
 fn tier0_outcomes_match_numeric_reference_within_tv_bound() {
-    // Tier 0 serves a Clifford-suffix error trial by sampling the *ideal*
-    // terminal CDF and twisting the result with the propagated Pauli's
-    // X mask, instead of replaying the perturbed state numerically. The
-    // per-trial outcome distribution is identical (a Pauli permutes basis
-    // probabilities), but the draw-to-outcome mapping differs, so the two
-    // engines produce different — equally distributed — outcome streams.
+    // These benchmarks compile to fully-Clifford executables, so the
+    // default engine serves them on the stabilizer-tableau backend:
+    // error-free trials sample the terminal affine subspace, error trials
+    // twist it with the propagated Pauli's X mask. The per-trial outcome
+    // distribution is identical to the dense engine's (a Pauli permutes
+    // basis probabilities, and the affine sampler draws the exact
+    // stabilizer-support distribution), but the draw-to-outcome mapping
+    // differs on *every* trial, so the two engines produce different —
+    // equally distributed — outcome streams. This is the cross-backend
+    // equivalence gate: tableau vs. dense-exact at fixed seeds.
     //
-    // Tolerance: only the E tier-0-served trials can differ between the
-    // engines, and their outcomes are i.i.d. from the same distribution,
-    // so the empirical TV between the two runs concentrates around
-    // E[TV] ≈ Σ_k √(2 p_k q_k E / π) / N — for BV8/qiskit at 8192 trials
-    // (E ≈ 0.6·N, outcomes dominated by a handful of keys) that is under
-    // 0.02. We assert 0.05, documented headroom of ~2.5× at the fixed
-    // seeds below; the success-rate delta gets the matching per-key bound.
+    // Tolerance: the runs are independent samples of the same
+    // distribution, so the empirical TV concentrates around
+    // E[TV] ≈ Σ_k √(2 p_k q_k / (π N)) — for BV8/qiskit at 8192 trials
+    // (outcomes dominated by a handful of keys) that is under 0.03, and
+    // measured TV at these seeds halves with each 4× in N (pure sampling
+    // noise, no distributional offset). We assert 0.07, documented
+    // headroom of ~2× at the fixed seeds below.
     let m = machine();
     for (benchmark, config) in [
         (Benchmark::Bv8, CompilerConfig::qiskit()),
@@ -291,6 +295,10 @@ fn tier0_outcomes_match_numeric_reference_within_tv_bound() {
                 fast_tiers.pauli_prop > 0,
                 "{benchmark}: tier 0 never engaged"
             );
+            // The default engine must have selected the tableau backend
+            // for a Clifford-only program; exact() must force dense.
+            assert_eq!(fast_tiers.backend, nisq_sim::BackendKind::Tableau);
+            assert_eq!(exact_tiers.backend, nisq_sim::BackendKind::Dense);
             // Tier 0 absorbs exactly the trials the exact engine served
             // from checkpoints/full replays after its own divergences.
             assert_eq!(fast_tiers.total(), u64::from(trials));
@@ -299,7 +307,7 @@ fn tier0_outcomes_match_numeric_reference_within_tv_bound() {
 
             let tv = total_variation(&fast, &exact, trials);
             assert!(
-                tv < 0.05,
+                tv < 0.07,
                 "{benchmark} seed {seed}: TV {tv} exceeds the documented bound"
             );
         }

@@ -112,14 +112,24 @@ fn permutation_routing_halves_movement_on_ibmq16() {
             .filter(|g| g.kind() == GateKind::Swap)
             .count();
         // Swap-back emits exactly twice the one-way swaps; permutation
-        // tracking emits exactly the one-way count.
+        // tracking emits exactly the one-way count. Under permutation
+        // tracking an *adjacent* program SWAP is elided entirely (a free
+        // layout relabeling, scheduled with no route and no physical
+        // gate), so discount only the program swaps that survived.
+        let source: Vec<GateKind> = b.circuit().iter().map(|g| g.kind()).collect();
+        let elided = permuted
+            .schedule()
+            .gates
+            .iter()
+            .filter(|e| source[e.gate_index] == GateKind::Swap && e.route.is_none())
+            .count();
         assert_eq!(
             count_swaps(&baseline) - program_swaps,
             2 * baseline.swap_count(),
             "{b}"
         );
         assert_eq!(
-            count_swaps(&permuted) - program_swaps,
+            count_swaps(&permuted) - (program_swaps - elided),
             permuted.swap_count(),
             "{b}"
         );
