@@ -1,0 +1,46 @@
+// Repro: aliased mid-measure clbits under the tableau fast path.
+use nisq::prelude::*;
+use nisq_ir::{Clbit, Qubit};
+use nisq_sim::{EngineOptions, Simulator, SimulatorConfig};
+use std::collections::HashMap;
+
+fn main() {
+    let machine = Machine::ibmq16_on_day(2019, 0);
+    // Fully-Clifford circuit: two mid measures write the SAME clbit 0.
+    let mut c = Circuit::with_clbits(2, 2);
+    c.x(Qubit(0));
+    c.measure(Qubit(0), Clbit(0)); // ideal outcome 1
+    c.x(Qubit(1));                 // noise site on this gate
+    c.measure(Qubit(1), Clbit(0)); // ideal outcome 1, same clbit
+    // keep both measures mid (qubits used later), then terminal measure.
+    c.x(Qubit(0));
+    c.x(Qubit(1));
+    c.measure(Qubit(0), Clbit(1));
+
+    let trials = 200_000u32;
+    let run = |exact: bool| -> HashMap<Vec<bool>, u32> {
+        let mut config = SimulatorConfig::with_trials(trials, 42);
+        if exact {
+            config.engine = EngineOptions::exact();
+        }
+        let sim = Simulator::new(&machine, config);
+        let program = sim.prepare(&c);
+        let (result, tiers) = sim.run_program_with_stats(&program);
+        eprintln!("exact={exact} backend={} tiers: ef={} pp={} cp={} fr={}",
+            tiers.backend, tiers.error_free, tiers.pauli_prop, tiers.checkpointed, tiers.full_replay);
+        result.counts().clone().into_iter().collect()
+    };
+    let fast = run(false);
+    let exact = run(true);
+    println!("fast : {fast:?}");
+    println!("exact: {exact:?}");
+    let mut keys: Vec<_> = fast.keys().chain(exact.keys()).cloned().collect();
+    keys.sort(); keys.dedup();
+    let n = trials as f64;
+    let tv: f64 = keys.iter().map(|k| {
+        let a = *fast.get(k).unwrap_or(&0) as f64 / n;
+        let b = *exact.get(k).unwrap_or(&0) as f64 / n;
+        (a - b).abs()
+    }).sum::<f64>() / 2.0;
+    println!("TV distance = {tv:.5}");
+}
