@@ -25,7 +25,7 @@
 //! dense path is a bug, not a tuning choice.
 
 use nisq_core::CompilerConfig;
-use nisq_exp::{Session, DEFAULT_MACHINE_SEED};
+use nisq_exp::{NoiseSpec, Session, DEFAULT_MACHINE_SEED};
 use nisq_ir::{bernstein_vazirani, random_circuit, Benchmark, Circuit, RandomCircuitConfig};
 use nisq_machine::TopologySpec;
 use nisq_sim::{Simulator, SimulatorConfig};
@@ -65,6 +65,9 @@ struct Spec {
     /// tableau serves them; `--require-tableau` turns a silent dense
     /// fallback on these into a hard failure.
     require_tableau: bool,
+    /// Extra declarative channels lowered into the program (`None` for
+    /// the calibration-only entries).
+    noise: Option<NoiseSpec>,
 }
 
 impl Spec {
@@ -78,6 +81,7 @@ impl Spec {
             topology: TopologySpec::Ibmq16,
             trials: TRIALS,
             require_tableau: false,
+            noise: None,
         }
     }
 }
@@ -141,7 +145,7 @@ fn measure(session: &mut Session, spec: &Spec) -> Measurement {
     let sim = Simulator::new(&machine, SimulatorConfig::with_trials(spec.trials, 1));
     // Lowering happens once, outside the timed region: what's ratcheted is
     // trial throughput, not program analysis.
-    let program = sim.prepare(physical);
+    let program = sim.prepare_with_noise(physical, spec.noise.as_ref());
 
     // One warm-up run outside the timed region.
     let (_, tiers) = sim.run_program_with_stats(&program);
@@ -307,6 +311,28 @@ fn main() {
             "r_smt_star",
             CompilerConfig::r_smt_star(0.5),
         ),
+        // Amplitude damping on every measurement: a non-Pauli Kraus
+        // channel, so backend selection forces dense and *every* trial is
+        // a full replay with per-site branch selection — this entry
+        // ratchets the Kraus-channel replay path itself, which no
+        // calibration-only workload exercises.
+        Spec {
+            name: "Toffoli-ad",
+            compiler: "qiskit",
+            config: CompilerConfig::qiskit(),
+            circuit: Benchmark::Toffoli.circuit(),
+            topology: TopologySpec::Ibmq16,
+            trials: LARGE_TRIALS,
+            require_tableau: false,
+            noise: Some(
+                NoiseSpec::from_json(
+                    r#"{"name": "ad-measure", "bindings": [
+                        {"on": "measure", "rate": 0.05,
+                         "channel": {"kind": "amplitude-damping"}}]}"#,
+                )
+                .expect("the baseline noise spec is valid"),
+            ),
+        },
         Spec {
             name: "BV12",
             compiler: "qiskit",
@@ -317,6 +343,7 @@ fn main() {
             topology: TopologySpec::Ibmq16,
             trials: TRIALS,
             require_tableau: false,
+            noise: None,
         },
         Spec {
             name: "rand12",
@@ -326,6 +353,7 @@ fn main() {
             topology: TopologySpec::Grid { mx: 4, my: 4 },
             trials: LARGE_TRIALS,
             require_tableau: false,
+            noise: None,
         },
         Spec {
             name: "rand14",
@@ -335,6 +363,7 @@ fn main() {
             topology: TopologySpec::Grid { mx: 4, my: 4 },
             trials: LARGE_TRIALS,
             require_tableau: false,
+            noise: None,
         },
         // BV16 fills the whole IBMQ16 device (2^16 amplitudes): the widest
         // paper-family entry, Clifford-only, with swap-back mid-circuit
@@ -350,6 +379,7 @@ fn main() {
             topology: TopologySpec::Ibmq16,
             trials: TRIALS,
             require_tableau: false,
+            noise: None,
         },
         Spec {
             name: "cliff14",
@@ -359,6 +389,7 @@ fn main() {
             topology: TopologySpec::Grid { mx: 4, my: 4 },
             trials: LARGE_TRIALS,
             require_tableau: false,
+            noise: None,
         },
         // The wide Clifford entries below exceed any 2^n state vector and
         // exist only because the stabilizer-tableau backend serves them;
@@ -372,6 +403,7 @@ fn main() {
             topology: TopologySpec::Grid { mx: 8, my: 8 },
             trials: TRIALS,
             require_tableau: true,
+            noise: None,
         },
         Spec {
             name: "BV128",
@@ -381,6 +413,7 @@ fn main() {
             topology: TopologySpec::Grid { mx: 12, my: 11 },
             trials: LARGE_TRIALS,
             require_tableau: true,
+            noise: None,
         },
         Spec {
             name: "ghz48",
@@ -390,6 +423,7 @@ fn main() {
             topology: TopologySpec::Grid { mx: 7, my: 7 },
             trials: TRIALS,
             require_tableau: true,
+            noise: None,
         },
     ];
     let mut session = Session::new();

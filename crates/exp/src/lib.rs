@@ -42,7 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+// The JSON module moved to `nisq-noise` (the spec parser lives below the
+// sim crate in the dependency order); the re-export keeps every
+// `nisq_exp::json::` path working.
+pub use nisq_noise::json;
+// The noise axis on `SweepPlan` takes a `NoiseSpec`; re-exporting it lets
+// plan producers (CLI, serve) avoid a direct `nisq-noise` dependency.
+pub use nisq_noise::{NoiseError, NoiseSpec};
+
 pub mod names;
 mod plan;
 mod report;

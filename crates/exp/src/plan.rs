@@ -10,6 +10,7 @@
 use nisq_core::CompilerConfig;
 use nisq_ir::{Benchmark, Circuit};
 use nisq_machine::{GridTopology, TopologySpec};
+use nisq_noise::NoiseSpec;
 use std::hash::{Hash, Hasher};
 
 /// One circuit of a plan: a display name, the logical circuit, and (when
@@ -89,6 +90,9 @@ pub struct Cell {
     pub circuit: usize,
     /// Index into [`SweepPlan::configs`].
     pub config: usize,
+    /// Index into [`SweepPlan::noise_axis`], or `None` for the built-in
+    /// noise model alone (the only value when the plan has no noise axis).
+    pub noise: Option<usize>,
     /// Seed for this cell's simulation trials.
     pub sim_seed: u64,
 }
@@ -115,6 +119,7 @@ pub struct SweepPlan {
     circuits: Vec<CircuitSpec>,
     configs: Vec<(String, CompilerConfig)>,
     days: Vec<usize>,
+    noises: Vec<(String, NoiseSpec)>,
     scope: MachineScope,
     machine_seed: u64,
     trials: u32,
@@ -139,6 +144,7 @@ impl SweepPlan {
             circuits: Vec::new(),
             configs: Vec::new(),
             days: vec![0],
+            noises: Vec::new(),
             scope: MachineScope::Topologies(vec![TopologySpec::Ibmq16]),
             machine_seed: DEFAULT_MACHINE_SEED,
             trials: 0,
@@ -189,6 +195,16 @@ impl SweepPlan {
             self.configs
                 .push((config.algorithm.name().to_string(), config));
         }
+        self
+    }
+
+    /// Adds one labelled noise spec to the noise axis. A plan with a
+    /// non-empty noise axis runs every other-axis combination once per
+    /// entry, binding that spec's declarative channels on top of the
+    /// built-in noise model; an empty axis (the default) runs each
+    /// combination once with the built-in model alone.
+    pub fn with_noise(mut self, label: impl Into<String>, spec: NoiseSpec) -> Self {
+        self.noises.push((label.into(), spec));
         self
     }
 
@@ -265,6 +281,11 @@ impl SweepPlan {
         &self.days
     }
 
+    /// The labelled noise-spec axis (empty = built-in model only).
+    pub fn noise_axis(&self) -> &[(String, NoiseSpec)] {
+        &self.noises
+    }
+
     /// The machine scope.
     pub fn scope(&self) -> &MachineScope {
         &self.scope
@@ -291,25 +312,34 @@ impl SweepPlan {
     }
 
     /// Materializes the plan into its cells, in deterministic order:
-    /// topology-major, then day, circuit, configuration.
+    /// topology-major, then day, circuit, configuration, noise (innermost,
+    /// so adding a noise axis extends rather than reshuffles the order).
     pub fn cells(&self) -> Vec<Cell> {
         let mut cells = Vec::new();
         let topologies: Vec<Option<TopologySpec>> = match &self.scope {
             MachineScope::Topologies(specs) => specs.iter().copied().map(Some).collect(),
             MachineScope::GridPerCircuit => vec![None],
         };
+        let noises: Vec<Option<usize>> = if self.noises.is_empty() {
+            vec![None]
+        } else {
+            (0..self.noises.len()).map(Some).collect()
+        };
         for topology in topologies {
             for &day in &self.days {
                 for (ci, spec) in self.circuits.iter().enumerate() {
                     let resolved = topology.unwrap_or_else(|| SweepPlan::grid_for(&spec.circuit));
                     for cfg in 0..self.configs.len() {
-                        cells.push(Cell {
-                            topology: resolved,
-                            day,
-                            circuit: ci,
-                            config: cfg,
-                            sim_seed: self.cell_seed(resolved, day, ci, cfg),
-                        });
+                        for &noise in &noises {
+                            cells.push(Cell {
+                                topology: resolved,
+                                day,
+                                circuit: ci,
+                                config: cfg,
+                                noise,
+                                sim_seed: self.cell_seed(resolved, day, ci, cfg, noise),
+                            });
+                        }
                     }
                 }
             }
@@ -318,7 +348,14 @@ impl SweepPlan {
     }
 
     /// The simulation seed of a cell, per the plan's [`SeedMode`].
-    fn cell_seed(&self, topology: TopologySpec, day: usize, circuit: usize, config: usize) -> u64 {
+    fn cell_seed(
+        &self,
+        topology: TopologySpec,
+        day: usize,
+        circuit: usize,
+        config: usize,
+        noise: Option<usize>,
+    ) -> u64 {
         match self.seed_mode {
             SeedMode::Fixed(seed) => seed,
             SeedMode::PerDay(base) => base.wrapping_add(day as u64),
@@ -328,6 +365,11 @@ impl SweepPlan {
                 day.hash(&mut h);
                 self.circuits[circuit].name.hash(&mut h);
                 self.configs[config].0.hash(&mut h);
+                // Only a bound noise spec joins the key: plans without a
+                // noise axis keep their historical per-cell seeds.
+                if let Some(n) = noise {
+                    self.noises[n].0.hash(&mut h);
+                }
                 // Finalize with a SplitMix64-style avalanche so nearby
                 // hashes do not yield correlated trial streams.
                 let mut z = base ^ h.finish();

@@ -8,8 +8,10 @@ use serde::{Deserialize, Serialize};
 /// added the tier-0 `pauli_prop` occupancy and the single-error suffix
 /// memo's `memo_hits`/`memo_misses` counters; `v4` added the `backend`
 /// tag recording which state backend (`dense` or `tableau`, `mixed` in
-/// aggregates) served each cell's trials.
-pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v4";
+/// aggregates) served each cell's trials; `v5` added the per-cell
+/// `noise` provenance field naming the declarative noise spec bound for
+/// the cell's trials (`null` = built-in noise model alone).
+pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v5";
 
 /// Which simulator state backend served a set of trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -162,6 +164,9 @@ pub struct CellRecord {
     pub topology: String,
     /// Calibration day index.
     pub day: usize,
+    /// Label of the plan's noise-axis entry bound for this cell's trials;
+    /// `None` when the cell ran under the built-in noise model alone.
+    pub noise: Option<String>,
     /// Logical qubit count of the circuit.
     pub qubits: usize,
     /// Logical gate count of the circuit.
@@ -252,7 +257,7 @@ impl Report {
             .unwrap_or_else(|| panic!("no cell for {circuit}/{config}/day {day} in report"))
     }
 
-    /// Serializes to the stable JSON format (`nisq-sweep-report/v4`).
+    /// Serializes to the stable JSON format (`nisq-sweep-report/v5`).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -276,8 +281,13 @@ impl Report {
                 Some(rate) => format!("{rate}"),
                 None => "null".to_string(),
             };
+            let noise = match &c.noise {
+                Some(label) => json::write_str(label),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
                 "    {{\"circuit\": {}, \"config\": {}, \"topology\": {}, \"day\": {}, \
+                 \"noise\": {}, \
                  \"qubits\": {}, \"gates\": {}, \"sim_seed\": {}, \"trials\": {}, \
                  \"success_rate\": {}, \"estimated_reliability\": {}, \"duration_slots\": {}, \
                  \"swap_count\": {}, \"hardware_cnots\": {}, \"compile_ms\": {:.3}, \
@@ -286,6 +296,7 @@ impl Report {
                 json::write_str(&c.config),
                 json::write_str(&c.topology),
                 c.day,
+                noise,
                 c.qubits,
                 c.gates,
                 c.sim_seed,
@@ -367,6 +378,14 @@ impl Report {
                 config: req_str(cell, "config")?.to_string(),
                 topology: req_str(cell, "topology")?.to_string(),
                 day: req_u64(cell, "day")? as usize,
+                noise: match req(cell, "noise")? {
+                    Value::Null => None,
+                    v => Some(
+                        v.as_str()
+                            .ok_or_else(|| shape_err("non-string noise label".to_string()))?
+                            .to_string(),
+                    ),
+                },
                 qubits: req_u64(cell, "qubits")? as usize,
                 gates: req_u64(cell, "gates")? as usize,
                 sim_seed: req_u64(cell, "sim_seed")?,
@@ -471,6 +490,7 @@ mod tests {
                     config: "Qiskit".into(),
                     topology: "IBMQ16".into(),
                     day: 0,
+                    noise: Some("ad-measure".into()),
                     qubits: 4,
                     gates: 11,
                     sim_seed: 42,
@@ -498,6 +518,7 @@ mod tests {
                     config: "GreedyE*".into(),
                     topology: "IBMQ16".into(),
                     day: 3,
+                    noise: None,
                     qubits: 4,
                     gates: 11,
                     sim_seed: 43,
@@ -585,15 +606,21 @@ mod tests {
         assert!(Report::from_json("{}").is_err());
         assert!(Report::from_json("{\"schema\": \"other/v9\"}").is_err());
         assert!(Report::from_json("not json").is_err());
-        // Pre-backend documents carry the v3 tag and are rejected outright
+        // Pre-noise documents carry the v4 tag and are rejected outright
         // rather than silently defaulted.
-        let v3 = sample()
+        let v4 = sample()
             .to_json()
-            .replace("nisq-sweep-report/v4", "nisq-sweep-report/v3");
-        assert!(Report::from_json(&v3).is_err());
-        // A v4-tagged document with an unknown backend name is malformed.
+            .replace("nisq-sweep-report/v5", "nisq-sweep-report/v4");
+        assert!(Report::from_json(&v4).is_err());
+        // A v5-tagged document with an unknown backend name is malformed.
         let bad_backend = sample().to_json().replace("\"tableau\"", "\"sparse\"");
         assert!(Report::from_json(&bad_backend).is_err());
+        // ...and one missing the per-cell noise field is malformed too.
+        let no_noise = sample()
+            .to_json()
+            .replace("\"noise\": \"ad-measure\", ", "")
+            .replace("\"noise\": null, ", "");
+        assert!(Report::from_json(&no_noise).is_err());
     }
 
     #[test]

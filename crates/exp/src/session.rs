@@ -280,13 +280,14 @@ impl Session {
         let mut cell_tiers: Vec<TierStats> = vec![TierStats::default(); cells.len()];
         let simulate = |machine: &Machine,
                         executable: &CompiledCircuit,
-                        seed: u64,
+                        cell: &Cell,
                         spec: &CircuitSpec,
                         threads: usize| {
-            let mut config = SimulatorConfig::with_trials(trials, seed);
+            let mut config = SimulatorConfig::with_trials(trials, cell.sim_seed);
             config.threads = threads;
             let simulator = Simulator::new(machine, config);
-            let program = simulator.prepare(executable.physical_circuit());
+            let noise = cell.noise.map(|n| &plan.noise_axis()[n].1);
+            let program = simulator.prepare_with_noise(executable.physical_circuit(), noise);
             let (result, tiers) = simulator.run_program_with_stats(&program);
             let rate = result.probability_of(spec.expected.as_ref().expect("filtered above"));
             (rate, TierStats::from(tiers))
@@ -297,7 +298,7 @@ impl Session {
                     .map(|(i, machine, executable)| {
                         let cell = &cells[i];
                         let spec = &plan.circuits()[cell.circuit];
-                        let (rate, tiers) = simulate(&machine, &executable, cell.sim_seed, spec, 1);
+                        let (rate, tiers) = simulate(&machine, &executable, cell, spec, 1);
                         (i, rate, tiers)
                     })
                     .collect()
@@ -311,8 +312,7 @@ impl Session {
             for (i, machine, executable) in work {
                 let cell = &cells[i];
                 let spec = &plan.circuits()[cell.circuit];
-                let (rate, tiers) =
-                    simulate(&machine, &executable, cell.sim_seed, spec, self.threads);
+                let (rate, tiers) = simulate(&machine, &executable, cell, spec, self.threads);
                 success[i] = Some(rate);
                 cell_tiers[i] = tiers;
             }
@@ -405,7 +405,9 @@ impl Session {
                     let mut sim_config = SimulatorConfig::with_trials(trials, cell.sim_seed);
                     sim_config.threads = self.threads;
                     let simulator = Simulator::new(&machine, sim_config);
-                    let program = simulator.prepare(executable.physical_circuit());
+                    let noise = cell.noise.map(|n| &plan.noise_axis()[n].1);
+                    let program =
+                        simulator.prepare_with_noise(executable.physical_circuit(), noise);
                     let (result, counts) = simulator.run_program_with_stats(&program);
                     (
                         Some(result.probability_of(expected)),
@@ -471,6 +473,7 @@ fn cell_record(
         config: plan.configs()[cell.config].0.clone(),
         topology: cell.topology.name(),
         day: cell.day,
+        noise: cell.noise.map(|n| plan.noise_axis()[n].0.clone()),
         qubits: spec.circuit.num_qubits(),
         gates: spec.circuit.gate_count(),
         sim_seed: cell.sim_seed,

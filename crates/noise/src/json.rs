@@ -1,10 +1,11 @@
 //! Minimal JSON reading and writing.
 //!
 //! The build environment has no `serde_json` (see `shims/README.md`), so
-//! report serialization is hand-rolled: [`write_str`]/number formatting on
-//! the way out, and this small recursive-descent parser on the way in —
-//! enough to round-trip the reports this crate emits and to let CI validate
-//! a `nisqc sweep` output without external dependencies.
+//! JSON handling is hand-rolled: [`write_str`]/number formatting on the way
+//! out, and this small recursive-descent parser on the way in — enough to
+//! parse [`NoiseSpec`](crate::NoiseSpec) documents, round-trip the reports
+//! `nisq-exp` emits (which re-exports this module), and let CI validate a
+//! `nisqc sweep` output without external dependencies.
 
 use std::fmt;
 
@@ -110,7 +111,7 @@ impl std::error::Error for JsonError {}
 /// # Example
 ///
 /// ```
-/// use nisq_exp::json;
+/// use nisq_noise::json;
 ///
 /// let v = json::parse(r#"{"cells": [1, 2.5], "ok": true}"#).unwrap();
 /// assert_eq!(v.get("cells").unwrap().as_array().unwrap().len(), 2);

@@ -1,0 +1,44 @@
+//! # nisq-noise — declarative Kraus-channel noise subsystem
+//!
+//! The simulator's built-in error model is calibration-driven (Pauli gate
+//! errors + duration dephasing). This crate adds everything beyond it:
+//!
+//! * a channel taxonomy ([`Channel`]) — depolarizing (1q/2q), bit-flip,
+//!   phase-flip, Pauli-weighted, amplitude damping, and general Kraus
+//!   channels given explicit matrices — all validated for CPTP-ness;
+//! * a declarative [`NoiseSpec`] — named, per-gate-kind / per-edge /
+//!   per-qubit channel bindings with calibration-scaled or fixed rates,
+//!   parseable from JSON with strict unknown-field rejection;
+//! * the minimal [`json`] module shared by the spec parser, the sweep
+//!   report format and the serve protocol (re-exported by `nisq-exp`).
+//!
+//! The crate is deliberately backend-agnostic: `nisq-sim` lowers a spec
+//! onto a compiled program ([`Channel::pauli_form`] keeps Pauli-diagonal
+//! channels inside the fast pre-sampled tiers, [`Channel::kraus_ops`]
+//! routes the rest to dense state-dependent application), and `nisq-exp`
+//! carries specs as a sweep axis.
+//!
+//! ```
+//! use nisq_noise::{Channel, NoiseSpec};
+//!
+//! let spec = NoiseSpec::from_json(r#"{
+//!     "name": "depol-example",
+//!     "bindings": [
+//!         {"on": "cnot", "rate": {"calibration": 1.0},
+//!          "channel": {"kind": "depolarizing-2q"}}
+//!     ]
+//! }"#).unwrap();
+//! assert!(spec.is_pauli_only());
+//! assert_eq!(spec.bindings()[0].channel_at(0.02),
+//!            Channel::Depolarizing2q { p: 0.02 });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod json;
+pub mod spec;
+
+pub use channel::{Channel, Matrix2, NoiseError, PauliForm, CPTP_TOLERANCE, MAX_KRAUS_OPS};
+pub use spec::{Binding, ChannelShape, GateSel, NoiseSpec, Rate, MAX_SPEC_QUBIT};

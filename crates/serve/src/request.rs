@@ -9,7 +9,7 @@
 
 use crate::error::ServeError;
 use nisq_exp::json::{self, Value};
-use nisq_exp::{names, CircuitSpec, SweepPlan};
+use nisq_exp::{names, CircuitSpec, NoiseSpec, SweepPlan};
 use nisq_ir::qasm;
 
 /// One parsed request envelope.
@@ -190,6 +190,7 @@ pub fn parse_plan(doc: &Value) -> Result<SweepPlan, ServeError> {
                 | "trials"
                 | "machine_seed"
                 | "sim_seed"
+                | "noise"
         ) {
             return Err(invalid(format!("unknown plan field {key:?}")));
         }
@@ -267,6 +268,21 @@ pub fn parse_plan(doc: &Value) -> Result<SweepPlan, ServeError> {
             .as_u64()
             .ok_or_else(|| invalid("\"sim_seed\" must be a non-negative integer"))?;
         plan = plan.fixed_sim_seed(seed);
+    }
+    match doc.get("noise") {
+        None | Some(Value::Null) => {}
+        // One spec object or an array of them; each spec names itself, and
+        // an array becomes a sweep axis (cells multiply accordingly).
+        Some(Value::Array(items)) => {
+            for item in items {
+                let spec = NoiseSpec::from_value(item).map_err(|e| invalid(e.to_string()))?;
+                plan = plan.with_noise(spec.name().to_string(), spec);
+            }
+        }
+        Some(v) => {
+            let spec = NoiseSpec::from_value(v).map_err(|e| invalid(e.to_string()))?;
+            plan = plan.with_noise(spec.name().to_string(), spec);
+        }
     }
     Ok(plan)
 }
@@ -353,6 +369,7 @@ pub fn admit(plan: &SweepPlan, budgets: &Budgets) -> Result<(), ServeError> {
         .checked_mul(plan.day_axis().len())
         .and_then(|n| n.checked_mul(plan.circuits().len()))
         .and_then(|n| n.checked_mul(plan.configs().len()))
+        .and_then(|n| n.checked_mul(plan.noise_axis().len().max(1)))
         .unwrap_or(usize::MAX);
     if cells > budgets.max_cells {
         return Err(budget(format!(
@@ -410,6 +427,44 @@ mod tests {
     }
 
     #[test]
+    fn parses_noise_axis_plans() {
+        // A single spec object adds one noise point (cells unchanged in
+        // count, every cell tagged).
+        let line = r#"{"op": "run", "plan": {"benchmarks": "bv4", "trials": 8,
+            "noise": {"name": "depol-x2", "bindings": [
+                {"on": "cnot", "rate": {"calibration": 2.0},
+                 "channel": {"kind": "depolarizing-2q"}}]}}}"#
+            .replace('\n', " ");
+        let Op::Run { plan, .. } = parse_request(&line).unwrap().op else {
+            panic!("expected a run op");
+        };
+        assert_eq!(plan.noise_axis().len(), 1);
+        assert_eq!(plan.noise_axis()[0].0, "depol-x2");
+        assert!(plan.cells().iter().all(|c| c.noise == Some(0)));
+        admit(&plan, &budgets()).unwrap();
+
+        // An array of specs becomes a sweep axis: cells multiply, and the
+        // admission cell count tracks the multiplication.
+        let line = r#"{"op": "run", "plan": {"benchmarks": "bv4,hs2", "noise": [
+            {"name": "a", "bindings": [{"on": "sq", "rate": 0.01,
+                "channel": {"kind": "bit-flip"}}]},
+            {"name": "b", "bindings": [{"on": "measure", "rate": 0.05,
+                "channel": {"kind": "amplitude-damping"}}]}]}}"#
+            .replace('\n', " ");
+        let Op::Run { plan, .. } = parse_request(&line).unwrap().op else {
+            panic!("expected a run op");
+        };
+        assert_eq!(plan.cells().len(), 2 * 2);
+        admit(&plan, &budgets()).unwrap();
+        let tight = Budgets {
+            max_cells: 3,
+            ..budgets()
+        };
+        let err = admit(&plan, &tight).unwrap_err();
+        assert_eq!(err.code(), "budget", "{err}");
+    }
+
+    #[test]
     fn rejects_malformed_envelopes_with_protocol_errors() {
         for line in [
             "not json",
@@ -440,6 +495,18 @@ mod tests {
             r#"{"benchmarks": "bv4", "tirals": 10}"#,
             r#"{"circuits": [{"name": "bad", "qasm": "qreg q[2]; zap q[0];"}]}"#,
             r#"{"circuits": [{"name": "huge", "qasm": "qreg q[999999];"}]}"#,
+            // Noise specs go through the same strict parser the CLI uses:
+            // unknown fields, shape/selector mismatches and non-CPTP Kraus
+            // sets are all invalid-plan, not protocol, errors.
+            r#"{"benchmarks": "bv4", "noise": {"name": "x", "bindings": [
+                {"on": "cnot", "rate": 0.1, "channel": {"kind": "depolarizing-2q"}}],
+                "extra": 1}}"#,
+            r#"{"benchmarks": "bv4", "noise": {"name": "x", "bindings": [
+                {"on": "sq", "rate": 0.1, "channel": {"kind": "depolarizing-2q"}}]}}"#,
+            r#"{"benchmarks": "bv4", "noise": {"name": "x", "bindings": [
+                {"on": "sq", "channel": {"kind": "kraus",
+                 "ops": [[[2, 0], [0, 0], [0, 0], [2, 0]]]}}]}}"#,
+            r#"{"benchmarks": "bv4", "noise": 7}"#,
         ] {
             let line = format!(r#"{{"op": "run", "plan": {plan}}}"#);
             let err = parse_request(&line).unwrap_err();

@@ -184,6 +184,49 @@ fn reports_are_deterministic_across_reconnects_and_match_a_direct_session() {
 }
 
 #[test]
+fn noise_specs_run_through_the_daemon_with_per_cell_provenance() {
+    let (handle, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(addr);
+
+    // The acceptance spec: calibration-scaled depolarizing on CNOTs plus
+    // amplitude damping on measures. Every cell of the returned v5 report
+    // must carry the spec's name as its noise provenance.
+    let request = r#"{"op": "run", "id": "n1", "plan": {"benchmarks": "bv4",
+        "mappers": "qiskit", "trials": 64, "sim_seed": 7,
+        "noise": {"name": "depol-cnot_ad-measure", "bindings": [
+            {"on": "cnot", "rate": {"calibration": 2.0},
+             "channel": {"kind": "depolarizing-2q"}},
+            {"on": "measure", "rate": 0.05,
+             "channel": {"kind": "amplitude-damping"}}]}}}"#
+        .replace('\n', " ");
+    client.send(&request);
+    let line = client.recv_line();
+    let doc = json::parse(&line).unwrap();
+    assert_eq!(status(&doc), "ok");
+    let report = embedded_report(&line);
+    assert!(!report.cells.is_empty());
+    for cell in &report.cells {
+        assert_eq!(cell.noise.as_deref(), Some("depol-cnot_ad-measure"));
+    }
+
+    // A malformed binding inside the noise object is an invalid-plan
+    // error, and the daemon keeps serving afterwards.
+    let bad = client.roundtrip(
+        r#"{"op": "run", "id": "n2", "plan": {"benchmarks": "bv4",
+            "noise": {"name": "x", "bindings": [{"on": "warp"}]}}}"#
+            .replace('\n', " ")
+            .as_str(),
+    );
+    assert_eq!(status(&bad), "error");
+    assert_eq!(field(&bad, "code").as_str(), Some("invalid-plan"));
+    let pong = client.roundtrip(r#"{"op": "ping", "id": "n3"}"#);
+    assert_eq!(status(&pong), "ok");
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
 fn pipelined_requests_answer_in_order() {
     let (handle, addr) = start(ServerConfig::default());
     let mut client = Client::connect(addr);

@@ -25,6 +25,7 @@
 
 use crate::gates::Matrix2;
 use crate::noise::Pauli;
+use crate::program::KrausTable;
 use rand::Rng;
 
 /// Which simulation backend serves a lowered program's trials.
@@ -85,6 +86,13 @@ pub trait SimBackend {
     /// Realizes the unitary part of a SWAP by relabeling the two wires.
     fn swap_relabel(&mut self, a: u8, b: u8);
 
+    /// Applies a general (non-Pauli) Kraus channel to `qubit`, selecting
+    /// the branch with the caller's uniform `u` against the state-dependent
+    /// branch probabilities. Only the dense backend can serve this —
+    /// lowering forces [`BackendKind::Dense`] for any program containing
+    /// one, so the tableau implementation is unreachable.
+    fn apply_kraus(&mut self, qubit: u8, table: &KrausTable, u: f64);
+
     /// Measures `qubit` in the computational basis, collapsing the state
     /// and returning the outcome (readout flips are the walker's job).
     fn measure<R: Rng + ?Sized>(&mut self, qubit: u8, rng: &mut R) -> bool;
@@ -112,7 +120,7 @@ mod tests {
     #[test]
     fn backend_kind_names_are_stable() {
         // Report JSON and the bench harness serialize these names; they are
-        // part of the nisq-sweep-report/v4 schema.
+        // part of the nisq-sweep-report/v5 schema.
         assert_eq!(BackendKind::Dense.name(), "dense");
         assert_eq!(BackendKind::Tableau.to_string(), "tableau");
         assert_eq!(BackendKind::default(), BackendKind::Dense);

@@ -302,6 +302,22 @@ impl<'p> TieredEngine<'p> {
             _ => ops.len(),
         };
 
+        // A program with general Kraus channels has no shared ideal path:
+        // every channel application is state-dependent, so there is no
+        // dominant-path walk, no checkpoints, no terminal CDF and no
+        // tier-0 propagation — every trial replays in full (tier 3).
+        if program.has_kraus() {
+            return TieredEngine {
+                program,
+                measures: Vec::new(),
+                checkpoints: Vec::new(),
+                terminal_op,
+                terminal: TerminalPlan::None,
+                pauli_prop_from: usize::MAX,
+                memo_enabled: false,
+            };
+        }
+
         let mut walker = program.make_scratch();
         walker.reset();
         let mut measures = Vec::new();
@@ -504,7 +520,7 @@ impl<'p> TieredEngine<'p> {
                         site += 1;
                     }
                 }
-                TrialOp::GateNoise { qubit, .. } => {
+                TrialOp::GateNoise { qubit, .. } | TrialOp::ChannelNoise { qubit, .. } => {
                     if let TrialEvent::Gate(p) = events[site] {
                         pauli.compose(qubit, p);
                     }
@@ -518,6 +534,16 @@ impl<'p> TieredEngine<'p> {
                         pauli.compose(target, pt);
                     }
                     site += 1;
+                }
+                TrialOp::ChannelNoise2 { a, b, .. } => {
+                    if let TrialEvent::Cnot(pa, pb) = events[site] {
+                        pauli.compose(a, pa);
+                        pauli.compose(b, pb);
+                    }
+                    site += 1;
+                }
+                TrialOp::KrausChannel { .. } => {
+                    unreachable!("Kraus programs never reach tier-0 propagation")
                 }
                 TrialOp::Measure {
                     qubit,
@@ -636,6 +662,22 @@ impl<'p> TieredEngine<'p> {
         } = scratch;
         let trial = trial.as_mut().expect("prepared above");
         let prefix = prefix.as_mut().expect("prepared above");
+
+        // Kraus programs have no shared structure to exploit (every
+        // channel application depends on the trial's own state), so every
+        // trial is a tier-3 full replay: pre-sample the Pauli-channel
+        // pattern, then walk the whole program.
+        if program.has_kraus() {
+            for t in start..end {
+                let mut rng = TrialRng::new(seed, t);
+                let _ = program.pre_sample(draw, &mut rng);
+                trial.reset();
+                let key = program.replay_from(trial, 0, draw, &mut rng);
+                *counts.entry(key).or_insert(0) += 1;
+                tiers.full_replay += 1;
+            }
+            return;
+        }
 
         // Phase 1: pre-sample every trial's error pattern (no state work).
         // Error-free trials resolve immediately — through the tier-1 plan

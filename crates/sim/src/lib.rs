@@ -56,7 +56,7 @@ pub use clifford::{Clifford1Q, SymplecticPauli};
 pub use complex::Complex;
 pub use engine::{EngineOptions, TierCounts, TieredEngine};
 pub use noise::NoiseModel;
-pub use program::{TrialEvent, TrialOp, TrialProgram, TrialScratch};
+pub use program::{KrausTable, TrialEvent, TrialOp, TrialProgram, TrialScratch};
 pub use result::SimulationResult;
 pub use rng::TrialRng;
 pub use simulator::{Simulator, SimulatorConfig};

@@ -212,7 +212,15 @@ pub fn sample_decoherence_error<R: Rng + ?Sized>(
     duration_slots: u32,
     rng: &mut R,
 ) -> Pauli {
+    // A degenerate calibration (NaN T2, zero timeslot length) can leak a
+    // NaN through `dephasing_probability`'s clamp, and `gen_bool` panics
+    // outside [0, 1] — guard like every other sampler in this module.
     let p = calibration.dephasing_probability(qubit, duration_slots);
+    let p = if p.is_finite() {
+        p.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     if rng.gen_bool(p) {
         Pauli::Z
     } else {
@@ -292,6 +300,26 @@ mod tests {
             .filter(|_| sample_decoherence_error(&cal, q, 200, &mut rng) != Pauli::I)
             .count();
         assert!(long > short);
+    }
+
+    #[test]
+    fn decoherence_sampling_survives_degenerate_calibration() {
+        // `Machine::try_new` rejects NaN T2 and zero timeslots, but raw
+        // `Calibration` values (fields are public) can still carry them;
+        // the sampler must degrade to "no dephasing" instead of handing
+        // `gen_bool` a NaN.
+        let mut rng = StdRng::seed_from_u64(11);
+        let q = HwQubit(0);
+        let mut nan_t2 = calibration();
+        nan_t2.t2_us[0] = f64::NAN;
+        assert!(nan_t2.dephasing_probability(q, 10).is_nan());
+        assert_eq!(sample_decoherence_error(&nan_t2, q, 10, &mut rng), Pauli::I);
+        let mut zero_slot = calibration();
+        zero_slot.timeslot_ns = 0.0;
+        assert_eq!(
+            sample_decoherence_error(&zero_slot, q, 10, &mut rng),
+            Pauli::I
+        );
     }
 
     #[test]

@@ -51,7 +51,8 @@ use crate::noise::{self, NoiseModel, Pauli};
 use crate::rng::TrialRng;
 use crate::state::StateVector;
 use nisq_ir::{Circuit, GateKind};
-use nisq_machine::{HwQubit, Machine};
+use nisq_machine::{Calibration, HwQubit, Machine};
+use nisq_noise::{Binding, GateSel, NoiseSpec, PauliForm};
 use rand::Rng;
 
 /// Default CNOT duration (timeslots) when an edge has no calibration entry,
@@ -118,6 +119,47 @@ pub enum TrialOp {
         /// Pre-computed target-qubit dephasing probability.
         p_dephase_target: f64,
     },
+    /// A Pauli-diagonal channel bound by a [`NoiseSpec`] to a single-qubit
+    /// gate (emitted after it) or a measurement (emitted before it): with
+    /// probability `p_fire`, one non-identity Pauli drawn from the
+    /// cumulative severity weights. Pre-sampled exactly like the built-in
+    /// channels, so bound Pauli channels keep the fast tiers and the
+    /// tableau backend.
+    ChannelNoise {
+        /// Compact qubit index.
+        qubit: u8,
+        /// Probability any error fires at this site.
+        p_fire: f64,
+        /// P(X | fired).
+        cum_x: f64,
+        /// P(X or Y | fired); the remainder is Z.
+        cum_xy: f64,
+    },
+    /// A two-qubit depolarizing channel bound by a [`NoiseSpec`] to a CNOT
+    /// or SWAP edge (emitted after the gate): with probability `p_fire`, a
+    /// uniformly random non-identity Pauli pair.
+    ChannelNoise2 {
+        /// First compact qubit (CNOT control / SWAP `a`).
+        a: u8,
+        /// Second compact qubit (CNOT target / SWAP `b`).
+        b: u8,
+        /// Probability any error fires at this site.
+        p_fire: f64,
+    },
+    /// A state-dependent (non-Pauli) channel bound by a [`NoiseSpec`]:
+    /// amplitude damping or a general Kraus channel. Branch probabilities
+    /// depend on the live amplitudes, so the op cannot be pre-sampled — the
+    /// program is forced onto the dense backend and every trial replays in
+    /// full. `table` indexes [`TrialProgram::kraus_tables`]; when the
+    /// channel follows a single-qubit gate, the gate's fused unitary is
+    /// baked into the table's branch operators and no separate `Unitary`
+    /// op is emitted for it.
+    KrausChannel {
+        /// Compact qubit index.
+        qubit: u8,
+        /// Index into the program's deduplicated Kraus tables.
+        table: u16,
+    },
     /// Measurement of a qubit into a classical bit, with a pre-fetched
     /// readout flip probability (zero when readout noise is disabled).
     Measure {
@@ -149,6 +191,39 @@ pub struct SwapNoise {
     pub p_dephase_a: f64,
     /// Per-CNOT dephasing probability of qubit `b`.
     pub p_dephase_b: f64,
+}
+
+/// The precomputed operators of one [`TrialOp::KrausChannel`] site: the
+/// branch operators `A_k` (the channel's Kraus operators, with the
+/// preceding fused gate unitary baked in when the channel follows a gate)
+/// plus the entries of each Gram matrix `G_k = A_k† A_k` needed to evaluate
+/// the branch probability `p_k = ⟨ψ|G_k|ψ⟩` from the qubit's reduced
+/// density matrix. Tables are deduplicated at lowering: sites with
+/// bit-identical operator lists — same gate, same channel, same resolved
+/// rate — share one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrausTable {
+    /// Branch operators `A_k` (row-major 2×2, not individually unitary).
+    pub ops: Vec<Matrix2>,
+    /// Per-branch Gram entries `(g00, g01, g11)` of `G_k = A_k† A_k`
+    /// (the diagonal is real; `g10 = conj(g01)`).
+    pub grams: Vec<(f64, Complex, f64)>,
+}
+
+impl KrausTable {
+    fn new(ops: Vec<Matrix2>) -> Self {
+        let grams = ops
+            .iter()
+            .map(|a| {
+                // G = A†A with row-major a: g_ij = Σ_m conj(a[2m+i]) a[2m+j].
+                let g00 = (a[0].conj() * a[0] + a[2].conj() * a[2]).re;
+                let g01 = a[0].conj() * a[1] + a[2].conj() * a[3];
+                let g11 = (a[1].conj() * a[1] + a[3].conj() * a[3]).re;
+                (g00, g01, g11)
+            })
+            .collect();
+        KrausTable { ops, grams }
+    }
 }
 
 /// One pre-sampled stochastic outcome of a noise site, produced by
@@ -233,6 +308,9 @@ pub struct TrialProgram {
     survival: Vec<f64>,
     /// Hardware qubit of each compact index (sorted ascending).
     touched: Vec<usize>,
+    /// Deduplicated branch-operator tables of the program's
+    /// [`TrialOp::KrausChannel`] sites (empty for Pauli-only programs).
+    kraus_tables: Vec<KrausTable>,
     num_clbits: usize,
     /// The symplectic action of each op's fused 2×2 unitary when it matched
     /// one of the 24 single-qubit Cliffords (up to phase); `None` for
@@ -265,6 +343,30 @@ impl TrialProgram {
     /// state vector (any program), 255 for the stabilizer tableau
     /// (fully-Clifford programs).
     pub fn lower(physical: &Circuit, machine: &Machine, noise: &NoiseModel) -> Self {
+        Self::lower_with_spec(physical, machine, noise, None)
+    }
+
+    /// Like [`TrialProgram::lower`], additionally lowering the channel
+    /// bindings of a declarative [`NoiseSpec`] (validated; binding filters
+    /// name *hardware* qubit indices). Pauli-diagonal channels join the
+    /// built-in channels in the pre-sampled gating table, so a Pauli-only
+    /// spec keeps every fast tier and the tableau backend; amplitude
+    /// damping and general Kraus channels become state-dependent
+    /// [`TrialOp::KrausChannel`] sites, which force the dense backend and
+    /// full per-trial replay. `spec = None` is bit-identical to
+    /// [`TrialProgram::lower`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TrialProgram::lower`]; a
+    /// non-Pauli spec additionally panics when the circuit touches more
+    /// than 24 qubits (the forced dense backend would not fit).
+    pub fn lower_with_spec(
+        physical: &Circuit,
+        machine: &Machine,
+        noise: &NoiseModel,
+        spec: Option<&NoiseSpec>,
+    ) -> Self {
         assert!(
             physical
                 .iter()
@@ -365,6 +467,20 @@ impl TrialProgram {
             (p_depol > 0.0 || p_da > 0.0 || p_db > 0.0).then_some((p_depol, p_da, p_db))
         };
 
+        // Declarative spec bindings. Filters name hardware qubit indices;
+        // calibration-referencing rates resolve against the same tables the
+        // built-in model reads, independent of the `NoiseModel` toggles
+        // (bound channels are additive, not gated by them).
+        let bindings: &[Binding] = spec.map_or(&[][..], |s| s.bindings());
+        let mut kraus_tables: Vec<KrausTable> = Vec::new();
+        // The calibrated rate a cnot/swap binding's `{"calibration": f}`
+        // scales: the edge's CNOT error, mean fallback as in `edge_noise`.
+        let edge_calibrated = |hw_a: usize, hw_b: usize| -> f64 {
+            calibration
+                .edge_params(HwQubit(hw_a), HwQubit(hw_b))
+                .map_or(mean_cnot_error, |p| p.cnot_error)
+        };
+
         for gate in physical.iter() {
             match gate.kind() {
                 GateKind::Cnot => {
@@ -385,6 +501,19 @@ impl TrialProgram {
                             p_dephase_control: p_dc,
                             p_dephase_target: p_dt,
                         });
+                    }
+                    for binding in bindings {
+                        if binding.on == GateSel::Cnot
+                            && binding.applies_to_edge(hw_c as u32, hw_t as u32)
+                        {
+                            emit_2q_channel(
+                                &mut lowering,
+                                binding,
+                                c,
+                                t,
+                                edge_calibrated(hw_c, hw_t),
+                            );
+                        }
                     }
                 }
                 GateKind::Swap => {
@@ -408,10 +537,37 @@ impl TrialProgram {
                         b,
                         noise: swap_noise,
                     });
+                    for binding in bindings {
+                        if binding.on == GateSel::Swap
+                            && binding.applies_to_edge(hw_a as u32, hw_b as u32)
+                        {
+                            emit_2q_channel(
+                                &mut lowering,
+                                binding,
+                                a,
+                                b,
+                                edge_calibrated(hw_a, hw_b),
+                            );
+                        }
+                    }
                 }
                 GateKind::Measure => {
-                    let q = compact[gate.qubits()[0].0];
+                    let hw = gate.qubits()[0].0;
+                    let q = compact[hw];
                     lowering.flush(q);
+                    // Measure-bound channels model noise in the measurement
+                    // process itself, so they fire just before the readout.
+                    for binding in bindings {
+                        if binding.on == GateSel::Measure && binding.applies_to_qubit(hw as u32) {
+                            emit_1q_channel(
+                                &mut lowering,
+                                &mut kraus_tables,
+                                binding,
+                                q,
+                                measure_calibrated(calibration, hw),
+                            );
+                        }
+                    }
                     lowering.ops.push(TrialOp::Measure {
                         qubit: q,
                         clbit: gate.clbits()[0].0 as u8,
@@ -420,7 +576,8 @@ impl TrialProgram {
                 }
                 GateKind::Barrier => {}
                 kind => {
-                    let q = compact[gate.qubits()[0].0];
+                    let hw = gate.qubits()[0].0;
+                    let q = compact[hw];
                     lowering.fuse(q, &single_qubit_matrix(kind));
                     let p_depol = p_depol_1q[usize::from(q)];
                     let p_dephase = p_dephase_1q[usize::from(q)];
@@ -431,6 +588,18 @@ impl TrialProgram {
                             p_depol,
                             p_dephase,
                         });
+                    }
+                    for binding in bindings {
+                        if binding.on == GateSel::SingleQubit && binding.applies_to_qubit(hw as u32)
+                        {
+                            emit_1q_channel(
+                                &mut lowering,
+                                &mut kraus_tables,
+                                binding,
+                                q,
+                                calibration.single_qubit_error(HwQubit(hw)),
+                            );
+                        }
                     }
                 }
             }
@@ -451,6 +620,8 @@ impl TrialProgram {
                     TrialOp::GateNoise { .. }
                         | TrialOp::CnotNoise { .. }
                         | TrialOp::Swap { noise: Some(_), .. }
+                        | TrialOp::ChannelNoise { .. }
+                        | TrialOp::ChannelNoise2 { .. }
                 )
             })
             .map(|(i, _)| i as u32)
@@ -504,6 +675,12 @@ impl TrialProgram {
                     0,
                     [p_depol, p_dephase_control, p_dephase_target],
                 ),
+                TrialOp::ChannelNoise { p_fire, .. } => {
+                    push_group(&mut gating, &mut survival, 0, [p_fire, 0.0, 0.0])
+                }
+                TrialOp::ChannelNoise2 { p_fire, .. } => {
+                    push_group(&mut gating, &mut survival, 0, [p_fire, 0.0, 0.0])
+                }
                 TrialOp::Swap {
                     noise: Some(ref n), ..
                 } => {
@@ -547,16 +724,18 @@ impl TrialProgram {
         // Backend selection: a program that is Clifford end to end (every
         // fused unitary classified; CNOT/SWAP/Pauli noise/measurement are
         // Clifford by construction) runs on the stabilizer tableau. Any
-        // non-Clifford gate anywhere selects the dense state vector.
-        let backend = if clifford_suffix_from == 0 {
+        // non-Clifford gate — or any state-dependent Kraus channel, whose
+        // branch probabilities no tableau can evaluate — selects the dense
+        // state vector.
+        let backend = if clifford_suffix_from == 0 && kraus_tables.is_empty() {
             BackendKind::Tableau
         } else {
             BackendKind::Dense
         };
         assert!(
             backend == BackendKind::Tableau || touched.len() <= 24,
-            "circuit touches more than 24 qubits and contains non-Clifford gates; \
-             the dense state vector would not fit in memory"
+            "circuit touches more than 24 qubits and needs the dense state vector \
+             (non-Clifford gates or a non-Pauli noise channel), which would not fit in memory"
         );
 
         TrialProgram {
@@ -565,6 +744,7 @@ impl TrialProgram {
             gating,
             survival,
             touched,
+            kraus_tables,
             num_clbits: physical.num_clbits(),
             clifford_actions,
             clifford_suffix_from,
@@ -614,6 +794,20 @@ impl TrialProgram {
     /// dense bit-exact path.
     pub fn backend_kind(&self) -> BackendKind {
         self.backend
+    }
+
+    /// The deduplicated branch-operator tables of the program's
+    /// [`TrialOp::KrausChannel`] sites (empty for Pauli-only programs).
+    pub fn kraus_tables(&self) -> &[KrausTable] {
+        &self.kraus_tables
+    }
+
+    /// Whether the program contains state-dependent Kraus channel sites.
+    /// When true the backend is always dense and every trial replays in
+    /// full: branch probabilities depend on the live amplitudes, so no
+    /// shared prefix, checkpoint or Pauli propagation applies.
+    pub fn has_kraus(&self) -> bool {
+        !self.kraus_tables.is_empty()
     }
 
     /// The symplectic action of the unitary at `op`, when it matched a
@@ -742,6 +936,24 @@ impl TrialProgram {
                 let (ec, et) = resolve_group(entry.sub, p_dephase_control, p_dephase_target, rng);
                 events[site] = TrialEvent::Cnot(ec, et);
             }
+            TrialOp::ChannelNoise { cum_x, cum_xy, .. } => {
+                // One severity uniform against the cumulative X/Y/Z weights
+                // (drawn even for degenerate single-Pauli channels, keeping
+                // the draw count independent of the weights).
+                let u: f64 = rng.gen();
+                let pauli = if u < cum_x {
+                    Pauli::X
+                } else if u < cum_xy {
+                    Pauli::Y
+                } else {
+                    Pauli::Z
+                };
+                events[site] = TrialEvent::Gate(pauli);
+            }
+            TrialOp::ChannelNoise2 { .. } => {
+                let (pa, pb) = noise::fired_depol_2q(rng);
+                events[site] = TrialEvent::Cnot(pa, pb);
+            }
             TrialOp::Swap {
                 noise: Some(ref n), ..
             } => {
@@ -857,6 +1069,28 @@ impl TrialProgram {
                         backend.inject_pauli(target, pt);
                     }
                 }
+                TrialOp::ChannelNoise { qubit, .. } => {
+                    let event = events[site];
+                    site += 1;
+                    if let TrialEvent::Gate(pauli) = event {
+                        backend.inject_pauli(qubit, pauli);
+                    }
+                }
+                TrialOp::ChannelNoise2 { a, b, .. } => {
+                    let event = events[site];
+                    site += 1;
+                    if let TrialEvent::Cnot(pa, pb) = event {
+                        backend.inject_pauli(a, pa);
+                        backend.inject_pauli(b, pb);
+                    }
+                }
+                TrialOp::KrausChannel { qubit, table } => {
+                    // State-dependent branch selection: one uniform per
+                    // trial per channel, resolved against the current
+                    // state's branch probabilities.
+                    let u: f64 = rng.gen();
+                    backend.apply_kraus(qubit, &self.kraus_tables[usize::from(table)], u);
+                }
                 TrialOp::Measure {
                     qubit,
                     clbit,
@@ -905,7 +1139,13 @@ impl TrialProgram {
                 TrialOp::Unitary { qubit, ref matrix } => backend.fuse_unitary(qubit, matrix),
                 TrialOp::Cnot { control, target } => backend.cnot(control, target),
                 TrialOp::Swap { a, b, .. } => backend.swap_relabel(a, b),
-                TrialOp::GateNoise { .. } | TrialOp::CnotNoise { .. } => {}
+                TrialOp::GateNoise { .. }
+                | TrialOp::CnotNoise { .. }
+                | TrialOp::ChannelNoise { .. }
+                | TrialOp::ChannelNoise2 { .. } => {}
+                TrialOp::KrausChannel { .. } => {
+                    unreachable!("Kraus programs replay every trial in full")
+                }
                 TrialOp::Measure { .. } | TrialOp::TerminalSample { .. } => {
                     unreachable!("ideal prefixes never cross a measurement")
                 }
@@ -972,6 +1212,24 @@ impl TrialProgram {
                         backend.inject_pauli(control, pc);
                         backend.inject_pauli(target, pt);
                     }
+                }
+                TrialOp::ChannelNoise { qubit, .. } => {
+                    let event = events[site];
+                    site += 1;
+                    if let TrialEvent::Gate(pauli) = event {
+                        backend.inject_pauli(qubit, pauli);
+                    }
+                }
+                TrialOp::ChannelNoise2 { a, b, .. } => {
+                    let event = events[site];
+                    site += 1;
+                    if let TrialEvent::Cnot(pa, pb) = event {
+                        backend.inject_pauli(a, pa);
+                        backend.inject_pauli(b, pb);
+                    }
+                }
+                TrialOp::KrausChannel { .. } => {
+                    unreachable!("Kraus programs replay every trial in full")
                 }
                 TrialOp::Measure { .. } | TrialOp::TerminalSample { .. } => {
                     unreachable!("shared noisy advances never cross a measurement")
@@ -1208,6 +1466,42 @@ impl TrialScratch {
         let norm = if outcome { p1 } else { 1.0 - p1 };
         self.state.collapse_with_norm(slot, outcome, norm);
     }
+
+    /// Applies a general Kraus channel to `qubit`: selects one branch `k`
+    /// with the state-dependent probability `p_k = tr(A_k ρ A_k†)`
+    /// (computed from the cached Gram matrices `G_k = A_k† A_k` and the
+    /// qubit's reduced density matrix), applies its fused operator `A_k`,
+    /// and renormalizes by `1/√p_k`. Uses the caller's single uniform `u`
+    /// so the draw count per trial is fixed.
+    pub(crate) fn apply_kraus_channel(&mut self, qubit: u8, table: &KrausTable, u: f64) {
+        // The fused A_k = K_k · U already bakes in the pending unitary
+        // taken at lowering, but runtime-fused Paulis from *other* sampled
+        // channels may still be pending on this wire — flush them first so
+        // the reduced density matrix describes the pre-channel state.
+        self.flush(qubit);
+        let slot = usize::from(self.perm[usize::from(qubit)]);
+        let (p0, cross, p1) = self.state.reduced_density(slot);
+        // p_k = g00·ρ00 + g11·ρ11 + 2·Re(g01·ρ10), clamped against
+        // rounding (each p_k is a trace of a PSD product, so ≥ 0 exactly).
+        let branch_p =
+            |g: &(f64, Complex, f64)| (g.0 * p0 + g.2 * p1 + 2.0 * (g.1 * cross).re).max(0.0);
+        let total: f64 = table.grams.iter().map(&branch_p).sum();
+        let target = u * total;
+        let mut chosen = table.grams.len() - 1;
+        let mut acc = 0.0;
+        for (k, g) in table.grams.iter().enumerate() {
+            acc += branch_p(g);
+            if acc > target {
+                chosen = k;
+                break;
+            }
+        }
+        let p = branch_p(&table.grams[chosen]);
+        self.state.apply_matrix(slot, &table.ops[chosen]);
+        if p > 0.0 {
+            self.state.scale(1.0 / p.sqrt());
+        }
+    }
 }
 
 /// The dense state-vector backend. Every hook body is exactly the code the
@@ -1233,6 +1527,10 @@ impl SimBackend for TrialScratch {
 
     fn swap_relabel(&mut self, a: u8, b: u8) {
         self.relabel_swap(a, b);
+    }
+
+    fn apply_kraus(&mut self, qubit: u8, table: &KrausTable, u: f64) {
+        self.apply_kraus_channel(qubit, table, u);
     }
 
     fn measure<R: Rng + ?Sized>(&mut self, qubit: u8, rng: &mut R) -> bool {
@@ -1320,6 +1618,104 @@ fn matmul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
     ]
 }
 
+/// The calibrated rate a measure binding's `{"calibration": f}` scales:
+/// the qubit's readout error.
+fn measure_calibrated(calibration: &Calibration, hw: usize) -> f64 {
+    calibration.readout_error(HwQubit(hw)).clamp(0.0, 1.0)
+}
+
+/// Interns a fused Kraus operator list, deduplicating bit-identical
+/// tables (a binding covering many sites with the same fused unitary —
+/// e.g. every measure — shares one table).
+fn intern_kraus(tables: &mut Vec<KrausTable>, ops: Vec<Matrix2>) -> u16 {
+    if let Some(i) = tables.iter().position(|t| t.ops == ops) {
+        return i as u16;
+    }
+    assert!(
+        tables.len() < usize::from(u16::MAX),
+        "program exceeds {} distinct Kraus tables",
+        u16::MAX
+    );
+    tables.push(KrausTable::new(ops));
+    (tables.len() - 1) as u16
+}
+
+/// Emits the trial op realizing one single-qubit binding at a site whose
+/// calibrated error rate is `calibrated`. Pauli-diagonalizable channels
+/// become a pre-samplable [`TrialOp::ChannelNoise`] gate (the fast tiers
+/// keep working); amplitude damping and general Kraus channels take the
+/// wire's pending unitary with them (`A_k = K_k · U`, one fused pass) and
+/// become a state-dependent [`TrialOp::KrausChannel`].
+fn emit_1q_channel(
+    lowering: &mut Lowering,
+    kraus_tables: &mut Vec<KrausTable>,
+    binding: &Binding,
+    qubit: u8,
+    calibrated: f64,
+) {
+    let channel = binding.channel_at(calibrated);
+    match channel.pauli_form() {
+        Some(PauliForm::One { p_fire, wx, wy, .. }) => {
+            if p_fire > 0.0 {
+                // Flush so the error lands *after* the gate it is bound to
+                // (pending unitaries would otherwise materialize later in
+                // the op stream, inverting the order).
+                lowering.flush(qubit);
+                lowering.ops.push(TrialOp::ChannelNoise {
+                    qubit,
+                    p_fire: p_fire.clamp(0.0, 1.0),
+                    cum_x: wx,
+                    cum_xy: wx + wy,
+                });
+            }
+        }
+        Some(PauliForm::TwoUniform { .. }) => {
+            unreachable!("spec validation restricts two-qubit shapes to cnot/swap bindings")
+        }
+        None => {
+            let kraus = channel
+                .kraus_ops()
+                .expect("non-Pauli channels expose Kraus operators");
+            let fused = lowering.pending[usize::from(qubit)].take();
+            let ops: Vec<Matrix2> = kraus
+                .iter()
+                .map(|k| {
+                    let m = [
+                        Complex::new(k[0].0, k[0].1),
+                        Complex::new(k[1].0, k[1].1),
+                        Complex::new(k[2].0, k[2].1),
+                        Complex::new(k[3].0, k[3].1),
+                    ];
+                    match &fused {
+                        Some(u) => matmul(&m, u),
+                        None => m,
+                    }
+                })
+                .collect();
+            let table = intern_kraus(kraus_tables, ops);
+            lowering.ops.push(TrialOp::KrausChannel { qubit, table });
+        }
+    }
+}
+
+/// Emits the trial op realizing one cnot/swap binding on the (compact)
+/// wire pair. Spec validation guarantees the bound shape is two-qubit
+/// depolarizing — always pre-samplable.
+fn emit_2q_channel(lowering: &mut Lowering, binding: &Binding, a: u8, b: u8, calibrated: f64) {
+    match binding.channel_at(calibrated).pauli_form() {
+        Some(PauliForm::TwoUniform { p_fire }) => {
+            if p_fire > 0.0 {
+                lowering.ops.push(TrialOp::ChannelNoise2 {
+                    a,
+                    b,
+                    p_fire: p_fire.clamp(0.0, 1.0),
+                });
+            }
+        }
+        _ => unreachable!("spec validation restricts cnot/swap bindings to depolarizing-2q"),
+    }
+}
+
 /// Sinks every measurement whose qubit is never referenced afterwards to
 /// the end of the program, folding two or more of them into one
 /// [`TrialOp::TerminalSample`].
@@ -1359,7 +1755,10 @@ fn sink_measures(ops: &mut Vec<TrialOp>) {
             }
         }
         match op {
-            TrialOp::Unitary { qubit, .. } | TrialOp::GateNoise { qubit, .. } => {
+            TrialOp::Unitary { qubit, .. }
+            | TrialOp::GateNoise { qubit, .. }
+            | TrialOp::ChannelNoise { qubit, .. }
+            | TrialOp::KrausChannel { qubit, .. } => {
                 mark(&mut used_later, qubit);
             }
             TrialOp::Measure { qubit, .. } => {
@@ -1372,7 +1771,7 @@ fn sink_measures(ops: &mut Vec<TrialOp>) {
                 mark(&mut used_later, control);
                 mark(&mut used_later, target);
             }
-            TrialOp::Swap { a, b, .. } => {
+            TrialOp::Swap { a, b, .. } | TrialOp::ChannelNoise2 { a, b, .. } => {
                 mark(&mut used_later, a);
                 mark(&mut used_later, b);
             }

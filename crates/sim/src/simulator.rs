@@ -7,6 +7,7 @@ use crate::tableau::TableauEngine;
 use nisq_core::CompiledCircuit;
 use nisq_ir::Circuit;
 use nisq_machine::Machine;
+use nisq_noise::NoiseSpec;
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
@@ -125,7 +126,19 @@ impl<'m> Simulator<'m> {
     /// Panics if the circuit references qubits outside the machine or uses
     /// more than 128 classical bits.
     pub fn prepare(&self, physical: &Circuit) -> TrialProgram {
-        TrialProgram::lower(physical, self.machine, &self.config.noise)
+        self.prepare_with_noise(physical, None)
+    }
+
+    /// Like [`Simulator::prepare`], additionally binding the channels of a
+    /// declarative [`NoiseSpec`] on top of the configured built-in
+    /// [`NoiseModel`]. `None` is exactly [`Simulator::prepare`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit references qubits outside the machine or uses
+    /// more than 128 classical bits.
+    pub fn prepare_with_noise(&self, physical: &Circuit, spec: Option<&NoiseSpec>) -> TrialProgram {
+        TrialProgram::lower_with_spec(physical, self.machine, &self.config.noise, spec)
     }
 
     /// Runs the configured number of trials of a physical circuit and

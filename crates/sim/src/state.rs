@@ -644,6 +644,41 @@ impl StateVector {
         (acc[0] + acc[1]) + (acc[2] + acc[3])
     }
 
+    /// The single-qubit reduced density matrix of `qubit`, as
+    /// `(ρ00, ρ10, ρ11)` with `ρ10 = Σ ψ₁ · conj(ψ₀)` over the amplitude
+    /// pairs — exactly the three numbers a Kraus branch probability
+    /// `tr(A ρ A†) = g00·ρ00 + g11·ρ11 + 2·Re(g01·ρ10)` needs.
+    pub(crate) fn reduced_density(&self, qubit: usize) -> (f64, Complex, f64) {
+        let mask = 1usize << qubit;
+        let n = self.re.len();
+        let (mut p0, mut p1, mut xr, mut xi) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut base = 0usize;
+        while base < n {
+            for k in base..base + mask {
+                let (ar, ai) = (self.re[k], self.im[k]);
+                let (br, bi) = (self.re[k | mask], self.im[k | mask]);
+                p0 += ar * ar + ai * ai;
+                p1 += br * br + bi * bi;
+                xr += br * ar + bi * ai;
+                xi += bi * ar - br * ai;
+            }
+            base += mask << 1;
+        }
+        (p0, Complex::new(xr, xi), p1)
+    }
+
+    /// Multiplies every amplitude by `factor` (Kraus-branch
+    /// renormalization; the one state operation that is not trace-
+    /// preserving on its own).
+    pub(crate) fn scale(&mut self, factor: f64) {
+        for v in self.re.iter_mut() {
+            *v *= factor;
+        }
+        for v in self.im.iter_mut() {
+            *v *= factor;
+        }
+    }
+
     /// Measures `qubit` in the computational basis, collapsing the state and
     /// returning the sampled outcome.
     ///

@@ -407,6 +407,10 @@ impl SimBackend for TableauState {
         self.perm.swap(usize::from(a), usize::from(b));
     }
 
+    fn apply_kraus(&mut self, _qubit: u8, _table: &crate::program::KrausTable, _u: f64) {
+        unreachable!("Kraus channels force the dense backend at lowering")
+    }
+
     fn measure<R: Rng + ?Sized>(&mut self, qubit: u8, rng: &mut R) -> bool {
         TableauState::measure(self, qubit, rng)
     }
@@ -568,7 +572,13 @@ impl<'p> TableauEngine<'p> {
                 }
                 TrialOp::Cnot { control, target } => tab.apply_cnot(control, target),
                 TrialOp::Swap { a, b, .. } => tab.swap_relabel(a, b),
-                TrialOp::GateNoise { .. } | TrialOp::CnotNoise { .. } => {}
+                TrialOp::GateNoise { .. }
+                | TrialOp::CnotNoise { .. }
+                | TrialOp::ChannelNoise { .. }
+                | TrialOp::ChannelNoise2 { .. } => {}
+                TrialOp::KrausChannel { .. } => {
+                    unreachable!("Kraus channels force the dense backend at lowering")
+                }
                 TrialOp::Measure {
                     qubit,
                     clbit,
@@ -796,7 +806,7 @@ fn build_site_masks(program: &TrialProgram, terminal: Option<&TerminalAffine>) -
                 mask_x.swap(usize::from(a), usize::from(b));
                 mask_z.swap(usize::from(a), usize::from(b));
             }
-            TrialOp::GateNoise { qubit, .. } => {
+            TrialOp::GateNoise { qubit, .. } | TrialOp::ChannelNoise { qubit, .. } => {
                 site -= 1;
                 masks[site] = SiteMask {
                     ax: mask_x[usize::from(qubit)],
@@ -815,6 +825,18 @@ fn build_site_masks(program: &TrialProgram, terminal: Option<&TerminalAffine>) -
                     bx: mask_x[usize::from(target)],
                     bz: mask_z[usize::from(target)],
                 };
+            }
+            TrialOp::ChannelNoise2 { a, b, .. } => {
+                site -= 1;
+                masks[site] = SiteMask {
+                    ax: mask_x[usize::from(a)],
+                    az: mask_z[usize::from(a)],
+                    bx: mask_x[usize::from(b)],
+                    bz: mask_z[usize::from(b)],
+                };
+            }
+            TrialOp::KrausChannel { .. } => {
+                unreachable!("Kraus channels force the dense backend at lowering")
             }
         }
     }

@@ -33,6 +33,8 @@
 //!   --topology <t>     ibmq16 | grid-MxN | ring-N | heavy-hex-RxC
 //!                                                       (default: ibmq16)
 //!   --trials <n>       noisy trials per cell            (default: 0 = compile only)
+//!   --noise <path>     add a JSON noise spec as a sweep-axis point
+//!                      (repeatable; cells multiply)     (default: calibration noise only)
 //!   --machine-seed <s> machine calibration seed         (default: 2019)
 //!   --sim-seed <s>     fixed simulation seed            (default: per-cell seeds)
 //!   --output <path>    write the JSON report here       (default: stdout)
@@ -230,11 +232,19 @@ fn load_qasm_circuit(path: &str) -> Result<CircuitSpec, String> {
     Ok(CircuitSpec::new(path.to_string(), circuit))
 }
 
+/// Loads and validates a declarative noise spec. Parse and CPTP failures
+/// surface the noise crate's typed diagnosis; nothing panics.
+fn load_noise_spec(path: &str) -> Result<NoiseSpec, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    NoiseSpec::from_json(&source).map_err(|e| format!("invalid noise spec {path}: {e}"))
+}
+
 /// Runs the `sweep` subcommand: execute a plan and emit JSON, or validate
 /// an emitted report (`--validate`).
 fn run_sweep(args: &[String]) -> Result<(), String> {
     let mut benchmarks = "representative".to_string();
     let mut qasm_files: Vec<String> = Vec::new();
+    let mut noise_files: Vec<String> = Vec::new();
     let mut mappers = "r-smt-star".to_string();
     let mut omega = 0.5;
     let mut days = vec![0usize];
@@ -274,6 +284,7 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
                 trials = u32::try_from(parse(take_value(&mut i)?, "trials")?)
                     .map_err(|_| format!("trials must be at most {}", u32::MAX))?
             }
+            "--noise" => noise_files.push(take_value(&mut i)?),
             "--machine-seed" => machine_seed = parse(take_value(&mut i)?, "machine-seed")?,
             "--sim-seed" => sim_seed = Some(parse(take_value(&mut i)?, "sim-seed")?),
             "--output" => output = Some(take_value(&mut i)?),
@@ -337,6 +348,10 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
         .with_trials(trials);
     for path in &qasm_files {
         plan = plan.circuit(load_qasm_circuit(path)?);
+    }
+    for path in &noise_files {
+        let spec = load_noise_spec(path)?;
+        plan = plan.with_noise(spec.name().to_string(), spec);
     }
     if plan.circuits().is_empty() {
         return Err("the plan selects no circuits (pass --benchmarks or --qasm)".to_string());
@@ -616,6 +631,76 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("cannot parse"), "{err}");
+    }
+
+    #[test]
+    fn sweep_accepts_noise_specs_and_rejects_malformed_ones() {
+        let dir = std::env::temp_dir().join("nisqc-noise-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("depol-ad.json");
+        std::fs::write(
+            &spec,
+            r#"{"name": "depol-cnot_ad-measure", "bindings": [
+                {"on": "cnot", "rate": {"calibration": 2.0},
+                 "channel": {"kind": "depolarizing-2q"}},
+                {"on": "measure", "rate": 0.05,
+                 "channel": {"kind": "amplitude-damping"}}]}"#,
+        )
+        .unwrap();
+        let report_path = dir.join("noise-report.json");
+        run_sweep(&args(&[
+            "--benchmarks",
+            "bv4",
+            "--mappers",
+            "qiskit",
+            "--trials",
+            "64",
+            "--noise",
+            spec.to_str().unwrap(),
+            "--output",
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_sweep(&args(&[
+            "--validate",
+            report_path.to_str().unwrap(),
+            "--expect-cells",
+            "1",
+        ]))
+        .unwrap();
+        let report = Report::from_json(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        assert_eq!(
+            report.cells[0].noise.as_deref(),
+            Some("depol-cnot_ad-measure")
+        );
+
+        // A malformed spec and a non-CPTP Kraus set are typed diagnoses.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"name": "x", "bindings": [{"on": "warp"}]}"#).unwrap();
+        let err = run_sweep(&args(&[
+            "--benchmarks",
+            "bv4",
+            "--noise",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("invalid noise spec"), "{err}");
+        let noncptp = dir.join("noncptp.json");
+        std::fs::write(
+            &noncptp,
+            r#"{"name": "x", "bindings": [{"on": "sq", "channel": {"kind": "kraus",
+                "ops": [[[2, 0], [0, 0], [0, 0], [2, 0]]]}}]}"#,
+        )
+        .unwrap();
+        let err = run_sweep(&args(&[
+            "--benchmarks",
+            "bv4",
+            "--noise",
+            noncptp.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("invalid noise spec"), "{err}");
+        assert!(run_sweep(&args(&["--noise", "/nonexistent/n.json"])).is_err());
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub mod prelude {
         Algorithm, CompileContext, CompiledCircuit, Compiler, CompilerConfig, Pass, Pipeline,
         PlacementCache, RouteSelection, SwapHandling,
     };
-    pub use nisq_exp::{CacheStats, Cell, CellRecord, CircuitSpec, Report, Session, SweepPlan};
+    pub use nisq_exp::{
+        CacheStats, Cell, CellRecord, CircuitSpec, NoiseSpec, Report, Session, SweepPlan,
+    };
     pub use nisq_ir::{Benchmark, Circuit, Gate, GateKind, Qubit};
     pub use nisq_machine::{
         CalibrationGenerator, GridTopology, HwQubit, Machine, Topology, TopologySpec,

@@ -314,6 +314,40 @@ fn tier0_outcomes_match_numeric_reference_within_tv_bound() {
     }
 }
 
+#[test]
+fn aliased_mid_measure_clbits_agree_across_backends() {
+    // Regression (formerly examples/alias_repro.rs): a fully-Clifford
+    // circuit whose two mid-circuit measures write the SAME clbit. The
+    // second write must shadow the first identically on the tableau fast
+    // path and the dense-exact engine — the bug class this pins is the
+    // fast path resolving aliased clbit writes in a different order.
+    let m = machine();
+    let mut c = Circuit::with_clbits(2, 2);
+    c.x(Qubit(0));
+    c.measure(Qubit(0), nisq_ir::Clbit(0)); // ideal outcome 1
+    c.x(Qubit(1)); // noise site on this gate
+    c.measure(Qubit(1), nisq_ir::Clbit(0)); // ideal outcome 1, same clbit
+                                            // Keep both measures mid-circuit (the qubits are used again), then a
+                                            // terminal measure so the programs end in a sample.
+    c.x(Qubit(0));
+    c.x(Qubit(1));
+    c.measure(Qubit(0), nisq_ir::Clbit(1));
+    let program = TrialProgram::lower(&c, &m, &NoiseModel::full());
+
+    let trials = 32768u32;
+    let (fast, fast_tiers) =
+        engine_counts_with(&m, &program, 42, trials, 4, EngineOptions::default());
+    let (exact, exact_tiers) =
+        engine_counts_with(&m, &program, 42, trials, 4, EngineOptions::exact());
+    assert_eq!(fast_tiers.backend, nisq_sim::BackendKind::Tableau);
+    assert_eq!(exact_tiers.backend, nisq_sim::BackendKind::Dense);
+    let tv = total_variation(&fast, &exact, trials);
+    assert!(
+        tv < 0.03,
+        "aliased-clbit TV {tv} exceeds the sampling bound"
+    );
+}
+
 /// An interleaved-draw replayer with no fusion, no relabeling, no
 /// pre-sampling and no measurement sinking: every gate and error is applied
 /// directly through the public [`StateVector`] API, drawing stochastic
@@ -412,6 +446,11 @@ fn interleaved_success_rate(
                     if outcome {
                         clbits |= 1u64 << clbit;
                     }
+                }
+                TrialOp::ChannelNoise { .. }
+                | TrialOp::ChannelNoise2 { .. }
+                | TrialOp::KrausChannel { .. } => {
+                    unreachable!("these programs are lowered without a noise spec")
                 }
                 TrialOp::TerminalSample { ref measures } => {
                     let basis = state.sample_basis(&mut rng);
