@@ -1,0 +1,519 @@
+//! Crash-safe write-ahead journaling for sweep execution.
+//!
+//! A journal is an append-only file of length-and-checksum-framed JSON
+//! records. Before a cell executes, an *intent* record is appended; after
+//! it completes, the full per-cell result (the report's cell schema) is
+//! appended and fsync'd, keyed by the cell's content fingerprint
+//! `(circuit_fp, machine_fp, config_fp, day, noise, sim_seed, trials)`.
+//! Because every cell is a deterministic function of the plan and its
+//! seeds, a run resumed from a journal is *bit-identical* (canonically) to
+//! an uninterrupted run: completed cells are replayed from the journal,
+//! the rest recompute.
+//!
+//! # Framing
+//!
+//! One record per line:
+//!
+//! ```text
+//! J1 <payload-bytes> <fnv1a64-hex16> <single-line JSON payload>\n
+//! ```
+//!
+//! Recovery scans from the start; the first record must be a `header`
+//! carrying the journal schema tag (anything else means the file is not a
+//! journal and is left untouched). The first torn or checksum-corrupt
+//! record truncates the file at that record's byte offset — a crash mid-
+//! append loses at most the record being written, never a completed one.
+//!
+//! # Degradation
+//!
+//! Append failures after a journal is open (disk full, I/O error, an
+//! injected fault) never fail the sweep: the journal degrades to a no-op
+//! sink, the run continues journal-less, and the caller surfaces the
+//! reason from [`Journal::degraded`]. A report is never lost to a
+//! journaling problem.
+
+use crate::json::{self, Value};
+use crate::report::{self, CellRecord};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Version tag carried by every journal's header record.
+pub const JOURNAL_SCHEMA: &str = "nisq-sweep-journal/v1";
+
+/// 64-bit FNV-1a — the journal's record checksum (also used to derive
+/// stable per-path and per-request hashes; not cryptographic).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The content fingerprint identifying one sweep cell across processes.
+///
+/// Two cells with equal keys compute bit-identical results: the circuit,
+/// machine and compiler-config fingerprints pin the compile, and the day /
+/// noise label / seed / trial count pin the simulation stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Circuit content fingerprint.
+    pub circuit_fp: u64,
+    /// Machine snapshot fingerprint (topology + calibration day + seed).
+    pub machine_fp: u64,
+    /// Compiler configuration fingerprint.
+    pub config_fp: u64,
+    /// Calibration day index.
+    pub day: usize,
+    /// Noise-axis label bound for the cell (`None` = built-in noise only).
+    pub noise: Option<String>,
+    /// Simulation seed of the cell's trial stream.
+    pub sim_seed: u64,
+    /// Trials per cell.
+    pub trials: u32,
+}
+
+/// Why a journal could not be opened or recovered.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An I/O failure opening or reading the journal file.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file exists but does not begin with a valid journal header —
+    /// it is refused (and never truncated) rather than overwritten.
+    NotAJournal {
+        /// The offending path.
+        path: PathBuf,
+        /// What disqualified the file.
+        detail: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, source } => {
+                write!(f, "journal {}: {source}", path.display())
+            }
+            JournalError::NotAJournal { path, detail } => {
+                write!(
+                    f,
+                    "journal {}: not a sweep journal ({detail})",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// What recovery found in an existing journal file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Completed cell records loaded (after last-write-wins dedup).
+    pub completed_cells: usize,
+    /// Trailing bytes truncated because of a torn or corrupt record.
+    pub truncated_bytes: u64,
+    /// Intent records with no matching completion (cells that were
+    /// executing when the previous process died).
+    pub orphan_intents: usize,
+}
+
+/// A write-ahead sweep journal: completed-cell lookup plus durable
+/// appends. See the module docs for the format and recovery semantics.
+pub struct Journal {
+    path: PathBuf,
+    file: Option<std::fs::File>,
+    completed: FxHashMap<CellKey, CellRecord>,
+    recovery: RecoveryInfo,
+    degraded: Option<String>,
+    appends: u64,
+    #[cfg(feature = "fault-injection")]
+    fail_appends_after: Option<u64>,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("completed", &self.completed.len())
+            .field("degraded", &self.degraded)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Starts a fresh journal at `path`, truncating any existing file and
+    /// writing the header record. `machine_seed` and `trials` are recorded
+    /// in the header for provenance.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the file cannot be created.
+    pub fn create(path: &Path, machine_seed: u64, trials: u32) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|source| JournalError::Io {
+                path: path.to_path_buf(),
+                source,
+            })?;
+        let mut journal = Journal {
+            path: path.to_path_buf(),
+            file: Some(file),
+            completed: FxHashMap::default(),
+            recovery: RecoveryInfo::default(),
+            degraded: None,
+            appends: 0,
+            #[cfg(feature = "fault-injection")]
+            fail_appends_after: None,
+        };
+        journal.append_payload(&header_payload(machine_seed, trials), true);
+        Ok(journal)
+    }
+
+    /// Opens `path` for resumption: recovers every completed cell record
+    /// (last write wins for duplicate keys), truncates the file after the
+    /// first torn or checksum-corrupt record, and positions the journal
+    /// for appending. A missing or empty file behaves like
+    /// [`Journal::create`]. Records from a different plan are harmless —
+    /// their keys simply never match.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on read/open failures; [`JournalError::NotAJournal`]
+    /// when the file exists but does not begin with a journal header (the
+    /// file is left untouched in that case).
+    pub fn resume(path: &Path, machine_seed: u64, trials: u32) -> Result<Journal, JournalError> {
+        let io_err = |source: std::io::Error| JournalError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let buf = match std::fs::read(path) {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(e)),
+        };
+        let scan = scan_records(path, &buf)?;
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io_err)?;
+        if (scan.valid_end as usize) < buf.len() {
+            file.set_len(scan.valid_end).map_err(io_err)?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(io_err)?;
+        let mut journal = Journal {
+            path: path.to_path_buf(),
+            file: Some(file),
+            completed: scan.completed,
+            recovery: RecoveryInfo {
+                completed_cells: 0,
+                truncated_bytes: buf.len() as u64 - scan.valid_end,
+                orphan_intents: scan.orphan_intents,
+            },
+            degraded: None,
+            appends: 0,
+            #[cfg(feature = "fault-injection")]
+            fail_appends_after: None,
+        };
+        journal.recovery.completed_cells = journal.completed.len();
+        if scan.valid_end == 0 {
+            journal.append_payload(&header_payload(machine_seed, trials), true);
+        }
+        Ok(journal)
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A stable 64-bit hash of the journal path — the `journal_hash`
+    /// provenance field of reports produced through this journal.
+    pub fn path_hash(&self) -> u64 {
+        fnv64(self.path.to_string_lossy().as_bytes())
+    }
+
+    /// What recovery found when this journal was opened with
+    /// [`Journal::resume`] (all zero for a fresh journal).
+    pub fn recovery(&self) -> RecoveryInfo {
+        self.recovery
+    }
+
+    /// Completed cell records currently known (recovered plus appended).
+    pub fn completed_cells(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Why the journal stopped persisting, if an append failed. A degraded
+    /// journal keeps serving lookups; it only stops writing.
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// The completed record for `key`, if the journal holds one.
+    pub fn lookup(&self, key: &CellKey) -> Option<&CellRecord> {
+        self.completed.get(key)
+    }
+
+    /// Appends the write-ahead intent record for `key` (flushed, not
+    /// fsync'd — an intent marks work in flight, not work to preserve).
+    pub fn append_intent(&mut self, key: &CellKey) {
+        let payload = format!("{{\"kind\": \"intent\", \"key\": {}}}", write_key(key));
+        self.append_payload(&payload, false);
+    }
+
+    /// Appends (and fsyncs) the completed record for `key`, and makes it
+    /// visible to [`Journal::lookup`].
+    pub fn append_cell(&mut self, key: &CellKey, record: &CellRecord) {
+        let payload = format!(
+            "{{\"kind\": \"cell\", \"key\": {}, \"cell\": {}}}",
+            write_key(key),
+            report::write_cell(record),
+        );
+        self.append_payload(&payload, true);
+        self.completed.insert(key.clone(), record.clone());
+    }
+
+    /// Makes every append after the next `appends` ones fail with a
+    /// simulated out-of-space error, exercising the degradation path
+    /// (appends are counted from journal open, header included).
+    #[cfg(feature = "fault-injection")]
+    pub fn fail_appends_after(&mut self, appends: u64) {
+        self.fail_appends_after = Some(appends);
+    }
+
+    fn append_payload(&mut self, payload: &str, sync: bool) {
+        if self.file.is_none() {
+            return;
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some(limit) = self.fail_appends_after {
+            if self.appends >= limit {
+                self.degrade("injected append fault: no space left on device".to_string());
+                return;
+            }
+        }
+        self.appends += 1;
+        let line = frame(payload);
+        let result = {
+            let file = self.file.as_mut().expect("checked above");
+            file.write_all(line.as_bytes()).and_then(|()| {
+                if sync {
+                    file.sync_data()
+                } else {
+                    file.flush()
+                }
+            })
+        };
+        if let Err(e) = result {
+            self.degrade(format!("append failed: {e}"));
+        }
+    }
+
+    fn degrade(&mut self, reason: String) {
+        self.file = None;
+        self.degraded = Some(reason);
+    }
+}
+
+/// Frames a payload as one journal record line.
+fn frame(payload: &str) -> String {
+    format!(
+        "J1 {} {:016x} {payload}\n",
+        payload.len(),
+        fnv64(payload.as_bytes())
+    )
+}
+
+fn header_payload(machine_seed: u64, trials: u32) -> String {
+    format!(
+        "{{\"kind\": \"header\", \"schema\": {}, \"machine_seed\": {machine_seed}, \"trials\": {trials}}}",
+        json::write_str(JOURNAL_SCHEMA)
+    )
+}
+
+fn write_key(key: &CellKey) -> String {
+    let noise = match &key.noise {
+        Some(label) => json::write_str(label),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"circuit_fp\": {}, \"machine_fp\": {}, \"config_fp\": {}, \"day\": {}, \
+         \"noise\": {noise}, \"sim_seed\": {}, \"trials\": {}}}",
+        key.circuit_fp, key.machine_fp, key.config_fp, key.day, key.sim_seed, key.trials,
+    )
+}
+
+fn parse_key(doc: &Value) -> Result<CellKey, String> {
+    let int = |field: &str| {
+        doc.get(field)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("key field {field:?} missing or not an unsigned integer"))
+    };
+    Ok(CellKey {
+        circuit_fp: int("circuit_fp")?,
+        machine_fp: int("machine_fp")?,
+        config_fp: int("config_fp")?,
+        day: int("day")? as usize,
+        noise: match doc.get("noise") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| "key field \"noise\" is not a string".to_string())?
+                    .to_string(),
+            ),
+        },
+        sim_seed: int("sim_seed")?,
+        trials: int("trials")? as u32,
+    })
+}
+
+/// One record successfully parsed out of a journal file.
+enum Record {
+    Header { schema: Option<String> },
+    Intent(CellKey),
+    Cell(CellKey, Box<CellRecord>),
+}
+
+/// Parses one framed line (without its trailing newline).
+fn parse_record(line: &[u8]) -> Result<Record, String> {
+    let text = std::str::from_utf8(line).map_err(|_| "record is not UTF-8".to_string())?;
+    let rest = text
+        .strip_prefix("J1 ")
+        .ok_or_else(|| "missing J1 record magic".to_string())?;
+    let (len_text, rest) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing length field".to_string())?;
+    let (sum_text, payload) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing checksum field".to_string())?;
+    let length: usize = len_text
+        .parse()
+        .map_err(|_| format!("bad length field {len_text:?}"))?;
+    if payload.len() != length {
+        return Err(format!(
+            "length mismatch: framed {length}, found {} (torn record)",
+            payload.len()
+        ));
+    }
+    let framed_sum = u64::from_str_radix(sum_text, 16)
+        .map_err(|_| format!("bad checksum field {sum_text:?}"))?;
+    let actual_sum = fnv64(payload.as_bytes());
+    if framed_sum != actual_sum {
+        return Err(format!(
+            "checksum mismatch: framed {framed_sum:016x}, computed {actual_sum:016x}"
+        ));
+    }
+    let doc = json::parse(payload).map_err(|e| format!("payload is not JSON: {e}"))?;
+    match doc.get("kind").and_then(Value::as_str) {
+        Some("header") => Ok(Record::Header {
+            schema: doc
+                .get("schema")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+        }),
+        Some("intent") => {
+            let key = doc
+                .get("key")
+                .ok_or_else(|| "intent has no key".to_string())?;
+            Ok(Record::Intent(parse_key(key)?))
+        }
+        Some("cell") => {
+            let key = doc
+                .get("key")
+                .ok_or_else(|| "cell has no key".to_string())?;
+            let cell = doc
+                .get("cell")
+                .ok_or_else(|| "cell record has no cell body".to_string())?;
+            let record = report::parse_cell(cell).map_err(|e| format!("bad cell body: {e}"))?;
+            Ok(Record::Cell(parse_key(key)?, Box::new(record)))
+        }
+        other => Err(format!("unknown record kind {other:?}")),
+    }
+}
+
+struct Scan {
+    completed: FxHashMap<CellKey, CellRecord>,
+    valid_end: u64,
+    orphan_intents: usize,
+}
+
+/// Scans a journal file's bytes: validates the header, loads completed
+/// records, and finds the byte offset after the last valid record.
+fn scan_records(path: &Path, buf: &[u8]) -> Result<Scan, JournalError> {
+    let mut scan = Scan {
+        completed: FxHashMap::default(),
+        valid_end: 0,
+        orphan_intents: 0,
+    };
+    if buf.is_empty() {
+        return Ok(scan);
+    }
+    let not_a_journal = |detail: String| JournalError::NotAJournal {
+        path: path.to_path_buf(),
+        detail,
+    };
+    // A non-empty file that does not even start with the record magic is
+    // some other file — refuse rather than truncate it to zero.
+    if !buf.starts_with(b"J1 ") {
+        return Err(not_a_journal("no J1 record magic at offset 0".to_string()));
+    }
+    let mut intents: FxHashSet<CellKey> = FxHashSet::default();
+    let mut offset = 0usize;
+    let mut saw_header = false;
+    while offset < buf.len() {
+        let Some(newline) = buf[offset..].iter().position(|&b| b == b'\n') else {
+            break; // torn tail: no record terminator
+        };
+        let record = match parse_record(&buf[offset..offset + newline]) {
+            Ok(record) => record,
+            // A torn/corrupt record truncates from its offset. For the
+            // header itself that truncates to zero: the file carries the
+            // magic but no recoverable prefix, so it restarts fresh.
+            Err(_) => break,
+        };
+        match record {
+            Record::Header { schema } if !saw_header => match schema.as_deref() {
+                Some(JOURNAL_SCHEMA) => saw_header = true,
+                Some(other) => {
+                    return Err(not_a_journal(format!(
+                        "unsupported journal schema {other:?} (expected {JOURNAL_SCHEMA:?})"
+                    )))
+                }
+                None => return Err(not_a_journal("header carries no schema tag".to_string())),
+            },
+            Record::Header { .. } => {} // a later header is inert
+            _ if !saw_header => {
+                return Err(not_a_journal(
+                    "first record is not a journal header".to_string(),
+                ))
+            }
+            Record::Intent(key) => {
+                intents.insert(key);
+            }
+            Record::Cell(key, record) => {
+                intents.remove(&key);
+                scan.completed.insert(key, *record); // last write wins
+            }
+        }
+        offset += newline + 1;
+        scan.valid_end = offset as u64;
+    }
+    scan.orphan_intents = intents.len();
+    Ok(scan)
+}

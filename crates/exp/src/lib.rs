@@ -50,11 +50,13 @@ pub use nisq_noise::json;
 // plan producers (CLI, serve) avoid a direct `nisq-noise` dependency.
 pub use nisq_noise::{NoiseError, NoiseSpec};
 
+mod journal;
 pub mod names;
 mod plan;
 mod report;
 mod session;
 
+pub use journal::{fnv64, CellKey, Journal, JournalError, RecoveryInfo, JOURNAL_SCHEMA};
 pub use plan::{Cell, CircuitSpec, MachineScope, SeedMode, SweepPlan, DEFAULT_MACHINE_SEED};
 pub use report::{BackendTag, CacheStats, CellRecord, Report, TierStats, REPORT_SCHEMA};
 pub use session::{RunControl, RunOutcome, Session};

@@ -10,8 +10,11 @@ use serde::{Deserialize, Serialize};
 /// tag recording which state backend (`dense` or `tableau`, `mixed` in
 /// aggregates) served each cell's trials; `v5` added the per-cell
 /// `noise` provenance field naming the declarative noise spec bound for
-/// the cell's trials (`null` = built-in noise model alone).
-pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v5";
+/// the cell's trials (`null` = built-in noise model alone); `v6` added
+/// the journal provenance fields — the report-level `resumed_cells`
+/// count and `journal_hash` path hash, and the cache's `journal_hits`
+/// counter — all zero for journal-less runs.
+pub const REPORT_SCHEMA: &str = "nisq-sweep-report/v6";
 
 /// Which simulator state backend served a set of trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -138,6 +141,9 @@ pub struct CacheStats {
     pub place_hits: u64,
     /// Placement passes actually executed (= placement-cache misses).
     pub place_runs: u64,
+    /// Cells served from a sweep journal without recompilation or
+    /// resimulation (journaled runs only; always 0 otherwise).
+    pub journal_hits: u64,
 }
 
 impl CacheStats {
@@ -228,6 +234,12 @@ pub struct Report {
     pub machine_seed: u64,
     /// Trials per cell requested by the plan (0 = compile only).
     pub trials: u32,
+    /// Cells loaded from a sweep journal instead of being recomputed
+    /// (journal provenance; 0 for journal-less runs).
+    pub resumed_cells: u64,
+    /// Stable hash of the journal path the run streamed to (journal
+    /// provenance; 0 for journal-less runs).
+    pub journal_hash: u64,
     /// One record per plan cell, in plan order.
     pub cells: Vec<CellRecord>,
     /// Cache behaviour over the whole run.
@@ -257,7 +269,7 @@ impl Report {
             .unwrap_or_else(|| panic!("no cell for {circuit}/{config}/day {day} in report"))
     }
 
-    /// Serializes to the stable JSON format (`nisq-sweep-report/v5`).
+    /// Serializes to the stable JSON format (`nisq-sweep-report/v6`).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -267,49 +279,22 @@ impl Report {
         ));
         out.push_str(&format!("  \"machine_seed\": {},\n", self.machine_seed));
         out.push_str(&format!("  \"trials\": {},\n", self.trials));
+        out.push_str(&format!("  \"resumed_cells\": {},\n", self.resumed_cells));
+        out.push_str(&format!("  \"journal_hash\": {},\n", self.journal_hash));
         out.push_str(&format!(
-            "  \"cache\": {{\"compile_requests\": {}, \"compile_hits\": {}, \"place_hits\": {}, \"place_runs\": {}}},\n",
+            "  \"cache\": {{\"compile_requests\": {}, \"compile_hits\": {}, \"place_hits\": {}, \"place_runs\": {}, \"journal_hits\": {}}},\n",
             self.cache.compile_requests,
             self.cache.compile_hits,
             self.cache.place_hits,
             self.cache.place_runs,
+            self.cache.journal_hits,
         ));
         out.push_str(&format!("  \"tiers\": {},\n", write_tiers(&self.tiers)));
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
-            let success = match c.success_rate {
-                Some(rate) => format!("{rate}"),
-                None => "null".to_string(),
-            };
-            let noise = match &c.noise {
-                Some(label) => json::write_str(label),
-                None => "null".to_string(),
-            };
             out.push_str(&format!(
-                "    {{\"circuit\": {}, \"config\": {}, \"topology\": {}, \"day\": {}, \
-                 \"noise\": {}, \
-                 \"qubits\": {}, \"gates\": {}, \"sim_seed\": {}, \"trials\": {}, \
-                 \"success_rate\": {}, \"estimated_reliability\": {}, \"duration_slots\": {}, \
-                 \"swap_count\": {}, \"hardware_cnots\": {}, \"compile_ms\": {:.3}, \
-                 \"place_us\": {:.3}, \"cache_hit\": {}, \"tiers\": {}}}{}\n",
-                json::write_str(&c.circuit),
-                json::write_str(&c.config),
-                json::write_str(&c.topology),
-                c.day,
-                noise,
-                c.qubits,
-                c.gates,
-                c.sim_seed,
-                c.trials,
-                success,
-                c.estimated_reliability,
-                c.duration_slots,
-                c.swap_count,
-                c.hardware_cnots,
-                c.compile_ms,
-                c.place_us,
-                c.cache_hit,
-                write_tiers(&c.tiers),
+                "    {}{}\n",
+                write_cell(c),
                 if i + 1 == self.cells.len() { "" } else { "," },
             ));
         }
@@ -331,20 +316,31 @@ impl Report {
     }
 
     /// A copy with every wall-clock and cache-provenance field zeroed
-    /// (`compile_ms`, `place_us`, `cache_hit`, the run's [`CacheStats`]),
+    /// (`compile_ms`, `place_us`, `cache_hit`, the run's [`CacheStats`],
+    /// and the journal provenance `resumed_cells` / `journal_hash`),
     /// leaving only fields that are deterministic functions of the plan.
     /// Two canonicalized reports for the same plan and seeds compare equal
     /// bit for bit no matter which session — warm or cold, daemon or
-    /// direct — produced them.
+    /// direct, resumed from a journal or run uninterrupted — produced
+    /// them.
     pub fn canonicalized(&self) -> Report {
         let mut report = self.clone();
         report.cache = CacheStats::default();
+        report.resumed_cells = 0;
+        report.journal_hash = 0;
         for cell in &mut report.cells {
             cell.compile_ms = 0.0;
             cell.place_us = 0.0;
             cell.cache_hit = false;
         }
         report
+    }
+
+    /// [`Report::canonicalized`] serialized as a single JSON line — the
+    /// comparison form used to prove two runs computed the same science
+    /// (e.g. the crash-resume smoke test diffs this output byte for byte).
+    pub fn to_json_line_canonical(&self) -> String {
+        self.canonicalized().to_json_line()
     }
 
     /// Parses a document produced by [`Report::to_json`].
@@ -367,56 +363,105 @@ impl Report {
             compile_hits: req_u64(cache_doc, "compile_hits")?,
             place_hits: req_u64(cache_doc, "place_hits")?,
             place_runs: req_u64(cache_doc, "place_runs")?,
+            journal_hits: req_u64(cache_doc, "journal_hits")?,
         };
         let mut cells = Vec::new();
         for cell in req(&doc, "cells")?
             .as_array()
             .ok_or_else(|| shape_err("\"cells\" is not an array".to_string()))?
         {
-            cells.push(CellRecord {
-                circuit: req_str(cell, "circuit")?.to_string(),
-                config: req_str(cell, "config")?.to_string(),
-                topology: req_str(cell, "topology")?.to_string(),
-                day: req_u64(cell, "day")? as usize,
-                noise: match req(cell, "noise")? {
-                    Value::Null => None,
-                    v => Some(
-                        v.as_str()
-                            .ok_or_else(|| shape_err("non-string noise label".to_string()))?
-                            .to_string(),
-                    ),
-                },
-                qubits: req_u64(cell, "qubits")? as usize,
-                gates: req_u64(cell, "gates")? as usize,
-                sim_seed: req_u64(cell, "sim_seed")?,
-                trials: req_u64(cell, "trials")? as u32,
-                success_rate: match req(cell, "success_rate")? {
-                    Value::Null => None,
-                    v => Some(
-                        v.as_f64()
-                            .ok_or_else(|| shape_err("non-numeric success_rate".to_string()))?,
-                    ),
-                },
-                estimated_reliability: req_f64(cell, "estimated_reliability")?,
-                duration_slots: req_u64(cell, "duration_slots")? as u32,
-                swap_count: req_u64(cell, "swap_count")? as usize,
-                hardware_cnots: req_u64(cell, "hardware_cnots")? as usize,
-                compile_ms: req_f64(cell, "compile_ms")?,
-                place_us: req_f64(cell, "place_us")?,
-                cache_hit: req(cell, "cache_hit")?
-                    .as_bool()
-                    .ok_or_else(|| shape_err("non-boolean cache_hit".to_string()))?,
-                tiers: parse_tiers(req(cell, "tiers")?)?,
-            });
+            cells.push(parse_cell(cell)?);
         }
         Ok(Report {
             machine_seed: req_u64(&doc, "machine_seed")?,
             trials: req_u64(&doc, "trials")? as u32,
+            resumed_cells: req_u64(&doc, "resumed_cells")?,
+            journal_hash: req_u64(&doc, "journal_hash")?,
             cells,
             cache,
             tiers: parse_tiers(req(&doc, "tiers")?)?,
         })
     }
+}
+
+/// Serializes one [`CellRecord`] as its inline (single-line) JSON object —
+/// shared by [`Report::to_json`] and the sweep journal so a journaled cell
+/// round-trips bit-exactly into the report it resumes into.
+pub(crate) fn write_cell(c: &CellRecord) -> String {
+    let success = match c.success_rate {
+        Some(rate) => format!("{rate}"),
+        None => "null".to_string(),
+    };
+    let noise = match &c.noise {
+        Some(label) => json::write_str(label),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"circuit\": {}, \"config\": {}, \"topology\": {}, \"day\": {}, \
+         \"noise\": {}, \
+         \"qubits\": {}, \"gates\": {}, \"sim_seed\": {}, \"trials\": {}, \
+         \"success_rate\": {}, \"estimated_reliability\": {}, \"duration_slots\": {}, \
+         \"swap_count\": {}, \"hardware_cnots\": {}, \"compile_ms\": {:.3}, \
+         \"place_us\": {:.3}, \"cache_hit\": {}, \"tiers\": {}}}",
+        json::write_str(&c.circuit),
+        json::write_str(&c.config),
+        json::write_str(&c.topology),
+        c.day,
+        noise,
+        c.qubits,
+        c.gates,
+        c.sim_seed,
+        c.trials,
+        success,
+        c.estimated_reliability,
+        c.duration_slots,
+        c.swap_count,
+        c.hardware_cnots,
+        c.compile_ms,
+        c.place_us,
+        c.cache_hit,
+        write_tiers(&c.tiers),
+    )
+}
+
+/// Parses one cell object of a report (or journal record) — the inverse
+/// of [`write_cell`].
+pub(crate) fn parse_cell(cell: &Value) -> Result<CellRecord, JsonError> {
+    Ok(CellRecord {
+        circuit: req_str(cell, "circuit")?.to_string(),
+        config: req_str(cell, "config")?.to_string(),
+        topology: req_str(cell, "topology")?.to_string(),
+        day: req_u64(cell, "day")? as usize,
+        noise: match req(cell, "noise")? {
+            Value::Null => None,
+            v => Some(
+                v.as_str()
+                    .ok_or_else(|| shape_err("non-string noise label".to_string()))?
+                    .to_string(),
+            ),
+        },
+        qubits: req_u64(cell, "qubits")? as usize,
+        gates: req_u64(cell, "gates")? as usize,
+        sim_seed: req_u64(cell, "sim_seed")?,
+        trials: req_u64(cell, "trials")? as u32,
+        success_rate: match req(cell, "success_rate")? {
+            Value::Null => None,
+            v => Some(
+                v.as_f64()
+                    .ok_or_else(|| shape_err("non-numeric success_rate".to_string()))?,
+            ),
+        },
+        estimated_reliability: req_f64(cell, "estimated_reliability")?,
+        duration_slots: req_u64(cell, "duration_slots")? as u32,
+        swap_count: req_u64(cell, "swap_count")? as usize,
+        hardware_cnots: req_u64(cell, "hardware_cnots")? as usize,
+        compile_ms: req_f64(cell, "compile_ms")?,
+        place_us: req_f64(cell, "place_us")?,
+        cache_hit: req(cell, "cache_hit")?
+            .as_bool()
+            .ok_or_else(|| shape_err("non-boolean cache_hit".to_string()))?,
+        tiers: parse_tiers(req(cell, "tiers")?)?,
+    })
 }
 
 /// Serializes a [`TierStats`] as its inline JSON object.
@@ -484,6 +529,8 @@ mod tests {
         Report {
             machine_seed: 2019,
             trials: 64,
+            resumed_cells: 1,
+            journal_hash: 0x8422_2325_cbf2_9ce4,
             cells: vec![
                 CellRecord {
                     circuit: "BV4".into(),
@@ -539,6 +586,7 @@ mod tests {
                 compile_hits: 1,
                 place_hits: 1,
                 place_runs: 1,
+                journal_hits: 1,
             },
             tiers: TierStats {
                 backend: BackendTag::Tableau,
@@ -577,6 +625,8 @@ mod tests {
     fn canonicalized_zeroes_provenance_but_keeps_results() {
         let canon = sample().canonicalized();
         assert_eq!(canon.cache, CacheStats::default());
+        assert_eq!(canon.resumed_cells, 0);
+        assert_eq!(canon.journal_hash, 0);
         for cell in &canon.cells {
             assert_eq!(cell.compile_ms, 0.0);
             assert_eq!(cell.place_us, 0.0);
@@ -591,6 +641,25 @@ mod tests {
         warm.cells[0].compile_ms = 0.001;
         warm.cache.compile_hits = 2;
         assert_eq!(warm.canonicalized(), sample().canonicalized());
+        // So is a journal-resumed rerun: the journal provenance is zeroed
+        // with the rest.
+        let mut resumed = sample();
+        resumed.resumed_cells = 2;
+        resumed.journal_hash = 77;
+        resumed.cache.journal_hits = 2;
+        assert_eq!(resumed.canonicalized(), sample().canonicalized());
+    }
+
+    #[test]
+    fn canonical_json_line_round_trips_and_matches_canonicalized() {
+        // The smoke script's comparison form: a single line that parses
+        // back to exactly `canonicalized()`, so v6 documents (journal
+        // provenance included) stay parseable after canonicalization.
+        let line = sample().to_json_line_canonical();
+        assert!(!line.contains('\n'));
+        let parsed = Report::from_json(&line).unwrap();
+        assert_eq!(parsed, sample().canonicalized());
+        assert_eq!(parsed.to_json_line_canonical(), line);
     }
 
     #[test]
@@ -606,13 +675,13 @@ mod tests {
         assert!(Report::from_json("{}").is_err());
         assert!(Report::from_json("{\"schema\": \"other/v9\"}").is_err());
         assert!(Report::from_json("not json").is_err());
-        // Pre-noise documents carry the v4 tag and are rejected outright
+        // Pre-journal documents carry the v5 tag and are rejected outright
         // rather than silently defaulted.
-        let v4 = sample()
+        let v5 = sample()
             .to_json()
-            .replace("nisq-sweep-report/v5", "nisq-sweep-report/v4");
-        assert!(Report::from_json(&v4).is_err());
-        // A v5-tagged document with an unknown backend name is malformed.
+            .replace("nisq-sweep-report/v6", "nisq-sweep-report/v5");
+        assert!(Report::from_json(&v5).is_err());
+        // A v6-tagged document with an unknown backend name is malformed.
         let bad_backend = sample().to_json().replace("\"tableau\"", "\"sparse\"");
         assert!(Report::from_json(&bad_backend).is_err());
         // ...and one missing the per-cell noise field is malformed too.
@@ -621,6 +690,9 @@ mod tests {
             .replace("\"noise\": \"ad-measure\", ", "")
             .replace("\"noise\": null, ", "");
         assert!(Report::from_json(&no_noise).is_err());
+        // ...as is one missing the v6 journal provenance.
+        let no_journal = sample().to_json().replace("  \"resumed_cells\": 1,\n", "");
+        assert!(Report::from_json(&no_journal).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The long-lived experiment executor.
 
+use crate::journal::{CellKey, Journal};
 use crate::plan::{Cell, CircuitSpec, SweepPlan};
 use crate::report::{CacheStats, CellRecord, Report, TierStats};
 use nisq_core::{
@@ -24,6 +25,11 @@ pub struct RunControl {
     /// Stop before starting any cell that would begin after this instant.
     /// `None` runs to completion.
     pub deadline: Option<Instant>,
+    /// Stop before starting the `n+1`-th cell (journal hits included).
+    /// `None` runs to completion. Unlike the wall-clock deadline this cut
+    /// is deterministic, which is what the crash-recovery tests need to
+    /// simulate a process dying at an exact cell boundary.
+    pub stop_after_cells: Option<usize>,
 }
 
 impl RunControl {
@@ -36,6 +42,12 @@ impl RunControl {
     /// Sets the wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deterministic cell-count cut.
+    pub fn with_stop_after_cells(mut self, cells: usize) -> Self {
+        self.stop_after_cells = Some(cells);
         self
     }
 }
@@ -235,6 +247,9 @@ impl Session {
             compile_hits: self.compile_hits,
             place_hits: place.hits,
             place_runs: place.misses,
+            // Journal hits are per-run provenance, not session state; runs
+            // fill the field in their report deltas.
+            journal_hits: 0,
         }
     }
 
@@ -345,12 +360,15 @@ impl Session {
         Ok(Report {
             machine_seed: plan.machine_seed(),
             trials,
+            resumed_cells: 0,
+            journal_hash: 0,
             cells: records,
             cache: CacheStats {
                 compile_requests: after.compile_requests - before.compile_requests,
                 compile_hits: after.compile_hits - before.compile_hits,
                 place_hits: after.place_hits - before.place_hits,
                 place_runs: after.place_runs - before.place_runs,
+                journal_hits: 0,
             },
             tiers: tier_totals,
         })
@@ -361,11 +379,12 @@ impl Session {
     /// cut a run short.
     ///
     /// Cells execute in plan order; before each cell the control block's
-    /// deadline is checked, and an expired deadline ends the run with the
-    /// cells finished so far (`completed == false`). Per-cell results are
-    /// identical to [`Session::run`]'s: the simulator's trial streams are
-    /// thread-invariant, so a report produced here matches a parallel run
-    /// of the same plan bit for bit (wall-clock fields aside).
+    /// deadline and cell-count cut are checked, and an expired control
+    /// ends the run with the cells finished so far (`completed == false`).
+    /// Per-cell results are identical to [`Session::run`]'s: the
+    /// simulator's trial streams are thread-invariant, so a report
+    /// produced here matches a parallel run of the same plan bit for bit
+    /// (wall-clock fields aside).
     ///
     /// Machines are built through [`Session::try_machine`], so a plan
     /// naming a degenerate topology returns a typed error instead of
@@ -380,14 +399,51 @@ impl Session {
         plan: &SweepPlan,
         control: &RunControl,
     ) -> Result<RunOutcome, CompileError> {
+        self.run_serial(plan, control, None)
+    }
+
+    /// Like [`Session::run_controlled`], but streaming every completed
+    /// cell into `journal` and serving cells the journal already holds
+    /// without recompiling or resimulating them.
+    ///
+    /// Before a cell executes its key is looked up: a hit replays the
+    /// journaled record verbatim (counted in `resumed_cells` and the
+    /// cache's `journal_hits`); a miss appends a write-ahead intent,
+    /// executes the cell, then appends and fsyncs the completed record.
+    /// Because journaled records round-trip bit-exactly, a resumed run's
+    /// [`Report::canonicalized`] form is byte-identical to an
+    /// uninterrupted run of the same plan. A journal that degrades
+    /// mid-run (disk full) stops persisting but never fails the sweep —
+    /// check [`Journal::degraded`] after the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compile error; cells already executed are
+    /// discarded (though still recoverable from the journal).
+    pub fn run_journaled(
+        &mut self,
+        plan: &SweepPlan,
+        control: &RunControl,
+        journal: &mut Journal,
+    ) -> Result<RunOutcome, CompileError> {
+        self.run_serial(plan, control, Some(journal))
+    }
+
+    fn run_serial(
+        &mut self,
+        plan: &SweepPlan,
+        control: &RunControl,
+        mut journal: Option<&mut Journal>,
+    ) -> Result<RunOutcome, CompileError> {
         let before = self.cache_stats();
         let cells = plan.cells();
         let cells_total = cells.len();
         let trials = plan.trials();
 
-        let mut records = Vec::with_capacity(cells.len());
+        let mut records: Vec<CellRecord> = Vec::with_capacity(cells.len());
         let mut tier_totals = TierStats::default();
         let mut completed = true;
+        let mut journal_hits = 0u64;
         for cell in &cells {
             if let Some(deadline) = control.deadline {
                 if Instant::now() >= deadline {
@@ -395,9 +451,33 @@ impl Session {
                     break;
                 }
             }
+            if let Some(limit) = control.stop_after_cells {
+                if records.len() >= limit {
+                    completed = false;
+                    break;
+                }
+            }
             let machine = self.try_machine(cell.topology, plan.machine_seed(), cell.day)?;
             let spec = &plan.circuits()[cell.circuit];
             let config = &plan.configs()[cell.config].1;
+            let key = journal.as_ref().map(|_| CellKey {
+                circuit_fp: spec.circuit.fingerprint(),
+                machine_fp: machine.fingerprint(),
+                config_fp: config.fingerprint(),
+                day: cell.day,
+                noise: cell.noise.map(|n| plan.noise_axis()[n].0.clone()),
+                sim_seed: cell.sim_seed,
+                trials,
+            });
+            if let (Some(journal), Some(key)) = (journal.as_deref_mut(), key.as_ref()) {
+                if let Some(hit) = journal.lookup(key) {
+                    journal_hits += 1;
+                    tier_totals.merge(&hit.tiers);
+                    records.push(hit.clone());
+                    continue;
+                }
+                journal.append_intent(key);
+            }
             let (executable, cache_hit) = self.compile_cached(&machine, config, &spec.circuit)?;
 
             let (success_rate, tiers) = match &spec.expected {
@@ -417,7 +497,7 @@ impl Session {
                 _ => (None, TierStats::default()),
             };
             tier_totals.merge(&tiers);
-            records.push(cell_record(
+            let record = cell_record(
                 plan,
                 cell,
                 &executable,
@@ -425,7 +505,11 @@ impl Session {
                 trials,
                 success_rate,
                 tiers,
-            ));
+            );
+            if let (Some(journal), Some(key)) = (journal.as_deref_mut(), key.as_ref()) {
+                journal.append_cell(key, &record);
+            }
+            records.push(record);
         }
 
         let after = self.cache_stats();
@@ -433,12 +517,15 @@ impl Session {
             report: Report {
                 machine_seed: plan.machine_seed(),
                 trials,
+                resumed_cells: journal_hits,
+                journal_hash: journal.as_ref().map_or(0, |j| j.path_hash()),
                 cells: records,
                 cache: CacheStats {
                     compile_requests: after.compile_requests - before.compile_requests,
                     compile_hits: after.compile_hits - before.compile_hits,
                     place_hits: after.place_hits - before.place_hits,
                     place_runs: after.place_runs - before.place_runs,
+                    journal_hits,
                 },
                 tiers: tier_totals,
             },

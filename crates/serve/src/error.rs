@@ -55,6 +55,14 @@ pub enum ServeError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The request's journal could not be opened or recovered: the file
+    /// at its `resume_key` path exists but is not a sweep journal, or
+    /// journal I/O failed outright. (Torn or checksum-corrupt *trailing*
+    /// records are not errors — recovery truncates them and resumes.)
+    JournalCorrupt {
+        /// What went wrong with the journal.
+        message: String,
+    },
     /// The daemon is draining for shutdown and refuses new work.
     ShuttingDown,
 }
@@ -70,6 +78,7 @@ impl ServeError {
             ServeError::Timeout { .. } => "timeout",
             ServeError::Compile { .. } => "compile",
             ServeError::Panic { .. } => "panic",
+            ServeError::JournalCorrupt { .. } => "journal-corrupt",
             ServeError::ShuttingDown => "shutting-down",
         }
     }
@@ -89,6 +98,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Compile { message } => write!(f, "compile failed: {message}"),
             ServeError::Panic { message } => write!(f, "request panicked: {message}"),
+            ServeError::JournalCorrupt { message } => write!(f, "journal unusable: {message}"),
             ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
         }
     }
@@ -126,6 +136,9 @@ mod tests {
                 message: String::new(),
             },
             ServeError::Panic {
+                message: String::new(),
+            },
+            ServeError::JournalCorrupt {
                 message: String::new(),
             },
             ServeError::ShuttingDown,

@@ -5,14 +5,21 @@
 //! sweeps share compile and placement caches across clients. It is built
 //! for hostile weather:
 //!
-//! - a **bounded queue** rejects excess load with `queue-full` and a
-//!   `retry_after_ms` hint instead of buffering without limit;
+//! - a **bounded fair queue** holds one lane per connection, drained
+//!   round-robin, so a flooding client cannot starve a quiet one; excess
+//!   load is rejected with `queue-full` and a deterministic
+//!   `retry_after_ms` hint (jittered per request id) instead of buffering
+//!   without limit;
 //! - every request runs under a **wall-clock deadline** (queue wait
 //!   included) and returns a partial, well-formed report when time runs
 //!   out;
 //! - requests execute under **panic isolation**: a panicking request is
 //!   answered with a structured `panic` error, and the shared session is
 //!   rebuilt only if the panic poisoned a cache lock;
+//! - with a `--journal-dir`, a request carrying `"journal": true` and a
+//!   `resume_key` streams finished cells to a **crash-safe journal**; a
+//!   client re-sending the same request after a daemon crash resumes the
+//!   finished prefix bit-identically instead of recomputing it;
 //! - SIGINT/SIGTERM trigger a **graceful drain**: admitted work finishes,
 //!   new work is refused with `shutting-down`, then the process exits 0.
 //!
@@ -36,5 +43,7 @@ pub mod signal;
 pub use error::ServeError;
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultPlan;
-pub use request::{admit, parse_request, Budgets, Op, Request};
-pub use server::{Endpoint, Server, ServerConfig, ServerHandle};
+pub use request::{
+    admit, parse_plan, parse_plan_with_journal, parse_request, Budgets, Op, Request,
+};
+pub use server::{journal_path, Endpoint, Server, ServerConfig, ServerHandle};

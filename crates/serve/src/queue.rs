@@ -1,40 +1,56 @@
-//! The bounded FIFO work queue between connection readers and the worker.
+//! The bounded per-client fair work queue between connection readers and
+//! the worker.
 //!
-//! Admission is non-blocking (`try_push` fails fast when full — the
-//! backpressure signal clients see as a `queue-full` error), consumption
-//! blocks, and closing the queue lets the worker drain what was already
-//! admitted before exiting — the graceful-shutdown contract.
+//! Items land in per-client lanes (one per connection) and are drained
+//! **round-robin across lanes**, so one chatty client queueing many
+//! requests cannot starve a quiet one: the quiet client's single request
+//! is at the front of its own lane and is served within one rotation.
+//! Capacity bounds each lane independently — the backpressure a flooder
+//! sees (`queue-full`) never blocks admission for other clients.
+//!
+//! Admission is non-blocking (`try_push` fails fast when full),
+//! consumption blocks, and closing the queue lets the worker drain what
+//! was already admitted before exiting — the graceful-shutdown contract.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
-    /// The queue is at capacity.
+    /// The client's lane is at capacity.
     Full,
     /// The queue was closed for shutdown.
     Closed,
 }
 
 struct State<T> {
-    items: VecDeque<T>,
+    /// Per-client sub-queues. A BTreeMap keeps `depths()` deterministic.
+    lanes: BTreeMap<u64, VecDeque<T>>,
+    /// Clients with non-empty lanes, in service order: pop serves the
+    /// front lane's oldest item, then rotates the lane to the back.
+    rotation: VecDeque<u64>,
+    len: usize,
     closed: bool,
 }
 
-/// A bounded multi-producer single-consumer FIFO queue.
-pub struct BoundedQueue<T> {
+/// A bounded multi-producer single-consumer queue with round-robin
+/// per-client fairness.
+pub struct FairQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
     capacity: usize,
 }
 
-impl<T> BoundedQueue<T> {
-    /// Creates a queue admitting at most `capacity` items at a time.
+impl<T> FairQueue<T> {
+    /// Creates a queue admitting at most `capacity` items *per client
+    /// lane* at a time.
     pub fn new(capacity: usize) -> Self {
-        BoundedQueue {
+        FairQueue {
             state: Mutex::new(State {
-                items: VecDeque::with_capacity(capacity),
+                lanes: BTreeMap::new(),
+                rotation: VecDeque::new(),
+                len: 0,
                 closed: false,
             }),
             available: Condvar::new(),
@@ -50,34 +66,53 @@ impl<T> BoundedQueue<T> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Enqueues `item` if there is room and the queue is open. Never
-    /// blocks.
+    /// Enqueues `item` on `client`'s lane if the lane has room and the
+    /// queue is open. Never blocks.
     ///
     /// # Errors
     ///
-    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
-    /// [`BoundedQueue::close`].
-    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+    /// [`PushError::Full`] when the client's lane is at capacity,
+    /// [`PushError::Closed`] after [`FairQueue::close`].
+    pub fn try_push(&self, client: u64, item: T) -> Result<(), PushError> {
         let mut state = self.lock();
         if state.closed {
             return Err(PushError::Closed);
         }
-        if state.items.len() >= self.capacity {
+        let lane = state.lanes.entry(client).or_default();
+        if lane.len() >= self.capacity {
             return Err(PushError::Full);
         }
-        state.items.push_back(item);
+        let lane_was_empty = lane.is_empty();
+        lane.push_back(item);
+        state.len += 1;
+        if lane_was_empty {
+            state.rotation.push_back(client);
+        }
         drop(state);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Dequeues the oldest item, blocking while the queue is empty and
-    /// open. Returns `None` once the queue is closed *and* drained — the
-    /// worker's signal to exit after serving everything that was admitted.
+    /// Dequeues the next item round-robin across client lanes, blocking
+    /// while the queue is empty and open. Returns `None` once the queue is
+    /// closed *and* drained — the worker's signal to exit after serving
+    /// everything that was admitted.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.lock();
         loop {
-            if let Some(item) = state.items.pop_front() {
+            if let Some(client) = state.rotation.pop_front() {
+                let lane = state
+                    .lanes
+                    .get_mut(&client)
+                    .expect("rotation entries always have a lane");
+                let item = lane.pop_front().expect("rotated lanes are non-empty");
+                let drained = lane.is_empty();
+                state.len -= 1;
+                if drained {
+                    state.lanes.remove(&client);
+                } else {
+                    state.rotation.push_back(client);
+                }
                 return Some(item);
             }
             if state.closed {
@@ -97,14 +132,24 @@ impl<T> BoundedQueue<T> {
         self.available.notify_all();
     }
 
-    /// Items currently waiting (the queue-depth stat).
+    /// Items currently waiting across every lane (the queue-depth stat).
     pub fn len(&self) -> usize {
-        self.lock().items.len()
+        self.lock().len
     }
 
     /// Whether no items are waiting.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Per-client `(client, depth)` pairs for every non-empty lane, in
+    /// client order — the `queue_depths` stat.
+    pub fn depths(&self) -> Vec<(u64, usize)> {
+        self.lock()
+            .lanes
+            .iter()
+            .map(|(&client, lane)| (client, lane.len()))
+            .collect()
     }
 }
 
@@ -114,21 +159,44 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn rejects_when_full_and_after_close() {
-        let q = BoundedQueue::new(2);
-        assert_eq!(q.try_push(1), Ok(()));
-        assert_eq!(q.try_push(2), Ok(()));
-        assert_eq!(q.try_push(3), Err(PushError::Full));
-        assert_eq!(q.len(), 2);
+    fn rejects_when_lane_full_and_after_close() {
+        let q = FairQueue::new(2);
+        assert_eq!(q.try_push(1, "a1"), Ok(()));
+        assert_eq!(q.try_push(1, "a2"), Ok(()));
+        assert_eq!(q.try_push(1, "a3"), Err(PushError::Full));
+        // A full lane does not block other clients' admission.
+        assert_eq!(q.try_push(2, "b1"), Ok(()));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.depths(), vec![(1, 2), (2, 1)]);
         q.close();
-        assert_eq!(q.try_push(4), Err(PushError::Closed));
+        assert_eq!(q.try_push(3, "c1"), Err(PushError::Closed));
     }
 
     #[test]
-    fn drains_in_fifo_order_then_signals_closed() {
-        let q = BoundedQueue::new(4);
-        q.try_push("a").unwrap();
-        q.try_push("b").unwrap();
+    fn drains_round_robin_across_clients_then_signals_closed() {
+        let q = FairQueue::new(8);
+        // Client 1 floods before client 2 gets a word in.
+        q.try_push(1, "a1").unwrap();
+        q.try_push(1, "a2").unwrap();
+        q.try_push(1, "a3").unwrap();
+        q.try_push(2, "b1").unwrap();
+        q.try_push(3, "c1").unwrap();
+        q.close();
+        // Round-robin: the quiet clients' items interleave with the flood
+        // instead of waiting behind it.
+        assert_eq!(q.pop(), Some("a1"));
+        assert_eq!(q.pop(), Some("b1"));
+        assert_eq!(q.pop(), Some("c1"));
+        assert_eq!(q.pop(), Some("a2"));
+        assert_eq!(q.pop(), Some("a3"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn single_client_drains_fifo() {
+        let q = FairQueue::new(4);
+        q.try_push(9, "a").unwrap();
+        q.try_push(9, "b").unwrap();
         q.close();
         assert_eq!(q.pop(), Some("a"));
         assert_eq!(q.pop(), Some("b"));
@@ -136,14 +204,29 @@ mod tests {
     }
 
     #[test]
+    fn reused_client_ids_resume_their_lane_position() {
+        let q = FairQueue::new(4);
+        q.try_push(1, "a1").unwrap();
+        q.try_push(2, "b1").unwrap();
+        assert_eq!(q.pop(), Some("a1"));
+        // Lane 1 emptied and was removed; a new push re-registers it at
+        // the back of the rotation.
+        q.try_push(1, "a2").unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some("b1"));
+        assert_eq!(q.pop(), Some("a2"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn pop_blocks_until_an_item_arrives() {
-        let q = Arc::new(BoundedQueue::new(1));
+        let q = Arc::new(FairQueue::new(1));
         let consumer = {
             let q = q.clone();
             std::thread::spawn(move || q.pop())
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
-        q.try_push(7).unwrap();
+        q.try_push(5, 7).unwrap();
         assert_eq!(consumer.join().unwrap(), Some(7));
     }
 }

@@ -17,6 +17,9 @@ use nisq_ir::qasm;
 pub struct Request {
     /// Client correlation id, echoed verbatim into the response.
     pub id: Option<String>,
+    /// Client-supplied stable key naming the request's journal, so a
+    /// reconnecting client resumes the same journal after a crash.
+    pub resume_key: Option<String>,
     /// The requested operation.
     pub op: Op,
 }
@@ -31,6 +34,10 @@ pub enum Op {
         /// Per-request timeout override in milliseconds (clamped to the
         /// server's configured maximum).
         timeout_ms: Option<u64>,
+        /// Whether the plan asked for journaled execution
+        /// (`"journal": true`); requires a server `--journal-dir` and a
+        /// request `resume_key`.
+        journal: bool,
     },
     /// Liveness probe.
     Ping,
@@ -65,7 +72,10 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         return Err(protocol("request must be a JSON object"));
     };
     for (key, _) in fields {
-        if !matches!(key.as_str(), "op" | "id" | "plan" | "timeout_ms") {
+        if !matches!(
+            key.as_str(),
+            "op" | "id" | "plan" | "timeout_ms" | "resume_key"
+        ) {
             return Err(protocol(format!("unknown request field {key:?}")));
         }
     }
@@ -74,6 +84,12 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         Some(Value::String(s)) => Some(s.clone()),
         Some(Value::Integer(i)) => Some(i.to_string()),
         Some(_) => return Err(protocol("\"id\" must be a string or integer")),
+    };
+    let resume_key = match doc.get("resume_key") {
+        None | Some(Value::Null) => None,
+        Some(Value::String(s)) if !s.is_empty() => Some(s.clone()),
+        Some(Value::String(_)) => return Err(protocol("\"resume_key\" must not be empty")),
+        Some(_) => return Err(protocol("\"resume_key\" must be a string")),
     };
     let op = match doc.get("op") {
         None => "run",
@@ -96,14 +112,16 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
             let plan_doc = doc
                 .get("plan")
                 .ok_or_else(|| protocol("run request is missing \"plan\""))?;
+            let (plan, journal) = parse_plan_with_journal(plan_doc)?;
             Op::Run {
-                plan: Box::new(parse_plan(plan_doc)?),
+                plan: Box::new(plan),
                 timeout_ms,
+                journal,
             }
         }
         other => return Err(protocol(format!("unknown op {other:?}"))),
     };
-    Ok(Request { id, op })
+    Ok(Request { id, resume_key, op })
 }
 
 /// Accepts either a JSON string or an array of scalars, normalizing the
@@ -175,6 +193,15 @@ fn parse_circuit_spec(doc: &Value) -> Result<CircuitSpec, ServeError> {
 ///
 /// [`ServeError::InvalidPlan`] naming the offending field.
 pub fn parse_plan(doc: &Value) -> Result<SweepPlan, ServeError> {
+    parse_plan_with_journal(doc).map(|(plan, _)| plan)
+}
+
+/// [`parse_plan`] plus the plan's `"journal"` flag.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidPlan`] naming the offending field.
+pub fn parse_plan_with_journal(doc: &Value) -> Result<(SweepPlan, bool), ServeError> {
     let Value::Object(fields) = doc else {
         return Err(invalid("\"plan\" must be a JSON object"));
     };
@@ -191,10 +218,16 @@ pub fn parse_plan(doc: &Value) -> Result<SweepPlan, ServeError> {
                 | "machine_seed"
                 | "sim_seed"
                 | "noise"
+                | "journal"
         ) {
             return Err(invalid(format!("unknown plan field {key:?}")));
         }
     }
+    let journal = match doc.get("journal") {
+        None | Some(Value::Null) | Some(Value::Bool(false)) => false,
+        Some(Value::Bool(true)) => true,
+        Some(_) => return Err(invalid("\"journal\" must be a boolean")),
+    };
 
     let omega = match doc.get("omega") {
         None => 0.5,
@@ -284,7 +317,7 @@ pub fn parse_plan(doc: &Value) -> Result<SweepPlan, ServeError> {
             plan = plan.with_noise(spec.name().to_string(), spec);
         }
     }
-    Ok(plan)
+    Ok((plan, journal))
 }
 
 /// The admission budgets a plan must fit inside before it is enqueued.
@@ -402,10 +435,17 @@ mod tests {
             .replace('\n', " ");
         let request = parse_request(&line).unwrap();
         assert_eq!(request.id.as_deref(), Some("r1"));
-        let Op::Run { plan, timeout_ms } = request.op else {
+        assert_eq!(request.resume_key, None);
+        let Op::Run {
+            plan,
+            timeout_ms,
+            journal,
+        } = request.op
+        else {
             panic!("expected a run op");
         };
         assert_eq!(timeout_ms, Some(500));
+        assert!(!journal);
         assert_eq!(plan.cells().len(), 2 * 2 * 2);
         assert_eq!(plan.machine_seed(), 7);
         assert!(plan.cells().iter().all(|c| c.sim_seed == 9));
@@ -551,6 +591,37 @@ mod tests {
             &budgets(),
         )
         .unwrap();
+    }
+
+    #[test]
+    fn journaled_requests_parse_flag_and_resume_key() {
+        let line = r#"{"op": "run", "id": "j1", "resume_key": "client-7/nightly",
+            "plan": {"benchmarks": "bv4", "trials": 8, "journal": true}}"#
+            .replace('\n', " ");
+        let request = parse_request(&line).unwrap();
+        assert_eq!(request.resume_key.as_deref(), Some("client-7/nightly"));
+        let Op::Run { journal, .. } = request.op else {
+            panic!("expected a run op");
+        };
+        assert!(journal);
+
+        // journal: false and omitted are the same thing.
+        let line = r#"{"op": "run", "plan": {"benchmarks": "bv4", "journal": false}}"#;
+        let Op::Run { journal, .. } = parse_request(line).unwrap().op else {
+            panic!("expected a run op");
+        };
+        assert!(!journal);
+
+        // Malformed journal/resume_key values are typed errors.
+        let err = parse_request(r#"{"op": "run", "plan": {"benchmarks": "bv4", "journal": 1}}"#)
+            .unwrap_err();
+        assert_eq!(err.code(), "invalid-plan");
+        for bad in [
+            r#"{"op": "run", "resume_key": 7, "plan": {"benchmarks": "bv4"}}"#,
+            r#"{"op": "run", "resume_key": "", "plan": {"benchmarks": "bv4"}}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code(), "protocol", "{bad}");
+        }
     }
 
     #[test]

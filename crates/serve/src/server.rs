@@ -1,28 +1,32 @@
 //! The daemon: listeners, connection threads, the worker, and shutdown.
 //!
 //! One worker thread owns the shared [`Session`], consuming a bounded
-//! FIFO queue — fairness is queue order, and `&mut Session` needs no
-//! locking. Each connection gets a reader thread (parses and admits
-//! requests) and a writer thread fed through a bounded channel (a slow or
-//! dead client can stall only its own writer, never the worker). Requests
-//! execute under [`catch_unwind`]; a panicking request is answered with a
-//! structured error, the shared caches are checked for lock poisoning,
-//! and only a poisoned session is rebuilt — a healthy one keeps its warm
-//! caches across the fault.
+//! queue of per-connection lanes drained round-robin — per-client
+//! fairness, and `&mut Session` needs no locking. Each connection gets a
+//! reader thread (parses and admits requests) and a writer thread fed
+//! through a bounded channel (a slow or dead client can stall only its
+//! own writer, never the worker). Requests execute under
+//! [`catch_unwind`]; a panicking request is answered with a structured
+//! error, the shared caches are checked for lock poisoning, and only a
+//! poisoned session is rebuilt — a healthy one keeps its warm caches
+//! across the fault. With a `--journal-dir`, journaled requests stream
+//! per-cell results to disk as they complete, so a client reconnecting
+//! after a daemon crash resumes its finished prefix instead of a cold
+//! start.
 
 use crate::error::ServeError;
 #[cfg(feature = "fault-injection")]
 use crate::fault::FaultPlan;
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{FairQueue, PushError};
 use crate::request::{self, Budgets, Op};
 use crate::response;
 use crate::signal;
-use nisq_exp::{json, RunControl, Session, SweepPlan, TierStats};
+use nisq_exp::{fnv64, json, Journal, RunControl, RunOutcome, Session, SweepPlan, TierStats};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -59,6 +63,10 @@ pub struct ServerConfig {
     pub max_request_bytes: usize,
     /// Worker threads of the shared session (0 = the session default).
     pub threads: usize,
+    /// Directory for per-request sweep journals. `None` (the default)
+    /// rejects journaled requests; `Some` enables crash-safe resume keyed
+    /// by the request's `resume_key`.
+    pub journal_dir: Option<PathBuf>,
     /// Faults to inject into the worker (present only when the
     /// `fault-injection` feature is enabled; release daemons have no such
     /// field).
@@ -77,6 +85,7 @@ impl Default for ServerConfig {
             max_sim_qubits: 24,
             max_request_bytes: 1 << 20,
             threads: 0,
+            journal_dir: None,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -98,6 +107,9 @@ impl ServerConfig {
 struct Job {
     id: Option<String>,
     plan: SweepPlan,
+    /// Journal file for this request, when it asked for one and the
+    /// daemon has a journal directory.
+    journal: Option<PathBuf>,
     enqueued: Instant,
     deadline: Instant,
     reply: SyncSender<String>,
@@ -119,6 +131,9 @@ struct Counters {
     rejected_queue_full: AtomicU64,
     rejected_shutting_down: AtomicU64,
     responses_dropped: AtomicU64,
+    journal_runs: AtomicU64,
+    journal_corrupt: AtomicU64,
+    journal_degraded: AtomicU64,
 }
 
 /// Cumulative session-side totals, published by the worker after every
@@ -133,13 +148,14 @@ struct SessionTotals {
 }
 
 struct Shared {
-    queue: BoundedQueue<Job>,
+    queue: FairQueue<Job>,
     counters: Counters,
     session_totals: Mutex<SessionTotals>,
     shutdown: AtomicBool,
     request_timeout: Duration,
     max_request_bytes: usize,
     budgets: Budgets,
+    journal_dir: Option<PathBuf>,
 }
 
 impl Shared {
@@ -261,14 +277,18 @@ impl Server {
                 (Listener::Unix(l, path.clone()), None)
             }
         };
+        if let Some(dir) = &config.journal_dir {
+            std::fs::create_dir_all(dir)?;
+        }
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: FairQueue::new(config.queue_capacity),
             counters: Counters::default(),
             session_totals: Mutex::new(SessionTotals::default()),
             shutdown: AtomicBool::new(false),
             request_timeout: config.request_timeout,
             max_request_bytes: config.max_request_bytes,
             budgets: config.budgets(),
+            journal_dir: config.journal_dir.clone(),
         });
         Ok(Server {
             listener,
@@ -317,10 +337,12 @@ impl Server {
         while !shared.shutting_down() {
             match listener.accept() {
                 Ok(stream) => {
-                    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    // The connection ordinal doubles as the fairness lane:
+                    // every request admitted on this socket shares a lane.
+                    let client = shared.counters.connections.fetch_add(1, Ordering::Relaxed);
                     let shared = shared.clone();
                     connections.push(std::thread::spawn(move || {
-                        handle_connection(stream, &shared)
+                        handle_connection(stream, &shared, client)
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -385,8 +407,14 @@ fn new_session(threads: usize) -> Session {
     }
 }
 
-/// The single worker: owns the session, serves the queue FIFO until the
-/// queue closes and drains.
+/// The on-disk journal file for a `resume_key`: named by FNV-1a hash so
+/// arbitrary client-supplied keys cannot traverse outside `dir`.
+pub fn journal_path(dir: &Path, resume_key: &str) -> PathBuf {
+    dir.join(format!("req-{:016x}.journal", fnv64(resume_key.as_bytes())))
+}
+
+/// The single worker: owns the session, serves the queue round-robin
+/// across client lanes until the queue closes and drains.
 fn worker_loop(
     shared: &Shared,
     threads: usize,
@@ -411,11 +439,17 @@ fn worker_loop(
                     panic!("injected fault: panic_on_circuit");
                 }
             }
-            session.run_controlled(&job.plan, &control)
+            run_job(&mut session, &job, &control)
         }));
 
         let line = match outcome {
-            Ok(Ok(outcome)) => {
+            Ok(Ok((outcome, degraded))) => {
+                if job.journal.is_some() {
+                    counters.journal_runs.fetch_add(1, Ordering::Relaxed);
+                }
+                if degraded {
+                    counters.journal_degraded.fetch_add(1, Ordering::Relaxed);
+                }
                 publish_totals(shared, &outcome.report);
                 if outcome.completed {
                     counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -435,9 +469,12 @@ fn worker_loop(
                 let run_ms = started.elapsed().as_millis() as u64;
                 response::run_line(job.id.as_deref(), &outcome, queue_ms, run_ms)
             }
-            Ok(Err(compile_err)) => {
-                counters.compile_errors.fetch_add(1, Ordering::Relaxed);
-                response::error_line(job.id.as_deref(), &ServeError::from(compile_err))
+            Ok(Err(err)) => {
+                match err.code() {
+                    "journal-corrupt" => counters.journal_corrupt.fetch_add(1, Ordering::Relaxed),
+                    _ => counters.compile_errors.fetch_add(1, Ordering::Relaxed),
+                };
+                response::error_line(job.id.as_deref(), &err)
             }
             Err(payload) => {
                 counters.panics.fetch_add(1, Ordering::Relaxed);
@@ -456,6 +493,32 @@ fn worker_loop(
             }
         };
         send_reply(shared, &job.reply, line);
+    }
+}
+
+/// Executes one job on the session, journaled when the job carries a
+/// journal path. Returns the outcome plus whether the journal degraded
+/// (ran out of disk mid-sweep and fell back to in-memory execution).
+///
+/// An unusable journal — not-a-journal file, unreadable, unwritable — is
+/// a `journal-corrupt` request error, never a daemon fault. Torn or
+/// checksum-corrupt *trailing* records are recovered by truncation inside
+/// [`Journal::resume`] and do not error.
+fn run_job(
+    session: &mut Session,
+    job: &Job,
+    control: &RunControl,
+) -> Result<(RunOutcome, bool), ServeError> {
+    match &job.journal {
+        None => Ok((session.run_controlled(&job.plan, control)?, false)),
+        Some(path) => {
+            let mut journal = Journal::resume(path, job.plan.machine_seed(), job.plan.trials())
+                .map_err(|e| ServeError::JournalCorrupt {
+                    message: e.to_string(),
+                })?;
+            let outcome = session.run_journaled(&job.plan, control, &mut journal)?;
+            Ok((outcome, journal.degraded().is_some()))
+        }
     }
 }
 
@@ -498,7 +561,7 @@ fn write_loop(mut stream: Box<dyn Conn>, responses: &Receiver<String>) {
 
 /// The per-connection reader: frames lines (bounded), parses, admits, and
 /// answers control operations inline.
-fn handle_connection(stream: Box<dyn Conn>, shared: &Shared) {
+fn handle_connection(stream: Box<dyn Conn>, shared: &Shared, client: u64) {
     if stream.set_timeouts().is_err() {
         return;
     }
@@ -508,13 +571,18 @@ fn handle_connection(stream: Box<dyn Conn>, shared: &Shared) {
     let (reply, responses) = sync_channel::<String>(16);
     let writer = std::thread::spawn(move || write_loop(write_half, &responses));
 
-    read_requests(stream, shared, &reply);
+    read_requests(stream, shared, &reply, client);
 
     drop(reply);
     let _ = writer.join();
 }
 
-fn read_requests(mut stream: Box<dyn Conn>, shared: &Shared, reply: &SyncSender<String>) {
+fn read_requests(
+    mut stream: Box<dyn Conn>,
+    shared: &Shared,
+    reply: &SyncSender<String>,
+    client: u64,
+) {
     let mut buffer: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -529,7 +597,7 @@ fn read_requests(mut stream: Box<dyn Conn>, shared: &Shared, reply: &SyncSender<
                     if line.is_empty() {
                         continue;
                     }
-                    handle_line(line, shared, reply);
+                    handle_line(line, shared, reply, client);
                 }
                 if buffer.len() > shared.max_request_bytes {
                     shared
@@ -558,7 +626,7 @@ fn read_requests(mut stream: Box<dyn Conn>, shared: &Shared, reply: &SyncSender<
     }
 }
 
-fn handle_line(line: &str, shared: &Shared, reply: &SyncSender<String>) {
+fn handle_line(line: &str, shared: &Shared, reply: &SyncSender<String>, client: u64) {
     let counters = &shared.counters;
     let request = match request::parse_request(line) {
         Ok(request) => request,
@@ -580,7 +648,11 @@ fn handle_line(line: &str, shared: &Shared, reply: &SyncSender<String>) {
             shared.shutdown.store(true, Ordering::SeqCst);
             let _ = reply.send(response::shutdown_line(id));
         }
-        Op::Run { plan, timeout_ms } => {
+        Op::Run {
+            plan,
+            timeout_ms,
+            journal,
+        } => {
             if shared.shutting_down() {
                 counters
                     .rejected_shutting_down
@@ -596,6 +668,14 @@ fn handle_line(line: &str, shared: &Shared, reply: &SyncSender<String>) {
                 let _ = reply.send(response::error_line(id, &err));
                 return;
             }
+            let journal = match journal_file(shared, journal, request.resume_key.as_deref()) {
+                Ok(path) => path,
+                Err(err) => {
+                    counters.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(response::error_line(id, &err));
+                    return;
+                }
+            };
             let timeout = timeout_ms
                 .map(Duration::from_millis)
                 .map_or(shared.request_timeout, |t| t.min(shared.request_timeout));
@@ -603,18 +683,22 @@ fn handle_line(line: &str, shared: &Shared, reply: &SyncSender<String>) {
             let job = Job {
                 id: request.id.clone(),
                 plan: *plan,
+                journal,
                 enqueued: now,
                 deadline: now + timeout,
                 reply: reply.clone(),
             };
-            match shared.queue.try_push(job) {
+            match shared.queue.try_push(client, job) {
                 Ok(()) => {
                     counters.accepted.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(PushError::Full) => {
                     counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
-                    // Back-off scaled to how much work is already queued.
-                    let retry_after_ms = 100 + 150 * shared.queue.len() as u64;
+                    // Back-off scaled to how much work is already queued,
+                    // plus a deterministic per-request jitter so a herd of
+                    // rejected clients does not retry in lockstep.
+                    let retry_after_ms =
+                        100 + 150 * shared.queue.len() as u64 + retry_jitter_ms(id);
                     let _ = reply.send(response::error_line(
                         id,
                         &ServeError::QueueFull { retry_after_ms },
@@ -631,6 +715,37 @@ fn handle_line(line: &str, shared: &Shared, reply: &SyncSender<String>) {
     }
 }
 
+/// Resolves a run request's journal flag to an on-disk path, or rejects
+/// the combination: journaling needs both a client `resume_key` (the
+/// stable identity that survives reconnects) and a daemon `--journal-dir`.
+fn journal_file(
+    shared: &Shared,
+    journal: bool,
+    resume_key: Option<&str>,
+) -> Result<Option<PathBuf>, ServeError> {
+    if !journal {
+        return Ok(None);
+    }
+    let Some(dir) = &shared.journal_dir else {
+        return Err(ServeError::InvalidPlan {
+            message: "journaled run refused: daemon started without --journal-dir".to_string(),
+        });
+    };
+    let Some(key) = resume_key else {
+        return Err(ServeError::InvalidPlan {
+            message: "journaled run requires a resume_key in the request envelope".to_string(),
+        });
+    };
+    Ok(Some(journal_path(dir, key)))
+}
+
+/// Deterministic bounded jitter (0..100 ms) for `retry_after_ms`, derived
+/// from the request id so tests can predict it and id-less requests get
+/// none.
+fn retry_jitter_ms(id: Option<&str>) -> u64 {
+    id.map_or(0, |id| fnv64(id.as_bytes()) % 100)
+}
+
 /// Formats the aggregate stats response.
 fn stats_line(id: Option<&str>, shared: &Shared) -> String {
     let c = &shared.counters;
@@ -640,11 +755,22 @@ fn stats_line(id: Option<&str>, shared: &Shared) -> String {
         .unwrap_or_else(PoisonError::into_inner);
     let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
     let tiers = totals.tiers;
+    // Per-client lane depths as a JSON object keyed by connection ordinal.
+    let queue_depths = {
+        let entries: Vec<String> = shared
+            .queue
+            .depths()
+            .iter()
+            .map(|(client, depth)| format!("\"{client}\": {depth}"))
+            .collect();
+        format!("{{{}}}", entries.join(", "))
+    };
     format!(
         "{{\"id\": {}, \"status\": \"ok\", \"op\": \"stats\", \"stats\": {{\
-         \"queue_depth\": {}, \"connections\": {}, \"accepted\": {}, \"completed\": {}, \
+         \"queue_depth\": {}, \"queue_depths\": {}, \"connections\": {}, \"accepted\": {}, \"completed\": {}, \
          \"partials\": {}, \"timeouts\": {}, \"compile_errors\": {}, \"panics\": {}, \
          \"session_rebuilds\": {}, \"responses_dropped\": {}, \
+         \"journal\": {{\"runs\": {}, \"corrupt\": {}, \"degraded\": {}}}, \
          \"rejected\": {{\"invalid\": {}, \"budget\": {}, \"queue_full\": {}, \"shutting_down\": {}}}, \
          \"session\": {{\"compile_requests\": {}, \"compile_hits\": {}, \"place_hits\": {}, \"place_runs\": {}}}, \
          \"tiers\": {{\"error_free\": {}, \"pauli_prop\": {}, \"checkpointed\": {}, \"full_replay\": {}, \
@@ -654,6 +780,7 @@ fn stats_line(id: Option<&str>, shared: &Shared) -> String {
             None => "null".to_string(),
         },
         shared.queue.len(),
+        queue_depths,
         get(&c.connections),
         get(&c.accepted),
         get(&c.completed),
@@ -663,6 +790,9 @@ fn stats_line(id: Option<&str>, shared: &Shared) -> String {
         get(&c.panics),
         get(&c.session_rebuilds),
         get(&c.responses_dropped),
+        get(&c.journal_runs),
+        get(&c.journal_corrupt),
+        get(&c.journal_degraded),
         get(&c.rejected_invalid),
         get(&c.rejected_budget),
         get(&c.rejected_queue_full),
@@ -684,10 +814,9 @@ fn stats_line(id: Option<&str>, shared: &Shared) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn stats_line_is_valid_json() {
-        let shared = Shared {
-            queue: BoundedQueue::new(4),
+    fn test_shared() -> Shared {
+        Shared {
+            queue: FairQueue::new(4),
             counters: Counters::default(),
             session_totals: Mutex::new(SessionTotals::default()),
             shutdown: AtomicBool::new(false),
@@ -699,19 +828,70 @@ mod tests {
                 max_machine_qubits: 16,
                 max_sim_qubits: 8,
             },
-        };
+            journal_dir: None,
+        }
+    }
+
+    #[test]
+    fn stats_line_is_valid_json() {
+        let shared = test_shared();
         shared.counters.accepted.store(3, Ordering::Relaxed);
+        shared.counters.journal_runs.store(2, Ordering::Relaxed);
         let doc = json::parse(&stats_line(Some("s"), &shared)).unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
         let stats = doc.get("stats").unwrap();
         assert_eq!(stats.get("accepted").unwrap().as_u64(), Some(3));
         assert_eq!(stats.get("queue_depth").unwrap().as_u64(), Some(0));
+        assert!(stats.get("queue_depths").is_some());
+        let journal = stats.get("journal").unwrap();
+        assert_eq!(journal.get("runs").unwrap().as_u64(), Some(2));
+        assert_eq!(journal.get("corrupt").unwrap().as_u64(), Some(0));
         assert!(stats
             .get("session")
             .unwrap()
             .get("compile_requests")
             .is_some());
         assert!(stats.get("tiers").unwrap().get("error_free").is_some());
+    }
+
+    #[test]
+    fn journal_flag_needs_both_dir_and_key() {
+        let without_dir = test_shared();
+        assert_eq!(journal_file(&without_dir, false, None), Ok(None));
+        assert!(matches!(
+            journal_file(&without_dir, true, Some("k")),
+            Err(ServeError::InvalidPlan { .. })
+        ));
+        let with_dir = Shared {
+            journal_dir: Some(PathBuf::from("/tmp/journals")),
+            ..test_shared()
+        };
+        assert!(matches!(
+            journal_file(&with_dir, true, None),
+            Err(ServeError::InvalidPlan { .. })
+        ));
+        let path = journal_file(&with_dir, true, Some("client-7/exp")).unwrap();
+        let path = path.unwrap();
+        assert_eq!(path.parent(), Some(Path::new("/tmp/journals")));
+        let name = path.file_name().unwrap().to_str().unwrap();
+        // Content-addressed: no trace of the raw key (which may contain
+        // separators) in the filename.
+        assert!(name.starts_with("req-") && name.ends_with(".journal"));
+        assert_eq!(
+            path,
+            journal_file(&with_dir, true, Some("client-7/exp"))
+                .unwrap()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_bounded() {
+        assert_eq!(retry_jitter_ms(None), 0);
+        let a = retry_jitter_ms(Some("req-1"));
+        assert_eq!(a, retry_jitter_ms(Some("req-1")));
+        assert!(a < 100);
+        assert!(retry_jitter_ms(Some("req-2")) < 100);
     }
 
     #[test]

@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn backend_kind_names_are_stable() {
         // Report JSON and the bench harness serialize these names; they are
-        // part of the nisq-sweep-report/v5 schema.
+        // part of the nisq-sweep-report/v6 schema.
         assert_eq!(BackendKind::Dense.name(), "dense");
         assert_eq!(BackendKind::Tableau.to_string(), "tableau");
         assert_eq!(BackendKind::default(), BackendKind::Dense);

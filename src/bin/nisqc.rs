@@ -37,19 +37,26 @@
 //!                      (repeatable; cells multiply)     (default: calibration noise only)
 //!   --machine-seed <s> machine calibration seed         (default: 2019)
 //!   --sim-seed <s>     fixed simulation seed            (default: per-cell seeds)
+//!   --journal <path>   stream finished cells to a fresh crash-safe journal
+//!   --resume <path>    resume from an existing journal: completed cells load
+//!                      without recomputation, new cells keep appending
+//!   --canonicalize <p> print a report's canonical single-line JSON
+//!                      (runtime provenance zeroed) for byte-wise comparison
 //!   --output <path>    write the JSON report here       (default: stdout)
 //!   --validate <path>  parse an emitted report instead of running a sweep
-//!   --expect-cells <n> with --validate: require exactly n cells
+//!   --expect-cells <n> require exactly n cells (after a sweep or --validate)
 //!
 //! Serve options (run the persistent compile-and-simulate daemon):
 //!   --listen <addr>    TCP listen address               (default: 127.0.0.1:7878)
 //!   --unix <path>      listen on a Unix socket instead of TCP
-//!   --queue <n>        bounded work-queue capacity      (default: 32)
+//!   --queue <n>        per-client work-queue capacity   (default: 32)
 //!   --timeout-ms <n>   per-request wall-clock budget    (default: 30000)
 //!   --max-cells <n>    largest plan a request may send  (default: 4096)
 //!   --max-trials <n>   largest per-cell trial count     (default: 65536)
 //!   --max-qubits <n>   largest machine a request builds (default: 256)
 //!   --threads <n>      session worker threads           (default: auto)
+//!   --journal-dir <d>  accept journaled requests; per-request journals are
+//!                      kept here, keyed by the request's resume_key
 //! ```
 
 use nisq::exp::names::{config_for, parse_benchmarks, parse_days, parse_mappers, parse_topology};
@@ -254,7 +261,10 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
     let mut sim_seed: Option<u64> = None;
     let mut output: Option<String> = None;
     let mut validate: Option<String> = None;
+    let mut canonicalize: Option<String> = None;
     let mut expect_cells: Option<usize> = None;
+    let mut journal_new: Option<String> = None;
+    let mut journal_resume: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -289,12 +299,36 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
             "--sim-seed" => sim_seed = Some(parse(take_value(&mut i)?, "sim-seed")?),
             "--output" => output = Some(take_value(&mut i)?),
             "--validate" => validate = Some(take_value(&mut i)?),
+            "--canonicalize" => canonicalize = Some(take_value(&mut i)?),
             "--expect-cells" => {
                 expect_cells = Some(parse(take_value(&mut i)?, "expect-cells")? as usize)
             }
+            "--journal" => journal_new = Some(take_value(&mut i)?),
+            "--resume" => journal_resume = Some(take_value(&mut i)?),
             other => return Err(format!("unknown sweep option {other}\n{}", usage())),
         }
         i += 1;
+    }
+
+    if journal_new.is_some() && journal_resume.is_some() {
+        return Err(
+            "--journal and --resume are mutually exclusive (--journal starts fresh, \
+             --resume continues an existing journal)"
+                .to_string(),
+        );
+    }
+
+    if let Some(path) = canonicalize {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report = Report::from_json(&text).map_err(|e| format!("invalid report: {e}"))?;
+        let line = report.to_json_line_canonical();
+        match output {
+            Some(out) => std::fs::write(&out, format!("{line}\n"))
+                .map_err(|e| format!("cannot write {out}: {e}"))?,
+            None => println!("{line}"),
+        }
+        return Ok(());
     }
 
     if let Some(path) = validate {
@@ -361,9 +395,72 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
     }
 
     let mut session = Session::new();
-    let report = session
-        .run(&plan)
-        .map_err(|e| format!("sweep failed: {e}"))?;
+    let mut journal = match (&journal_new, &journal_resume) {
+        (Some(path), None) => Some(
+            Journal::create(
+                std::path::Path::new(path),
+                plan.machine_seed(),
+                plan.trials(),
+            )
+            .map_err(|e| format!("cannot start journal: {e}"))?,
+        ),
+        (None, Some(path)) => {
+            let journal = Journal::resume(
+                std::path::Path::new(path),
+                plan.machine_seed(),
+                plan.trials(),
+            )
+            .map_err(|e| format!("cannot resume journal: {e}"))?;
+            let recovery = journal.recovery();
+            if recovery.truncated_bytes > 0 {
+                eprintln!(
+                    "warning: {path}: truncated {} trailing bytes (torn or corrupt record); \
+                     the cells before them were recovered intact",
+                    recovery.truncated_bytes
+                );
+            }
+            if recovery.orphan_intents > 0 {
+                eprintln!(
+                    "note: {path}: {} cell(s) were in flight at the crash and will be re-run",
+                    recovery.orphan_intents
+                );
+            }
+            eprintln!(
+                "resuming from {path}: {} completed cell(s) on record",
+                journal.completed_cells()
+            );
+            Some(journal)
+        }
+        _ => None,
+    };
+    let report = match journal.as_mut() {
+        Some(journal) => session
+            .run_journaled(&plan, &RunControl::unbounded(), journal)
+            .map(|outcome| outcome.report),
+        None => session.run(&plan),
+    }
+    .map_err(|e| format!("sweep failed: {e}"))?;
+    if let Some(reason) = journal.as_ref().and_then(|j| j.degraded()) {
+        eprintln!(
+            "warning: journal degraded ({reason}); the report is complete but later \
+             cells were not journaled"
+        );
+    }
+    if report.resumed_cells > 0 {
+        eprintln!(
+            "journal: {} of {} cell(s) resumed without recomputation",
+            report.resumed_cells,
+            report.cells.len()
+        );
+    }
+    if let Some(expected) = expect_cells {
+        if report.cells.len() != expected {
+            return Err(format!(
+                "expected {expected} cells, sweep produced {}",
+                report.cells.len()
+            ));
+        }
+    }
     let json = report.to_json();
     match output {
         Some(path) => {
@@ -417,6 +514,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 config.max_machine_qubits = parse(take_value(&mut i)?, "max-qubits")? as usize
             }
             "--threads" => config.threads = parse(take_value(&mut i)?, "threads")? as usize,
+            "--journal-dir" => config.journal_dir = Some(take_value(&mut i)?.into()),
             other => return Err(format!("unknown serve option {other}\n{}", usage())),
         }
         i += 1;
@@ -708,6 +806,90 @@ mod tests {
         assert!(run_serve(&args(&["--frobnicate", "1"])).is_err());
         assert!(run_serve(&args(&["--queue"])).is_err());
         assert!(run_serve(&args(&["--timeout-ms", "soon"])).is_err());
+        assert!(run_serve(&args(&["--journal-dir"])).is_err());
+    }
+
+    #[test]
+    fn sweep_journal_and_resume_reports_are_canonically_identical() {
+        let dir = std::env::temp_dir().join("nisqc-journal-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("sweep.journal");
+        let first = dir.join("first.json");
+        let second = dir.join("second.json");
+        let plan_args = |journal_flag: &str, journal_path: &str, out: &str| {
+            args(&[
+                "--benchmarks",
+                "bv4",
+                "--mappers",
+                "qiskit",
+                "--trials",
+                "32",
+                journal_flag,
+                journal_path,
+                "--output",
+                out,
+                "--expect-cells",
+                "1",
+            ])
+        };
+        run_sweep(&plan_args(
+            "--journal",
+            journal.to_str().unwrap(),
+            first.to_str().unwrap(),
+        ))
+        .unwrap();
+        // Resume the finished journal: every cell loads from disk, and the
+        // canonical report matches the uninterrupted run byte for byte.
+        run_sweep(&plan_args(
+            "--resume",
+            journal.to_str().unwrap(),
+            second.to_str().unwrap(),
+        ))
+        .unwrap();
+        let a = Report::from_json(&std::fs::read_to_string(&first).unwrap()).unwrap();
+        let b = Report::from_json(&std::fs::read_to_string(&second).unwrap()).unwrap();
+        assert_eq!(a.resumed_cells, 0);
+        assert_eq!(b.resumed_cells, 1);
+        assert_eq!(b.cache.journal_hits, 1);
+        assert_eq!(a.to_json_line_canonical(), b.to_json_line_canonical());
+
+        // --canonicalize emits the same comparison form for both reports.
+        let canon_a = dir.join("a.canon");
+        let canon_b = dir.join("b.canon");
+        run_sweep(&args(&[
+            "--canonicalize",
+            first.to_str().unwrap(),
+            "--output",
+            canon_a.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run_sweep(&args(&[
+            "--canonicalize",
+            second.to_str().unwrap(),
+            "--output",
+            canon_b.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&canon_a).unwrap(),
+            std::fs::read(&canon_b).unwrap()
+        );
+
+        // The flags are mutually exclusive, and --expect-cells now guards
+        // executed sweeps too.
+        assert!(run_sweep(&args(&["--journal", "a", "--resume", "b"])).is_err());
+        let err = run_sweep(&args(&[
+            "--benchmarks",
+            "bv4",
+            "--mappers",
+            "qiskit",
+            "--expect-cells",
+            "2",
+            "--output",
+            dir.join("unused.json").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("expected 2 cells"), "{err}");
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub mod prelude {
         PlacementCache, RouteSelection, SwapHandling,
     };
     pub use nisq_exp::{
-        CacheStats, Cell, CellRecord, CircuitSpec, NoiseSpec, Report, Session, SweepPlan,
+        CacheStats, Cell, CellRecord, CircuitSpec, Journal, NoiseSpec, Report, RunControl, Session,
+        SweepPlan,
     };
     pub use nisq_ir::{Benchmark, Circuit, Gate, GateKind, Qubit};
     pub use nisq_machine::{

@@ -308,6 +308,171 @@ fn graceful_shutdown_drains_inflight_work_and_refuses_new_work() {
 }
 
 #[test]
+fn flooding_client_cannot_starve_a_quiet_one() {
+    let config = ServerConfig {
+        queue_capacity: 8,
+        fault_plan: Some(FaultPlan {
+            delay_before_run_ms: Some(400),
+            ..FaultPlan::none()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+
+    // Connection 0 floods four requests before connection 1 says a word.
+    let mut flooder = Client::connect(addr);
+    for i in 0..4 {
+        flooder.send(&VALID_RUN.replace("\"ok\"", &format!("\"flood-{i}\"")));
+    }
+    // Let the flood be admitted (and its first request claimed by the
+    // stalled worker) before the quiet client appears.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut quiet = Client::connect(addr);
+    quiet.send(&VALID_RUN.replace("\"ok\"", "\"quiet\""));
+
+    let response = quiet.recv();
+    assert_eq!(status(&response), "ok");
+    assert_eq!(field(&response, "id").as_str(), Some("quiet"));
+    // Round-robin proof: the quiet answer lands while the flood is still
+    // queued behind it — under FIFO the whole flood would drain first.
+    let stats = quiet.roundtrip(r#"{"op": "stats"}"#);
+    let body = field(&stats, "stats");
+    let depths = field(body, "queue_depths");
+    assert!(
+        depths.get("0").and_then(Value::as_u64).unwrap_or(0) >= 1,
+        "flooder lane should still hold work when the quiet client is answered: {stats:?}"
+    );
+
+    // Nothing is lost: the flood still gets every response.
+    for _ in 0..4 {
+        assert_eq!(status(&flooder.recv()), "ok");
+    }
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn lane_capacity_bounds_the_flooder_with_jittered_backoff_not_the_neighbors() {
+    let config = ServerConfig {
+        queue_capacity: 1,
+        fault_plan: Some(FaultPlan {
+            delay_before_run_ms: Some(400),
+            ..FaultPlan::none()
+        }),
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+    let mut flooder = Client::connect(addr);
+
+    // flood-0 is claimed by the (stalled) worker, flood-1 fills the lane,
+    // flood-2 bounces off the per-lane bound.
+    flooder.send(&VALID_RUN.replace("\"ok\"", "\"flood-0\""));
+    std::thread::sleep(Duration::from_millis(100));
+    flooder.send(&VALID_RUN.replace("\"ok\"", "\"flood-1\""));
+    std::thread::sleep(Duration::from_millis(50));
+    flooder.send(&VALID_RUN.replace("\"ok\"", "\"flood-2\""));
+    let rejection = flooder.recv();
+    assert_eq!(status(&rejection), "error");
+    assert_eq!(code(&rejection), "queue-full");
+    // retry_after_ms = 100 + 150 * queue_len + fnv64(id) % 100: the
+    // deterministic per-id jitter de-synchronizes retrying herds.
+    let retry = field(&rejection, "retry_after_ms").as_u64().unwrap();
+    let jitter = nisq::exp::fnv64(b"flood-2") % 100;
+    assert!(retry >= 100 + 150 + jitter, "retry hint too small: {retry}");
+    assert_eq!((retry - 100 - jitter) % 150, 0, "jitter missing: {retry}");
+
+    // The full lane is the flooder's problem alone: a fresh client's
+    // request is admitted immediately.
+    let mut quiet = Client::connect(addr);
+    assert_eq!(status(&quiet.roundtrip(VALID_RUN)), "ok");
+    for _ in 0..2 {
+        assert_eq!(status(&flooder.recv()), "ok");
+    }
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn journaled_requests_resume_across_a_daemon_restart() {
+    let dir = std::env::temp_dir().join("nisq-serve-journal-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServerConfig {
+        journal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let run = r#"{"op": "run", "id": "j1", "resume_key": "exp-42", "plan": {"benchmarks": "bv4,hs2", "mappers": "qiskit", "trials": 32, "sim_seed": 5, "journal": true}}"#;
+
+    let (handle, addr) = start(config());
+    let mut client = Client::connect(addr);
+    client.send(run);
+    let first_line = client.recv_line();
+    let first = json::parse(&first_line).unwrap();
+    assert_eq!(status(&first), "ok");
+    let first_report = embedded_report(&first_line);
+    assert_eq!(first_report.resumed_cells, 0);
+    // The journal landed where resume_key says it should.
+    let journal = nisq::serve::journal_path(&dir, "exp-42");
+    assert!(journal.is_file(), "{journal:?} missing");
+    handle.shutdown();
+    handle.join().unwrap();
+
+    // "Crash" and restart: a new daemon over the same journal directory
+    // serves the re-sent request from the finished prefix, bit-identically.
+    let (handle, addr) = start(config());
+    let mut client = Client::connect(addr);
+    client.send(run);
+    let second_line = client.recv_line();
+    let second = json::parse(&second_line).unwrap();
+    assert_eq!(status(&second), "ok");
+    let second_report = embedded_report(&second_line);
+    assert_eq!(second_report.resumed_cells, 2);
+    assert_eq!(second_report.cache.journal_hits, 2);
+    assert_eq!(
+        second_report.to_json_line_canonical(),
+        first_report.to_json_line_canonical()
+    );
+
+    // An unusable journal is a typed request error, not a daemon fault.
+    std::fs::write(nisq::serve::journal_path(&dir, "bad"), b"not a journal\n").unwrap();
+    let corrupt = client.roundtrip(
+        r#"{"op": "run", "id": "j2", "resume_key": "bad", "plan": {"benchmarks": "bv4", "mappers": "qiskit", "journal": true}}"#,
+    );
+    assert_eq!(status(&corrupt), "error");
+    assert_eq!(code(&corrupt), "journal-corrupt");
+
+    // Journaling without a resume_key is refused up front.
+    let keyless = client.roundtrip(
+        r#"{"op": "run", "id": "j3", "plan": {"benchmarks": "bv4", "mappers": "qiskit", "journal": true}}"#,
+    );
+    assert_eq!(status(&keyless), "error");
+    assert_eq!(code(&keyless), "invalid-plan");
+
+    let stats = client.roundtrip(r#"{"op": "stats"}"#);
+    let journal_stats = field(field(&stats, "stats"), "journal");
+    assert_eq!(field(journal_stats, "runs").as_u64(), Some(1));
+    assert_eq!(field(journal_stats, "corrupt").as_u64(), Some(1));
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn journaled_requests_need_a_journal_dir() {
+    let (handle, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(addr);
+    let response = client.roundtrip(
+        r#"{"op": "run", "id": "nodir", "resume_key": "k", "plan": {"benchmarks": "bv4", "mappers": "qiskit", "journal": true}}"#,
+    );
+    assert_eq!(status(&response), "error");
+    assert_eq!(code(&response), "invalid-plan");
+    assert!(field(&response, "message")
+        .as_str()
+        .unwrap()
+        .contains("--journal-dir"));
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
 fn mixed_hostile_load_yields_one_well_formed_response_per_request() {
     let config = ServerConfig {
         fault_plan: Some(FaultPlan {
