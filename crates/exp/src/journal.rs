@@ -128,15 +128,69 @@ pub struct RecoveryInfo {
     pub orphan_intents: usize,
 }
 
+/// A read-only summary of a journal file — what `nisqc journal inspect`
+/// prints. Produced by [`Journal::inspect`] without truncating or
+/// otherwise modifying the file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InspectInfo {
+    /// Machine seed recorded in the header, when the header carries one.
+    pub machine_seed: Option<u64>,
+    /// Trial count recorded in the header, when the header carries one.
+    pub trials: Option<u64>,
+    /// Valid records of any kind (header included).
+    pub records: usize,
+    /// Completed-cell records, duplicates included.
+    pub cell_records: usize,
+    /// Distinct cell keys after last-write-wins dedup.
+    pub unique_cells: usize,
+    /// Write-ahead intent records, matched and orphaned alike.
+    pub intent_records: usize,
+    /// Intents with no matching completion (cells in flight at a crash).
+    pub orphan_intents: usize,
+    /// Records compaction would drop: intents, superseded duplicates and
+    /// redundant headers.
+    pub dead_records: usize,
+    /// Byte offset of the first torn or checksum-corrupt record, when the
+    /// file does not scan clean to its end.
+    pub torn_tail_offset: Option<u64>,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+/// What [`Journal::compact`] did to a journal file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactInfo {
+    /// Distinct cell records the compacted journal keeps.
+    pub kept_cells: usize,
+    /// Records dropped (intents, superseded duplicates, torn tail).
+    pub dropped_records: usize,
+    /// File size before compaction.
+    pub bytes_before: u64,
+    /// File size after compaction.
+    pub bytes_after: u64,
+}
+
 /// A write-ahead sweep journal: completed-cell lookup plus durable
 /// appends. See the module docs for the format and recovery semantics.
 pub struct Journal {
     path: PathBuf,
     file: Option<std::fs::File>,
     completed: FxHashMap<CellKey, CellRecord>,
+    /// Distinct keys in first-completion order, so compaction rewrites
+    /// deterministically.
+    order: Vec<CellKey>,
     recovery: RecoveryInfo,
     degraded: Option<String>,
     appends: u64,
+    machine_seed: u64,
+    trials: u32,
+    /// Records on disk a compaction would drop: every intent whose cell
+    /// completed, superseded duplicate cells, and whatever recovery found
+    /// already dead. The serve daemon compacts when this crosses its
+    /// threshold.
+    dead_records: u64,
+    /// Intents appended whose completion has not landed yet.
+    live_intents: u64,
     #[cfg(feature = "fault-injection")]
     fail_appends_after: Option<u64>,
 }
@@ -173,9 +227,14 @@ impl Journal {
             path: path.to_path_buf(),
             file: Some(file),
             completed: FxHashMap::default(),
+            order: Vec::new(),
             recovery: RecoveryInfo::default(),
             degraded: None,
             appends: 0,
+            machine_seed,
+            trials,
+            dead_records: 0,
+            live_intents: 0,
             #[cfg(feature = "fault-injection")]
             fail_appends_after: None,
         };
@@ -216,10 +275,14 @@ impl Journal {
             file.set_len(scan.valid_end).map_err(io_err)?;
         }
         file.seek(SeekFrom::End(0)).map_err(io_err)?;
+        // Everything on disk that a compaction would drop is already dead:
+        // all records except the leading header and one per distinct key.
+        let dead = scan.records.saturating_sub(1 + scan.completed.len()) as u64;
         let mut journal = Journal {
             path: path.to_path_buf(),
             file: Some(file),
             completed: scan.completed,
+            order: scan.order,
             recovery: RecoveryInfo {
                 completed_cells: 0,
                 truncated_bytes: buf.len() as u64 - scan.valid_end,
@@ -227,6 +290,10 @@ impl Journal {
             },
             degraded: None,
             appends: 0,
+            machine_seed,
+            trials,
+            dead_records: dead,
+            live_intents: 0,
             #[cfg(feature = "fault-injection")]
             fail_appends_after: None,
         };
@@ -275,6 +342,7 @@ impl Journal {
     pub fn append_intent(&mut self, key: &CellKey) {
         let payload = format!("{{\"kind\": \"intent\", \"key\": {}}}", write_key(key));
         self.append_payload(&payload, false);
+        self.live_intents += 1;
     }
 
     /// Appends (and fsyncs) the completed record for `key`, and makes it
@@ -286,7 +354,157 @@ impl Journal {
             report::write_cell(record),
         );
         self.append_payload(&payload, true);
-        self.completed.insert(key.clone(), record.clone());
+        // The completion kills its write-ahead intent; overwriting an
+        // existing key kills the superseded cell record.
+        if self.live_intents > 0 {
+            self.live_intents -= 1;
+            self.dead_records += 1;
+        }
+        if self.completed.insert(key.clone(), record.clone()).is_some() {
+            self.dead_records += 1;
+        } else {
+            self.order.push(key.clone());
+        }
+    }
+
+    /// Records on disk that a compaction would drop: completed intents,
+    /// superseded duplicate cells, and dead weight found at recovery.
+    pub fn dead_records(&self) -> u64 {
+        self.dead_records
+    }
+
+    /// Copies every completed cell of the journal at `other` that this
+    /// journal does not already hold into this journal (appended and
+    /// fsync'd like freshly computed cells) — cross-run reuse keyed purely
+    /// by cell fingerprints. Records for other plans are harmless: their
+    /// keys never match a lookup. Returns how many cells were absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if `other` cannot be read,
+    /// [`JournalError::NotAJournal`] if it is not a sweep journal. This
+    /// journal is unchanged on error.
+    pub fn absorb(&mut self, other: &Path) -> Result<usize, JournalError> {
+        let buf = std::fs::read(other).map_err(|source| JournalError::Io {
+            path: other.to_path_buf(),
+            source,
+        })?;
+        let scan = scan_records(other, &buf)?;
+        let mut absorbed = 0;
+        for key in &scan.order {
+            if self.completed.contains_key(key) {
+                continue;
+            }
+            let record = scan.completed.get(key).expect("order keys are completed");
+            self.append_cell(key, record);
+            absorbed += 1;
+        }
+        Ok(absorbed)
+    }
+
+    /// Summarizes the journal file at `path` without modifying it — no
+    /// truncation, no header rewrite, nothing. The torn-tail offset (if
+    /// any) reports where [`Journal::resume`] would truncate.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the file cannot be read,
+    /// [`JournalError::NotAJournal`] if it is not a sweep journal.
+    pub fn inspect(path: &Path) -> Result<InspectInfo, JournalError> {
+        let buf = std::fs::read(path).map_err(|source| JournalError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let scan = scan_records(path, &buf)?;
+        Ok(InspectInfo {
+            machine_seed: scan.header_machine_seed,
+            trials: scan.header_trials,
+            records: scan.records,
+            cell_records: scan.cell_records,
+            unique_cells: scan.completed.len(),
+            intent_records: scan.intent_records,
+            orphan_intents: scan.orphan_intents,
+            dead_records: scan.records.saturating_sub(1 + scan.completed.len()),
+            torn_tail_offset: ((scan.valid_end as usize) < buf.len()).then_some(scan.valid_end),
+            file_bytes: buf.len() as u64,
+        })
+    }
+
+    /// Rewrites the journal file at `path` keeping only the header and the
+    /// last-write-wins record per cell key — dropping intents, superseded
+    /// duplicates and any torn tail. The rewrite is atomic: a sibling
+    /// temporary file is written, fsync'd, then renamed over the original,
+    /// so a crash mid-compaction leaves either the old or the new journal,
+    /// never a torn hybrid.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on read/write/rename failures,
+    /// [`JournalError::NotAJournal`] if the file is not a sweep journal.
+    pub fn compact(path: &Path) -> Result<CompactInfo, JournalError> {
+        let io_err = |source: std::io::Error| JournalError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let buf = std::fs::read(path).map_err(io_err)?;
+        let scan = scan_records(path, &buf)?;
+        let bytes_after = write_compacted(
+            path,
+            scan.header_machine_seed.unwrap_or(0),
+            scan.header_trials.unwrap_or(0) as u32,
+            scan.order.iter().map(|key| {
+                let record = scan.completed.get(key).expect("order keys are completed");
+                (key, record)
+            }),
+        )
+        .map_err(io_err)?;
+        Ok(CompactInfo {
+            kept_cells: scan.completed.len(),
+            dropped_records: scan.records.saturating_sub(1 + scan.completed.len()),
+            bytes_before: buf.len() as u64,
+            bytes_after,
+        })
+    }
+
+    /// Compacts this open journal's file in place (same rewrite-and-rename
+    /// as [`Journal::compact`]) and re-opens it for appending. Lookups and
+    /// recovery info are unaffected. Returns `false` — without failing the
+    /// run — when the journal is degraded or the rewrite fails; the old
+    /// file is left as it was in that case.
+    pub fn compact_in_place(&mut self) -> bool {
+        if self.file.is_none() {
+            return false;
+        }
+        let written = write_compacted(
+            &self.path,
+            self.machine_seed,
+            self.trials,
+            self.order.iter().map(|key| {
+                let record = self.completed.get(key).expect("order keys are completed");
+                (key, record)
+            }),
+        );
+        if written.is_err() {
+            // Compaction is an optimization: failure leaves the journal
+            // usable (the original file was replaced only on success).
+            return false;
+        }
+        let reopened = OpenOptions::new()
+            .write(true)
+            .open(&self.path)
+            .and_then(|mut f| f.seek(SeekFrom::End(0)).map(|_| f));
+        match reopened {
+            Ok(file) => {
+                self.file = Some(file);
+                self.dead_records = 0;
+                self.live_intents = 0;
+                true
+            }
+            Err(e) => {
+                self.degrade(format!("reopen after compaction failed: {e}"));
+                false
+            }
+        }
     }
 
     /// Makes every append after the next `appends` ones fail with a
@@ -329,6 +547,46 @@ impl Journal {
         self.file = None;
         self.degraded = Some(reason);
     }
+}
+
+/// Writes a compacted journal (header plus one record per key, in the
+/// given order) to a sibling temporary file, fsyncs it, and atomically
+/// renames it over `path`. Returns the compacted file's byte length.
+fn write_compacted<'a>(
+    path: &Path,
+    machine_seed: u64,
+    trials: u32,
+    cells: impl Iterator<Item = (&'a CellKey, &'a CellRecord)>,
+) -> std::io::Result<u64> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".compact-tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let mut out = String::new();
+    out.push_str(&frame(&header_payload(machine_seed, trials)));
+    for (key, record) in cells {
+        let payload = format!(
+            "{{\"kind\": \"cell\", \"key\": {}, \"cell\": {}}}",
+            write_key(key),
+            report::write_cell(record),
+        );
+        out.push_str(&frame(&payload));
+    }
+    let result = (|| {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(out.as_bytes())?;
+        file.sync_data()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(out.len() as u64)
 }
 
 /// Frames a payload as one journal record line.
@@ -385,7 +643,11 @@ fn parse_key(doc: &Value) -> Result<CellKey, String> {
 
 /// One record successfully parsed out of a journal file.
 enum Record {
-    Header { schema: Option<String> },
+    Header {
+        schema: Option<String>,
+        machine_seed: Option<u64>,
+        trials: Option<u64>,
+    },
     Intent(CellKey),
     Cell(CellKey, Box<CellRecord>),
 }
@@ -426,6 +688,8 @@ fn parse_record(line: &[u8]) -> Result<Record, String> {
                 .get("schema")
                 .and_then(Value::as_str)
                 .map(str::to_string),
+            machine_seed: doc.get("machine_seed").and_then(Value::as_u64),
+            trials: doc.get("trials").and_then(Value::as_u64),
         }),
         Some("intent") => {
             let key = doc
@@ -449,8 +713,15 @@ fn parse_record(line: &[u8]) -> Result<Record, String> {
 
 struct Scan {
     completed: FxHashMap<CellKey, CellRecord>,
+    /// Distinct keys in first-completion order (compaction order).
+    order: Vec<CellKey>,
     valid_end: u64,
     orphan_intents: usize,
+    records: usize,
+    cell_records: usize,
+    intent_records: usize,
+    header_machine_seed: Option<u64>,
+    header_trials: Option<u64>,
 }
 
 /// Scans a journal file's bytes: validates the header, loads completed
@@ -458,8 +729,14 @@ struct Scan {
 fn scan_records(path: &Path, buf: &[u8]) -> Result<Scan, JournalError> {
     let mut scan = Scan {
         completed: FxHashMap::default(),
+        order: Vec::new(),
         valid_end: 0,
         orphan_intents: 0,
+        records: 0,
+        cell_records: 0,
+        intent_records: 0,
+        header_machine_seed: None,
+        header_trials: None,
     };
     if buf.is_empty() {
         return Ok(scan);
@@ -488,8 +765,16 @@ fn scan_records(path: &Path, buf: &[u8]) -> Result<Scan, JournalError> {
             Err(_) => break,
         };
         match record {
-            Record::Header { schema } if !saw_header => match schema.as_deref() {
-                Some(JOURNAL_SCHEMA) => saw_header = true,
+            Record::Header {
+                schema,
+                machine_seed,
+                trials,
+            } if !saw_header => match schema.as_deref() {
+                Some(JOURNAL_SCHEMA) => {
+                    saw_header = true;
+                    scan.header_machine_seed = machine_seed;
+                    scan.header_trials = trials;
+                }
                 Some(other) => {
                     return Err(not_a_journal(format!(
                         "unsupported journal schema {other:?} (expected {JOURNAL_SCHEMA:?})"
@@ -504,13 +789,18 @@ fn scan_records(path: &Path, buf: &[u8]) -> Result<Scan, JournalError> {
                 ))
             }
             Record::Intent(key) => {
+                scan.intent_records += 1;
                 intents.insert(key);
             }
             Record::Cell(key, record) => {
+                scan.cell_records += 1;
                 intents.remove(&key);
-                scan.completed.insert(key, *record); // last write wins
+                if scan.completed.insert(key.clone(), *record).is_none() {
+                    scan.order.push(key); // last write wins; first-seen order
+                }
             }
         }
+        scan.records += 1;
         offset += newline + 1;
         scan.valid_end = offset as u64;
     }

@@ -56,7 +56,9 @@ mod plan;
 mod report;
 mod session;
 
-pub use journal::{fnv64, CellKey, Journal, JournalError, RecoveryInfo, JOURNAL_SCHEMA};
+pub use journal::{
+    fnv64, CellKey, CompactInfo, InspectInfo, Journal, JournalError, RecoveryInfo, JOURNAL_SCHEMA,
+};
 pub use plan::{Cell, CircuitSpec, MachineScope, SeedMode, SweepPlan, DEFAULT_MACHINE_SEED};
 pub use report::{BackendTag, CacheStats, CellRecord, Report, TierStats, REPORT_SCHEMA};
 pub use session::{RunControl, RunOutcome, Session};

@@ -301,6 +301,51 @@ impl SweepPlan {
         self.trials
     }
 
+    /// A stable 64-bit content fingerprint of the whole plan.
+    ///
+    /// Two plans that would produce identical reports fingerprint
+    /// identically: circuit contents (not just names), configuration
+    /// fingerprints, day / topology / noise axes, machine seed, trial
+    /// count and seed mode all join the hash. The sharded serve
+    /// supervisor routes requests by this value so identical plans land
+    /// on the same worker (warm compile and placement caches); it is not
+    /// cryptographic.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = rustc_hash::FxHasher::default();
+        self.circuits.len().hash(&mut h);
+        for spec in &self.circuits {
+            spec.name.hash(&mut h);
+            spec.circuit.fingerprint().hash(&mut h);
+            spec.expected.hash(&mut h);
+        }
+        self.configs.len().hash(&mut h);
+        for (label, config) in &self.configs {
+            label.hash(&mut h);
+            config.fingerprint().hash(&mut h);
+        }
+        self.days.hash(&mut h);
+        for (label, _) in &self.noises {
+            label.hash(&mut h);
+        }
+        match &self.scope {
+            MachineScope::Topologies(specs) => specs.hash(&mut h),
+            MachineScope::GridPerCircuit => "grid-per-circuit".hash(&mut h),
+        }
+        self.machine_seed.hash(&mut h);
+        self.trials.hash(&mut h);
+        match self.seed_mode {
+            SeedMode::Fixed(seed) => (0u8, seed).hash(&mut h),
+            SeedMode::PerDay(base) => (1u8, base).hash(&mut h),
+            SeedMode::PerCell(base) => (2u8, base).hash(&mut h),
+        }
+        // SplitMix64-style avalanche: near-identical plans must not
+        // produce correlated rendezvous-hash scores.
+        let mut z = h.finish();
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
     /// The smallest near-square grid holding `circuit` (the machine used
     /// for it under [`MachineScope::GridPerCircuit`]).
     pub fn grid_for(circuit: &Circuit) -> TopologySpec {
@@ -437,6 +482,36 @@ mod tests {
         let cells = plan.cells();
         assert_eq!(cells[0].topology, TopologySpec::Grid { mx: 2, my: 2 });
         assert_eq!(cells[1].topology, TopologySpec::Grid { mx: 8, my: 8 });
+    }
+
+    #[test]
+    fn plan_fingerprints_are_stable_and_content_sensitive() {
+        let base = || {
+            SweepPlan::new()
+                .benchmark(Benchmark::Bv4)
+                .config("Qiskit", CompilerConfig::qiskit())
+                .days([0, 1])
+                .with_trials(64)
+        };
+        assert_eq!(base().fingerprint(), base().fingerprint());
+        // Every axis of the plan moves the fingerprint.
+        assert_ne!(base().fingerprint(), base().with_trials(65).fingerprint());
+        assert_ne!(
+            base().fingerprint(),
+            base().with_machine_seed(7).fingerprint()
+        );
+        assert_ne!(base().fingerprint(), base().days([0, 2]).fingerprint());
+        assert_ne!(base().fingerprint(), base().fixed_sim_seed(0).fingerprint());
+        assert_ne!(
+            base().fingerprint(),
+            base().benchmark(Benchmark::Hs2).fingerprint()
+        );
+        assert_ne!(
+            base().fingerprint(),
+            base()
+                .topology(TopologySpec::Grid { mx: 4, my: 4 })
+                .fingerprint()
+        );
     }
 
     #[test]

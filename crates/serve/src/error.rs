@@ -63,8 +63,22 @@ pub enum ServeError {
         /// What went wrong with the journal.
         message: String,
     },
+    /// The worker process holding the request died (SIGKILL, OOM, abort)
+    /// and re-dispatch to a surviving worker was not possible or also
+    /// failed. Retryable: journaled work a dead worker completed replays
+    /// from its journal on the next attempt.
+    WorkerLost {
+        /// What happened to the worker.
+        message: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The daemon is draining for shutdown and refuses new work.
-    ShuttingDown,
+    ShuttingDown {
+        /// Suggested client back-off before retrying (against a restarted
+        /// daemon), in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl ServeError {
@@ -79,7 +93,18 @@ impl ServeError {
             ServeError::Compile { .. } => "compile",
             ServeError::Panic { .. } => "panic",
             ServeError::JournalCorrupt { .. } => "journal-corrupt",
-            ServeError::ShuttingDown => "shutting-down",
+            ServeError::WorkerLost { .. } => "worker-lost",
+            ServeError::ShuttingDown { .. } => "shutting-down",
+        }
+    }
+
+    /// The retry hint this error carries, when it is retryable.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServeError::QueueFull { retry_after_ms }
+            | ServeError::WorkerLost { retry_after_ms, .. }
+            | ServeError::ShuttingDown { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
         }
     }
 }
@@ -99,7 +124,21 @@ impl fmt::Display for ServeError {
             ServeError::Compile { message } => write!(f, "compile failed: {message}"),
             ServeError::Panic { message } => write!(f, "request panicked: {message}"),
             ServeError::JournalCorrupt { message } => write!(f, "journal unusable: {message}"),
-            ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
+            ServeError::WorkerLost {
+                message,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "worker lost ({message}), retry after {retry_after_ms} ms"
+                )
+            }
+            ServeError::ShuttingDown { retry_after_ms } => {
+                write!(
+                    f,
+                    "daemon is shutting down, retry after {retry_after_ms} ms"
+                )
+            }
         }
     }
 }
@@ -141,13 +180,38 @@ mod tests {
             ServeError::JournalCorrupt {
                 message: String::new(),
             },
-            ServeError::ShuttingDown,
+            ServeError::WorkerLost {
+                message: String::new(),
+                retry_after_ms: 1,
+            },
+            ServeError::ShuttingDown { retry_after_ms: 1 },
         ];
         let codes: Vec<&str> = variants.iter().map(ServeError::code).collect();
         let mut unique = codes.clone();
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), codes.len());
+    }
+
+    #[test]
+    fn retryable_variants_carry_their_hint() {
+        assert_eq!(
+            ServeError::QueueFull { retry_after_ms: 9 }.retry_after_ms(),
+            Some(9)
+        );
+        assert_eq!(
+            ServeError::WorkerLost {
+                message: "killed".to_string(),
+                retry_after_ms: 11,
+            }
+            .retry_after_ms(),
+            Some(11)
+        );
+        assert_eq!(
+            ServeError::ShuttingDown { retry_after_ms: 13 }.retry_after_ms(),
+            Some(13)
+        );
+        assert_eq!(ServeError::Timeout { elapsed_ms: 5 }.retry_after_ms(), None);
     }
 
     #[test]

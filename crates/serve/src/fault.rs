@@ -2,10 +2,19 @@
 //!
 //! Compiled only under the `fault-injection` feature: a [`FaultPlan`]
 //! installed into a [`ServerConfig`](crate::ServerConfig) makes the worker
-//! misbehave on demand — panic mid-request, or stall long enough to blow
-//! any deadline — so the suite can assert the daemon survives exactly the
-//! failures the isolation machinery exists for. Release builds carry no
-//! hooks.
+//! misbehave on demand — panic mid-request, stall long enough to blow
+//! any deadline, or wedge its heartbeat — so the suite can assert the
+//! daemon survives exactly the failures the isolation machinery exists
+//! for. Because supervised workers are separate *processes*, a plan can
+//! also be carried across the exec boundary as environment variables
+//! ([`FaultPlan::from_env`]). Release builds carry no hooks.
+
+/// Environment variable naming the panic-trigger circuit.
+pub const ENV_PANIC_ON_CIRCUIT: &str = "NISQ_SERVE_FAULT_PANIC_ON_CIRCUIT";
+/// Environment variable holding the pre-run stall in milliseconds.
+pub const ENV_DELAY_BEFORE_RUN_MS: &str = "NISQ_SERVE_FAULT_DELAY_MS";
+/// Environment variable holding the wedge-after-pings count.
+pub const ENV_WEDGE_AFTER_PINGS: &str = "NISQ_SERVE_FAULT_WEDGE_AFTER_PINGS";
 
 /// A set of faults the worker injects into matching requests.
 #[derive(Debug, Clone, Default)]
@@ -16,6 +25,11 @@ pub struct FaultPlan {
     /// Sleep this long before executing every run request — long enough a
     /// delay turns any deadline into a timeout deterministically.
     pub delay_before_run_ms: Option<u64>,
+    /// Stop answering `ping` after this many were answered — the daemon
+    /// looks alive (the process runs, the socket accepts) but its
+    /// heartbeat is wedged, which is exactly the failure the supervisor's
+    /// liveness deadline exists to catch.
+    pub wedge_after_pings: Option<u64>,
 }
 
 impl FaultPlan {
@@ -24,11 +38,57 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
+    /// Reads a plan from the process environment (the `NISQ_SERVE_FAULT_*`
+    /// variables), returning `None` when no fault variable is set. This is
+    /// how the test suite reaches into supervised worker processes: the
+    /// supervisor passes the variables through `worker_env`.
+    pub fn from_env() -> Option<Self> {
+        let plan = FaultPlan {
+            panic_on_circuit: std::env::var(ENV_PANIC_ON_CIRCUIT).ok(),
+            delay_before_run_ms: std::env::var(ENV_DELAY_BEFORE_RUN_MS)
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            wedge_after_pings: std::env::var(ENV_WEDGE_AFTER_PINGS)
+                .ok()
+                .and_then(|v| v.parse().ok()),
+        };
+        let armed = plan.panic_on_circuit.is_some()
+            || plan.delay_before_run_ms.is_some()
+            || plan.wedge_after_pings.is_some();
+        armed.then_some(plan)
+    }
+
     /// Whether `names` contains the panic-trigger circuit.
     pub fn should_panic<'a>(&self, mut names: impl Iterator<Item = &'a str>) -> bool {
         match &self.panic_on_circuit {
             Some(trigger) => names.any(|n| n == trigger),
             None => false,
         }
+    }
+
+    /// Whether the `answered + 1`-th ping should be swallowed.
+    pub fn should_wedge_ping(&self, answered: u64) -> bool {
+        match self.wedge_after_pings {
+            Some(limit) => answered >= limit,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wedge_threshold_counts_answered_pings() {
+        let plan = FaultPlan {
+            wedge_after_pings: Some(2),
+            ..FaultPlan::none()
+        };
+        assert!(!plan.should_wedge_ping(0));
+        assert!(!plan.should_wedge_ping(1));
+        assert!(plan.should_wedge_ping(2));
+        assert!(plan.should_wedge_ping(3));
+        assert!(!FaultPlan::none().should_wedge_ping(99));
     }
 }

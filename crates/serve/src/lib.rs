@@ -21,7 +21,14 @@
 //!   client re-sending the same request after a daemon crash resumes the
 //!   finished prefix bit-identically instead of recomputing it;
 //! - SIGINT/SIGTERM trigger a **graceful drain**: admitted work finishes,
-//!   new work is refused with `shutting-down`, then the process exits 0.
+//!   new work is refused with `shutting-down`, then the process exits 0;
+//! - with `--workers N`, a [`Supervisor`] forks N process-isolated
+//!   worker shards on private Unix sockets, routes runs by rendezvous
+//!   hash of the plan fingerprint, heartbeats each shard, restarts the
+//!   dead after capped jittered backoff, and re-dispatches in-flight
+//!   requests to a survivor — with a shared journal directory, the
+//!   failover response is canonically bit-identical to an undisturbed
+//!   run.
 //!
 //! Every error travels as a typed [`ServeError`] with a stable wire code,
 //! mirrored by the `code` field of error responses. The `fault-injection`
@@ -39,11 +46,17 @@ mod request;
 mod response;
 mod server;
 pub mod signal;
+mod supervisor;
+mod worker;
 
 pub use error::ServeError;
 #[cfg(feature = "fault-injection")]
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, ENV_DELAY_BEFORE_RUN_MS, ENV_PANIC_ON_CIRCUIT, ENV_WEDGE_AFTER_PINGS};
 pub use request::{
     admit, parse_plan, parse_plan_with_journal, parse_request, Budgets, Op, Request,
 };
 pub use server::{journal_path, Endpoint, Server, ServerConfig, ServerHandle};
+pub use supervisor::{
+    restart_backoff, route_worker, Supervisor, SupervisorConfig, SupervisorHandle,
+};
+pub use worker::WorkerSpec;

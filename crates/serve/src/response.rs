@@ -16,10 +16,12 @@ fn id_json(id: Option<&str>) -> String {
     }
 }
 
-/// The response to a failed request.
+/// The response to a failed request. Retryable errors (`queue-full`,
+/// `worker-lost`, `shutting-down`) carry their back-off hint as a
+/// `retry_after_ms` field.
 pub fn error_line(id: Option<&str>, err: &ServeError) -> String {
     let mut extra = String::new();
-    if let ServeError::QueueFull { retry_after_ms } = err {
+    if let Some(retry_after_ms) = err.retry_after_ms() {
         extra = format!(", \"retry_after_ms\": {retry_after_ms}");
     }
     format!(
@@ -85,6 +87,25 @@ mod tests {
         assert_eq!(doc.get("code").unwrap().as_str(), Some("queue-full"));
         assert_eq!(doc.get("retry_after_ms").unwrap().as_u64(), Some(250));
         assert!(doc.get("message").unwrap().as_str().is_some());
+    }
+
+    #[test]
+    fn worker_lost_and_shutting_down_lines_carry_retry_hints() {
+        let line = error_line(
+            Some("x"),
+            &ServeError::WorkerLost {
+                message: "worker 2 died".to_string(),
+                retry_after_ms: 321,
+            },
+        );
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(doc.get("code").unwrap().as_str(), Some("worker-lost"));
+        assert_eq!(doc.get("retry_after_ms").unwrap().as_u64(), Some(321));
+
+        let line = error_line(None, &ServeError::ShuttingDown { retry_after_ms: 77 });
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(doc.get("code").unwrap().as_str(), Some("shutting-down"));
+        assert_eq!(doc.get("retry_after_ms").unwrap().as_u64(), Some(77));
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct ServerConfig {
     /// rejects journaled requests; `Some` enables crash-safe resume keyed
     /// by the request's `resume_key`.
     pub journal_dir: Option<PathBuf>,
+    /// Compact a request's journal after a run leaves at least this many
+    /// dead records in it (completed intents, superseded duplicates).
+    /// 0 disables auto-compaction.
+    pub journal_compact_threshold: usize,
     /// Faults to inject into the worker (present only when the
     /// `fault-injection` feature is enabled; release daemons have no such
     /// field).
@@ -86,6 +90,7 @@ impl Default for ServerConfig {
             max_request_bytes: 1 << 20,
             threads: 0,
             journal_dir: None,
+            journal_compact_threshold: 64,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -93,7 +98,7 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    fn budgets(&self) -> Budgets {
+    pub(crate) fn budgets(&self) -> Budgets {
         Budgets {
             max_cells: self.max_cells,
             max_trials: self.max_trials,
@@ -134,6 +139,9 @@ struct Counters {
     journal_runs: AtomicU64,
     journal_corrupt: AtomicU64,
     journal_degraded: AtomicU64,
+    journal_compactions: AtomicU64,
+    #[cfg(feature = "fault-injection")]
+    pings_answered: AtomicU64,
 }
 
 /// Cumulative session-side totals, published by the worker after every
@@ -156,6 +164,9 @@ struct Shared {
     max_request_bytes: usize,
     budgets: Budgets,
     journal_dir: Option<PathBuf>,
+    journal_compact_threshold: usize,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Shared {
@@ -166,7 +177,7 @@ impl Shared {
 
 /// A bidirectional stream the daemon can split into reader and writer
 /// halves — the common face of TCP and Unix sockets.
-trait Conn: Read + Write + Send {
+pub(crate) trait Conn: Read + Write + Send {
     fn split(&self) -> io::Result<Box<dyn Conn>>;
     fn set_timeouts(&self) -> io::Result<()>;
 }
@@ -191,16 +202,36 @@ impl Conn for std::os::unix::net::UnixStream {
     }
 }
 
-enum Listener {
+pub(crate) enum Listener {
     Tcp(TcpListener),
     Unix(UnixListener, PathBuf),
 }
 
 impl Listener {
-    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+    pub(crate) fn accept(&self) -> io::Result<Box<dyn Conn>> {
         match self {
             Listener::Tcp(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
             Listener::Unix(l, _) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+        }
+    }
+}
+
+/// Binds a non-blocking listener on `endpoint`, returning the bound TCP
+/// address when there is one. A Unix endpoint's stale socket file is
+/// removed first; the file is removed again when the listener drops.
+pub(crate) fn bind_listener(endpoint: &Endpoint) -> io::Result<(Listener, Option<SocketAddr>)> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            let addr = l.local_addr()?;
+            Ok((Listener::Tcp(l), Some(addr)))
+        }
+        Endpoint::Unix(path) => {
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            Ok((Listener::Unix(l, path.clone()), None))
         }
     }
 }
@@ -263,22 +294,18 @@ impl Server {
     ///
     /// Propagates socket creation failures.
     pub fn bind(endpoint: &Endpoint, config: ServerConfig) -> io::Result<Server> {
-        let (listener, local_addr) = match endpoint {
-            Endpoint::Tcp(addr) => {
-                let l = TcpListener::bind(addr)?;
-                l.set_nonblocking(true)?;
-                let addr = l.local_addr()?;
-                (Listener::Tcp(l), Some(addr))
-            }
-            Endpoint::Unix(path) => {
-                let _ = std::fs::remove_file(path);
-                let l = UnixListener::bind(path)?;
-                l.set_nonblocking(true)?;
-                (Listener::Unix(l, path.clone()), None)
-            }
-        };
+        let (listener, local_addr) = bind_listener(endpoint)?;
         if let Some(dir) = &config.journal_dir {
             std::fs::create_dir_all(dir)?;
+        }
+        // Workers supervised across an exec boundary receive their fault
+        // plan as environment variables; an explicitly configured plan
+        // wins over the environment.
+        #[cfg(feature = "fault-injection")]
+        let mut config = config;
+        #[cfg(feature = "fault-injection")]
+        if config.fault_plan.is_none() {
+            config.fault_plan = FaultPlan::from_env();
         }
         let shared = Arc::new(Shared {
             queue: FairQueue::new(config.queue_capacity),
@@ -289,6 +316,9 @@ impl Server {
             max_request_bytes: config.max_request_bytes,
             budgets: config.budgets(),
             journal_dir: config.journal_dir.clone(),
+            journal_compact_threshold: config.journal_compact_threshold,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: config.fault_plan.clone(),
         });
         Ok(Server {
             listener,
@@ -439,16 +469,24 @@ fn worker_loop(
                     panic!("injected fault: panic_on_circuit");
                 }
             }
-            run_job(&mut session, &job, &control)
+            run_job(
+                &mut session,
+                &job,
+                &control,
+                shared.journal_compact_threshold,
+            )
         }));
 
         let line = match outcome {
-            Ok(Ok((outcome, degraded))) => {
+            Ok(Ok((outcome, effects))) => {
                 if job.journal.is_some() {
                     counters.journal_runs.fetch_add(1, Ordering::Relaxed);
                 }
-                if degraded {
+                if effects.degraded {
                     counters.journal_degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                if effects.compacted {
+                    counters.journal_compactions.fetch_add(1, Ordering::Relaxed);
                 }
                 publish_totals(shared, &outcome.report);
                 if outcome.completed {
@@ -496,9 +534,21 @@ fn worker_loop(
     }
 }
 
+/// What [`run_job`] observed about a job's journal, besides the outcome.
+#[derive(Default)]
+struct JournalEffects {
+    /// The journal ran out of disk mid-sweep and fell back to in-memory
+    /// execution.
+    degraded: bool,
+    /// The journal was auto-compacted after the run.
+    compacted: bool,
+}
+
 /// Executes one job on the session, journaled when the job carries a
-/// journal path. Returns the outcome plus whether the journal degraded
-/// (ran out of disk mid-sweep and fell back to in-memory execution).
+/// journal path. After a journaled run, auto-compacts the file when the
+/// dead-record count (completed intents, superseded duplicates) reaches
+/// `compact_threshold` — long-lived resume keys would otherwise grow
+/// their journals without bound.
 ///
 /// An unusable journal — not-a-journal file, unreadable, unwritable — is
 /// a `journal-corrupt` request error, never a daemon fault. Torn or
@@ -508,16 +558,30 @@ fn run_job(
     session: &mut Session,
     job: &Job,
     control: &RunControl,
-) -> Result<(RunOutcome, bool), ServeError> {
+    compact_threshold: usize,
+) -> Result<(RunOutcome, JournalEffects), ServeError> {
     match &job.journal {
-        None => Ok((session.run_controlled(&job.plan, control)?, false)),
+        None => Ok((
+            session.run_controlled(&job.plan, control)?,
+            JournalEffects::default(),
+        )),
         Some(path) => {
             let mut journal = Journal::resume(path, job.plan.machine_seed(), job.plan.trials())
                 .map_err(|e| ServeError::JournalCorrupt {
                     message: e.to_string(),
                 })?;
             let outcome = session.run_journaled(&job.plan, control, &mut journal)?;
-            Ok((outcome, journal.degraded().is_some()))
+            let mut effects = JournalEffects {
+                degraded: journal.degraded().is_some(),
+                compacted: false,
+            };
+            if !effects.degraded
+                && compact_threshold > 0
+                && journal.dead_records() >= compact_threshold as u64
+            {
+                effects.compacted = journal.compact_in_place();
+            }
+            Ok((outcome, effects))
         }
     }
 }
@@ -639,6 +703,18 @@ fn handle_line(line: &str, shared: &Shared, reply: &SyncSender<String>, client: 
     let id = request.id.as_deref();
     match request.op {
         Op::Ping => {
+            #[cfg(feature = "fault-injection")]
+            if let Some(plan) = &shared.fault_plan {
+                let answered = counters.pings_answered.load(Ordering::Relaxed);
+                if plan.should_wedge_ping(answered) {
+                    // Injected heartbeat wedge: swallow the ping. The
+                    // process stays alive and the socket stays open — only
+                    // the supervisor's liveness deadline can tell.
+                    return;
+                }
+            }
+            #[cfg(feature = "fault-injection")]
+            counters.pings_answered.fetch_add(1, Ordering::Relaxed);
             let _ = reply.send(response::ping_line(id));
         }
         Op::Stats => {
@@ -657,7 +733,7 @@ fn handle_line(line: &str, shared: &Shared, reply: &SyncSender<String>, client: 
                 counters
                     .rejected_shutting_down
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(response::error_line(id, &ServeError::ShuttingDown));
+                let _ = reply.send(response::error_line(id, &shutting_down_error(id)));
                 return;
             }
             if let Err(err) = request::admit(&plan, &shared.budgets) {
@@ -708,7 +784,7 @@ fn handle_line(line: &str, shared: &Shared, reply: &SyncSender<String>, client: 
                     counters
                         .rejected_shutting_down
                         .fetch_add(1, Ordering::Relaxed);
-                    let _ = reply.send(response::error_line(id, &ServeError::ShuttingDown));
+                    let _ = reply.send(response::error_line(id, &shutting_down_error(id)));
                 }
             }
         }
@@ -742,8 +818,17 @@ fn journal_file(
 /// Deterministic bounded jitter (0..100 ms) for `retry_after_ms`, derived
 /// from the request id so tests can predict it and id-less requests get
 /// none.
-fn retry_jitter_ms(id: Option<&str>) -> u64 {
+pub(crate) fn retry_jitter_ms(id: Option<&str>) -> u64 {
     id.map_or(0, |id| fnv64(id.as_bytes()) % 100)
+}
+
+/// A `shutting-down` rejection with the same deterministic per-request
+/// jitter as queue-full back-off: a herd of clients bounced by a draining
+/// daemon should not hammer its replacement in lockstep.
+pub(crate) fn shutting_down_error(id: Option<&str>) -> ServeError {
+    ServeError::ShuttingDown {
+        retry_after_ms: 500 + retry_jitter_ms(id),
+    }
 }
 
 /// Formats the aggregate stats response.
@@ -770,7 +855,7 @@ fn stats_line(id: Option<&str>, shared: &Shared) -> String {
          \"queue_depth\": {}, \"queue_depths\": {}, \"connections\": {}, \"accepted\": {}, \"completed\": {}, \
          \"partials\": {}, \"timeouts\": {}, \"compile_errors\": {}, \"panics\": {}, \
          \"session_rebuilds\": {}, \"responses_dropped\": {}, \
-         \"journal\": {{\"runs\": {}, \"corrupt\": {}, \"degraded\": {}}}, \
+         \"journal\": {{\"runs\": {}, \"corrupt\": {}, \"degraded\": {}, \"compactions\": {}}}, \
          \"rejected\": {{\"invalid\": {}, \"budget\": {}, \"queue_full\": {}, \"shutting_down\": {}}}, \
          \"session\": {{\"compile_requests\": {}, \"compile_hits\": {}, \"place_hits\": {}, \"place_runs\": {}}}, \
          \"tiers\": {{\"error_free\": {}, \"pauli_prop\": {}, \"checkpointed\": {}, \"full_replay\": {}, \
@@ -793,6 +878,7 @@ fn stats_line(id: Option<&str>, shared: &Shared) -> String {
         get(&c.journal_runs),
         get(&c.journal_corrupt),
         get(&c.journal_degraded),
+        get(&c.journal_compactions),
         get(&c.rejected_invalid),
         get(&c.rejected_budget),
         get(&c.rejected_queue_full),
@@ -829,6 +915,9 @@ mod tests {
                 max_sim_qubits: 8,
             },
             journal_dir: None,
+            journal_compact_threshold: 0,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 

@@ -40,6 +40,9 @@
 //!   --journal <path>   stream finished cells to a fresh crash-safe journal
 //!   --resume <path>    resume from an existing journal: completed cells load
 //!                      without recomputation, new cells keep appending
+//!   --reuse <path>     absorb completed cells from another run's journal into
+//!                      this run's journal (requires --journal or --resume);
+//!                      matching is purely by cell fingerprint
 //!   --canonicalize <p> print a report's canonical single-line JSON
 //!                      (runtime provenance zeroed) for byte-wise comparison
 //!   --output <path>    write the JSON report here       (default: stdout)
@@ -57,11 +60,25 @@
 //!   --threads <n>      session worker threads           (default: auto)
 //!   --journal-dir <d>  accept journaled requests; per-request journals are
 //!                      kept here, keyed by the request's resume_key
+//!   --workers <n>      run n process-isolated worker shards behind a
+//!                      supervisor (0 = single-process)   (default: 0)
+//!   --runtime-dir <d>  directory for the shards' private Unix sockets
+//!                      (default: a per-process tmp dir)
+//!   --compact-threshold <n>  auto-compact a request's journal once it holds
+//!                      n dead records (0 = never)        (default: 64)
+//!
+//! Journal maintenance (inspect and compact sweep journals):
+//!   nisqc journal inspect <path>   summarize a journal: schema, record and
+//!                      cell counts, orphan intents, dead records, torn tail.
+//!                      Exits nonzero for corrupt or torn journals.
+//!   nisqc journal compact <path>   rewrite the journal keeping only the
+//!                      last write per cell (atomic tmp + rename)
 //! ```
 
 use nisq::exp::names::{config_for, parse_benchmarks, parse_days, parse_mappers, parse_topology};
 use nisq::prelude::*;
-use nisq::serve::{Endpoint, Server, ServerConfig};
+use nisq::serve::{Endpoint, Server, ServerConfig, Supervisor, SupervisorConfig};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -265,6 +282,7 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
     let mut expect_cells: Option<usize> = None;
     let mut journal_new: Option<String> = None;
     let mut journal_resume: Option<String> = None;
+    let mut journal_reuse: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -305,6 +323,7 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
             }
             "--journal" => journal_new = Some(take_value(&mut i)?),
             "--resume" => journal_resume = Some(take_value(&mut i)?),
+            "--reuse" => journal_reuse = Some(take_value(&mut i)?),
             other => return Err(format!("unknown sweep option {other}\n{}", usage())),
         }
         i += 1;
@@ -314,6 +333,12 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
         return Err(
             "--journal and --resume are mutually exclusive (--journal starts fresh, \
              --resume continues an existing journal)"
+                .to_string(),
+        );
+    }
+    if journal_reuse.is_some() && journal_new.is_none() && journal_resume.is_none() {
+        return Err(
+            "--reuse needs a journal of its own to absorb into (pass --journal or --resume)"
                 .to_string(),
         );
     }
@@ -433,6 +458,12 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
         }
         _ => None,
     };
+    if let (Some(journal), Some(path)) = (journal.as_mut(), &journal_reuse) {
+        let absorbed = journal
+            .absorb(std::path::Path::new(path))
+            .map_err(|e| format!("cannot reuse {path}: {e}"))?;
+        eprintln!("reuse: absorbed {absorbed} completed cell(s) from {path}");
+    }
     let report = match journal.as_mut() {
         Some(journal) => session
             .run_journaled(&plan, &RunControl::unbounded(), journal)
@@ -483,6 +514,8 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut endpoint = Endpoint::Tcp("127.0.0.1:7878".to_string());
     let mut config = ServerConfig::default();
+    let mut workers = 0usize;
+    let mut runtime_dir: Option<PathBuf> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -515,12 +548,21 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             }
             "--threads" => config.threads = parse(take_value(&mut i)?, "threads")? as usize,
             "--journal-dir" => config.journal_dir = Some(take_value(&mut i)?.into()),
+            "--workers" => workers = parse(take_value(&mut i)?, "workers")? as usize,
+            "--runtime-dir" => runtime_dir = Some(take_value(&mut i)?.into()),
+            "--compact-threshold" => {
+                config.journal_compact_threshold =
+                    parse(take_value(&mut i)?, "compact-threshold")? as usize
+            }
             other => return Err(format!("unknown serve option {other}\n{}", usage())),
         }
         i += 1;
     }
 
     nisq::serve::signal::install();
+    if workers > 0 {
+        return run_supervised(&endpoint, config, workers, runtime_dir);
+    }
     let server = Server::bind(&endpoint, config).map_err(|e| format!("cannot bind: {e}"))?;
     match (&endpoint, server.local_addr()) {
         (_, Some(addr)) => eprintln!("nisqc serve: listening on tcp://{addr}"),
@@ -532,6 +574,128 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     server.run().map_err(|e| format!("serve failed: {e}"))?;
     eprintln!("nisqc serve: drained and shut down");
     Ok(())
+}
+
+/// The argument vector a supervised worker is launched with: `serve` on a
+/// private socket, with every front-door limit mirrored so supervisor and
+/// shard enforce identical admission.
+fn worker_serve_args(config: &ServerConfig) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "serve",
+        "--unix",
+        "{socket}",
+        "--queue",
+        &config.queue_capacity.to_string(),
+        "--timeout-ms",
+        &config.request_timeout.as_millis().to_string(),
+        "--max-cells",
+        &config.max_cells.to_string(),
+        "--max-trials",
+        &config.max_trials.to_string(),
+        "--max-qubits",
+        &config.max_machine_qubits.to_string(),
+        "--threads",
+        &config.threads.to_string(),
+        "--compact-threshold",
+        &config.journal_compact_threshold.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    if let Some(dir) = &config.journal_dir {
+        args.push("--journal-dir".to_string());
+        args.push(dir.display().to_string());
+    }
+    args
+}
+
+/// Runs `serve --workers N`: a supervisor routing to N process-isolated
+/// worker shards, each a `nisqc serve --unix` child of this process.
+fn run_supervised(
+    endpoint: &Endpoint,
+    config: ServerConfig,
+    workers: usize,
+    runtime_dir: Option<PathBuf>,
+) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own executable: {e}"))?;
+    let runtime_dir = runtime_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("nisqc-serve-{}", std::process::id()))
+    });
+    let mut sup = SupervisorConfig::new(workers, config.clone(), runtime_dir, exe);
+    sup.spec.args = worker_serve_args(&config);
+    let supervisor =
+        Supervisor::bind(endpoint, sup).map_err(|e| format!("cannot start workers: {e}"))?;
+    match (endpoint, supervisor.local_addr()) {
+        (_, Some(addr)) => {
+            eprintln!("nisqc serve: supervising {workers} workers on tcp://{addr}")
+        }
+        (Endpoint::Unix(path), None) => eprintln!(
+            "nisqc serve: supervising {workers} workers on unix://{}",
+            path.display()
+        ),
+        _ => {}
+    }
+    supervisor.run().map_err(|e| format!("serve failed: {e}"))?;
+    eprintln!("nisqc serve: workers stopped, supervisor shut down");
+    Ok(())
+}
+
+/// Runs the `journal` subcommand: read-only inspection or last-write-wins
+/// compaction of a sweep journal.
+fn run_journal(args: &[String]) -> Result<(), String> {
+    let journal_usage = "usage: nisqc journal inspect <path>\n       nisqc journal compact <path>";
+    let (verb, path) = match (args.first(), args.get(1)) {
+        (Some(verb), Some(path)) if args.len() == 2 => (verb.as_str(), path.as_str()),
+        _ => return Err(journal_usage.to_string()),
+    };
+    match verb {
+        "inspect" => {
+            let info =
+                Journal::inspect(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+            let header = |v: Option<u64>| v.map_or("?".to_string(), |v| v.to_string());
+            println!("{path}: nisq sweep journal");
+            println!(
+                "  header        : machine_seed {}, trials {}",
+                header(info.machine_seed),
+                header(info.trials)
+            );
+            println!(
+                "  records       : {} ({} cells, {} intents) in {} bytes",
+                info.records, info.cell_records, info.intent_records, info.file_bytes
+            );
+            println!("  unique cells  : {}", info.unique_cells);
+            println!(
+                "  dead records  : {} (superseded duplicates and completed intents)",
+                info.dead_records
+            );
+            println!("  orphan intents: {}", info.orphan_intents);
+            match info.torn_tail_offset {
+                None => println!("  tail          : clean"),
+                Some(offset) => println!(
+                    "  tail          : TORN at byte {offset} ({} trailing bytes would be \
+                     truncated on resume)",
+                    info.file_bytes - offset
+                ),
+            }
+            if info.torn_tail_offset.is_some() {
+                return Err(format!(
+                    "{path}: journal has a torn or corrupt tail (resume would recover, \
+                     truncating it)"
+                ));
+            }
+            Ok(())
+        }
+        "compact" => {
+            let info =
+                Journal::compact(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: kept {} cell(s), dropped {} dead record(s), {} -> {} bytes",
+                info.kept_cells, info.dropped_records, info.bytes_before, info.bytes_after
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown journal verb {other:?}\n{journal_usage}")),
+    }
 }
 
 fn main() -> ExitCode {
@@ -548,6 +712,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return subcommand(run_serve, &args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("journal") {
+        return subcommand(run_journal, &args[1..]);
     }
     let options = match parse_args(&args) {
         Ok(options) => options,
@@ -890,6 +1057,83 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("expected 2 cells"), "{err}");
+    }
+
+    #[test]
+    fn journal_subcommand_inspects_compacts_and_reuse_absorbs() {
+        let dir = std::env::temp_dir().join("nisqc-journal-tools-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("a.journal");
+        let first = dir.join("first.json");
+        run_sweep(&args(&[
+            "--benchmarks",
+            "bv4",
+            "--mappers",
+            "qiskit",
+            "--trials",
+            "32",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--output",
+            first.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // inspect passes on a clean journal; compact shrinks it (the one
+        // completed intent is dead weight); the compacted file still
+        // inspects clean.
+        run_journal(&args(&["inspect", journal.to_str().unwrap()])).unwrap();
+        let before = std::fs::metadata(&journal).unwrap().len();
+        run_journal(&args(&["compact", journal.to_str().unwrap()])).unwrap();
+        assert!(std::fs::metadata(&journal).unwrap().len() < before);
+        run_journal(&args(&["inspect", journal.to_str().unwrap()])).unwrap();
+
+        // --reuse absorbs the compacted journal's cell into a new journal:
+        // the second sweep recomputes nothing and reports identically.
+        let reused = dir.join("b.journal");
+        let second = dir.join("second.json");
+        run_sweep(&args(&[
+            "--benchmarks",
+            "bv4",
+            "--mappers",
+            "qiskit",
+            "--trials",
+            "32",
+            "--journal",
+            reused.to_str().unwrap(),
+            "--reuse",
+            journal.to_str().unwrap(),
+            "--output",
+            second.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let a = Report::from_json(&std::fs::read_to_string(&first).unwrap()).unwrap();
+        let b = Report::from_json(&std::fs::read_to_string(&second).unwrap()).unwrap();
+        assert_eq!(b.resumed_cells, 1);
+        assert_eq!(a.to_json_line_canonical(), b.to_json_line_canonical());
+
+        // --reuse needs a journal to absorb into; the subcommand needs a
+        // known verb and exactly one path.
+        assert!(run_sweep(&args(&[
+            "--benchmarks",
+            "bv4",
+            "--reuse",
+            journal.to_str().unwrap(),
+        ]))
+        .is_err());
+        assert!(run_journal(&args(&["inspect"])).is_err());
+        assert!(run_journal(&args(&["defrag", journal.to_str().unwrap()])).is_err());
+
+        // A torn tail is a nonzero inspect exit; a non-journal is refused.
+        let torn = dir.join("torn.journal");
+        let mut bytes = std::fs::read(&journal).unwrap();
+        bytes.extend_from_slice(b"J1 9 0000 {torn");
+        std::fs::write(&torn, &bytes).unwrap();
+        assert!(run_journal(&args(&["inspect", torn.to_str().unwrap()])).is_err());
+        let bogus = dir.join("notes.txt");
+        std::fs::write(&bogus, "notes\n").unwrap();
+        assert!(run_journal(&args(&["compact", bogus.to_str().unwrap()])).is_err());
     }
 
     #[test]

@@ -262,6 +262,157 @@ fn disk_full_mid_sweep_degrades_without_losing_the_report() {
 }
 
 #[test]
+fn inspect_summarizes_without_touching_the_file() {
+    let plan = plan();
+    let path = temp_path("inspect.journal");
+    let mut journal = Journal::create(&path, plan.machine_seed(), plan.trials()).unwrap();
+    let control = RunControl::unbounded().with_stop_after_cells(4);
+    Session::new()
+        .run_journaled(&plan, &control, &mut journal)
+        .unwrap();
+    drop(journal);
+
+    let intact = fs::read(&path).unwrap();
+    let info = Journal::inspect(&path).unwrap();
+    assert_eq!(info.machine_seed, Some(plan.machine_seed()));
+    assert_eq!(info.trials, Some(u64::from(plan.trials())));
+    // Header + 4 intents + 4 cells.
+    assert_eq!(info.records, 9);
+    assert_eq!(info.cell_records, 4);
+    assert_eq!(info.intent_records, 4);
+    assert_eq!(info.unique_cells, 4);
+    assert_eq!(info.orphan_intents, 0);
+    // Compaction would drop the 4 completed intents.
+    assert_eq!(info.dead_records, 4);
+    assert_eq!(info.torn_tail_offset, None);
+    assert_eq!(info.file_bytes, intact.len() as u64);
+    // Inspection is read-only, even for a torn file.
+    fs::write(&path, [&intact[..], b"J1 99 0000 {half"].concat()).unwrap();
+    let info = Journal::inspect(&path).unwrap();
+    assert_eq!(info.torn_tail_offset, Some(intact.len() as u64));
+    assert_eq!(info.unique_cells, 4);
+    assert_eq!(
+        fs::read(&path).unwrap().len(),
+        intact.len() + b"J1 99 0000 {half".len()
+    );
+    // Not-a-journal files are typed errors here too.
+    let bogus = temp_path("inspect-bogus.txt");
+    fs::write(&bogus, b"notes\n").unwrap();
+    assert!(matches!(
+        Journal::inspect(&bogus),
+        Err(JournalError::NotAJournal { .. })
+    ));
+}
+
+#[test]
+fn compact_drops_dead_records_and_preserves_resume_identity() {
+    let plan = plan();
+    let reference = reference_canonical(&plan);
+    let path = temp_path("compact.journal");
+    let mut journal = Journal::create(&path, plan.machine_seed(), plan.trials()).unwrap();
+    Session::new()
+        .run_journaled(&plan, &RunControl::unbounded(), &mut journal)
+        .unwrap();
+    // A full 8-cell run leaves 8 completed intents as dead weight.
+    assert_eq!(journal.dead_records(), 8);
+    drop(journal);
+
+    let before = fs::metadata(&path).unwrap().len();
+    let info = Journal::compact(&path).unwrap();
+    assert_eq!(info.kept_cells, 8);
+    assert_eq!(info.dropped_records, 8);
+    assert_eq!(info.bytes_before, before);
+    assert!(info.bytes_after < info.bytes_before);
+    assert_eq!(fs::metadata(&path).unwrap().len(), info.bytes_after);
+    // No leftover temporary file.
+    assert!(!path.with_extension("journal.compact-tmp").exists());
+
+    // The compacted journal scans clean and resumes bit-identically.
+    let inspected = Journal::inspect(&path).unwrap();
+    assert_eq!(inspected.records, 9);
+    assert_eq!(inspected.dead_records, 0);
+    assert_eq!(inspected.torn_tail_offset, None);
+    let mut journal = Journal::resume(&path, plan.machine_seed(), plan.trials()).unwrap();
+    assert_eq!(journal.completed_cells(), 8);
+    let resumed = Session::new()
+        .run_journaled(&plan, &RunControl::unbounded(), &mut journal)
+        .unwrap();
+    assert_eq!(resumed.report.resumed_cells, 8);
+    assert_eq!(resumed.report.to_json_line_canonical(), reference);
+
+    // Compacting the already-compact file drops nothing further.
+    let again = Journal::compact(&path).unwrap();
+    assert_eq!(again.dropped_records, 0);
+    assert_eq!(again.kept_cells, 8);
+}
+
+#[test]
+fn compact_in_place_resets_dead_tracking_mid_session() {
+    let plan = plan();
+    let reference = reference_canonical(&plan);
+    let path = temp_path("compact-in-place.journal");
+    let mut journal = Journal::create(&path, plan.machine_seed(), plan.trials()).unwrap();
+    let control = RunControl::unbounded().with_stop_after_cells(5);
+    Session::new()
+        .run_journaled(&plan, &control, &mut journal)
+        .unwrap();
+    assert_eq!(journal.dead_records(), 5);
+    assert!(journal.compact_in_place());
+    assert_eq!(journal.dead_records(), 0);
+    // The same open journal keeps appending after the in-place rewrite.
+    let finished = Session::new()
+        .run_journaled(&plan, &RunControl::unbounded(), &mut journal)
+        .unwrap();
+    assert!(finished.completed);
+    assert_eq!(finished.report.resumed_cells, 5);
+    assert_eq!(finished.report.to_json_line_canonical(), reference);
+    drop(journal);
+    let mut journal = Journal::resume(&path, plan.machine_seed(), plan.trials()).unwrap();
+    assert_eq!(journal.completed_cells(), 8);
+    let resumed = Session::new()
+        .run_journaled(&plan, &RunControl::unbounded(), &mut journal)
+        .unwrap();
+    assert_eq!(resumed.report.to_json_line_canonical(), reference);
+}
+
+#[test]
+fn absorb_reuses_completed_cells_across_journals() {
+    let plan = plan();
+    let reference = reference_canonical(&plan);
+    let donor = temp_path("absorb-donor.journal");
+    let mut journal = Journal::create(&donor, plan.machine_seed(), plan.trials()).unwrap();
+    Session::new()
+        .run_journaled(&plan, &RunControl::unbounded(), &mut journal)
+        .unwrap();
+    drop(journal);
+
+    // A fresh journal absorbs all eight cells and replays them without
+    // recomputation, canonically identical to an undisturbed run.
+    let fresh = temp_path("absorb-fresh.journal");
+    let _ = fs::remove_file(&fresh);
+    let mut journal = Journal::create(&fresh, plan.machine_seed(), plan.trials()).unwrap();
+    assert_eq!(journal.absorb(&donor).unwrap(), 8);
+    assert_eq!(journal.completed_cells(), 8);
+    // Absorbing again is a no-op: every key is already held.
+    assert_eq!(journal.absorb(&donor).unwrap(), 0);
+    let resumed = Session::new()
+        .run_journaled(&plan, &RunControl::unbounded(), &mut journal)
+        .unwrap();
+    assert_eq!(resumed.report.resumed_cells, 8);
+    assert_eq!(resumed.report.to_json_line_canonical(), reference);
+    drop(journal);
+
+    // Absorbing from a non-journal is a typed error that leaves the
+    // absorbing journal unchanged.
+    let bogus = temp_path("absorb-bogus.txt");
+    fs::write(&bogus, b"notes\n").unwrap();
+    let mut journal = Journal::resume(&fresh, plan.machine_seed(), plan.trials()).unwrap();
+    let held = journal.completed_cells();
+    assert!(journal.absorb(&bogus).is_err());
+    assert_eq!(journal.completed_cells(), held);
+}
+
+#[test]
 fn files_that_are_not_journals_are_refused_untouched() {
     let path = temp_path("not-a-journal.txt");
     let contents = b"just some notes\nnothing framed\n".to_vec();

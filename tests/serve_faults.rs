@@ -10,11 +10,15 @@
 
 use nisq::exp::json::{self, Value};
 use nisq::prelude::*;
-use nisq::serve::{Endpoint, FaultPlan, Server, ServerConfig, ServerHandle};
+use nisq::serve::{
+    Endpoint, FaultPlan, Server, ServerConfig, ServerHandle, Supervisor, SupervisorConfig,
+    SupervisorHandle, ENV_DELAY_BEFORE_RUN_MS, ENV_WEDGE_AFTER_PINGS,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 fn start(config: ServerConfig) -> (ServerHandle, SocketAddr) {
     let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), config).unwrap();
@@ -468,6 +472,259 @@ fn journaled_requests_need_a_journal_dir() {
         .as_str()
         .unwrap()
         .contains("--journal-dir"));
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Supervised multi-worker fleet: worker-kill battery.
+//
+// These tests boot the real `nisqc` binary as worker processes (the
+// test build carries the fault-injection hooks via feature unification)
+// and drive the supervisor through the deaths it exists for: SIGKILL
+// mid-request, a wedged worker that stops answering heartbeats, and the
+// total loss of every candidate shard.
+// ---------------------------------------------------------------------
+
+/// A supervisor over `workers` copies of the `nisqc` test binary, with a
+/// shared journal directory and the given extra worker environment.
+fn fleet_config(workers: usize, name: &str, env: &[(&str, &str)]) -> SupervisorConfig {
+    let dir = std::env::temp_dir().join(format!("nisq-supervisor-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal_dir = dir.join("journals");
+    std::fs::create_dir_all(&journal_dir).unwrap();
+    let server = ServerConfig {
+        journal_dir: Some(journal_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let mut config = SupervisorConfig::new(
+        workers,
+        server,
+        dir.join("run"),
+        PathBuf::from(env!("CARGO_BIN_EXE_nisqc")),
+    );
+    config.spec.args.extend([
+        "--journal-dir".to_string(),
+        journal_dir.display().to_string(),
+    ]);
+    config.spec.env = env
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect();
+    config
+}
+
+fn start_fleet(config: SupervisorConfig) -> (SupervisorHandle, SocketAddr) {
+    let supervisor = Supervisor::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), config).unwrap();
+    let addr = supervisor.local_addr().unwrap();
+    (supervisor.spawn(), addr)
+}
+
+fn sigkill(pid: u64) {
+    let status = std::process::Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -9 {pid}"))
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill -9 {pid} failed");
+}
+
+fn workers_field(stats: &Value) -> &[Value] {
+    field(field(stats, "stats"), "workers").as_array().unwrap()
+}
+
+fn supervisor_counter(stats: &Value, key: &str) -> u64 {
+    field(field(field(stats, "stats"), "supervisor"), key)
+        .as_u64()
+        .unwrap()
+}
+
+fn poll_until<T>(mut probe: impl FnMut() -> Option<T>, what: &str) -> T {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(value) = probe() {
+            return value;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(15));
+    }
+}
+
+/// The pid of the one shard currently holding a forwarded request.
+fn routed_shard_pid(observer: &mut Client) -> u64 {
+    poll_until(
+        || {
+            let stats = observer.roundtrip(r#"{"op": "stats"}"#);
+            workers_field(&stats).iter().find_map(|w| {
+                (field(w, "pending").as_u64() == Some(1)).then(|| field(w, "pid").as_u64().unwrap())
+            })
+        },
+        "the run to be routed to a shard",
+    )
+}
+
+const FAILOVER_RUN: &str = r#"{"op": "run", "id": "fo", "resume_key": "fo-1", "plan": {"benchmarks": "bv4,hs2", "mappers": "qiskit", "trials": 32, "sim_seed": 5, "journal": true}}"#;
+
+fn failover_reference() -> Report {
+    let plan = SweepPlan::new()
+        .benchmark(Benchmark::Bv4)
+        .benchmark(Benchmark::Hs2)
+        .config("qiskit", CompilerConfig::qiskit())
+        .with_trials(32)
+        .fixed_sim_seed(5);
+    Session::new().run(&plan).unwrap().canonicalized()
+}
+
+#[test]
+fn sigkilled_worker_fails_over_transparently_and_bit_identically() {
+    let mut config = fleet_config(2, "failover", &[(ENV_DELAY_BEFORE_RUN_MS, "600")]);
+    config.restart_backoff_base = Duration::from_millis(100);
+    let (handle, addr) = start_fleet(config);
+
+    let mut runner = Client::connect(addr);
+    runner.send(FAILOVER_RUN);
+
+    // SIGKILL the routed shard inside its injected pre-run stall.
+    let mut observer = Client::connect(addr);
+    sigkill(routed_shard_pid(&mut observer));
+
+    // The client sees one ordinary success: the supervisor reaped the
+    // dead shard and re-dispatched to the survivor, whose report is
+    // canonically identical to a fresh single-process run.
+    let line = runner.recv_line();
+    let doc = json::parse(&line).unwrap();
+    assert_eq!(status(&doc), "ok", "{line}");
+    let direct = failover_reference();
+    assert_eq!(embedded_report(&line).canonicalized(), direct);
+
+    let stats = observer.roundtrip(r#"{"op": "stats"}"#);
+    assert_eq!(supervisor_counter(&stats, "redispatches"), 1);
+    assert_eq!(supervisor_counter(&stats, "worker_lost"), 0);
+
+    // The killed shard is respawned within the (capped) backoff.
+    poll_until(
+        || {
+            let stats = observer.roundtrip(r#"{"op": "stats"}"#);
+            (supervisor_counter(&stats, "restarts") == 1
+                && workers_field(&stats)
+                    .iter()
+                    .all(|w| field(w, "alive").as_bool() == Some(true)))
+            .then_some(())
+        },
+        "the killed shard to be restarted",
+    );
+
+    // Re-sending the identical request replays the survivor's journal —
+    // wherever the hash now routes it — without recomputing a cell.
+    runner.send(FAILOVER_RUN);
+    let line = runner.recv_line();
+    assert_eq!(status(&json::parse(&line).unwrap()), "ok", "{line}");
+    let report = embedded_report(&line);
+    assert_eq!(report.resumed_cells, 2);
+    assert_eq!(report.cache.journal_hits, 2);
+    assert_eq!(report.canonicalized(), direct);
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn killing_the_only_worker_is_a_coded_retryable_loss_then_recovery() {
+    let config = fleet_config(1, "worker-lost", &[(ENV_DELAY_BEFORE_RUN_MS, "600")]);
+    let (handle, addr) = start_fleet(config);
+    let run = r#"{"op": "run", "id": "lost-1", "resume_key": "lost", "plan": {"benchmarks": "bv4", "mappers": "qiskit", "trials": 32, "sim_seed": 5, "journal": true}}"#;
+
+    let mut runner = Client::connect(addr);
+    runner.send(run);
+    let mut observer = Client::connect(addr);
+    sigkill(routed_shard_pid(&mut observer));
+
+    // No surviving candidate: the client gets the coded, retryable
+    // loss with the same deterministic per-id jitter as queue-full.
+    let doc = runner.recv();
+    assert_eq!(status(&doc), "error");
+    assert_eq!(code(&doc), "worker-lost");
+    let retry = field(&doc, "retry_after_ms").as_u64().unwrap();
+    assert_eq!(retry, 500 + nisq::exp::fnv64(b"lost-1") % 100);
+
+    // The monitor respawns the shard; the retried request succeeds and
+    // matches a fresh single-process run bit-for-bit.
+    poll_until(
+        || {
+            let stats = observer.roundtrip(r#"{"op": "stats"}"#);
+            let worker = &workers_field(&stats)[0];
+            (field(worker, "alive").as_bool() == Some(true)
+                && field(worker, "restarts").as_u64() == Some(1))
+            .then_some(())
+        },
+        "the lone shard to be restarted",
+    );
+    runner.send(run);
+    let line = runner.recv_line();
+    assert_eq!(status(&json::parse(&line).unwrap()), "ok", "{line}");
+    let plan = SweepPlan::new()
+        .benchmark(Benchmark::Bv4)
+        .config("qiskit", CompilerConfig::qiskit())
+        .with_trials(32)
+        .fixed_sim_seed(5);
+    let direct = Session::new().run(&plan).unwrap().canonicalized();
+    assert_eq!(embedded_report(&line).canonicalized(), direct);
+
+    let stats = observer.roundtrip(r#"{"op": "stats"}"#);
+    assert_eq!(supervisor_counter(&stats, "worker_lost"), 1);
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn wedged_worker_misses_heartbeats_and_is_restarted() {
+    // The worker answers two heartbeats, then goes silent while its
+    // process lives on — the liveness deadline, not process exit, must
+    // catch it.
+    let mut config = fleet_config(1, "wedge", &[(ENV_WEDGE_AFTER_PINGS, "2")]);
+    config.heartbeat_interval = Duration::from_millis(100);
+    config.liveness_deadline = Duration::from_millis(400);
+    config.restart_backoff_base = Duration::from_millis(50);
+    let (handle, addr) = start_fleet(config);
+
+    let mut observer = Client::connect(addr);
+    poll_until(
+        || {
+            let stats = observer.roundtrip(r#"{"op": "stats"}"#);
+            let worker = &workers_field(&stats)[0];
+            (field(worker, "restarts").as_u64().unwrap() >= 1
+                && field(worker, "alive").as_bool() == Some(true))
+            .then_some(())
+        },
+        "the wedged worker to be reaped and respawned",
+    );
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn routing_is_sticky_for_one_plan_across_reconnects() {
+    let config = fleet_config(3, "sticky", &[]);
+    let (handle, addr) = start_fleet(config);
+
+    // The same plan from four fresh connections: rendezvous hashing must
+    // land every one on the same shard, keeping its caches warm.
+    for i in 0..4 {
+        let mut client = Client::connect(addr);
+        let doc = client.roundtrip(&VALID_RUN.replace("\"ok\"", &format!("\"sticky-{i}\"")));
+        assert_eq!(status(&doc), "ok");
+    }
+    let mut observer = Client::connect(addr);
+    let stats = observer.roundtrip(r#"{"op": "stats"}"#);
+    let routed: Vec<u64> = workers_field(&stats)
+        .iter()
+        .map(|w| field(w, "routed").as_u64().unwrap())
+        .collect();
+    assert_eq!(routed.iter().sum::<u64>(), 4);
+    assert!(
+        routed.contains(&4),
+        "one plan should always land on one shard: {routed:?}"
+    );
     handle.shutdown();
     handle.join().unwrap();
 }
